@@ -1,0 +1,65 @@
+//! Ablation: name caching (the paper's §7 suggestion — "any mechanism
+//! that reduced the number of lookups would improve performance", plus
+//! the hint that Sprite-style consistency could cover directory entries).
+//!
+//! Lookups are ~half of every RPC column in Table 5-2. SNFS's consistent
+//! name cache (directory invalidate callbacks) removes most of them
+//! without weakening the consistency guarantee; NFS's TTL cache removes
+//! them too, but with a stale-name window.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spritely_bench::{artifact, config};
+use spritely_harness::{run_andrew_with, Protocol, TestbedParams};
+use spritely_metrics::TextTable;
+use spritely_proto::NfsProc;
+
+fn bench(c: &mut Criterion) {
+    let mut t = TextTable::new(vec!["variant", "total s", "lookups", "total ops"]);
+    for (label, protocol, name_cache) in [
+        ("NFS", Protocol::Nfs, false),
+        ("NFS + dnlc", Protocol::Nfs, true),
+        ("SNFS", Protocol::Snfs, false),
+        ("SNFS + name cache", Protocol::Snfs, true),
+    ] {
+        let r = run_andrew_with(
+            TestbedParams {
+                protocol,
+                tmp_remote: true,
+                name_cache,
+                ..TestbedParams::default()
+            },
+            42,
+        );
+        t.row(vec![
+            label.to_string(),
+            format!("{:.0}", r.times.total().as_secs_f64()),
+            r.ops_with_tail.get(NfsProc::Lookup).to_string(),
+            r.ops_with_tail.total().to_string(),
+        ]);
+    }
+    artifact("Ablation: name caching (Andrew, /tmp remote)", &t.render());
+    let mut g = c.benchmark_group("ablation_name_cache");
+    g.bench_function("andrew_snfs_name_cache", |b| {
+        b.iter(|| {
+            run_andrew_with(
+                TestbedParams {
+                    protocol: Protocol::Snfs,
+                    tmp_remote: true,
+                    name_cache: true,
+                    ..TestbedParams::default()
+                },
+                42,
+            )
+            .times
+            .total()
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Ablation: the NFS attribute-probe interval (footnote 3: 3-150 s in
+//! Ultrix). Shorter floors mean more getattr traffic and a smaller stale
+//! window; longer floors trade consistency for RPCs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spritely_bench::{artifact, config};
+use spritely_harness::{run_andrew_with, Protocol, TestbedParams};
+use spritely_metrics::TextTable;
+use spritely_proto::NfsProc;
+use spritely_sim::SimDuration;
+
+fn bench(c: &mut Criterion) {
+    let mut t = TextTable::new(vec!["probe floor", "total s", "getattr RPCs"]);
+    for secs in [1u64, 3, 10, 60] {
+        let r = run_andrew_with(
+            TestbedParams {
+                protocol: Protocol::Nfs,
+                tmp_remote: true,
+                nfs_attr_min: SimDuration::from_secs(secs),
+                ..TestbedParams::default()
+            },
+            42,
+        );
+        t.row(vec![
+            format!("{secs} s"),
+            format!("{:.0}", r.times.total().as_secs_f64()),
+            r.ops_with_tail.get(NfsProc::GetAttr).to_string(),
+        ]);
+    }
+    artifact(
+        "Ablation: NFS attribute-probe interval (Andrew)",
+        &t.render(),
+    );
+    let mut g = c.benchmark_group("ablation_probe_interval");
+    g.bench_function("andrew_nfs_probe_1s", |b| {
+        b.iter(|| {
+            run_andrew_with(
+                TestbedParams {
+                    protocol: Protocol::Nfs,
+                    tmp_remote: true,
+                    nfs_attr_min: SimDuration::from_secs(1),
+                    ..TestbedParams::default()
+                },
+                42,
+            )
+            .times
+            .total()
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

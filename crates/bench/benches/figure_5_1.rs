@@ -1,0 +1,26 @@
+//! Figure 5-1: NFS server CPU utilization and RPC call rates over time
+//! during the Andrew benchmark (/tmp remote).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spritely_bench::{artifact, config};
+use spritely_harness::{report, run_andrew, Protocol};
+
+fn bench(c: &mut Criterion) {
+    let run = run_andrew(Protocol::Nfs, true, 42);
+    artifact(
+        "Figure 5-1: server utilization and call rates for NFS (CSV)",
+        &report::figure_series(&run),
+    );
+    let mut g = c.benchmark_group("figure_5_1");
+    g.bench_function("series_render", |b| {
+        b.iter(|| report::figure_series(&run).len())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

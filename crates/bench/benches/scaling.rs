@@ -1,0 +1,43 @@
+//! Server scaling (paper §2.3): makespan and server utilization as
+//! identical diskless-workstation clients are added.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spritely_bench::{artifact, config};
+use spritely_harness::{run_scaling, Protocol};
+use spritely_metrics::TextTable;
+
+fn bench(c: &mut Criterion) {
+    let mut t = TextTable::new(vec![
+        "clients",
+        "NFS makespan s",
+        "SNFS makespan s",
+        "NFS disk wr",
+        "SNFS disk wr",
+    ]);
+    for &n in &[1usize, 2, 4, 8] {
+        let nfs = run_scaling(Protocol::Nfs, n, 42);
+        let snfs = run_scaling(Protocol::Snfs, n, 42);
+        t.row(vec![
+            n.to_string(),
+            format!("{:.0}", nfs.makespan.as_secs_f64()),
+            format!("{:.0}", snfs.makespan.as_secs_f64()),
+            nfs.disk_writes.to_string(),
+            snfs.disk_writes.to_string(),
+        ]);
+    }
+    artifact("Server scaling (paper §2.3)", &t.render());
+    let mut g = c.benchmark_group("scaling");
+    for p in [Protocol::Nfs, Protocol::Snfs] {
+        g.bench_function(format!("four_clients_{}", p.label()), |b| {
+            b.iter(|| run_scaling(p, 4, 42).makespan)
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Table 5-1: Andrew benchmark elapsed time per phase, across
+//! {local, NFS, SNFS} x {/tmp local, /tmp remote}.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spritely_bench::{artifact, config};
+use spritely_harness::{report, run_andrew, Protocol};
+
+fn bench(c: &mut Criterion) {
+    let runs = vec![
+        run_andrew(Protocol::Local, false, 42),
+        run_andrew(Protocol::Nfs, false, 42),
+        run_andrew(Protocol::Nfs, true, 42),
+        run_andrew(Protocol::Snfs, false, 42),
+        run_andrew(Protocol::Snfs, true, 42),
+    ];
+    artifact(
+        "Table 5-1: Andrew benchmark elapsed time (seconds)",
+        &report::table_5_1(&runs),
+    );
+    let mut g = c.benchmark_group("table_5_1");
+    g.bench_function("andrew_snfs_tmp_remote", |b| {
+        b.iter(|| run_andrew(Protocol::Snfs, true, 42).times.total())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

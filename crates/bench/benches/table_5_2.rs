@@ -1,0 +1,30 @@
+//! Table 5-2: RPC operation counts for the Andrew benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spritely_bench::{artifact, config};
+use spritely_harness::{report, run_andrew, Protocol};
+
+fn bench(c: &mut Criterion) {
+    let runs = vec![
+        run_andrew(Protocol::Nfs, false, 42),
+        run_andrew(Protocol::Nfs, true, 42),
+        run_andrew(Protocol::Snfs, false, 42),
+        run_andrew(Protocol::Snfs, true, 42),
+    ];
+    artifact(
+        "Table 5-2: RPC calls for the Andrew benchmark (steady state)",
+        &report::table_5_2(&runs),
+    );
+    let mut g = c.benchmark_group("table_5_2");
+    g.bench_function("andrew_nfs_tmp_remote", |b| {
+        b.iter(|| run_andrew(Protocol::Nfs, true, 42).ops_with_tail.total())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Table 5-3: sort benchmark elapsed times for three input sizes with
+//! /usr/tmp on local disk, NFS, and SNFS.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spritely_bench::{artifact, config};
+use spritely_harness::{report, run_sort_experiment, Protocol};
+
+fn bench(c: &mut Criterion) {
+    let mut runs = Vec::new();
+    for &kb in &[281u64, 1408, 2816] {
+        for p in [Protocol::Local, Protocol::Nfs, Protocol::Snfs] {
+            runs.push(run_sort_experiment(p, kb * 1024, true));
+        }
+    }
+    artifact(
+        "Table 5-3: results of sort benchmark",
+        &report::sort_table(&runs),
+    );
+    let mut g = c.benchmark_group("table_5_3");
+    for p in [Protocol::Local, Protocol::Nfs, Protocol::Snfs] {
+        g.bench_function(format!("sort_1408k_{}", p.label()), |b| {
+            b.iter(|| run_sort_experiment(p, 1408 * 1024, true).elapsed)
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

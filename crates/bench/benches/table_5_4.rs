@@ -1,0 +1,32 @@
+//! Table 5-4: RPC calls for the sort benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spritely_bench::{artifact, config};
+use spritely_harness::{report, run_sort_experiment, Protocol};
+
+fn bench(c: &mut Criterion) {
+    let runs = vec![
+        run_sort_experiment(Protocol::Nfs, 2816 * 1024, true),
+        run_sort_experiment(Protocol::Snfs, 2816 * 1024, true),
+    ];
+    artifact(
+        "Table 5-4: RPC calls for sort benchmark",
+        &report::sort_rpc_table(&runs),
+    );
+    let mut g = c.benchmark_group("table_5_4");
+    g.bench_function("sort_nfs_1408k_ops", |b| {
+        b.iter(|| {
+            run_sort_experiment(Protocol::Nfs, 1408 * 1024, true)
+                .ops
+                .total()
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

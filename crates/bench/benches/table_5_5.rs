@@ -1,0 +1,31 @@
+//! Table 5-5: sort benchmark with infinite write-delay (the /etc/update
+//! daemons disabled): SNFS matches or beats local-disk time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spritely_bench::{artifact, config};
+use spritely_harness::{report, run_sort_experiment, Protocol};
+
+fn bench(c: &mut Criterion) {
+    let mut runs = Vec::new();
+    for &kb in &[281u64, 1408, 2816] {
+        for p in [Protocol::Local, Protocol::Nfs, Protocol::Snfs] {
+            runs.push(run_sort_experiment(p, kb * 1024, false));
+        }
+    }
+    artifact(
+        "Table 5-5: sort benchmark, infinite write-delay",
+        &report::sort_table(&runs),
+    );
+    let mut g = c.benchmark_group("table_5_5");
+    g.bench_function("sort_snfs_1408k_no_update", |b| {
+        b.iter(|| run_sort_experiment(Protocol::Snfs, 1408 * 1024, false).elapsed)
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Table 5-6: RPC calls for the sort benchmark (2816 KB input) with the
+//! update daemon enabled vs. disabled.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spritely_bench::{artifact, config};
+use spritely_harness::{report, run_sort_experiment, Protocol};
+
+fn bench(c: &mut Criterion) {
+    let runs = vec![
+        run_sort_experiment(Protocol::Nfs, 2816 * 1024, true),
+        run_sort_experiment(Protocol::Nfs, 2816 * 1024, false),
+        run_sort_experiment(Protocol::Snfs, 2816 * 1024, true),
+        run_sort_experiment(Protocol::Snfs, 2816 * 1024, false),
+    ];
+    artifact(
+        "Table 5-6: RPC calls for sort, update on/off (2816 KB)",
+        &report::sort_rpc_table(&runs),
+    );
+    let mut g = c.benchmark_group("table_5_6");
+    g.bench_function("sort_snfs_2816k_update_off", |b| {
+        b.iter(|| {
+            run_sort_experiment(Protocol::Snfs, 2816 * 1024, false)
+                .ops
+                .total()
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

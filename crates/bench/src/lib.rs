@@ -1,0 +1,24 @@
+//! Shared plumbing for the per-table/per-figure Criterion benches.
+//!
+//! Each bench target in `benches/` regenerates one artifact of the
+//! paper's evaluation — it prints the paper-style table (or figure
+//! series) once, then benchmarks the run that produces it. Absolute
+//! numbers are the simulator's; the *shape* (who wins, by what factor)
+//! is what reproduces the paper. See EXPERIMENTS.md for the side-by-side
+//! record.
+
+use std::time::Duration;
+
+/// Criterion settings tuned for whole-experiment benchmarks: each sample
+/// is a complete simulated benchmark run, so keep the counts low.
+pub fn config() -> criterion::Criterion {
+    criterion::Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(10))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+/// Prints a titled artifact block.
+pub fn artifact(title: &str, body: &str) {
+    println!("\n================ {title} ================\n{body}");
+}

@@ -1,0 +1,243 @@
+//! A simple seek/rotation/transfer disk model.
+//!
+//! The paper's server used RA81/RA82 drives ("moderately high performance"
+//! for 1989). What matters for reproducing the results is not the exact
+//! drive geometry but the two properties the paper leans on:
+//!
+//! 1. **Writes are slow and synchronous at the server** — every NFS `write`
+//!    RPC costs a disk access before the reply, so write-through dominates
+//!    elapsed time.
+//! 2. **Sequential transfers are much cheaper than random ones** — delayed
+//!    write-back batches dirty blocks into sequential runs.
+//!
+//! [`Disk`] models a single arm (FIFO queue) with a positioning time that
+//! is charged in full for non-adjacent accesses and a reduced
+//! track-to-track time for sequential ones, plus a bytes/rate transfer
+//! time. All timing is deterministic.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use spritely_sim::{Resource, Sim, SimDuration};
+
+/// Timing parameters for a [`Disk`].
+#[derive(Debug, Clone, Copy)]
+pub struct DiskParams {
+    /// Average positioning (seek + rotational latency) for a random access.
+    pub avg_position: SimDuration,
+    /// Positioning charged when the access is sequential to the previous
+    /// one (track-to-track / same-track rotation).
+    pub seq_position: SimDuration,
+    /// Media transfer rate in bytes per second.
+    pub transfer_rate: u64,
+}
+
+impl DiskParams {
+    /// Parameters approximating the paper's RA81 drive: ~28 ms average
+    /// positioning, ~2.2 MB/s media rate.
+    pub fn ra81() -> Self {
+        DiskParams {
+            avg_position: SimDuration::from_micros(28_000),
+            seq_position: SimDuration::from_micros(2_500),
+            transfer_rate: 2_200_000,
+        }
+    }
+
+    /// Time to transfer `bytes` at the media rate.
+    pub fn transfer_time(&self, bytes: usize) -> SimDuration {
+        if self.transfer_rate == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_micros((bytes as u64 * 1_000_000).div_ceil(self.transfer_rate))
+    }
+}
+
+/// Cumulative statistics for one disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DiskStats {
+    /// Completed read requests.
+    pub reads: u64,
+    /// Completed write requests.
+    pub writes: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+}
+
+/// A single-arm disk with a FIFO request queue.
+#[derive(Clone)]
+pub struct Disk {
+    sim: Sim,
+    arm: Resource,
+    params: DiskParams,
+    state: Rc<RefCell<DiskState>>,
+}
+
+struct DiskState {
+    last_block: Option<u64>,
+    stats: DiskStats,
+}
+
+impl Disk {
+    /// Creates a disk attached to `sim`.
+    pub fn new(sim: &Sim, name: impl Into<String>, params: DiskParams) -> Self {
+        Disk {
+            sim: sim.clone(),
+            arm: Resource::new(sim, name, 1),
+            params,
+            state: Rc::new(RefCell::new(DiskState {
+                last_block: None,
+                stats: DiskStats::default(),
+            })),
+        }
+    }
+
+    /// The disk's timing parameters.
+    pub fn params(&self) -> DiskParams {
+        self.params
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> DiskStats {
+        self.state.borrow().stats
+    }
+
+    /// The arm resource (for utilization reporting).
+    pub fn arm(&self) -> &Resource {
+        &self.arm
+    }
+
+    /// Reads `bytes` at `block`, waiting in the FIFO queue and consuming
+    /// positioning + transfer time.
+    pub async fn read(&self, block: u64, bytes: usize) {
+        self.access(block, bytes, false).await;
+    }
+
+    /// Writes `bytes` at `block`; same timing as a read (the model does not
+    /// distinguish write settle time).
+    pub async fn write(&self, block: u64, bytes: usize) {
+        self.access(block, bytes, true).await;
+    }
+
+    async fn access(&self, block: u64, bytes: usize, is_write: bool) {
+        let guard = self.arm.acquire().await;
+        let service = {
+            let st = self.state.borrow();
+            let seq = st.last_block == Some(block.wrapping_sub(1)) || st.last_block == Some(block);
+            let pos = if seq {
+                self.params.seq_position
+            } else {
+                self.params.avg_position
+            };
+            pos + self.params.transfer_time(bytes)
+        };
+        self.sim.sleep(service).await;
+        let mut st = self.state.borrow_mut();
+        st.last_block = Some(block);
+        if is_write {
+            st.stats.writes += 1;
+            st.stats.bytes_written += bytes as u64;
+        } else {
+            st.stats.reads += 1;
+            st.stats.bytes_read += bytes as u64;
+        }
+        drop(st);
+        drop(guard);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn disk(sim: &Sim) -> Disk {
+        Disk::new(
+            sim,
+            "d0",
+            DiskParams {
+                avg_position: SimDuration::from_millis(20),
+                seq_position: SimDuration::from_millis(2),
+                transfer_rate: 1_000_000, // 1 MB/s => 4 KB = 4096 us
+            },
+        )
+    }
+
+    #[test]
+    fn random_access_time_is_position_plus_transfer() {
+        let sim = Sim::new();
+        let d = disk(&sim);
+        let d2 = d.clone();
+        sim.block_on(async move {
+            d2.read(100, 4096).await;
+        });
+        assert_eq!(sim.now().as_micros(), 20_000 + 4_096);
+        assert_eq!(d.stats().reads, 1);
+        assert_eq!(d.stats().bytes_read, 4096);
+    }
+
+    #[test]
+    fn sequential_access_is_cheaper() {
+        let sim = Sim::new();
+        let d = disk(&sim);
+        let d2 = d.clone();
+        sim.block_on(async move {
+            d2.write(100, 4096).await;
+            d2.write(101, 4096).await; // sequential
+            d2.write(500, 4096).await; // random
+        });
+        let expect = (20_000 + 4_096) + (2_000 + 4_096) + (20_000 + 4_096);
+        assert_eq!(sim.now().as_micros(), expect as u64);
+        assert_eq!(d.stats().writes, 3);
+    }
+
+    #[test]
+    fn rewrite_of_same_block_counts_as_sequential() {
+        let sim = Sim::new();
+        let d = disk(&sim);
+        let d2 = d.clone();
+        sim.block_on(async move {
+            d2.write(7, 1024).await;
+            d2.write(7, 1024).await;
+        });
+        let expect = (20_000 + 1_024) + (2_000 + 1_024);
+        assert_eq!(sim.now().as_micros(), expect as u64);
+    }
+
+    #[test]
+    fn requests_queue_fifo_on_one_arm() {
+        let sim = Sim::new();
+        let d = disk(&sim);
+        for i in 0..3u64 {
+            let d = d.clone();
+            sim.spawn(async move {
+                d.read(i * 1000, 4096).await;
+            });
+        }
+        sim.run_to_quiescence();
+        // Three random accesses, serialized.
+        assert_eq!(sim.now().as_micros(), 3 * (20_000 + 4_096));
+        assert_eq!(
+            d.arm().busy_permit_micros(),
+            u128::from(sim.now().as_micros())
+        );
+    }
+
+    #[test]
+    fn ra81_transfer_time_sane() {
+        let p = DiskParams::ra81();
+        let t = p.transfer_time(4096);
+        // 4 KB at 2.2 MB/s ~ 1.86 ms.
+        assert!(t.as_micros() > 1_500 && t.as_micros() < 2_200, "{t}");
+    }
+
+    #[test]
+    fn zero_rate_means_free_transfer() {
+        let p = DiskParams {
+            avg_position: SimDuration::ZERO,
+            seq_position: SimDuration::ZERO,
+            transfer_rate: 0,
+        };
+        assert_eq!(p.transfer_time(1 << 20), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,1173 @@
+//! The SNFS client: version-checked caching with delayed write-back,
+//! callback service, and write cancellation for deleted files.
+//!
+//! Differences from the NFS client (paper §4.2), all load-bearing for the
+//! results:
+//!
+//! * `open`/`close` RPCs replace attribute probes; while a file is
+//!   cachable there are **no consistency checks at all**;
+//! * writes to a cachable file go into the cache **dirty** and stay there
+//!   — close does *not* flush; the update daemon writes blocks back when
+//!   they age past the write-delay (30 s), and deleting the file first
+//!   cancels them entirely;
+//! * on a `cacheEnabled = false` open, the client bypasses its cache:
+//!   every read and write goes to the server (and read-ahead is disabled);
+//! * the client services server→client `callback` RPCs using the same
+//!   endpoint machinery the server uses (§4.2.2);
+//! * the §6.2 **delayed-close** extension (off by default, as in the
+//!   paper): closes are held back in anticipation of a quick reopen; a
+//!   `relinquish` callback or a local timeout finally reports them.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use spritely_localfs::BlockCache;
+use spritely_metrics::OpCounter;
+use spritely_proto::{
+    block_of, blocks_for, CallbackArg, CallbackReply, ClientId, DirEntry, Fattr, FileHandle,
+    FileVersion, NfsReply, NfsRequest, NfsStatus, ReadReply, Result, BLOCK_SIZE,
+};
+use spritely_rpcnet::{Caller, Endpoint, EndpointParams, RpcError};
+use spritely_sim::{Event, Resource, Sim, SimDuration};
+
+/// Configuration of an [`SnfsClient`].
+#[derive(Debug, Clone, Copy)]
+pub struct SnfsClientParams {
+    /// Data cache capacity in blocks.
+    pub cache_blocks: usize,
+    /// Age at which dirty blocks are written back (paper §4.2.3: 30 s).
+    pub write_delay: SimDuration,
+    /// Interval of the client's update daemon; `None` = infinite
+    /// write-delay (Table 5-5 configuration).
+    pub update_interval: Option<SimDuration>,
+    /// Prefetch the next block on cache-missing sequential reads of
+    /// cachable files.
+    pub read_ahead: bool,
+    /// §6.2 extension: hold back `close` RPCs anticipating a reopen.
+    pub delayed_close: bool,
+    /// How long a delayed close lingers before being reported
+    /// spontaneously.
+    pub delayed_close_timeout: SimDuration,
+    /// §7 extension: cache name translations, kept consistent by
+    /// directory invalidate callbacks from the server. Lookups were half
+    /// of all RPCs in the paper's Table 5-2; this removes most of them
+    /// without giving up the consistency guarantee.
+    pub name_cache: bool,
+}
+
+impl Default for SnfsClientParams {
+    fn default() -> Self {
+        SnfsClientParams {
+            cache_blocks: 4096,
+            // Paper §4.2.3: SNFS "follows the traditional Unix policy" —
+            // the periodic update flushes *all* delayed blocks (age 0),
+            // unlike Sprite's 30 s-age rule. Raise this for the
+            // Sprite-style ablation.
+            write_delay: SimDuration::ZERO,
+            update_interval: Some(SimDuration::from_secs(30)),
+            read_ahead: true,
+            delayed_close: false,
+            delayed_close_timeout: SimDuration::from_secs(180),
+            name_cache: false,
+        }
+    }
+}
+
+/// Client-side statistics (the "writes averted" story of §5.4).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Dirty blocks dropped because their file was deleted before
+    /// write-back.
+    pub cancelled_blocks: u64,
+    /// Dirty blocks written back (daemon + callbacks + fsync + eviction).
+    pub written_back_blocks: u64,
+    /// Callbacks serviced.
+    pub callbacks_served: u64,
+    /// Cache invalidations performed on behalf of callbacks or version
+    /// mismatches.
+    pub invalidations: u64,
+    /// Opens satisfied locally thanks to delayed close (§6.2).
+    pub local_reopens: u64,
+    /// Successful recovery re-registrations after a server reboot (§2.4).
+    pub recoveries: u64,
+    /// Lookups served from the local name cache (§7 extension).
+    pub name_cache_hits: u64,
+}
+
+type Key = (FileHandle, u64);
+
+struct FileInfo {
+    cacheable: bool,
+    /// Version of the data in our cache, if any.
+    cached_version: Option<FileVersion>,
+    /// Locally authoritative attributes while we cache the file.
+    attr: Fattr,
+    readers: u32,
+    writers: u32,
+    /// §6.2: a close we have not reported yet: (readers, writers) counts
+    /// awaiting a close RPC.
+    pending_close: Option<(u32, u32)>,
+}
+
+struct Inner {
+    sim: Sim,
+    caller: Caller<NfsRequest, NfsReply>,
+    id: ClientId,
+    params: SnfsClientParams,
+    cache: RefCell<BlockCache<Key>>,
+    files: RefCell<HashMap<FileHandle, FileInfo>>,
+    in_flight: RefCell<HashMap<Key, Event>>,
+    stats: Cell<ClientStats>,
+    /// Last server epoch observed via `keepalive`/`recover` (0 = never).
+    known_epoch: Cell<u64>,
+    /// Name-translation cache: `(dir, name) → (fh, attr)` (§7 extension;
+    /// consistent via directory invalidate callbacks).
+    names: RefCell<HashMap<(FileHandle, String), (FileHandle, Fattr)>>,
+}
+
+/// A Spritely NFS client bound to one server.
+#[derive(Clone)]
+pub struct SnfsClient {
+    inner: Rc<Inner>,
+}
+
+fn status_of(e: RpcError) -> NfsStatus {
+    match e {
+        RpcError::Timeout => NfsStatus::Io,
+    }
+}
+
+impl SnfsClient {
+    /// Creates a client that calls the server through `caller`.
+    pub fn new(sim: &Sim, caller: Caller<NfsRequest, NfsReply>, params: SnfsClientParams) -> Self {
+        let id = caller.client_id();
+        SnfsClient {
+            inner: Rc::new(Inner {
+                sim: sim.clone(),
+                caller,
+                id,
+                params,
+                cache: RefCell::new(BlockCache::new(params.cache_blocks)),
+                files: RefCell::new(HashMap::new()),
+                in_flight: RefCell::new(HashMap::new()),
+                stats: Cell::new(ClientStats::default()),
+                known_epoch: Cell::new(0),
+                names: RefCell::new(HashMap::new()),
+            }),
+        }
+    }
+
+    /// This client's id.
+    pub fn client_id(&self) -> ClientId {
+        self.inner.id
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> ClientStats {
+        self.inner.stats.get()
+    }
+
+    /// Data cache `(hits, misses)`.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.inner.cache.borrow().hit_stats()
+    }
+
+    /// Number of dirty blocks awaiting write-back.
+    pub fn dirty_blocks(&self) -> usize {
+        self.inner.cache.borrow().dirty_count()
+    }
+
+    fn bump_stats(&self, f: impl FnOnce(&mut ClientStats)) {
+        let mut s = self.inner.stats.get();
+        f(&mut s);
+        self.inner.stats.set(s);
+    }
+
+    async fn call(&self, req: NfsRequest) -> Result<NfsReply> {
+        // A rebooted server answers `Grace` until its state table is
+        // rebuilt; back off and retry — the grace period is short and
+        // bounded (§2.4).
+        for _ in 0..30 {
+            match self.inner.caller.call(req.clone()).await {
+                Ok(NfsReply::Err(NfsStatus::Grace)) => {
+                    self.inner.sim.sleep(SimDuration::from_secs(2)).await;
+                }
+                Ok(rep) => return rep.into_result(),
+                Err(e) => return Err(status_of(e)),
+            }
+        }
+        Err(NfsStatus::Grace)
+    }
+
+    // ---- open / close ------------------------------------------------------
+
+    /// Opens a file: an `open` RPC (or a local reopen under §6.2),
+    /// version-checked cache retention, and cachability bookkeeping.
+    pub async fn open(&self, fh: FileHandle, write: bool) -> Result<Fattr> {
+        // §6.2 delayed close: if the file is "closed but not reported",
+        // and the pending modes cover the new open, reopen locally.
+        if self.inner.params.delayed_close {
+            let mut files = self.inner.files.borrow_mut();
+            if let Some(info) = files.get_mut(&fh) {
+                if let Some((pr, pw)) = info.pending_close {
+                    let covered = if write { pw > 0 } else { pr > 0 || pw > 0 };
+                    if covered {
+                        // Cancel the pending close; transfer one open back.
+                        if write {
+                            info.writers += 1;
+                            info.pending_close = Some((pr, pw - 1));
+                        } else if pr > 0 {
+                            info.readers += 1;
+                            info.pending_close = Some((pr - 1, pw));
+                        } else {
+                            // Reading under a pending write-open.
+                            info.readers += 1;
+                            info.pending_close = Some((pr, pw - 1));
+                            // The unreported write-open now backs a read;
+                            // report the mode we actually hold.
+                            info.writers += 1;
+                            info.readers -= 1;
+                        }
+                        if info.pending_close == Some((0, 0)) {
+                            info.pending_close = None;
+                        }
+                        let attr = info.attr;
+                        drop(files);
+                        self.bump_stats(|s| s.local_reopens += 1);
+                        return Ok(attr);
+                    }
+                }
+            }
+        }
+        let rep = self
+            .call(NfsRequest::Open {
+                fh,
+                write,
+                client: self.inner.id,
+            })
+            .await?;
+        let open = match rep {
+            NfsReply::Open(o) => o,
+            _ => return Err(NfsStatus::Io),
+        };
+        let (attr, flush_first, drop_blocks) = {
+            let mut files = self.inner.files.borrow_mut();
+            let info = files.entry(fh).or_insert(FileInfo {
+                cacheable: true,
+                cached_version: None,
+                attr: open.attr,
+                readers: 0,
+                writers: 0,
+                pending_close: None,
+            });
+            // Cache validity (paper §3.1): valid if the cached version matches
+            // the latest, or — for a write open — the previous version, since
+            // that bump came from this very open.
+            let valid = match info.cached_version {
+                Some(cv) => cv == open.version || (write && cv == open.prev_version),
+                None => false,
+            };
+            let mut drop_blocks = false;
+            let mut flush_first = false;
+            if !valid && info.cached_version.is_some() {
+                drop_blocks = true;
+            }
+            if !open.cache_enabled {
+                // Must stop caching. Any dirty blocks should already have been
+                // collected by a callback, but be defensive: push them first.
+                flush_first = info.cached_version.is_some();
+                drop_blocks = true;
+                info.cacheable = false;
+                info.cached_version = None;
+            } else {
+                info.cacheable = true;
+                info.cached_version = Some(open.version);
+            }
+            if write {
+                info.writers += 1;
+            } else {
+                info.readers += 1;
+            }
+            // Attribute authority: while this client retains a version-valid
+            // cache, its local attributes are the truth — the server may be
+            // mid-write-back and only know a prefix of the file. Adopt the
+            // server's attributes only when the cache was not retained.
+            let keep_local = valid && open.cache_enabled;
+            if !keep_local {
+                info.attr = open.attr;
+            }
+            (info.attr, flush_first, drop_blocks)
+        };
+        if flush_first {
+            self.writeback_file(fh).await?;
+        }
+        if drop_blocks {
+            self.bump_stats(|s| s.invalidations += 1);
+            self.inner.cache.borrow_mut().drop_matching(|k| k.0 == fh);
+        }
+        Ok(attr)
+    }
+
+    /// Closes a file. No data is flushed (delayed write-back survives the
+    /// close — the whole point, §2.3). Sends the `close` RPC, or defers it
+    /// under §6.2.
+    pub async fn close(&self, fh: FileHandle, write: bool) -> Result<()> {
+        {
+            let mut files = self.inner.files.borrow_mut();
+            if let Some(info) = files.get_mut(&fh) {
+                if write {
+                    info.writers = info.writers.saturating_sub(1);
+                } else {
+                    info.readers = info.readers.saturating_sub(1);
+                }
+                if self.inner.params.delayed_close {
+                    let (pr, pw) = info.pending_close.unwrap_or((0, 0));
+                    info.pending_close = Some(if write { (pr, pw + 1) } else { (pr + 1, pw) });
+                    drop(files);
+                    self.schedule_spontaneous_close(fh);
+                    return Ok(());
+                }
+            }
+        }
+        self.call(NfsRequest::Close {
+            fh,
+            write,
+            client: self.inner.id,
+        })
+        .await?;
+        Ok(())
+    }
+
+    /// §6.2: after a timeout, report a still-pending close spontaneously.
+    fn schedule_spontaneous_close(&self, fh: FileHandle) {
+        let this = self.clone();
+        let delay = self.inner.params.delayed_close_timeout;
+        self.inner.sim.spawn(async move {
+            this.inner.sim.sleep(delay).await;
+            let _ = this.flush_pending_close(fh).await;
+        });
+    }
+
+    /// Reports any pending delayed closes for `fh` to the server.
+    pub async fn flush_pending_close(&self, fh: FileHandle) -> Result<()> {
+        loop {
+            let mode = {
+                let mut files = self.inner.files.borrow_mut();
+                match files.get_mut(&fh) {
+                    Some(info) => match info.pending_close {
+                        Some((pr, pw)) if pw > 0 => {
+                            info.pending_close = Some((pr, pw - 1));
+                            Some(true)
+                        }
+                        Some((pr, _)) if pr > 0 => {
+                            let (pr, pw) = info.pending_close.expect("just matched");
+                            info.pending_close = Some((pr - 1, pw));
+                            Some(false)
+                        }
+                        _ => {
+                            info.pending_close = None;
+                            None
+                        }
+                    },
+                    None => None,
+                }
+            };
+            let Some(write) = mode else { break };
+            self.call(NfsRequest::Close {
+                fh,
+                write,
+                client: self.inner.id,
+            })
+            .await?;
+        }
+        let mut files = self.inner.files.borrow_mut();
+        if let Some(info) = files.get_mut(&fh) {
+            if info.pending_close == Some((0, 0)) {
+                info.pending_close = None;
+            }
+        }
+        Ok(())
+    }
+
+    fn is_cacheable(&self, fh: FileHandle) -> bool {
+        self.inner
+            .files
+            .borrow()
+            .get(&fh)
+            .is_none_or(|i| i.cacheable)
+    }
+
+    fn local_attr(&self, fh: FileHandle) -> Option<Fattr> {
+        self.inner.files.borrow().get(&fh).map(|i| i.attr)
+    }
+
+    // ---- data path ----------------------------------------------------------
+
+    async fn fetch_block(&self, fh: FileHandle, lblk: u64, cache_it: bool) -> Result<Vec<u8>> {
+        let key = (fh, lblk);
+        if cache_it {
+            let waiting = self.inner.in_flight.borrow().get(&key).cloned();
+            if let Some(ev) = waiting {
+                ev.wait().await;
+                if let Some(b) = self.inner.cache.borrow_mut().get(&key) {
+                    return Ok(b);
+                }
+            }
+            let ev = Event::new();
+            self.inner.in_flight.borrow_mut().insert(key, ev.clone());
+            let res = self
+                .call(NfsRequest::Read {
+                    fh,
+                    offset: lblk * BLOCK_SIZE as u64,
+                    count: BLOCK_SIZE as u32,
+                })
+                .await;
+            self.inner.in_flight.borrow_mut().remove(&key);
+            ev.set();
+            match res? {
+                NfsReply::Read(ReadReply { data, .. }) => {
+                    self.inner
+                        .cache
+                        .borrow_mut()
+                        .insert_clean(key, data.clone());
+                    Ok(data)
+                }
+                _ => Err(NfsStatus::Io),
+            }
+        } else {
+            match self
+                .call(NfsRequest::Read {
+                    fh,
+                    offset: lblk * BLOCK_SIZE as u64,
+                    count: BLOCK_SIZE as u32,
+                })
+                .await?
+            {
+                NfsReply::Read(ReadReply { data, .. }) => Ok(data),
+                _ => Err(NfsStatus::Io),
+            }
+        }
+    }
+
+    fn spawn_read_ahead(&self, fh: FileHandle, lblk: u64, size: u64) {
+        if !self.inner.params.read_ahead {
+            return;
+        }
+        let next = lblk + 1;
+        if next * (BLOCK_SIZE as u64) >= size
+            || self.inner.cache.borrow().contains(&(fh, next))
+            || self.inner.in_flight.borrow().contains_key(&(fh, next))
+        {
+            return;
+        }
+        let this = self.clone();
+        self.inner.sim.spawn(async move {
+            let _ = this.fetch_block(fh, next, true).await;
+        });
+    }
+
+    /// Reads up to `len` bytes at `offset`. Returns `(data, eof)`.
+    pub async fn read(&self, fh: FileHandle, offset: u64, len: u32) -> Result<(Vec<u8>, bool)> {
+        if !self.is_cacheable(fh) {
+            // Write-shared: every read goes to the server; no cache, no
+            // read-ahead (paper §4.2.1).
+            let rep = self
+                .call(NfsRequest::Read {
+                    fh,
+                    offset,
+                    count: len,
+                })
+                .await?;
+            return match rep {
+                NfsReply::Read(ReadReply { data, eof, .. }) => Ok((data, eof)),
+                _ => Err(NfsStatus::Io),
+            };
+        }
+        let attr = match self.local_attr(fh) {
+            Some(a) => a,
+            None => self.getattr(fh).await?,
+        };
+        let size = attr.size;
+        if offset >= size || len == 0 {
+            return Ok((Vec::new(), true));
+        }
+        let end = size.min(offset + u64::from(len));
+        let mut out = Vec::with_capacity((end - offset) as usize);
+        let first = block_of(offset);
+        let last = block_of(end - 1);
+        for lblk in first..=last {
+            let blk_start = lblk * BLOCK_SIZE as u64;
+            let from = (offset.max(blk_start) - blk_start) as usize;
+            let to = ((end - blk_start).min(BLOCK_SIZE as u64)) as usize;
+            let cached = self.inner.cache.borrow_mut().get(&(fh, lblk));
+            let mut block = match cached {
+                Some(b) => b,
+                None => {
+                    let b = self.fetch_block(fh, lblk, true).await?;
+                    self.spawn_read_ahead(fh, lblk, size);
+                    b
+                }
+            };
+            // A short cached block inside the file is a hole: zero-fill.
+            if block.len() < to {
+                block.resize(to, 0);
+            }
+            out.extend_from_slice(&block[from..to]);
+        }
+        Ok((out, end == size))
+    }
+
+    /// Writes `data` at `offset`. Cachable files take a *delayed* write
+    /// (dirty in the cache, no RPC); write-shared files write through
+    /// synchronously.
+    pub async fn write(&self, fh: FileHandle, offset: u64, data: &[u8]) -> Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        if !self.is_cacheable(fh) {
+            let rep = self
+                .call(NfsRequest::Write {
+                    fh,
+                    offset,
+                    data: data.to_vec(),
+                })
+                .await?;
+            return match rep {
+                NfsReply::Attr(_) => Ok(()),
+                _ => Err(NfsStatus::Io),
+            };
+        }
+        let now = self.inner.sim.now();
+        let old_size = self.local_attr(fh).map_or(0, |a| a.size);
+        let end = offset + data.len() as u64;
+        let first = block_of(offset);
+        let last = block_of(end - 1);
+        for lblk in first..=last {
+            let blk_start = lblk * BLOCK_SIZE as u64;
+            let from = offset.max(blk_start);
+            let to = end.min(blk_start + BLOCK_SIZE as u64);
+            let chunk = &data[(from - offset) as usize..(to - offset) as usize];
+            let key = (fh, lblk);
+            let off_in_block = (from - blk_start) as usize;
+            let full = off_in_block == 0 && chunk.len() == BLOCK_SIZE;
+            let merged = if full {
+                chunk.to_vec()
+            } else {
+                // NOTE: take the cache lookup out of the `match` scrutinee —
+                // a borrow held there would live across the `fetch_block`
+                // await below and collide with its own cache borrow.
+                let cached = self.inner.cache.borrow_mut().get(&key);
+                let mut base = match cached {
+                    Some(b) => b,
+                    None if blk_start < old_size => {
+                        // Partial write into an existing block: fetch it.
+                        self.fetch_block(fh, lblk, true).await?
+                    }
+                    None => Vec::new(),
+                };
+                if base.len() < off_in_block + chunk.len() {
+                    base.resize(off_in_block + chunk.len(), 0);
+                }
+                base[off_in_block..off_in_block + chunk.len()].copy_from_slice(chunk);
+                base
+            };
+            let victim = self.inner.cache.borrow_mut().write(key, merged, now);
+            if let Some(v) = victim {
+                // Cache pressure forces an early write-back.
+                self.write_block_back(v.key.0, v.key.1, v.data).await?;
+            }
+        }
+        // Local attributes are authoritative for a caching writer.
+        let mut files = self.inner.files.borrow_mut();
+        if let Some(info) = files.get_mut(&fh) {
+            info.attr.size = info.attr.size.max(end);
+            info.attr.mtime = now.as_micros();
+        }
+        Ok(())
+    }
+
+    async fn write_block_back(&self, fh: FileHandle, lblk: u64, data: Vec<u8>) -> Result<()> {
+        let rep = self
+            .call(NfsRequest::Write {
+                fh,
+                offset: lblk * BLOCK_SIZE as u64,
+                data,
+            })
+            .await?;
+        self.bump_stats(|s| s.written_back_blocks += 1);
+        match rep {
+            NfsReply::Attr(_) => Ok(()),
+            _ => Err(NfsStatus::Io),
+        }
+    }
+
+    /// Writes back all of `fh`'s dirty blocks (used by callbacks, fsync,
+    /// and the update daemon).
+    pub async fn writeback_file(&self, fh: FileHandle) -> Result<()> {
+        let mut keys = self.inner.cache.borrow().keys_matching(|k| k.0 == fh);
+        keys.sort_unstable();
+        for key in keys {
+            let fd = self.inner.cache.borrow().flush_data(&key);
+            if let Some(fd) = fd {
+                self.write_block_back(key.0, key.1, fd.data).await?;
+                self.inner.cache.borrow_mut().mark_clean(&key, fd.seq);
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes dirty blocks older than the write-delay (the update
+    /// daemon's unit of work).
+    pub async fn flush_aged(&self) {
+        let now = self.inner.sim.now();
+        let min_age = self.inner.params.write_delay;
+        let mut due: Vec<Key> = self
+            .inner
+            .cache
+            .borrow()
+            .dirty_blocks()
+            .into_iter()
+            .filter(|&(_, t)| now.saturating_duration_since(t) >= min_age)
+            .map(|(k, _)| k)
+            .collect();
+        due.sort_unstable();
+        for key in due {
+            let fd = self.inner.cache.borrow().flush_data(&key);
+            if let Some(fd) = fd {
+                if self.write_block_back(key.0, key.1, fd.data).await.is_ok() {
+                    self.inner.cache.borrow_mut().mark_clean(&key, fd.seq);
+                }
+            }
+        }
+    }
+
+    /// Spawns the client's update daemon (periodic aged write-back),
+    /// unless disabled by [`SnfsClientParams::update_interval`].
+    pub fn spawn_update_daemon(&self) {
+        let Some(interval) = self.inner.params.update_interval else {
+            return;
+        };
+        let this = self.clone();
+        let sim = self.inner.sim.clone();
+        self.inner.sim.spawn(async move {
+            loop {
+                sim.sleep(interval).await;
+                this.flush_aged().await;
+            }
+        });
+    }
+
+    /// Synchronously pushes a file's dirty blocks to the server (explicit
+    /// flush for applications that want crash-resistance, §2.2).
+    pub async fn fsync(&self, fh: FileHandle) -> Result<()> {
+        self.writeback_file(fh).await
+    }
+
+    /// Simulates an orderly client reboot (experiment setup): every dirty
+    /// block is written back, then all cached state — data, versions,
+    /// attributes — is dropped, as if the machine had power-cycled.
+    pub async fn cold_boot(&self) -> Result<()> {
+        let files: Vec<FileHandle> = {
+            let mut v: Vec<FileHandle> = self
+                .inner
+                .cache
+                .borrow()
+                .keys_matching(|_| true)
+                .into_iter()
+                .map(|k| k.0)
+                .collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        for fh in files {
+            self.writeback_file(fh).await?;
+            self.flush_pending_close(fh).await?;
+        }
+        self.inner.cache.borrow_mut().clear();
+        self.inner.files.borrow_mut().clear();
+        self.inner.names.borrow_mut().clear();
+        Ok(())
+    }
+
+    // ---- crash recovery (§2.4) -------------------------------------------------
+
+    /// Builds this client's recovery report: every file it has open (or
+    /// pending-closed) plus every file it holds cached or dirty blocks
+    /// for.
+    fn recovery_report(&self) -> Vec<spritely_proto::RecoveredFile> {
+        let files = self.inner.files.borrow();
+        let cache = self.inner.cache.borrow();
+        let mut report: Vec<spritely_proto::RecoveredFile> = files
+            .iter()
+            .filter_map(|(&fh, info)| {
+                let (pr, pw) = info.pending_close.unwrap_or((0, 0));
+                let readers = info.readers + pr;
+                let writers = info.writers + pw;
+                let dirty = cache
+                    .keys_matching(|k| k.0 == fh)
+                    .iter()
+                    .any(|k| cache.is_dirty(k));
+                if readers == 0 && writers == 0 && info.cached_version.is_none() && !dirty {
+                    return None;
+                }
+                Some(spritely_proto::RecoveredFile {
+                    fh,
+                    readers,
+                    writers,
+                    cached_version: info.cached_version,
+                    dirty,
+                })
+            })
+            .collect();
+        report.sort_unstable_by_key(|f| f.fh);
+        report
+    }
+
+    /// Re-registers this client's state with a rebooted server. Returns
+    /// the server epoch acknowledged.
+    pub async fn recover(&self) -> Result<u64> {
+        let files = self.recovery_report();
+        let rep = self
+            .call(NfsRequest::Recover {
+                client: self.inner.id,
+                files,
+            })
+            .await?;
+        match rep {
+            NfsReply::Epoch(e) => {
+                self.inner.known_epoch.set(e);
+                self.bump_stats(|s| s.recoveries += 1);
+                Ok(e)
+            }
+            _ => Err(NfsStatus::Io),
+        }
+    }
+
+    /// One keepalive probe: learns the server epoch and triggers
+    /// [`recover`](Self::recover) when it changes (i.e. the server
+    /// rebooted since we last spoke to it).
+    pub async fn keepalive(&self) -> Result<u64> {
+        let rep = self
+            .inner
+            .caller
+            .call(NfsRequest::Keepalive {
+                client: self.inner.id,
+            })
+            .await
+            .map_err(status_of)?
+            .into_result()?;
+        let epoch = match rep {
+            NfsReply::Epoch(e) => e,
+            _ => return Err(NfsStatus::Io),
+        };
+        let known = self.inner.known_epoch.get();
+        if known == 0 {
+            // First contact: just remember it.
+            self.inner.known_epoch.set(epoch);
+        } else if epoch != known {
+            // The server rebooted: re-register everything we know.
+            self.recover().await?;
+        }
+        Ok(epoch)
+    }
+
+    /// Spawns the keepalive daemon (paper §2.4: "periodic 'keepalive'
+    /// packets ... detect when a client or server has crashed or
+    /// rebooted"). Probes every `interval`; failures are tolerated (the
+    /// server may simply be down — the next probe will find it again).
+    pub fn spawn_keepalive_daemon(&self, interval: SimDuration) {
+        let this = self.clone();
+        let sim = self.inner.sim.clone();
+        self.inner.sim.spawn(async move {
+            loop {
+                sim.sleep(interval).await;
+                let _ = this.keepalive().await;
+            }
+        });
+    }
+
+    // ---- callback service ----------------------------------------------------
+
+    /// Builds the client's callback-service endpoint (the server calls
+    /// this; paper §4.2.2 reuses the NFS server machinery for it).
+    pub fn callback_endpoint(
+        &self,
+        name: impl Into<String>,
+        cpu: Resource,
+        params: EndpointParams,
+        counter: OpCounter,
+    ) -> Endpoint<CallbackArg, CallbackReply> {
+        let this = self.clone();
+        let handler = Rc::new(move |_from: ClientId, arg: CallbackArg| {
+            let this = this.clone();
+            Box::pin(async move { this.serve_callback(arg).await })
+                as std::pin::Pin<Box<dyn std::future::Future<Output = CallbackReply>>>
+        });
+        Endpoint::new(&self.inner.sim, name, cpu, params, counter, handler)
+    }
+
+    /// Services one callback (paper §3.2): write back and/or invalidate,
+    /// not returning until requested write-backs are complete.
+    pub async fn serve_callback(&self, arg: CallbackArg) -> CallbackReply {
+        self.bump_stats(|s| s.callbacks_served += 1);
+        let fh = arg.fh;
+        if arg.writeback && self.writeback_file(fh).await.is_err() {
+            return CallbackReply { ok: false };
+        }
+        if arg.invalidate {
+            self.bump_stats(|s| s.invalidations += 1);
+            let dropped = self.inner.cache.borrow_mut().drop_matching(|k| k.0 == fh);
+            debug_assert_eq!(dropped.dirty, 0, "writeback should have preceded");
+            // If `fh` is a directory this drops our name translations
+            // under it (§7 extension); for files it is a no-op.
+            self.drop_dir_names(fh);
+            let mut files = self.inner.files.borrow_mut();
+            if let Some(info) = files.get_mut(&fh) {
+                info.cached_version = None;
+                if info.readers > 0 || info.writers > 0 {
+                    info.cacheable = false;
+                }
+            }
+        }
+        if arg.relinquish {
+            // §6.2: give up a delayed-close file so the server can reclaim
+            // its table entry. Report the closes after replying.
+            let this = self.clone();
+            self.inner.sim.spawn(async move {
+                let _ = this.flush_pending_close(fh).await;
+            });
+        }
+        CallbackReply { ok: true }
+    }
+
+    // ---- attributes and namespace ---------------------------------------------
+
+    /// Attributes: served locally for cachable files (no refresh needed,
+    /// §4.2.1); fetched from the server for write-shared files.
+    pub async fn getattr(&self, fh: FileHandle) -> Result<Fattr> {
+        if self.is_cacheable(fh) {
+            if let Some(a) = self.local_attr(fh) {
+                return Ok(a);
+            }
+        }
+        let rep = self.call(NfsRequest::GetAttr { fh }).await?;
+        match rep {
+            NfsReply::Attr(attr) => {
+                let mut files = self.inner.files.borrow_mut();
+                match files.get_mut(&fh) {
+                    Some(info) => {
+                        if info.attr.mtime <= attr.mtime {
+                            info.attr = attr;
+                        }
+                    }
+                    None => {
+                        // First contact (e.g. a directory): remember the
+                        // attributes; cachable files need no refresh
+                        // (§4.2.1).
+                        files.insert(
+                            fh,
+                            FileInfo {
+                                cacheable: true,
+                                cached_version: None,
+                                attr,
+                                readers: 0,
+                                writers: 0,
+                                pending_close: None,
+                            },
+                        );
+                    }
+                }
+                Ok(attr)
+            }
+            _ => Err(NfsStatus::Io),
+        }
+    }
+
+    /// Translates one name component (same protocol and cost as NFS
+    /// unless the §7 name cache is enabled).
+    pub async fn lookup(&self, dir: FileHandle, name: &str) -> Result<(FileHandle, Fattr)> {
+        if self.inner.params.name_cache {
+            let hit = self
+                .inner
+                .names
+                .borrow()
+                .get(&(dir, name.to_string()))
+                .copied();
+            if let Some((fh, attr)) = hit {
+                self.bump_stats(|s| s.name_cache_hits += 1);
+                // Attributes of a cached file are locally authoritative;
+                // serve the freshest view we have.
+                let attr = self.local_attr(fh).unwrap_or(attr);
+                return Ok((fh, attr));
+            }
+        }
+        let rep = self
+            .call(NfsRequest::Lookup {
+                dir,
+                name: name.to_string(),
+            })
+            .await?;
+        match rep {
+            NfsReply::Handle { fh, attr } => {
+                if self.inner.params.name_cache {
+                    self.inner
+                        .names
+                        .borrow_mut()
+                        .insert((dir, name.to_string()), (fh, attr));
+                }
+                // Attribute authority: if we cache this file, the server
+                // may only know a write-back prefix of it — our local
+                // attributes are the truth (same rule as open/getattr).
+                let attr = if self.is_cacheable(fh) {
+                    self.local_attr(fh).unwrap_or(attr)
+                } else {
+                    attr
+                };
+                Ok((fh, attr))
+            }
+            _ => Err(NfsStatus::Io),
+        }
+    }
+
+    /// Drops cached name translations under `dir` (server directory
+    /// callback, or a local namespace change).
+    fn drop_dir_names(&self, dir: FileHandle) {
+        self.inner.names.borrow_mut().retain(|k, _| k.0 != dir);
+    }
+
+    /// Creates a regular file.
+    pub async fn create(&self, dir: FileHandle, name: &str) -> Result<(FileHandle, Fattr)> {
+        let rep = self
+            .call(NfsRequest::Create {
+                dir,
+                name: name.to_string(),
+            })
+            .await?;
+        match rep {
+            NfsReply::Handle { fh, attr } => {
+                self.inner.files.borrow_mut().insert(
+                    fh,
+                    FileInfo {
+                        cacheable: true,
+                        cached_version: None,
+                        attr,
+                        readers: 0,
+                        writers: 0,
+                        pending_close: None,
+                    },
+                );
+                if self.inner.params.name_cache {
+                    self.inner
+                        .names
+                        .borrow_mut()
+                        .insert((dir, name.to_string()), (fh, attr));
+                }
+                Ok((fh, attr))
+            }
+            _ => Err(NfsStatus::Io),
+        }
+    }
+
+    /// Removes a file, **cancelling** its delayed writes (§4.2.3) — the
+    /// temp-file optimization NFS cannot have. Pass the victim's handle so
+    /// local state can be dropped.
+    pub async fn remove(
+        &self,
+        dir: FileHandle,
+        name: &str,
+        victim: Option<FileHandle>,
+    ) -> Result<()> {
+        if let Some(fh) = victim {
+            // Cancellation is only sound when this is the file's last
+            // hard link; otherwise the data stays reachable under another
+            // name. (A concurrent remote `link` could race this check —
+            // the same window the 1989 systems had.)
+            let nlink = self
+                .inner
+                .files
+                .borrow()
+                .get(&fh)
+                .map_or(1, |i| i.attr.nlink);
+            if nlink <= 1 {
+                let dropped = self.inner.cache.borrow_mut().drop_matching(|k| k.0 == fh);
+                self.bump_stats(|s| s.cancelled_blocks += dropped.dirty);
+                self.inner.files.borrow_mut().remove(&fh);
+            } else if let Some(info) = self.inner.files.borrow_mut().get_mut(&fh) {
+                info.attr.nlink = nlink - 1;
+            }
+        }
+        self.inner
+            .names
+            .borrow_mut()
+            .remove(&(dir, name.to_string()));
+        let rep = self
+            .call(NfsRequest::Remove {
+                dir,
+                name: name.to_string(),
+            })
+            .await?;
+        match rep {
+            NfsReply::Ok => Ok(()),
+            _ => Err(NfsStatus::Io),
+        }
+    }
+
+    /// Creates a directory.
+    pub async fn mkdir(&self, dir: FileHandle, name: &str) -> Result<(FileHandle, Fattr)> {
+        let rep = self
+            .call(NfsRequest::Mkdir {
+                dir,
+                name: name.to_string(),
+            })
+            .await?;
+        match rep {
+            NfsReply::Handle { fh, attr } => Ok((fh, attr)),
+            _ => Err(NfsStatus::Io),
+        }
+    }
+
+    /// Removes an empty directory.
+    pub async fn rmdir(&self, dir: FileHandle, name: &str) -> Result<()> {
+        let rep = self
+            .call(NfsRequest::Rmdir {
+                dir,
+                name: name.to_string(),
+            })
+            .await?;
+        match rep {
+            NfsReply::Ok => Ok(()),
+            _ => Err(NfsStatus::Io),
+        }
+    }
+
+    /// Renames a file or directory.
+    pub async fn rename(
+        &self,
+        from_dir: FileHandle,
+        from_name: &str,
+        to_dir: FileHandle,
+        to_name: &str,
+    ) -> Result<()> {
+        {
+            let mut names = self.inner.names.borrow_mut();
+            names.remove(&(from_dir, from_name.to_string()));
+            names.remove(&(to_dir, to_name.to_string()));
+        }
+        let rep = self
+            .call(NfsRequest::Rename {
+                from_dir,
+                from_name: from_name.to_string(),
+                to_dir,
+                to_name: to_name.to_string(),
+            })
+            .await?;
+        match rep {
+            NfsReply::Ok => Ok(()),
+            _ => Err(NfsStatus::Io),
+        }
+    }
+
+    /// Lists a directory.
+    pub async fn readdir(&self, dir: FileHandle) -> Result<Vec<DirEntry>> {
+        let rep = self.call(NfsRequest::Readdir { dir }).await?;
+        match rep {
+            NfsReply::Readdir { entries } => Ok(entries),
+            _ => Err(NfsStatus::Io),
+        }
+    }
+
+    /// Creates a hard link `to_dir/to_name` to `from`.
+    pub async fn link(&self, from: FileHandle, to_dir: FileHandle, to_name: &str) -> Result<Fattr> {
+        let rep = self
+            .call(NfsRequest::Link {
+                from,
+                to_dir,
+                to_name: to_name.to_string(),
+            })
+            .await?;
+        match rep {
+            NfsReply::Attr(attr) => {
+                if self.inner.params.name_cache {
+                    self.inner
+                        .names
+                        .borrow_mut()
+                        .insert((to_dir, to_name.to_string()), (from, attr));
+                }
+                // nlink changed; refresh our local view if we track it.
+                let mut files = self.inner.files.borrow_mut();
+                if let Some(info) = files.get_mut(&from) {
+                    info.attr.nlink = attr.nlink;
+                    info.attr.ctime = attr.ctime;
+                }
+                Ok(attr)
+            }
+            _ => Err(NfsStatus::Io),
+        }
+    }
+
+    /// Creates a symbolic link `dir/name` → `target`.
+    pub async fn symlink(
+        &self,
+        dir: FileHandle,
+        name: &str,
+        target: &str,
+    ) -> Result<(FileHandle, Fattr)> {
+        let rep = self
+            .call(NfsRequest::Symlink {
+                dir,
+                name: name.to_string(),
+                target: target.to_string(),
+            })
+            .await?;
+        match rep {
+            NfsReply::Handle { fh, attr } => {
+                if self.inner.params.name_cache {
+                    self.inner
+                        .names
+                        .borrow_mut()
+                        .insert((dir, name.to_string()), (fh, attr));
+                }
+                Ok((fh, attr))
+            }
+            _ => Err(NfsStatus::Io),
+        }
+    }
+
+    /// Reads a symbolic link's target.
+    pub async fn readlink(&self, fh: FileHandle) -> Result<String> {
+        let rep = self.call(NfsRequest::Readlink { fh }).await?;
+        match rep {
+            NfsReply::Path(p) => Ok(p),
+            _ => Err(NfsStatus::Io),
+        }
+    }
+
+    /// Sets attributes (truncate).
+    pub async fn setattr(&self, fh: FileHandle, size: Option<u64>) -> Result<Fattr> {
+        // Push pending data first so truncation order is sane, then drop
+        // blocks beyond the new EOF.
+        if let Some(sz) = size {
+            let cut = blocks_for(sz);
+            let dropped = self
+                .inner
+                .cache
+                .borrow_mut()
+                .drop_matching(|k| k.0 == fh && k.1 >= cut);
+            self.bump_stats(|s| s.cancelled_blocks += dropped.dirty);
+        }
+        let rep = self.call(NfsRequest::SetAttr { fh, size }).await?;
+        match rep {
+            NfsReply::Attr(attr) => {
+                let mut files = self.inner.files.borrow_mut();
+                if let Some(info) = files.get_mut(&fh) {
+                    info.attr.size = attr.size;
+                    info.attr.mtime = attr.mtime;
+                }
+                Ok(attr)
+            }
+            _ => Err(NfsStatus::Io),
+        }
+    }
+}

@@ -1,0 +1,509 @@
+//! Spritely NFS (SNFS): the Sprite cache-consistency protocol grafted
+//! onto NFS — the paper's primary contribution.
+//!
+//! The protocol adds three operations to NFS (§3):
+//!
+//! * **`open`** (client→server): announces an open with its mode; the
+//!   server returns whether caching is allowed, plus the file's version
+//!   and previous-version numbers;
+//! * **`close`** (client→server): announces the end of an open;
+//! * **`callback`** (server→client): asks a client to write back and/or
+//!   invalidate its cache, or (our §6.2 extension) to relinquish a
+//!   delayed-close file.
+//!
+//! Because the server now *knows* who has each file open and in which
+//! mode, non-write-shared files can be cached with **delayed write-back**
+//! (no flush on close, cancellation on delete), while write-shared files
+//! are made uncachable at every client — giving both better performance
+//! and an actual consistency guarantee, which NFS's probabilistic probes
+//! cannot (compare the `stale_read_window_exists` test in `spritely-nfs`
+//! with `no_stale_reads_under_write_sharing` here).
+//!
+//! Module map:
+//!
+//! * [`state_table`] — the pure 7-state transition machine of Table 4-1;
+//! * server — the SNFS service: baseline NFS handlers plus `open`/`close`,
+//!   callback issuing with the N−1 thread rule, and state-table reclaim;
+//! * client — the SNFS client: version-checked caching, delayed
+//!   write-back, callback service, write cancellation, delayed close.
+
+mod client;
+mod server;
+pub mod state_table;
+
+pub use client::{ClientStats, SnfsClient, SnfsClientParams};
+pub use server::{ServerStats, SnfsServer, SnfsServerParams};
+pub use state_table::{CallbackNeeded, ClientOpens, FileState, OpenOutcome, StateTable};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spritely_blockdev::{Disk, DiskParams};
+    use spritely_localfs::{FsParams, LocalFs};
+    use spritely_metrics::OpCounter;
+    use spritely_proto::{ClientId, NfsProc, NfsReply, NfsRequest, BLOCK_SIZE};
+    use spritely_rpcnet::{Caller, CallerParams, Endpoint, EndpointParams, NetParams, Network};
+    use spritely_sim::{Resource, Sim, SimDuration};
+
+    struct Rig {
+        sim: Sim,
+        server: SnfsServer,
+        counter: OpCounter,
+        net: Network,
+        endpoint: Endpoint<NfsRequest, NfsReply>,
+        server_cpu: Resource,
+    }
+
+    const SERVER_THREADS: usize = 4;
+
+    impl Rig {
+        fn new() -> Self {
+            Self::with_server_params(SnfsServerParams::default())
+        }
+
+        fn with_server_params(sp: SnfsServerParams) -> Self {
+            let sim = Sim::new();
+            let disk = Disk::new(&sim, "sdisk", DiskParams::ra81());
+            let fs = LocalFs::new(
+                &sim,
+                1,
+                disk,
+                FsParams {
+                    cache_blocks: 896,
+                    ..FsParams::default()
+                },
+            );
+            let server = SnfsServer::new(&sim, fs, SERVER_THREADS, sp);
+            let server_cpu = Resource::new(&sim, "scpu", 1);
+            let counter = OpCounter::new();
+            let endpoint = server.endpoint(
+                "snfsd",
+                server_cpu.clone(),
+                EndpointParams {
+                    threads: SERVER_THREADS,
+                    ..EndpointParams::default()
+                },
+                counter.clone(),
+            );
+            let net = Network::new(&sim, "eth", NetParams::ethernet_10mbit());
+            Rig {
+                sim,
+                server,
+                counter,
+                net,
+                endpoint,
+                server_cpu,
+            }
+        }
+
+        fn client(&self, id: u32, params: SnfsClientParams) -> SnfsClient {
+            let cpu = Resource::new(&self.sim, format!("ccpu{id}"), 1);
+            let caller = Caller::new(
+                &self.sim,
+                self.net.clone(),
+                self.endpoint.clone(),
+                ClientId(id),
+                cpu.clone(),
+                CallerParams::default(),
+            );
+            let client = SnfsClient::new(&self.sim, caller, params);
+            // Register the callback channel: server → this client.
+            let cb_endpoint = client.callback_endpoint(
+                format!("cbsrv{id}"),
+                cpu,
+                EndpointParams {
+                    threads: 2,
+                    ..EndpointParams::default()
+                },
+                self.counter.clone(),
+            );
+            let cb_caller = Caller::new(
+                &self.sim,
+                self.net.clone(),
+                cb_endpoint,
+                ClientId(0), // the server's "client id" on the callback channel
+                self.server_cpu.clone(),
+                CallerParams::default(),
+            );
+            self.server.register_client(ClientId(id), cb_caller);
+            client
+        }
+
+        fn root(&self) -> spritely_proto::FileHandle {
+            self.server.fs().root()
+        }
+
+        /// Marks a client's callback service dead (crash modelling).
+        fn kill_callbacks(&self, client: &SnfsClient) {
+            let dead = client.callback_endpoint(
+                "dead",
+                self.server_cpu.clone(),
+                EndpointParams::default(),
+                OpCounter::new(),
+            );
+            dead.set_alive(false);
+            let caller = Caller::new(
+                &self.sim,
+                self.net.clone(),
+                dead,
+                ClientId(0),
+                self.server_cpu.clone(),
+                CallerParams {
+                    timeout: SimDuration::from_millis(200),
+                    max_retries: 1,
+                    cpu_per_call: SimDuration::ZERO,
+                },
+            );
+            self.server.register_client(client.client_id(), caller);
+        }
+    }
+
+    #[test]
+    fn close_does_not_flush_and_daemon_writes_back() {
+        let rig = Rig::new();
+        let c = rig.client(1, SnfsClientParams::default());
+        c.spawn_update_daemon();
+        let root = rig.root();
+        let counter = rig.counter.clone();
+        let fs = rig.server.fs().clone();
+        let sim = rig.sim.clone();
+        sim.block_on({
+            let sim = sim.clone();
+            async move {
+                let (fh, _) = c.create(root, "f").await.unwrap();
+                c.open(fh, true).await.unwrap();
+                c.write(fh, 0, &[7u8; 3 * BLOCK_SIZE]).await.unwrap();
+                c.close(fh, true).await.unwrap();
+                assert_eq!(counter.get(NfsProc::Write), 0, "no flush at close");
+                assert_eq!(c.dirty_blocks(), 3);
+                // After the 30 s write-delay plus a daemon tick, the data
+                // arrives at the server.
+                sim.sleep(SimDuration::from_secs(61)).await;
+                assert_eq!(counter.get(NfsProc::Write), 3);
+                assert_eq!(c.dirty_blocks(), 0);
+                let stable = fs.stable_contents(fh).unwrap();
+                assert!(stable.iter().all(|&b| b == 7));
+            }
+        });
+    }
+
+    #[test]
+    fn deleted_temp_file_never_writes() {
+        let rig = Rig::new();
+        let c = rig.client(1, SnfsClientParams::default());
+        c.spawn_update_daemon();
+        let root = rig.root();
+        let counter = rig.counter.clone();
+        rig.sim.block_on(async move {
+            let (fh, _) = c.create(root, "tmp").await.unwrap();
+            c.open(fh, true).await.unwrap();
+            c.write(fh, 0, &[1u8; 8 * BLOCK_SIZE]).await.unwrap();
+            c.close(fh, true).await.unwrap();
+            c.remove(root, "tmp", Some(fh)).await.unwrap();
+            assert_eq!(counter.get(NfsProc::Write), 0, "writes averted entirely");
+            assert_eq!(c.stats().cancelled_blocks, 8);
+        });
+    }
+
+    #[test]
+    fn cache_survives_reopen_via_version_numbers() {
+        // Contrast with the NFS invalidate-on-close bug: SNFS re-validates
+        // by version and keeps the cache.
+        let rig = Rig::new();
+        let c = rig.client(1, SnfsClientParams::default());
+        let root = rig.root();
+        let counter = rig.counter.clone();
+        rig.sim.block_on(async move {
+            let (fh, _) = c.create(root, "f").await.unwrap();
+            c.open(fh, true).await.unwrap();
+            c.write(fh, 0, &[3u8; 4 * BLOCK_SIZE]).await.unwrap();
+            c.close(fh, true).await.unwrap();
+            // Reopen read: version check passes.
+            c.open(fh, false).await.unwrap();
+            let before = counter.get(NfsProc::Read);
+            let (got, _) = c.read(fh, 0, (4 * BLOCK_SIZE) as u32).await.unwrap();
+            assert!(got.iter().all(|&b| b == 3));
+            assert_eq!(counter.get(NfsProc::Read), before, "served from cache");
+            c.close(fh, false).await.unwrap();
+        });
+    }
+
+    #[test]
+    fn writer_reopen_for_write_keeps_cache_via_prev_version() {
+        let rig = Rig::new();
+        let c = rig.client(1, SnfsClientParams::default());
+        let root = rig.root();
+        let counter = rig.counter.clone();
+        rig.sim.block_on(async move {
+            let (fh, _) = c.create(root, "f").await.unwrap();
+            c.open(fh, true).await.unwrap();
+            c.write(fh, 0, &[3u8; 2 * BLOCK_SIZE]).await.unwrap();
+            c.close(fh, true).await.unwrap();
+            c.open(fh, true).await.unwrap(); // version bumps; prev matches
+            let before = counter.get(NfsProc::Read);
+            let (got, _) = c.read(fh, 0, (2 * BLOCK_SIZE) as u32).await.unwrap();
+            assert!(got.iter().all(|&b| b == 3));
+            assert_eq!(counter.get(NfsProc::Read), before);
+            c.close(fh, true).await.unwrap();
+        });
+    }
+
+    #[test]
+    fn sequential_sharing_forces_writeback_callback() {
+        // A wrote and closed (dirty). B opens: the server calls A back,
+        // A's data lands at the server, B reads it correctly.
+        let rig = Rig::new();
+        let a = rig.client(1, SnfsClientParams::default());
+        let b = rig.client(2, SnfsClientParams::default());
+        let root = rig.root();
+        let server = rig.server.clone();
+        rig.sim.block_on(async move {
+            let (fh, _) = a.create(root, "f").await.unwrap();
+            a.open(fh, true).await.unwrap();
+            a.write(fh, 0, &[9u8; 2 * BLOCK_SIZE]).await.unwrap();
+            a.close(fh, true).await.unwrap();
+            assert_eq!(a.dirty_blocks(), 2);
+            assert_eq!(server.state_of(fh), FileState::ClosedDirty);
+            // B opens read: callback(writeback) to A happens inside.
+            b.open(fh, false).await.unwrap();
+            assert_eq!(a.dirty_blocks(), 0, "A was called back");
+            assert_eq!(a.stats().callbacks_served, 1);
+            let (got, _) = b.read(fh, 0, (2 * BLOCK_SIZE) as u32).await.unwrap();
+            assert!(got.iter().all(|&x| x == 9), "B sees A's delayed data");
+            assert_eq!(server.state_of(fh), FileState::OneReader);
+        });
+    }
+
+    #[test]
+    fn no_stale_reads_under_write_sharing() {
+        // The guarantee NFS lacks: with A holding the file open for write
+        // and B reading concurrently, B always sees A's latest bytes.
+        let rig = Rig::new();
+        let a = rig.client(1, SnfsClientParams::default());
+        let b = rig.client(2, SnfsClientParams::default());
+        let root = rig.root();
+        let server = rig.server.clone();
+        rig.sim.block_on(async move {
+            let (fh, _) = a.create(root, "f").await.unwrap();
+            a.open(fh, true).await.unwrap();
+            a.write(fh, 0, &[1u8; BLOCK_SIZE]).await.unwrap();
+            // B arrives while A is writing: write-shared, nobody caches.
+            b.open(fh, false).await.unwrap();
+            assert_eq!(server.state_of(fh), FileState::WriteShared);
+            let (got, _) = b.read(fh, 0, BLOCK_SIZE as u32).await.unwrap();
+            assert!(got.iter().all(|&x| x == 1), "A's pre-share data visible");
+            // A writes more — now write-through, so B sees it immediately.
+            a.write(fh, 0, &[2u8; BLOCK_SIZE]).await.unwrap();
+            let (got, _) = b.read(fh, 0, BLOCK_SIZE as u32).await.unwrap();
+            assert!(got.iter().all(|&x| x == 2), "no stale window");
+            a.close(fh, true).await.unwrap();
+            b.close(fh, false).await.unwrap();
+        });
+    }
+
+    #[test]
+    fn readers_invalidated_when_writer_arrives() {
+        let rig = Rig::new();
+        let a = rig.client(1, SnfsClientParams::default());
+        let b = rig.client(2, SnfsClientParams::default());
+        let root = rig.root();
+        rig.sim.block_on(async move {
+            let (fh, _) = a.create(root, "f").await.unwrap();
+            a.open(fh, true).await.unwrap();
+            a.write(fh, 0, &[1u8; BLOCK_SIZE]).await.unwrap();
+            a.close(fh, true).await.unwrap();
+            // A reopens read and caches.
+            a.open(fh, false).await.unwrap();
+            let _ = a.read(fh, 0, BLOCK_SIZE as u32).await.unwrap();
+            // B opens for write → A gets an invalidate callback.
+            b.open(fh, true).await.unwrap();
+            assert!(a.stats().invalidations >= 1);
+            b.write(fh, 0, &[5u8; BLOCK_SIZE]).await.unwrap();
+            // A reads again: must go through to the server and see B's data.
+            let (got, _) = a.read(fh, 0, BLOCK_SIZE as u32).await.unwrap();
+            assert!(got.iter().all(|&x| x == 5));
+            a.close(fh, false).await.unwrap();
+            b.close(fh, true).await.unwrap();
+        });
+    }
+
+    #[test]
+    fn open_close_rpc_accounting() {
+        let rig = Rig::new();
+        let c = rig.client(1, SnfsClientParams::default());
+        let root = rig.root();
+        let counter = rig.counter.clone();
+        rig.sim.block_on(async move {
+            let (fh, _) = c.create(root, "f").await.unwrap();
+            for _ in 0..3 {
+                c.open(fh, false).await.unwrap();
+                c.close(fh, false).await.unwrap();
+            }
+            assert_eq!(counter.get(NfsProc::Open), 3);
+            assert_eq!(counter.get(NfsProc::Close), 3);
+            assert_eq!(counter.get(NfsProc::GetAttr), 0, "open subsumes getattr");
+        });
+    }
+
+    #[test]
+    fn delayed_close_avoids_reopen_rpcs() {
+        let rig = Rig::new();
+        let c = rig.client(
+            1,
+            SnfsClientParams {
+                delayed_close: true,
+                ..SnfsClientParams::default()
+            },
+        );
+        let root = rig.root();
+        let counter = rig.counter.clone();
+        rig.sim.block_on(async move {
+            let (fh, _) = c.create(root, "hdr").await.unwrap();
+            // The "popular header file" pattern of §5.1/§6.2.
+            for _ in 0..10 {
+                c.open(fh, false).await.unwrap();
+                let _ = c.read(fh, 0, 10).await.unwrap();
+                c.close(fh, false).await.unwrap();
+            }
+            assert_eq!(counter.get(NfsProc::Open), 1, "only the first open pays");
+            assert_eq!(counter.get(NfsProc::Close), 0, "closes all deferred");
+            assert_eq!(c.stats().local_reopens, 9);
+        });
+    }
+
+    #[test]
+    fn delayed_close_reports_spontaneously() {
+        let rig = Rig::new();
+        let c = rig.client(
+            1,
+            SnfsClientParams {
+                delayed_close: true,
+                delayed_close_timeout: SimDuration::from_secs(60),
+                ..SnfsClientParams::default()
+            },
+        );
+        let root = rig.root();
+        let counter = rig.counter.clone();
+        let server = rig.server.clone();
+        let sim = rig.sim.clone();
+        sim.block_on({
+            let sim = sim.clone();
+            async move {
+                let (fh, _) = c.create(root, "f").await.unwrap();
+                c.open(fh, false).await.unwrap();
+                c.close(fh, false).await.unwrap();
+                assert_eq!(counter.get(NfsProc::Close), 0);
+                assert_eq!(server.state_of(fh), FileState::OneReader);
+                sim.sleep(SimDuration::from_secs(61)).await;
+                assert_eq!(counter.get(NfsProc::Close), 1, "spontaneous close");
+                assert_eq!(server.state_of(fh), FileState::Closed);
+            }
+        });
+    }
+
+    #[test]
+    fn crashed_client_does_not_block_opens() {
+        let rig = Rig::new();
+        let a = rig.client(1, SnfsClientParams::default());
+        let b = rig.client(2, SnfsClientParams::default());
+        let root = rig.root();
+        let server = rig.server.clone();
+        let sim = rig.sim.clone();
+        sim.block_on(async move {
+            let (fh, _) = a.create(root, "f").await.unwrap();
+            a.open(fh, true).await.unwrap();
+            a.write(fh, 0, &[1u8; BLOCK_SIZE]).await.unwrap();
+            a.close(fh, true).await.unwrap();
+            // A "crashes": its callback channel stops answering.
+            rig.kill_callbacks(&a);
+            // B's open must still succeed (§3.2: honor the open).
+            let attr = b.open(fh, false).await;
+            assert!(attr.is_ok(), "open honored despite dead client");
+            assert!(server.stats().callbacks_failed >= 1);
+        });
+    }
+
+    #[test]
+    fn state_table_limit_triggers_reclaim() {
+        let rig = Rig::with_server_params(SnfsServerParams {
+            table_limit: 8,
+            reclaim_target: 4,
+            ..SnfsServerParams::default()
+        });
+        let c = rig.client(1, SnfsClientParams::default());
+        let root = rig.root();
+        let server = rig.server.clone();
+        let sim = rig.sim.clone();
+        sim.block_on({
+            let sim = sim.clone();
+            async move {
+                for i in 0..20 {
+                    let (fh, _) = c.create(root, &format!("f{i}")).await.unwrap();
+                    c.open(fh, false).await.unwrap();
+                    c.close(fh, false).await.unwrap();
+                }
+                // Let the asynchronous reclaim passes run.
+                sim.sleep(SimDuration::from_secs(2)).await;
+                assert!(
+                    server.table_len() <= 8,
+                    "table bounded, got {}",
+                    server.table_len()
+                );
+                assert!(server.stats().reclaim_passes >= 1);
+            }
+        });
+    }
+
+    #[test]
+    fn reclaim_of_closed_dirty_forces_writeback() {
+        let rig = Rig::with_server_params(SnfsServerParams {
+            table_limit: 4,
+            reclaim_target: 2,
+            ..SnfsServerParams::default()
+        });
+        let c = rig.client(1, SnfsClientParams::default());
+        let root = rig.root();
+        let counter = rig.counter.clone();
+        let sim = rig.sim.clone();
+        sim.block_on({
+            let sim = sim.clone();
+            async move {
+                // Several closed-dirty files.
+                for i in 0..6 {
+                    let (fh, _) = c.create(root, &format!("f{i}")).await.unwrap();
+                    c.open(fh, true).await.unwrap();
+                    c.write(fh, 0, &[1u8; BLOCK_SIZE]).await.unwrap();
+                    c.close(fh, true).await.unwrap();
+                }
+                sim.sleep(SimDuration::from_secs(5)).await;
+                assert!(
+                    counter.get(NfsProc::Write) > 0,
+                    "reclaim callbacks forced write-backs"
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn deterministic_elapsed_and_counts() {
+        let run = || {
+            let rig = Rig::new();
+            let a = rig.client(1, SnfsClientParams::default());
+            let b = rig.client(2, SnfsClientParams::default());
+            let root = rig.root();
+            let counter = rig.counter.clone();
+            let out = rig.sim.block_on(async move {
+                let (fh, _) = a.create(root, "f").await.unwrap();
+                a.open(fh, true).await.unwrap();
+                a.write(fh, 0, &[1u8; 6 * BLOCK_SIZE]).await.unwrap();
+                a.close(fh, true).await.unwrap();
+                b.open(fh, false).await.unwrap();
+                let _ = b.read(fh, 0, (6 * BLOCK_SIZE) as u32).await.unwrap();
+                b.close(fh, false).await.unwrap();
+                counter.snapshot().total()
+            });
+            (out, rig.sim.now().as_micros())
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,500 @@
+//! The SNFS server: the stateless NFS service plus the state-table
+//! manager and server→client callbacks.
+//!
+//! Mirrors the paper's implementation (§4.3): "Our only modification to
+//! the original NFS server code was to add the two new RPC service
+//! functions" — all other procedures delegate to the baseline NFS handler
+//! in `spritely-nfs`. The new `open` service consults the state table and
+//! may issue callbacks before replying; `close` just notifies the table.
+//!
+//! Threading discipline (§3.2): an SNFS server with N service threads may
+//! run at most N−1 callbacks simultaneously, so that a callback-induced
+//! write-back always finds a free thread — otherwise open(A) → callback(B)
+//! → write(B) would deadlock on the thread pool.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use spritely_localfs::LocalFs;
+use spritely_metrics::OpCounter;
+use spritely_proto::{
+    CallbackArg, CallbackReply, ClientId, FileHandle, NfsReply, NfsRequest, NfsStatus, OpenReply,
+};
+use spritely_rpcnet::{Caller, Endpoint, EndpointParams};
+use spritely_sim::{Resource, Semaphore, Sim, SimDuration};
+
+use crate::state_table::{CallbackNeeded, StateTable};
+
+/// SNFS server configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SnfsServerParams {
+    /// Maximum state-table entries (paper §4.3.1; each entry cost 68
+    /// bytes, so limits could be liberal — 1000 entries ≈ 70 KB).
+    pub table_limit: usize,
+    /// When over the limit, reclaim down to this many entries.
+    pub reclaim_target: usize,
+    /// §6.1 coexistence: treat a plain-NFS read/write of a file that is
+    /// open under SNFS as an implicit SNFS open, so NFS clients get
+    /// consistent data and SNFS clients get their callbacks.
+    pub hybrid_nfs: bool,
+    /// §2.4 recovery: how long a rebooted server stays in its grace
+    /// period, accepting only `recover`/`keepalive` calls while clients
+    /// re-register their state.
+    pub grace_period: SimDuration,
+    /// §7 extension: Sprite-style consistency for name translations. A
+    /// `lookup` registers the caller as a watcher of the directory; any
+    /// namespace change to that directory sends invalidate callbacks to
+    /// the other watchers *before* the change is acknowledged, so client
+    /// name caches can never serve a stale translation.
+    pub dir_callbacks: bool,
+}
+
+impl Default for SnfsServerParams {
+    fn default() -> Self {
+        SnfsServerParams {
+            table_limit: 1000,
+            reclaim_target: 900,
+            hybrid_nfs: true,
+            grace_period: SimDuration::from_secs(20),
+            dir_callbacks: true,
+        }
+    }
+}
+
+/// Callback-related statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Callbacks issued.
+    pub callbacks_sent: u64,
+    /// Callbacks that failed (client treated as crashed).
+    pub callbacks_failed: u64,
+    /// Reclaim passes run.
+    pub reclaim_passes: u64,
+}
+
+struct Inner {
+    sim: Sim,
+    fs: LocalFs,
+    table: RefCell<StateTable>,
+    /// Registered callback channels, one per client host.
+    callback_clients: RefCell<HashMap<ClientId, Caller<CallbackArg, CallbackReply>>>,
+    /// Per-file serialization of open/close transitions.
+    file_locks: RefCell<HashMap<FileHandle, Semaphore>>,
+    /// At most N−1 simultaneous callbacks (N = service threads).
+    callback_slots: Semaphore,
+    params: SnfsServerParams,
+    stats: Cell<ServerStats>,
+    /// Reboot generation; bumped by [`SnfsServer::reboot`]. Clients learn
+    /// it from `keepalive` replies and re-register on a change.
+    epoch: Cell<u64>,
+    /// End of the post-reboot grace period, if one is running.
+    grace_until: Cell<Option<spritely_sim::SimTime>>,
+    /// Clients that may be caching name translations under a directory
+    /// (§7 extension). Cleared per client when an invalidate is sent.
+    dir_watchers: RefCell<HashMap<FileHandle, Vec<ClientId>>>,
+}
+
+/// The Spritely NFS server.
+#[derive(Clone)]
+pub struct SnfsServer {
+    inner: Rc<Inner>,
+}
+
+impl SnfsServer {
+    /// Creates a server over `fs`. `service_threads` must match the
+    /// endpoint's thread count so the N−1 callback rule holds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `service_threads < 2` — a single-threaded SNFS server
+    /// would deadlock on the first write-back callback (§3.2).
+    pub fn new(sim: &Sim, fs: LocalFs, service_threads: usize, params: SnfsServerParams) -> Self {
+        assert!(
+            service_threads >= 2,
+            "SNFS needs >= 2 service threads (callback deadlock, paper §3.2)"
+        );
+        SnfsServer {
+            inner: Rc::new(Inner {
+                sim: sim.clone(),
+                fs,
+                table: RefCell::new(StateTable::new(params.table_limit)),
+                callback_clients: RefCell::new(HashMap::new()),
+                file_locks: RefCell::new(HashMap::new()),
+                callback_slots: Semaphore::new(service_threads - 1),
+                params,
+                stats: Cell::new(ServerStats::default()),
+                epoch: Cell::new(1),
+                grace_until: Cell::new(None),
+                dir_watchers: RefCell::new(HashMap::new()),
+            }),
+        }
+    }
+
+    /// Registers `client` as possibly caching names under `dir`.
+    fn watch_dir(&self, dir: FileHandle, client: ClientId) {
+        let mut w = self.inner.dir_watchers.borrow_mut();
+        let v = w.entry(dir).or_default();
+        if !v.contains(&client) {
+            v.push(client);
+        }
+    }
+
+    /// Invalidates every other watcher's name cache for `dir` before a
+    /// namespace change is acknowledged (§7 extension). Watchers are
+    /// deregistered by the invalidate; they re-register on their next
+    /// lookup.
+    async fn invalidate_dir_watchers(&self, dir: FileHandle, originator: ClientId) {
+        if !self.inner.params.dir_callbacks {
+            return;
+        }
+        let targets: Vec<ClientId> = {
+            let mut w = self.inner.dir_watchers.borrow_mut();
+            match w.get_mut(&dir) {
+                None => Vec::new(),
+                Some(v) => {
+                    let targets = v.iter().copied().filter(|&c| c != originator).collect();
+                    v.retain(|&c| c == originator);
+                    targets
+                }
+            }
+        };
+        for t in targets {
+            self.do_callback(
+                dir,
+                CallbackNeeded {
+                    target: t,
+                    writeback: false,
+                    invalidate: true,
+                },
+                false,
+            )
+            .await;
+        }
+    }
+
+    /// The current reboot epoch (starts at 1).
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch.get()
+    }
+
+    /// True while the post-reboot grace period is running.
+    pub fn in_grace(&self) -> bool {
+        match self.inner.grace_until.get() {
+            Some(t) => self.inner.sim.now() < t,
+            None => false,
+        }
+    }
+
+    /// Simulates a server crash: all volatile state vanishes — the state
+    /// table (including the global version counter, §4.3.3) and the file
+    /// system's buffer cache. Stable storage survives. The caller should
+    /// also mark the server's endpoints down until [`reboot`](Self::reboot).
+    pub fn crash(&self) {
+        self.inner.table.borrow_mut().clear();
+        self.inner.fs.crash();
+    }
+
+    /// Brings the server back up: bumps the epoch and opens the grace
+    /// period, during which only `recover` and `keepalive` are served
+    /// (§2.4 property 2: the consistency state cannot change until the
+    /// server is willing to let it change).
+    pub fn reboot(&self) {
+        self.inner.epoch.set(self.inner.epoch.get() + 1);
+        self.inner
+            .grace_until
+            .set(Some(self.inner.sim.now() + self.inner.params.grace_period));
+    }
+
+    /// Registers the callback channel for a client host. Without one, the
+    /// client is treated as unreachable when a callback is needed.
+    pub fn register_client(&self, id: ClientId, caller: Caller<CallbackArg, CallbackReply>) {
+        self.inner.callback_clients.borrow_mut().insert(id, caller);
+    }
+
+    /// The exported file system.
+    pub fn fs(&self) -> &LocalFs {
+        &self.inner.fs
+    }
+
+    /// Server statistics.
+    pub fn stats(&self) -> ServerStats {
+        self.inner.stats.get()
+    }
+
+    /// Number of state-table entries (for tests; paper §4.3.1 limits).
+    pub fn table_len(&self) -> usize {
+        self.inner.table.borrow().len()
+    }
+
+    /// Observes a file's state (test hook).
+    pub fn state_of(&self, fh: FileHandle) -> crate::state_table::FileState {
+        self.inner.table.borrow().state_of(fh)
+    }
+
+    /// Builds the RPC endpoint for this server.
+    pub fn endpoint(
+        &self,
+        name: impl Into<String>,
+        cpu: Resource,
+        params: EndpointParams,
+        counter: OpCounter,
+    ) -> Endpoint<NfsRequest, NfsReply> {
+        let this = self.clone();
+        let handler = Rc::new(move |from: ClientId, req: NfsRequest| {
+            let this = this.clone();
+            Box::pin(async move { this.handle(from, req).await })
+                as std::pin::Pin<Box<dyn std::future::Future<Output = NfsReply>>>
+        });
+        Endpoint::new(&self.inner.sim, name, cpu, params, counter, handler)
+    }
+
+    fn file_lock(&self, fh: FileHandle) -> Semaphore {
+        self.inner
+            .file_locks
+            .borrow_mut()
+            .entry(fh)
+            .or_insert_with(|| Semaphore::new(1))
+            .clone()
+    }
+
+    fn bump_stats(&self, f: impl FnOnce(&mut ServerStats)) {
+        let mut s = self.inner.stats.get();
+        f(&mut s);
+        self.inner.stats.set(s);
+    }
+
+    /// Performs one callback; on failure, treats the client as crashed.
+    /// Returns true on success.
+    async fn do_callback(&self, fh: FileHandle, cb: CallbackNeeded, relinquish: bool) -> bool {
+        let caller = self
+            .inner
+            .callback_clients
+            .borrow()
+            .get(&cb.target)
+            .cloned();
+        let Some(caller) = caller else {
+            self.bump_stats(|s| s.callbacks_failed += 1);
+            self.inner.table.borrow_mut().client_crashed(cb.target);
+            return false;
+        };
+        // N−1 rule: hold a callback slot while waiting on the client.
+        let slot = self.inner.callback_slots.acquire().await;
+        self.bump_stats(|s| s.callbacks_sent += 1);
+        let res = caller
+            .call(CallbackArg {
+                fh,
+                writeback: cb.writeback,
+                invalidate: cb.invalidate,
+                relinquish,
+            })
+            .await;
+        drop(slot);
+        match res {
+            Ok(rep) if rep.ok => {
+                if cb.writeback {
+                    self.inner.table.borrow_mut().writeback_done(fh, cb.target);
+                }
+                true
+            }
+            _ => {
+                // The "dead client" case of §3.2: honor the open, but the
+                // file may be inconsistent; drop the client's state.
+                self.bump_stats(|s| s.callbacks_failed += 1);
+                self.inner.table.borrow_mut().client_crashed(cb.target);
+                false
+            }
+        }
+    }
+
+    /// Reclaims state-table entries when over the limit (paper §4.3.1).
+    async fn maybe_reclaim(&self) {
+        if !self.inner.table.borrow().over_limit() {
+            return;
+        }
+        self.bump_stats(|s| s.reclaim_passes += 1);
+        let victims = self
+            .inner
+            .table
+            .borrow_mut()
+            .reclaim(self.inner.params.reclaim_target);
+        for (fh, client) in victims {
+            let _lock = self.file_lock(fh).acquire().await;
+            let ok = self
+                .do_callback(
+                    fh,
+                    CallbackNeeded {
+                        target: client,
+                        writeback: true,
+                        invalidate: true,
+                    },
+                    false,
+                )
+                .await;
+            let mut table = self.inner.table.borrow_mut();
+            if ok {
+                table.drop_if_closed(fh);
+            } else {
+                // client_crashed already cleaned it up.
+                table.drop_if_closed(fh);
+            }
+        }
+    }
+
+    /// Dispatches one request.
+    pub async fn handle(&self, from: ClientId, req: NfsRequest) -> NfsReply {
+        // Recovery-mode gate (§2.4): while the grace period runs, only
+        // liveness and re-registration traffic is served, so the
+        // consistency state cannot change before it is reconstructed.
+        match &req {
+            NfsRequest::Keepalive { .. } | NfsRequest::Recover { .. } => {}
+            _ if self.in_grace() => return NfsReply::Err(NfsStatus::Grace),
+            _ => {}
+        }
+        match req {
+            NfsRequest::Keepalive { client } => {
+                debug_assert_eq!(from, client);
+                NfsReply::Epoch(self.inner.epoch.get())
+            }
+            NfsRequest::Recover { client, ref files } => {
+                debug_assert_eq!(from, client);
+                self.inner.table.borrow_mut().restore(client, files);
+                NfsReply::Epoch(self.inner.epoch.get())
+            }
+            NfsRequest::Open { fh, write, client } => {
+                debug_assert_eq!(from, client, "open must carry the caller's id");
+                // Validate the handle first so a stale open doesn't create
+                // table state.
+                let attr0 = match self.inner.fs.getattr(fh) {
+                    Ok(a) => a,
+                    Err(e) => return NfsReply::Err(e),
+                };
+                let _lock = self.file_lock(fh).acquire().await;
+                let outcome = self.inner.table.borrow_mut().open(fh, client, write);
+                for cb in &outcome.callbacks {
+                    self.do_callback(fh, *cb, false).await;
+                }
+                // Attributes may have changed if a write-back just landed.
+                let attr = self.inner.fs.getattr(fh).unwrap_or(attr0);
+                let reply = NfsReply::Open(OpenReply {
+                    cache_enabled: outcome.cache_enabled,
+                    version: outcome.version,
+                    prev_version: outcome.prev_version,
+                    attr,
+                    inconsistent: outcome.inconsistent,
+                });
+                // Reclaim pressure is handled out of line so the opener
+                // does not wait for it.
+                if self.inner.table.borrow().over_limit() {
+                    let this = self.clone();
+                    self.inner.sim.spawn(async move {
+                        this.maybe_reclaim().await;
+                    });
+                }
+                reply
+            }
+            NfsRequest::Close { fh, write, client } => {
+                debug_assert_eq!(from, client, "close must carry the caller's id");
+                let _lock = self.file_lock(fh).acquire().await;
+                self.inner.table.borrow_mut().close(fh, client, write);
+                NfsReply::Ok
+            }
+            NfsRequest::Read { fh, .. } | NfsRequest::Write { fh, .. }
+                if self.inner.params.hybrid_nfs
+                    && self.inner.table.borrow().is_foreign_access(fh, from) =>
+            {
+                // §6.1 coexistence: a plain-NFS client is touching a file
+                // that SNFS clients have open. Bracket the access in an
+                // implicit open/close so the consistency callbacks fire;
+                // the implicit close leaves no dirty claim (the data went
+                // through synchronously).
+                let write = matches!(req, NfsRequest::Write { .. });
+                let _lock = self.file_lock(fh).acquire().await;
+                let outcome = self.inner.table.borrow_mut().open(fh, from, write);
+                for cb in &outcome.callbacks {
+                    self.do_callback(fh, *cb, false).await;
+                }
+                let rep = spritely_nfs::handle(&self.inner.fs, req).await;
+                self.inner
+                    .table
+                    .borrow_mut()
+                    .close_with(fh, from, write, false);
+                rep
+            }
+            NfsRequest::Remove { dir, ref name } => {
+                // Identify the victim so its table entry can be dropped
+                // (and with it any expectation of a write-back) — but only
+                // when its *last* hard link goes away; otherwise version
+                // continuity must be preserved for the surviving names.
+                let victim = self.inner.fs.lookup(dir, name).ok();
+                let rep = spritely_nfs::handle(&self.inner.fs, req.clone()).await;
+                if let (Some((fh, attr)), NfsReply::Ok) = (victim, &rep) {
+                    if attr.nlink <= 1 {
+                        self.inner.table.borrow_mut().file_removed(fh);
+                    }
+                }
+                self.invalidate_dir_watchers(dir, from).await;
+                rep
+            }
+            NfsRequest::Lookup { dir, .. } => {
+                let rep = spritely_nfs::handle(&self.inner.fs, req).await;
+                // §7 extension: a successful lookup makes the caller a
+                // watcher of the directory, entitled to an invalidate
+                // callback before any namespace change is acknowledged.
+                if self.inner.params.dir_callbacks && !matches!(rep, NfsReply::Err(_)) {
+                    self.watch_dir(dir, from);
+                }
+                rep
+            }
+            NfsRequest::Create { dir, .. }
+            | NfsRequest::Mkdir { dir, .. }
+            | NfsRequest::Rmdir { dir, .. } => {
+                let created = matches!(req, NfsRequest::Create { .. } | NfsRequest::Mkdir { .. });
+                let rep = spritely_nfs::handle(&self.inner.fs, req).await;
+                if !matches!(rep, NfsReply::Err(_)) {
+                    self.invalidate_dir_watchers(dir, from).await;
+                    // The creator learns the new translation from the
+                    // reply and will cache it — it is a watcher too.
+                    if created && self.inner.params.dir_callbacks {
+                        self.watch_dir(dir, from);
+                    }
+                }
+                rep
+            }
+            NfsRequest::Link { to_dir, .. } => {
+                let rep = spritely_nfs::handle(&self.inner.fs, req).await;
+                if !matches!(rep, NfsReply::Err(_)) {
+                    self.invalidate_dir_watchers(to_dir, from).await;
+                    if self.inner.params.dir_callbacks {
+                        self.watch_dir(to_dir, from);
+                    }
+                }
+                rep
+            }
+            NfsRequest::Symlink { dir, .. } => {
+                let rep = spritely_nfs::handle(&self.inner.fs, req).await;
+                if !matches!(rep, NfsReply::Err(_)) {
+                    self.invalidate_dir_watchers(dir, from).await;
+                    if self.inner.params.dir_callbacks {
+                        self.watch_dir(dir, from);
+                    }
+                }
+                rep
+            }
+            NfsRequest::Rename {
+                from_dir, to_dir, ..
+            } => {
+                let rep = spritely_nfs::handle(&self.inner.fs, req).await;
+                if !matches!(rep, NfsReply::Err(_)) {
+                    self.invalidate_dir_watchers(from_dir, from).await;
+                    if to_dir != from_dir {
+                        self.invalidate_dir_watchers(to_dir, from).await;
+                    }
+                }
+                rep
+            }
+            // Everything else is the unmodified NFS service code.
+            other => spritely_nfs::handle(&self.inner.fs, other).await,
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Property-based tests for the SNFS server state table: arbitrary
+//! interleavings of opens, closes, crashes and removals must preserve the
+//! consistency invariants Table 4-1 encodes.
+
+use proptest::prelude::*;
+use spritely_core::{FileState, StateTable};
+use spritely_proto::{ClientId, FileHandle, FileVersion};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Open { file: u8, client: u8, write: bool },
+    Close { file: u8, client: u8, write: bool },
+    Crash { client: u8 },
+    Remove { file: u8 },
+    WritebackDone { file: u8, client: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u8..4, 0u8..3, any::<bool>())
+            .prop_map(|(file, client, write)| Op::Open { file, client, write }),
+        4 => (0u8..4, 0u8..3, any::<bool>())
+            .prop_map(|(file, client, write)| Op::Close { file, client, write }),
+        1 => (0u8..3).prop_map(|client| Op::Crash { client }),
+        1 => (0u8..4).prop_map(|file| Op::Remove { file }),
+        1 => (0u8..4, 0u8..3)
+            .prop_map(|(file, client)| Op::WritebackDone { file, client }),
+    ]
+}
+
+fn fh(n: u8) -> FileHandle {
+    FileHandle::new(1, u64::from(n) + 10, 0)
+}
+
+/// A minimal reference model: per file, the multiset of (client, write)
+/// opens the table *should* believe in, given that we only issue closes
+/// the model considers open (mirroring real clients, which never close
+/// what they did not open).
+#[derive(Default)]
+struct Model {
+    opens: HashMap<(u8, u8), (u32, u32)>, // (file, client) -> (readers, writers)
+}
+
+impl Model {
+    fn open(&mut self, file: u8, client: u8, write: bool) {
+        let e = self.opens.entry((file, client)).or_default();
+        if write {
+            e.1 += 1;
+        } else {
+            e.0 += 1;
+        }
+    }
+
+    fn can_close(&self, file: u8, client: u8, write: bool) -> bool {
+        match self.opens.get(&(file, client)) {
+            Some(&(r, w)) => {
+                if write {
+                    w > 0
+                } else {
+                    r > 0
+                }
+            }
+            None => false,
+        }
+    }
+
+    fn close(&mut self, file: u8, client: u8, write: bool) {
+        if let Some(e) = self.opens.get_mut(&(file, client)) {
+            if write {
+                e.1 = e.1.saturating_sub(1);
+            } else {
+                e.0 = e.0.saturating_sub(1);
+            }
+        }
+    }
+
+    fn crash(&mut self, client: u8) {
+        self.opens.retain(|&(_, c), _| c != client);
+    }
+
+    fn remove(&mut self, file: u8) {
+        self.opens.retain(|&(f, _), _| f != file);
+    }
+
+    fn writers(&self, file: u8) -> u32 {
+        self.opens
+            .iter()
+            .filter(|(&(f, _), _)| f == file)
+            .map(|(_, &(_, w))| w)
+            .sum()
+    }
+
+    fn client_hosts(&self, file: u8) -> usize {
+        self.opens
+            .iter()
+            .filter(|(&(f, _), &(r, w))| f == file && (r > 0 || w > 0))
+            .count()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn table_state_is_consistent_with_the_open_multiset(
+        ops in proptest::collection::vec(op_strategy(), 1..120)
+    ) {
+        let mut table = StateTable::new(1000);
+        let mut model = Model::default();
+        let mut last_version: HashMap<u8, FileVersion> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Open { file, client, write } => {
+                    let out = table.open(fh(file), ClientId(u32::from(client)), write);
+                    model.open(file, client, write);
+                    // Version monotonicity: write opens strictly increase,
+                    // read opens never decrease.
+                    if let Some(&prev) = last_version.get(&file) {
+                        if write {
+                            prop_assert!(out.version > prev, "write open bumps version");
+                        } else {
+                            prop_assert!(out.version >= prev);
+                        }
+                    }
+                    last_version.insert(file, out.version);
+                    // Callbacks never target the opener.
+                    for cb in &out.callbacks {
+                        prop_assert_ne!(cb.target, ClientId(u32::from(client)));
+                    }
+                    // A write-shared file is never cachable.
+                    if model.writers(file) > 0 && model.client_hosts(file) > 1 {
+                        prop_assert!(!out.cache_enabled,
+                            "multiple hosts with a writer must not cache");
+                    }
+                }
+                Op::Close { file, client, write } => {
+                    // Clients only close what they opened.
+                    if model.can_close(file, client, write) {
+                        table.close(fh(file), ClientId(u32::from(client)), write);
+                        model.close(file, client, write);
+                    }
+                }
+                Op::Crash { client } => {
+                    table.client_crashed(ClientId(u32::from(client)));
+                    model.crash(client);
+                }
+                Op::Remove { file } => {
+                    table.file_removed(fh(file));
+                    model.remove(file);
+                    last_version.remove(&file);
+                }
+                Op::WritebackDone { file, client } => {
+                    table.writeback_done(fh(file), ClientId(u32::from(client)));
+                }
+            }
+            // Global invariants after every step.
+            for file in 0..4u8 {
+                let hosts = model.client_hosts(file);
+                let writers = model.writers(file);
+                let state = table.state_of(fh(file));
+                // Host count must agree with the table's client list.
+                let table_hosts = table.clients_of(fh(file)).len();
+                prop_assert_eq!(table_hosts, hosts, "file {} host count", file);
+                // State classification vs. the open multiset.
+                match state {
+                    FileState::Closed | FileState::ClosedDirty => {
+                        prop_assert_eq!(hosts, 0)
+                    }
+                    FileState::OneReader | FileState::OneRdrDirty => {
+                        prop_assert_eq!(hosts, 1);
+                        prop_assert_eq!(writers, 0);
+                    }
+                    FileState::OneWriter => {
+                        prop_assert_eq!(hosts, 1);
+                        prop_assert!(writers > 0);
+                    }
+                    FileState::MultReaders => {
+                        prop_assert!(hosts >= 2);
+                        prop_assert_eq!(writers, 0);
+                    }
+                    FileState::WriteShared => {
+                        prop_assert!(hosts >= 1);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reclaim_never_loses_open_files(
+        n_files in 1usize..40,
+        limit in 2usize..10,
+    ) {
+        let mut table = StateTable::new(limit.max(2));
+        // Open half the files and keep them open; open+close the rest.
+        let mut kept = Vec::new();
+        for i in 0..n_files {
+            let f = fh(i as u8);
+            table.open(f, ClientId(1), i % 3 == 0);
+            if i % 2 == 0 {
+                kept.push((f, i % 3 == 0));
+            } else {
+                table.close(f, ClientId(1), i % 3 == 0);
+            }
+        }
+        let _victims = table.reclaim(limit / 2);
+        // Every still-open file must still be tracked correctly.
+        for (f, write) in kept {
+            let st = table.state_of(f);
+            prop_assert_ne!(st, FileState::Closed, "open file reclaimed");
+            let _ = write;
+        }
+    }
+
+    #[test]
+    fn versions_are_never_reused_across_files(
+        writes in proptest::collection::vec((0u8..6, any::<bool>()), 1..60)
+    ) {
+        let mut table = StateTable::new(1000);
+        let mut seen = std::collections::HashSet::new();
+        let mut current: HashMap<u8, FileVersion> = HashMap::new();
+        for (file, write) in writes {
+            let out = table.open(fh(file), ClientId(1), write);
+            table.close(fh(file), ClientId(1), write);
+            if write {
+                // Freshly issued version must be globally unique.
+                prop_assert!(seen.insert(out.version), "version reuse");
+            } else if let Some(&v) = current.get(&file) {
+                prop_assert_eq!(out.version, v);
+            } else {
+                // First contact: unique issue as well.
+                prop_assert!(seen.insert(out.version), "version reuse");
+            }
+            current.insert(file, out.version);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+use spritely_harness::{Protocol, RemoteClient, Testbed, TestbedParams};
+use spritely_vfs::OpenFlags;
+fn main() {
+    let tb = Testbed::build(TestbedParams {
+        protocol: Protocol::Snfs,
+        name_cache: true,
+        ..TestbedParams::default()
+    });
+    let p = tb.proc();
+    let c = match &tb.clients[0].remote {
+        RemoteClient::Snfs(c) => c.clone(),
+        _ => unreachable!(),
+    };
+    let sim = tb.sim.clone();
+    let h = sim.spawn(async move {
+        p.mkdir("/remote/proj").await.unwrap();
+        let fd = p
+            .open("/remote/proj/f0", OpenFlags::create_write())
+            .await
+            .unwrap();
+        p.write(fd, b"data").await.unwrap();
+        p.close(fd).await.unwrap();
+        let st = p.stat("/remote/proj/f0").await.unwrap();
+        eprintln!(
+            "stat size = {} (hits {})",
+            st.size,
+            c.stats().name_cache_hits
+        );
+        let st = p.stat("/remote/proj/f0").await.unwrap();
+        eprintln!("stat2 size = {}", st.size);
+    });
+    sim.run_until(h);
+}

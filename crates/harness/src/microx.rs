@@ -1,0 +1,94 @@
+//! Microbenchmark runners (§5.3 probe, temp-lifetime sweep).
+
+use spritely_metrics::OpCounts;
+use spritely_sim::SimDuration;
+use spritely_workloads::{temp_file_lifetime, write_close_reopen_read, ReopenResult};
+
+use crate::testbed::{Protocol, Testbed, TestbedParams};
+
+/// Result of the §5.3 write-close-reopen-read probe.
+pub struct ReopenRun {
+    /// Protocol under test.
+    pub protocol: Protocol,
+    /// Reading the *same* file after close vs. a different one.
+    pub same_file: bool,
+    /// Timing of the write and read halves.
+    pub result: ReopenResult,
+    /// RPC counts during the probe.
+    pub ops: OpCounts,
+}
+
+/// Runs the §5.3 microbenchmark: write `bytes`, close, reopen and read
+/// either the same file or a different (pre-existing) one.
+pub fn run_reopen(protocol: Protocol, same_file: bool, bytes: u64) -> ReopenRun {
+    let tb = Testbed::build(TestbedParams {
+        protocol,
+        ..TestbedParams::default()
+    });
+    // Pre-create the "other" file when needed.
+    if !same_file {
+        let p = tb.proc();
+        let h = tb.sim.spawn(async move {
+            let r = write_close_reopen_read(&p, "/remote/other", None, bytes).await;
+            r.expect("pre-create other file");
+        });
+        tb.sim.run_until(h);
+    }
+    let ops_before = tb.counter.snapshot();
+    let p = tb.proc();
+    let h = tb.sim.spawn(async move {
+        let other = if same_file {
+            None
+        } else {
+            Some("/remote/other")
+        };
+        write_close_reopen_read(&p, "/remote/probe", other, bytes)
+            .await
+            .expect("probe run")
+    });
+    let result = tb.sim.run_until(h);
+    ReopenRun {
+        protocol,
+        same_file,
+        result,
+        ops: tb.counter.snapshot() - ops_before,
+    }
+}
+
+/// Result of one temp-file lifetime point.
+pub struct TempLifetimeRun {
+    /// Protocol hosting the temp file.
+    pub protocol: Protocol,
+    /// How long the file lived before deletion.
+    pub lifetime: SimDuration,
+    /// `write` RPCs that reached the server.
+    pub write_rpcs: u64,
+}
+
+/// Creates a temp file of `bytes` on the remote mount, lets it live for
+/// `lifetime`, deletes it, then lets daemons settle — measuring how many
+/// write RPCs escaped to the server (§5.4's mechanism, parameterized).
+pub fn run_temp_lifetime(protocol: Protocol, bytes: u64, lifetime: SimDuration) -> TempLifetimeRun {
+    let tb = Testbed::build(TestbedParams {
+        protocol,
+        tmp_remote: true,
+        ..TestbedParams::default()
+    });
+    let ops_before = tb.counter.snapshot();
+    let p = tb.proc();
+    let sim = tb.sim.clone();
+    let h = tb.sim.spawn(async move {
+        temp_file_lifetime(&p, "/usr/tmp/scratch", bytes, lifetime)
+            .await
+            .expect("temp lifetime");
+        // Let any straggling write-backs fire.
+        sim.sleep(SimDuration::from_secs(65)).await;
+    });
+    tb.sim.run_until(h);
+    let ops = tb.counter.snapshot() - ops_before;
+    TempLifetimeRun {
+        protocol,
+        lifetime,
+        write_rpcs: ops.get(spritely_proto::NfsProc::Write),
+    }
+}

@@ -1,0 +1,186 @@
+//! Paper-style table and figure rendering.
+
+use spritely_metrics::TextTable;
+use spritely_proto::NfsProc;
+
+use crate::andrew::AndrewRun;
+use crate::microx::ReopenRun;
+use crate::sortx::SortRun;
+
+fn secs(d: spritely_sim::SimDuration) -> String {
+    format!("{:.0}", d.as_secs_f64())
+}
+
+/// Selector from a run to one phase's elapsed time.
+type PhaseSelector = fn(&AndrewRun) -> spritely_sim::SimDuration;
+
+/// Table 5-1: Andrew benchmark elapsed times, one column per run.
+pub fn table_5_1(runs: &[AndrewRun]) -> String {
+    let mut headers = vec!["Phase".to_string()];
+    headers.extend(runs.iter().map(|r| r.label()));
+    let mut t = TextTable::new(headers);
+    let phases: [(&str, PhaseSelector); 5] = [
+        ("MakeDir", |r| r.times.makedir),
+        ("Copy", |r| r.times.copy),
+        ("ScanDir", |r| r.times.scandir),
+        ("ReadAll", |r| r.times.readall),
+        ("Make", |r| r.times.make),
+    ];
+    for (name, f) in phases {
+        let mut row = vec![name.to_string()];
+        row.extend(runs.iter().map(|r| secs(f(r))));
+        t.row(row);
+    }
+    let mut row = vec!["Total".to_string()];
+    row.extend(runs.iter().map(|r| secs(r.times.total())));
+    t.row(row);
+    t.render()
+}
+
+/// Table 5-2: per-procedure RPC counts for the Andrew benchmark.
+///
+/// Uses the steady-state counts (benchmark plus its delayed write-back
+/// tail): the paper ran SNFS trials back to back, so each measurement
+/// window absorbed the previous trial's postponed writes (§5.2).
+pub fn table_5_2(runs: &[AndrewRun]) -> String {
+    let mut headers = vec!["RPC".to_string()];
+    headers.extend(runs.iter().map(|r| r.label()));
+    let mut t = TextTable::new(headers);
+    for p in NfsProc::ALL {
+        if runs.iter().all(|r| r.ops_with_tail.get(p) == 0) {
+            continue;
+        }
+        let mut row = vec![p.name().to_string()];
+        row.extend(runs.iter().map(|r| r.ops_with_tail.get(p).to_string()));
+        t.row(row);
+    }
+    let mut row = vec!["total".to_string()];
+    row.extend(runs.iter().map(|r| r.ops_with_tail.total().to_string()));
+    t.row(row);
+    let mut row = vec!["data xfer".to_string()];
+    row.extend(
+        runs.iter()
+            .map(|r| r.ops_with_tail.data_transfers().to_string()),
+    );
+    t.row(row);
+    let mut row = vec!["disk writes".to_string()];
+    row.extend(runs.iter().map(|r| r.server_disk.writes.to_string()));
+    t.row(row);
+    t.render()
+}
+
+/// Figures 5-1 / 5-2: server utilization and call rates over time, as a
+/// CSV-ish text block (`t_sec, util, calls/s, reads/s, writes/s`).
+pub fn figure_series(run: &AndrewRun) -> String {
+    let width = crate::config::figure_bucket().as_secs_f64();
+    let mut out = String::from("t_sec,cpu_util,calls_per_s,reads_per_s,writes_per_s\n");
+    let mut n = run.rate_buckets.len().max(run.util_samples.len());
+    // Trim the quiet tail (post-benchmark drain with no activity).
+    while n > 1 {
+        let i = n - 1;
+        let quiet_rate = run.rate_buckets.get(i).is_none_or(|b| b.total == 0);
+        let quiet_util = run.util_samples.get(i).is_none_or(|&(_, u)| u < 0.005);
+        if quiet_rate && quiet_util {
+            n -= 1;
+        } else {
+            break;
+        }
+    }
+    for i in 0..n {
+        let t = (i as f64 + 1.0) * width;
+        let (total, reads, writes) = run
+            .rate_buckets
+            .get(i)
+            .map(|b| {
+                (
+                    b.total as f64 / width,
+                    b.reads as f64 / width,
+                    b.writes as f64 / width,
+                )
+            })
+            .unwrap_or((0.0, 0.0, 0.0));
+        let util = run.util_samples.get(i).map(|&(_, u)| u).unwrap_or(0.0);
+        out.push_str(&format!(
+            "{t:.0},{util:.3},{total:.1},{reads:.1},{writes:.1}\n"
+        ));
+    }
+    out
+}
+
+/// Table 5-3 / 5-5: sort elapsed times; rows are input sizes, columns are
+/// `/usr/tmp` placements.
+pub fn sort_table(runs: &[SortRun]) -> String {
+    let mut sizes: Vec<u64> = runs.iter().map(|r| r.input_bytes).collect();
+    sizes.sort_unstable();
+    sizes.dedup();
+    let mut protos: Vec<crate::Protocol> = Vec::new();
+    for r in runs {
+        if !protos.contains(&r.protocol) {
+            protos.push(r.protocol);
+        }
+    }
+    let mut headers = vec!["Input".to_string()];
+    headers.extend(protos.iter().map(|p| format!("{} /usr/tmp", p.label())));
+    let mut t = TextTable::new(headers);
+    for size in sizes {
+        let mut row = vec![format!("{} k", size / 1024)];
+        for proto in &protos {
+            let cell = runs
+                .iter()
+                .find(|r| r.input_bytes == size && r.protocol == *proto)
+                .map(|r| format!("{} sec", secs(r.elapsed)))
+                .unwrap_or_else(|| "-".to_string());
+            row.push(cell);
+        }
+        t.row(row);
+    }
+    t.render()
+}
+
+/// Table 5-4 / 5-6: RPC calls for the sort benchmark.
+pub fn sort_rpc_table(runs: &[SortRun]) -> String {
+    let mut headers = vec!["Version".to_string()];
+    headers.extend(["update?", "reads", "writes", "others", "total"].map(String::from));
+    let mut t = TextTable::new(headers);
+    for r in runs {
+        t.row(vec![
+            r.protocol.label().to_string(),
+            if r.update_enabled { "yes" } else { "no" }.to_string(),
+            r.ops.get(NfsProc::Read).to_string(),
+            r.ops.get(NfsProc::Write).to_string(),
+            (r.ops.total() - r.ops.get(NfsProc::Read) - r.ops.get(NfsProc::Write)).to_string(),
+            r.ops.total().to_string(),
+        ]);
+    }
+    t.render()
+}
+
+/// Latency table: per-procedure count / mean / p95 / max.
+pub fn latency_table(l: &spritely_metrics::LatencyStats) -> String {
+    let mut t = TextTable::new(vec!["RPC", "count", "mean", "p95", "max"]);
+    for p in l.observed() {
+        t.row(vec![
+            p.name().to_string(),
+            l.count(p).to_string(),
+            format!("{:.1} ms", l.mean(p).as_secs_f64() * 1e3),
+            format!("{:.1} ms", l.percentile(p, 0.95).as_secs_f64() * 1e3),
+            format!("{:.1} ms", l.max(p).as_secs_f64() * 1e3),
+        ]);
+    }
+    t.render()
+}
+
+/// §5.3 microbenchmark report.
+pub fn reopen_table(runs: &[ReopenRun]) -> String {
+    let mut t = TextTable::new(vec!["Protocol", "reread", "write s", "read s", "read RPCs"]);
+    for r in runs {
+        t.row(vec![
+            r.protocol.label().to_string(),
+            if r.same_file { "same" } else { "other" }.to_string(),
+            format!("{:.2}", r.result.write_time.as_secs_f64()),
+            format!("{:.2}", r.result.read_time.as_secs_f64()),
+            r.ops.get(NfsProc::Read).to_string(),
+        ]);
+    }
+    t.render()
+}

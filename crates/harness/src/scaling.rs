@@ -1,0 +1,141 @@
+//! Server-scaling experiment (paper §2.3): "Reducing server writes ...
+//! should ... increase the number of clients that can actively use a
+//! single server". Sprite measurements suggested ~4× the client capacity
+//! of NFS on identical hardware; this experiment measures how makespan
+//! and server utilization grow as identical clients are added.
+
+use spritely_metrics::OpCounts;
+use spritely_sim::SimDuration;
+use spritely_workloads::{AndrewBenchmark, AndrewConfig, AndrewParams};
+
+use crate::testbed::{Protocol, Testbed, TestbedParams};
+
+/// Results of one scaling point.
+pub struct ScalingRun {
+    /// Protocol under test.
+    pub protocol: Protocol,
+    /// Number of concurrently active clients.
+    pub clients: usize,
+    /// Time until the *last* client finished.
+    pub makespan: SimDuration,
+    /// Mean per-client elapsed time.
+    pub mean_client: SimDuration,
+    /// Mean server CPU utilization over the makespan.
+    pub server_util: f64,
+    /// Server disk writes during the run.
+    pub disk_writes: u64,
+    /// RPC counts during the run.
+    pub ops: OpCounts,
+}
+
+/// A compact per-client workload: a scaled-down Andrew benchmark in a
+/// private namespace (every client is a "diskless workstation" with /tmp
+/// on the server).
+fn small_andrew() -> AndrewParams {
+    AndrewParams {
+        dirs: 3,
+        c_files: 6,
+        h_files: 8,
+        misc_files: 10,
+        total_bytes: 160 * 1024,
+        headers_per_compile: 4,
+        compile_cpu_per_kb: SimDuration::from_millis(120),
+        obj_ratio: 1.2,
+        tmp_ratio: 3.0,
+    }
+}
+
+/// Runs `n_clients` identical workloads concurrently against one server.
+pub fn run_scaling(protocol: Protocol, n_clients: usize, seed: u64) -> ScalingRun {
+    let tb = Testbed::build_with_clients(
+        TestbedParams {
+            protocol,
+            tmp_remote: true,
+            ..TestbedParams::default()
+        },
+        n_clients,
+    );
+    // Setup: per-client namespaces and source trees (untimed).
+    {
+        let mut handles = Vec::new();
+        for (i, host) in tb.clients.iter().enumerate() {
+            let p = host.proc(&tb.sim);
+            let bench = AndrewBenchmark::new(seed + i as u64, small_andrew());
+            handles.push(tb.sim.spawn(async move {
+                p.mkdir(&format!("/remote/u{i}"))
+                    .await
+                    .expect("mk user dir");
+                p.mkdir(&format!("/usr/tmp/u{i}"))
+                    .await
+                    .expect("mk tmp dir");
+                bench
+                    .populate_source(&p, &format!("/remote/u{i}/src"))
+                    .await
+                    .expect("populate");
+            }));
+        }
+        for h in handles {
+            tb.sim.run_until(h);
+        }
+        // Drain setup write-backs and start cold.
+        let sim = tb.sim.clone();
+        let h = tb
+            .sim
+            .spawn(async move { sim.sleep(SimDuration::from_secs(65)).await });
+        tb.sim.run_until(h);
+        for host in &tb.clients {
+            match host.remote.clone() {
+                crate::RemoteClient::None => {}
+                crate::RemoteClient::Nfs(c) => {
+                    let h = tb.sim.spawn(async move {
+                        c.cold_boot().await.expect("cold boot");
+                    });
+                    tb.sim.run_until(h);
+                }
+                crate::RemoteClient::Snfs(c) => {
+                    let h = tb.sim.spawn(async move {
+                        c.cold_boot().await.expect("cold boot");
+                    });
+                    tb.sim.run_until(h);
+                }
+            }
+        }
+    }
+    // Measured run: all clients at once.
+    let t0 = tb.sim.now();
+    let ops_before = tb.counter.snapshot();
+    let disk_before = tb.server_fs.disk().stats().writes;
+    let busy_before = tb.server_cpu.busy_permit_micros();
+    let mut handles = Vec::new();
+    for (i, host) in tb.clients.iter().enumerate() {
+        let p = host.proc(&tb.sim);
+        let bench = AndrewBenchmark::new(seed + i as u64, small_andrew());
+        let cfg = AndrewConfig {
+            src_base: format!("/remote/u{i}/src"),
+            target_base: format!("/remote/u{i}/target"),
+            tmp_base: format!("/usr/tmp/u{i}"),
+        };
+        let sim = tb.sim.clone();
+        handles.push(tb.sim.spawn(async move {
+            let start = sim.now();
+            bench.run(&p, &cfg).await.expect("client workload");
+            sim.now().duration_since(start)
+        }));
+    }
+    let mut elapsed: Vec<SimDuration> = Vec::new();
+    for h in handles {
+        elapsed.push(tb.sim.run_until(h));
+    }
+    let makespan = tb.sim.now().duration_since(t0);
+    let total: SimDuration = elapsed.iter().copied().sum();
+    let busy = tb.server_cpu.busy_permit_micros() - busy_before;
+    ScalingRun {
+        protocol,
+        clients: n_clients,
+        makespan,
+        mean_client: total / n_clients as u64,
+        server_util: busy as f64 / makespan.as_micros() as f64,
+        disk_writes: tb.server_fs.disk().stats().writes - disk_before,
+        ops: tb.counter.snapshot() - ops_before,
+    }
+}

@@ -1,0 +1,86 @@
+//! Sort-benchmark experiment runner (Tables 5-3/5-4/5-5/5-6).
+
+use spritely_metrics::OpCounts;
+use spritely_sim::SimDuration;
+use spritely_workloads::{populate_sort_input, run_sort, SortConfig, SortParams};
+
+use crate::testbed::{Protocol, Testbed, TestbedParams};
+
+/// Everything measured from one sort run.
+pub struct SortRun {
+    /// Protocol hosting `/usr/tmp`.
+    pub protocol: Protocol,
+    /// Input size in bytes.
+    pub input_bytes: u64,
+    /// Were the 30 s update daemons running? (`false` = infinite
+    /// write-delay, Tables 5-5/5-6.)
+    pub update_enabled: bool,
+    /// Elapsed virtual time of the sort.
+    pub elapsed: SimDuration,
+    /// Per-procedure RPC counts during the sort.
+    pub ops: OpCounts,
+    /// Client-local disk writes during the sort (the "local" cost floor).
+    pub client_disk_writes: u64,
+}
+
+/// Runs the sort benchmark once on a fresh testbed.
+///
+/// The input and output files live on the client's local disk in every
+/// configuration; only `/usr/tmp` (temp files) moves between local disk,
+/// NFS, and SNFS — matching §5.3.
+pub fn run_sort_experiment(protocol: Protocol, input_bytes: u64, update_enabled: bool) -> SortRun {
+    run_sort_with(
+        TestbedParams {
+            protocol,
+            tmp_remote: true,
+            update_enabled,
+            ..TestbedParams::default()
+        },
+        input_bytes,
+    )
+}
+
+/// [`run_sort_experiment`] with full control of the testbed (for
+/// ablations).
+pub fn run_sort_with(params: TestbedParams, input_bytes: u64) -> SortRun {
+    let protocol = params.protocol;
+    let update_enabled = params.update_enabled;
+    let tb = Testbed::build(params);
+    let cfg = SortConfig {
+        input_path: "/input".to_string(),
+        output_path: "/output".to_string(),
+        tmp_dir: "/usr/tmp".to_string(),
+    };
+    // Setup (untimed): create the input on the local disk, then flush it
+    // so the benchmark starts from a quiet system.
+    {
+        let p = tb.proc();
+        let path = cfg.input_path.clone();
+        let fs = tb.clients[0].local_fs.clone();
+        let h = tb.sim.spawn(async move {
+            populate_sort_input(&p, &path, input_bytes)
+                .await
+                .expect("populate input");
+            fs.sync_all().await;
+        });
+        tb.sim.run_until(h);
+    }
+    let ops_before = tb.counter.snapshot();
+    let disk_before = tb.clients[0].local_fs.disk().stats().writes;
+    let p = tb.proc();
+    let cfg2 = cfg.clone();
+    let h = tb.sim.spawn(async move {
+        run_sort(&p, SortParams::paper(input_bytes), &cfg2)
+            .await
+            .expect("sort run")
+    });
+    let elapsed = tb.sim.run_until(h);
+    SortRun {
+        protocol,
+        input_bytes,
+        update_enabled,
+        elapsed,
+        ops: tb.counter.snapshot() - ops_before,
+        client_disk_writes: tb.clients[0].local_fs.disk().stats().writes - disk_before,
+    }
+}

@@ -1,0 +1,404 @@
+//! Testbed construction: one server, one or more diskful clients, a
+//! shared Ethernet, and a protocol choice per experiment.
+
+use spritely_blockdev::Disk;
+use spritely_core::{SnfsClient, SnfsClientParams, SnfsServer, SnfsServerParams};
+use spritely_localfs::LocalFs;
+use spritely_metrics::{GaugeSeries, LatencyStats, OpCounter, RateSeries};
+use spritely_nfs::{nfs_server, NfsClient, NfsClientParams};
+use spritely_proto::{ClientId, FileHandle, NfsReply, NfsRequest};
+use spritely_rpcnet::{Caller, Endpoint, Network};
+use spritely_sim::{Resource, Sim, SimDuration};
+use spritely_vfs::{FsBackend, Mount, Proc, Vfs};
+
+use crate::config;
+
+/// Which file service the experiment runs over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// Everything on the client's local disk (the paper's "local" column).
+    Local,
+    /// Baseline NFS with the vintage invalidate-on-close client.
+    Nfs,
+    /// NFS with the close bug fixed (ablation).
+    NfsFixed,
+    /// Spritely NFS.
+    Snfs,
+    /// Spritely NFS with the §6.2 delayed-close extension (ablation).
+    SnfsDelayedClose,
+}
+
+impl Protocol {
+    /// Display label used in tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Protocol::Local => "local",
+            Protocol::Nfs => "NFS",
+            Protocol::NfsFixed => "NFS(fixed)",
+            Protocol::Snfs => "SNFS",
+            Protocol::SnfsDelayedClose => "SNFS(dc)",
+        }
+    }
+
+    /// True for the two SNFS variants.
+    pub fn is_snfs(self) -> bool {
+        matches!(self, Protocol::Snfs | Protocol::SnfsDelayedClose)
+    }
+}
+
+/// Testbed knobs beyond the protocol itself.
+#[derive(Debug, Clone, Copy)]
+pub struct TestbedParams {
+    /// The file service under test.
+    pub protocol: Protocol,
+    /// Mount `/tmp` and `/usr/tmp` on the remote server instead of the
+    /// client's local disk.
+    pub tmp_remote: bool,
+    /// Run the 30 s update daemons (client local FS, server FS, SNFS
+    /// client). `false` = the paper's "infinite write-delay" (§5.4).
+    pub update_enabled: bool,
+    /// Override of the SNFS client write-delay (default 30 s).
+    pub snfs_write_delay: SimDuration,
+    /// Override of the NFS attribute-probe floor (default 3 s).
+    pub nfs_attr_min: SimDuration,
+    /// NFS client read-ahead.
+    pub read_ahead: bool,
+    /// Name caching at the clients (§7 extension for SNFS, dnlc-style TTL
+    /// cache for NFS).
+    pub name_cache: bool,
+    /// SNFS server state-table limit and reclaim target.
+    pub snfs_server: SnfsServerParams,
+}
+
+impl Default for TestbedParams {
+    fn default() -> Self {
+        TestbedParams {
+            protocol: Protocol::Snfs,
+            tmp_remote: false,
+            update_enabled: true,
+            snfs_write_delay: SimDuration::ZERO,
+            nfs_attr_min: SimDuration::from_secs(3),
+            read_ahead: true,
+            name_cache: false,
+            snfs_server: SnfsServerParams::default(),
+        }
+    }
+}
+
+/// The protocol client attached to one client host.
+#[derive(Clone)]
+pub enum RemoteClient {
+    /// Local protocol: no remote client at all.
+    None,
+    /// Baseline NFS client.
+    Nfs(NfsClient),
+    /// SNFS client.
+    Snfs(SnfsClient),
+}
+
+/// One client host: CPU, local disk FS, its remote-protocol client, and
+/// a process factory.
+pub struct ClientHost {
+    /// Host CPU.
+    pub cpu: Resource,
+    /// Local-disk file system.
+    pub local_fs: LocalFs,
+    /// Protocol client (if any).
+    pub remote: RemoteClient,
+    /// Mount table for processes on this host.
+    pub vfs: Vfs,
+}
+
+impl ClientHost {
+    /// Spawns a process on this host.
+    pub fn proc(&self, sim: &Sim) -> Proc {
+        Proc::new(
+            sim,
+            self.vfs.clone(),
+            self.cpu.clone(),
+            config::syscall_costs(),
+        )
+    }
+}
+
+/// A complete experiment topology.
+pub struct Testbed {
+    /// The simulation.
+    pub sim: Sim,
+    /// Parameters it was built with.
+    pub params: TestbedParams,
+    /// Server host CPU.
+    pub server_cpu: Resource,
+    /// The server's exported file system.
+    pub server_fs: LocalFs,
+    /// The SNFS server object (present for SNFS protocols).
+    pub snfs_server: Option<SnfsServer>,
+    /// Per-procedure counter on the server endpoint.
+    pub counter: OpCounter,
+    /// Call-rate series feeding the figures.
+    pub rates: RateSeries,
+    /// End-to-end RPC latency per procedure, across all clients.
+    pub latency: LatencyStats,
+    /// Server CPU utilization samples (filled by
+    /// [`spawn_utilization_sampler`](Self::spawn_utilization_sampler)).
+    pub util: GaugeSeries,
+    /// The shared network.
+    pub net: Network,
+    /// The NFS/SNFS endpoint (absent for `Protocol::Local`).
+    pub endpoint: Option<Endpoint<NfsRequest, NfsReply>>,
+    /// Client hosts (at least one).
+    pub clients: Vec<ClientHost>,
+    /// Well-known directories on the server: (src, target, tmp).
+    pub server_dirs: (FileHandle, FileHandle, FileHandle),
+}
+
+impl Testbed {
+    /// Builds a testbed with one client host.
+    pub fn build(params: TestbedParams) -> Self {
+        Self::build_with_clients(params, 1)
+    }
+
+    /// Builds a testbed with `n_clients` client hosts.
+    pub fn build_with_clients(params: TestbedParams, n_clients: usize) -> Self {
+        assert!(n_clients >= 1, "need at least one client");
+        let sim = Sim::new();
+        // ---- server ------------------------------------------------------
+        let server_disk = Disk::new(&sim, "server-disk", config::disk_params());
+        let server_fs = LocalFs::new(
+            &sim,
+            1,
+            server_disk,
+            config::server_fs_params(params.update_enabled),
+        );
+        server_fs.spawn_update_daemon();
+        let server_cpu = Resource::new(&sim, "server-cpu", 1);
+        let counter = OpCounter::new();
+        let rates = RateSeries::new(config::figure_bucket());
+        let util = GaugeSeries::new();
+        let latency = LatencyStats::new();
+        let net = Network::new(&sim, "ether", config::net_params());
+        // Well-known server directories.
+        let root = server_fs.root();
+        let (src_dir, target_dir, tmp_dir) = {
+            let fs = server_fs.clone();
+            sim.block_on(async move {
+                let (s, _) = fs.mkdir(root, "src").await.expect("mkdir src");
+                let (t, _) = fs.mkdir(root, "target").await.expect("mkdir target");
+                let (m, _) = fs.mkdir(root, "tmp").await.expect("mkdir tmp");
+                (s, t, m)
+            })
+        };
+        // ---- protocol endpoint --------------------------------------------
+        let mut snfs_server = None;
+        let endpoint = match params.protocol {
+            Protocol::Local => None,
+            Protocol::Nfs | Protocol::NfsFixed => {
+                let ep = nfs_server(
+                    &sim,
+                    "nfsd",
+                    server_fs.clone(),
+                    server_cpu.clone(),
+                    config::endpoint_params(),
+                    counter.clone(),
+                );
+                ep.set_rate_series(rates.clone());
+                Some(ep)
+            }
+            Protocol::Snfs | Protocol::SnfsDelayedClose => {
+                let srv = SnfsServer::new(
+                    &sim,
+                    server_fs.clone(),
+                    config::SERVER_THREADS,
+                    params.snfs_server,
+                );
+                let ep = srv.endpoint(
+                    "snfsd",
+                    server_cpu.clone(),
+                    config::endpoint_params(),
+                    counter.clone(),
+                );
+                ep.set_rate_series(rates.clone());
+                snfs_server = Some(srv);
+                Some(ep)
+            }
+        };
+        // ---- clients -------------------------------------------------------
+        let mut clients = Vec::new();
+        for i in 0..n_clients {
+            let cid = ClientId(i as u32 + 1);
+            let cpu = Resource::new(&sim, format!("client{}-cpu", cid.0), 1);
+            let disk = Disk::new(&sim, format!("client{}-disk", cid.0), config::disk_params());
+            let local_fs = LocalFs::new(
+                &sim,
+                100 + cid.0,
+                disk,
+                config::client_fs_params(params.update_enabled),
+            );
+            local_fs.spawn_update_daemon();
+            // Local tmp directory.
+            let lroot = local_fs.root();
+            let ltmp = {
+                let fs = local_fs.clone();
+                sim.block_on(async move {
+                    let (t, _) = fs.mkdir(lroot, "tmp").await.expect("mkdir local tmp");
+                    t
+                })
+            };
+            let (remote, remote_backend) = match (&endpoint, params.protocol) {
+                (None, _) => (RemoteClient::None, None),
+                (Some(ep), Protocol::Nfs | Protocol::NfsFixed) => {
+                    let caller = Caller::new(
+                        &sim,
+                        net.clone(),
+                        ep.clone(),
+                        cid,
+                        cpu.clone(),
+                        config::caller_params(),
+                    );
+                    caller.set_latency_stats(latency.clone());
+                    let client = NfsClient::new(
+                        &sim,
+                        caller,
+                        NfsClientParams {
+                            attr_min: params.nfs_attr_min,
+                            invalidate_on_close: params.protocol == Protocol::Nfs,
+                            read_ahead: params.read_ahead,
+                            cache_blocks: config::CLIENT_CACHE_BLOCKS,
+                            name_cache: params.name_cache,
+                            ..NfsClientParams::default()
+                        },
+                    );
+                    (
+                        RemoteClient::Nfs(client.clone()),
+                        Some(FsBackend::Nfs(client)),
+                    )
+                }
+                (Some(ep), Protocol::Snfs | Protocol::SnfsDelayedClose) => {
+                    let caller = Caller::new(
+                        &sim,
+                        net.clone(),
+                        ep.clone(),
+                        cid,
+                        cpu.clone(),
+                        config::caller_params(),
+                    );
+                    caller.set_latency_stats(latency.clone());
+                    let client = SnfsClient::new(
+                        &sim,
+                        caller,
+                        SnfsClientParams {
+                            cache_blocks: config::CLIENT_CACHE_BLOCKS,
+                            write_delay: params.snfs_write_delay,
+                            update_interval: params
+                                .update_enabled
+                                .then(|| SimDuration::from_secs(30)),
+                            read_ahead: params.read_ahead,
+                            delayed_close: params.protocol == Protocol::SnfsDelayedClose,
+                            name_cache: params.name_cache,
+                            ..SnfsClientParams::default()
+                        },
+                    );
+                    client.spawn_update_daemon();
+                    client.spawn_keepalive_daemon(SimDuration::from_secs(10));
+                    // Register the callback channel.
+                    let srv = snfs_server.as_ref().expect("SNFS server exists");
+                    let cb_ep = client.callback_endpoint(
+                        format!("cbsrv{}", cid.0),
+                        cpu.clone(),
+                        config::callback_endpoint_params(),
+                        counter.clone(),
+                    );
+                    let cb_caller = Caller::new(
+                        &sim,
+                        net.clone(),
+                        cb_ep,
+                        ClientId(0),
+                        server_cpu.clone(),
+                        config::caller_params(),
+                    );
+                    srv.register_client(cid, cb_caller);
+                    (
+                        RemoteClient::Snfs(client.clone()),
+                        Some(FsBackend::Snfs(client)),
+                    )
+                }
+                (Some(_), Protocol::Local) => unreachable!("local has no endpoint"),
+            };
+            // ---- mounts ----
+            let mut mounts = vec![Mount::new("/", FsBackend::Local(local_fs.clone()), lroot)];
+            match &remote_backend {
+                Some(backend) => {
+                    mounts.push(Mount::new("/remote", backend.clone(), root));
+                    let tmp_backend = if params.tmp_remote {
+                        Mount::new("/usr/tmp", backend.clone(), tmp_dir)
+                    } else {
+                        Mount::new("/usr/tmp", FsBackend::Local(local_fs.clone()), ltmp)
+                    };
+                    mounts.push(tmp_backend);
+                }
+                None => {
+                    // Local protocol: "/remote" is just the local disk too.
+                    mounts.push(Mount::new(
+                        "/remote",
+                        FsBackend::Local(local_fs.clone()),
+                        lroot,
+                    ));
+                    mounts.push(Mount::new(
+                        "/usr/tmp",
+                        FsBackend::Local(local_fs.clone()),
+                        ltmp,
+                    ));
+                }
+            }
+            let vfs = Vfs::new(mounts);
+            clients.push(ClientHost {
+                cpu,
+                local_fs,
+                remote,
+                vfs,
+            });
+        }
+        Testbed {
+            sim,
+            params,
+            server_cpu,
+            server_fs,
+            snfs_server,
+            counter,
+            rates,
+            latency,
+            util,
+            net,
+            endpoint,
+            clients,
+            server_dirs: (src_dir, target_dir, tmp_dir),
+        }
+    }
+
+    /// A process on the first client host.
+    pub fn proc(&self) -> Proc {
+        self.clients[0].proc(&self.sim)
+    }
+
+    /// Spawns a sampler recording server CPU utilization once per figure
+    /// bucket.
+    pub fn spawn_utilization_sampler(&self) {
+        let sim = self.sim.clone();
+        let cpu = self.server_cpu.clone();
+        let util = self.util.clone();
+        let bucket = config::figure_bucket();
+        self.sim.spawn(async move {
+            let mut last_busy = cpu.busy_permit_micros();
+            loop {
+                let start = sim.now();
+                sim.sleep(bucket).await;
+                let busy = cpu.busy_permit_micros();
+                let frac =
+                    (busy - last_busy) as f64 / (bucket.as_micros() as f64 * cpu.capacity() as f64);
+                util.push(sim.now(), frac);
+                last_busy = busy;
+                let _ = start;
+            }
+        });
+    }
+}

@@ -1,0 +1,415 @@
+//! A passive block cache with LRU eviction and delayed-write (dirty)
+//! tracking.
+//!
+//! The cache is deliberately I/O-free: it returns eviction victims and
+//! flush candidates to its owner, which performs the actual disk or RPC
+//! writes. This lets the same structure back three different caches in the
+//! system — the local file system's buffer pool, the NFS client's data
+//! cache, and the SNFS client's delayed-write cache — which flush to very
+//! different places.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use spritely_sim::SimTime;
+
+/// One cached block.
+struct Entry {
+    data: Vec<u8>,
+    /// `Some(t)` if dirty, where `t` is when it first became dirty.
+    dirty_since: Option<SimTime>,
+    /// Incremented on every write; used to detect writes that raced a
+    /// flush (the flusher only marks clean if the seq is unchanged).
+    seq: u64,
+    lru: u64,
+}
+
+/// A dirty block evicted to make room; the owner must write it out.
+#[derive(Debug, PartialEq, Eq)]
+pub struct DirtyVictim<K> {
+    /// The evicted block's key.
+    pub key: K,
+    /// The evicted block's data.
+    pub data: Vec<u8>,
+}
+
+/// Data handed out for flushing, with the seq to pass back to
+/// [`BlockCache::mark_clean`].
+#[derive(Debug)]
+pub struct FlushData {
+    /// Copy of the block contents at flush time.
+    pub data: Vec<u8>,
+    /// Sequence number at flush time.
+    pub seq: u64,
+}
+
+/// Counters describing a bulk invalidation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DropCounts {
+    /// Clean blocks dropped.
+    pub clean: u64,
+    /// Dirty blocks dropped (their writes were cancelled).
+    pub dirty: u64,
+}
+
+/// An LRU block cache keyed by `K` (typically `(file, block-index)`).
+pub struct BlockCache<K> {
+    capacity: usize,
+    map: HashMap<K, Entry>,
+    next_lru: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl<K: Eq + Hash + Copy> BlockCache<K> {
+    /// Creates a cache holding at most `capacity` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        BlockCache {
+            capacity,
+            map: HashMap::new(),
+            next_lru: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Capacity in blocks.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of resident blocks.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns true if no blocks are resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// `(hits, misses)` counted by [`get`](Self::get).
+    pub fn hit_stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    fn bump(&mut self, k: &K) {
+        let lru = self.next_lru;
+        self.next_lru += 1;
+        if let Some(e) = self.map.get_mut(k) {
+            e.lru = lru;
+        }
+    }
+
+    /// Looks a block up, bumping its recency and counting hit/miss.
+    pub fn get(&mut self, k: &K) -> Option<Vec<u8>> {
+        if self.map.contains_key(k) {
+            self.hits += 1;
+            self.bump(k);
+            Some(self.map[k].data.clone())
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Returns true if the block is resident (no recency bump, no stats).
+    pub fn contains(&self, k: &K) -> bool {
+        self.map.contains_key(k)
+    }
+
+    /// Returns true if the block is resident and dirty.
+    pub fn is_dirty(&self, k: &K) -> bool {
+        self.map.get(k).is_some_and(|e| e.dirty_since.is_some())
+    }
+
+    /// Evicts the least-recently-used block if the cache is over capacity.
+    /// Clean blocks are preferred; an all-dirty cache evicts its LRU dirty
+    /// block, which the owner must write out.
+    fn make_room(&mut self) -> Option<DirtyVictim<K>> {
+        if self.map.len() <= self.capacity {
+            return None;
+        }
+        // Prefer the LRU clean block.
+        let victim_clean = self
+            .map
+            .iter()
+            .filter(|(_, e)| e.dirty_since.is_none())
+            .min_by_key(|(_, e)| e.lru)
+            .map(|(k, _)| *k);
+        if let Some(k) = victim_clean {
+            self.map.remove(&k);
+            return None;
+        }
+        let victim = self
+            .map
+            .iter()
+            .min_by_key(|(_, e)| e.lru)
+            .map(|(k, _)| *k)
+            .expect("over capacity implies nonempty");
+        let e = self.map.remove(&victim).expect("victim resident");
+        Some(DirtyVictim {
+            key: victim,
+            data: e.data,
+        })
+    }
+
+    /// Inserts a clean block (e.g. fetched from disk or the server).
+    /// Returns a dirty victim if one had to be evicted.
+    pub fn insert_clean(&mut self, k: K, data: Vec<u8>) -> Option<DirtyVictim<K>> {
+        let lru = self.next_lru;
+        self.next_lru += 1;
+        // Overwriting a dirty block with "clean" data would lose the dirty
+        // marking; keep the dirty stamp in that case.
+        match self.map.get_mut(&k) {
+            Some(e) => {
+                if e.dirty_since.is_none() {
+                    e.data = data;
+                }
+                e.lru = lru;
+                None
+            }
+            None => {
+                self.map.insert(
+                    k,
+                    Entry {
+                        data,
+                        dirty_since: None,
+                        seq: 0,
+                        lru,
+                    },
+                );
+                self.make_room()
+            }
+        }
+    }
+
+    /// Writes a block (marks it dirty). Returns a dirty victim if one had
+    /// to be evicted.
+    pub fn write(&mut self, k: K, data: Vec<u8>, now: SimTime) -> Option<DirtyVictim<K>> {
+        let lru = self.next_lru;
+        self.next_lru += 1;
+        match self.map.get_mut(&k) {
+            Some(e) => {
+                e.data = data;
+                e.dirty_since.get_or_insert(now);
+                e.seq += 1;
+                e.lru = lru;
+                None
+            }
+            None => {
+                self.map.insert(
+                    k,
+                    Entry {
+                        data,
+                        dirty_since: Some(now),
+                        seq: 1,
+                        lru,
+                    },
+                );
+                self.make_room()
+            }
+        }
+    }
+
+    /// Copies out a dirty block for flushing. Returns `None` if the block
+    /// is not resident or not dirty.
+    pub fn flush_data(&self, k: &K) -> Option<FlushData> {
+        self.map.get(k).and_then(|e| {
+            e.dirty_since.map(|_| FlushData {
+                data: e.data.clone(),
+                seq: e.seq,
+            })
+        })
+    }
+
+    /// Marks a block clean after a flush, unless it was re-written while
+    /// the flush was in flight (seq mismatch).
+    pub fn mark_clean(&mut self, k: &K, seq: u64) {
+        if let Some(e) = self.map.get_mut(k) {
+            if e.seq == seq {
+                e.dirty_since = None;
+            }
+        }
+    }
+
+    /// Keys of all dirty blocks, with when they became dirty.
+    pub fn dirty_blocks(&self) -> Vec<(K, SimTime)> {
+        let mut v: Vec<(K, SimTime)> = self
+            .map
+            .iter()
+            .filter_map(|(k, e)| e.dirty_since.map(|t| (*k, t)))
+            .collect();
+        v.sort_by_key(|&(_, t)| t);
+        v
+    }
+
+    /// Count of dirty blocks.
+    pub fn dirty_count(&self) -> usize {
+        self.map
+            .values()
+            .filter(|e| e.dirty_since.is_some())
+            .count()
+    }
+
+    /// Drops every block matching `pred` without writing it anywhere
+    /// (delayed-write cancellation / cache invalidation). Returns counts of
+    /// clean and dirty blocks dropped.
+    pub fn drop_matching(&mut self, mut pred: impl FnMut(&K) -> bool) -> DropCounts {
+        let mut counts = DropCounts::default();
+        self.map.retain(|k, e| {
+            if pred(k) {
+                if e.dirty_since.is_some() {
+                    counts.dirty += 1;
+                } else {
+                    counts.clean += 1;
+                }
+                false
+            } else {
+                true
+            }
+        });
+        counts
+    }
+
+    /// Drops all blocks.
+    pub fn clear(&mut self) -> DropCounts {
+        self.drop_matching(|_| true)
+    }
+
+    /// Keys matching a predicate (for per-file flush).
+    pub fn keys_matching(&self, mut pred: impl FnMut(&K) -> bool) -> Vec<K> {
+        self.map.keys().copied().filter(|k| pred(k)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn get_counts_hits_and_misses() {
+        let mut c: BlockCache<u32> = BlockCache::new(4);
+        assert!(c.get(&1).is_none());
+        c.insert_clean(1, vec![1]);
+        assert_eq!(c.get(&1), Some(vec![1]));
+        assert_eq!(c.hit_stats(), (1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_clean_first() {
+        let mut c: BlockCache<u32> = BlockCache::new(2);
+        c.insert_clean(1, vec![1]);
+        assert!(c.write(2, vec![2], t(0)).is_none());
+        // Cache full; 1 is LRU and clean → silently dropped.
+        assert!(c.insert_clean(3, vec![3]).is_none());
+        assert!(!c.contains(&1));
+        assert!(c.contains(&2) && c.contains(&3));
+    }
+
+    #[test]
+    fn all_dirty_cache_evicts_dirty_victim() {
+        let mut c: BlockCache<u32> = BlockCache::new(2);
+        c.write(1, vec![1], t(0));
+        c.write(2, vec![2], t(1));
+        let victim = c.write(3, vec![3], t(2)).expect("must evict dirty");
+        assert_eq!(
+            victim,
+            DirtyVictim {
+                key: 1,
+                data: vec![1]
+            }
+        );
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn recency_protects_recently_used() {
+        let mut c: BlockCache<u32> = BlockCache::new(2);
+        c.insert_clean(1, vec![1]);
+        c.insert_clean(2, vec![2]);
+        c.get(&1); // 1 is now MRU
+        c.insert_clean(3, vec![3]);
+        assert!(c.contains(&1));
+        assert!(!c.contains(&2));
+    }
+
+    #[test]
+    fn write_marks_dirty_and_flush_cleans() {
+        let mut c: BlockCache<u32> = BlockCache::new(4);
+        c.write(1, vec![9], t(5));
+        assert!(c.is_dirty(&1));
+        let fd = c.flush_data(&1).expect("dirty");
+        assert_eq!(fd.data, vec![9]);
+        c.mark_clean(&1, fd.seq);
+        assert!(!c.is_dirty(&1));
+        assert!(c.flush_data(&1).is_none());
+    }
+
+    #[test]
+    fn racing_write_keeps_block_dirty() {
+        let mut c: BlockCache<u32> = BlockCache::new(4);
+        c.write(1, vec![1], t(0));
+        let fd = c.flush_data(&1).expect("dirty");
+        // A write lands while the flush is "in flight".
+        c.write(1, vec![2], t(1));
+        c.mark_clean(&1, fd.seq);
+        assert!(c.is_dirty(&1), "newer data must stay dirty");
+        assert_eq!(c.get(&1), Some(vec![2]));
+    }
+
+    #[test]
+    fn insert_clean_does_not_clobber_dirty() {
+        let mut c: BlockCache<u32> = BlockCache::new(4);
+        c.write(1, vec![7], t(0));
+        c.insert_clean(1, vec![0]);
+        assert!(c.is_dirty(&1));
+        assert_eq!(c.get(&1), Some(vec![7]));
+    }
+
+    #[test]
+    fn dirty_blocks_sorted_by_age() {
+        let mut c: BlockCache<u32> = BlockCache::new(4);
+        c.write(2, vec![2], t(20));
+        c.write(1, vec![1], t(10));
+        let d: Vec<u32> = c.dirty_blocks().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(d, vec![1, 2]);
+        assert_eq!(c.dirty_count(), 2);
+    }
+
+    #[test]
+    fn drop_matching_counts_cancelled_writes() {
+        let mut c: BlockCache<(u32, u32)> = BlockCache::new(8);
+        c.write((1, 0), vec![0], t(0));
+        c.write((1, 1), vec![1], t(0));
+        c.insert_clean((1, 2), vec![2]);
+        c.write((2, 0), vec![0], t(0));
+        let counts = c.drop_matching(|k| k.0 == 1);
+        assert_eq!(counts, DropCounts { clean: 1, dirty: 2 });
+        assert_eq!(c.len(), 1);
+        assert!(c.contains(&(2, 0)));
+    }
+
+    #[test]
+    fn rewriting_dirty_block_keeps_first_dirty_time() {
+        let mut c: BlockCache<u32> = BlockCache::new(4);
+        c.write(1, vec![1], t(10));
+        c.write(1, vec![2], t(99));
+        assert_eq!(c.dirty_blocks()[0].1, t(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _: BlockCache<u32> = BlockCache::new(0);
+    }
+}

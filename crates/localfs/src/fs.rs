@@ -1,0 +1,544 @@
+//! The local file system: store + buffer cache + disk, with Unix
+//! delayed-write semantics and the `/etc/update` sync daemon.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use spritely_blockdev::Disk;
+use spritely_proto::{
+    block_of, blocks_for, DirEntry, Fattr, FileHandle, FileType, NfsStatus, Result, BLOCK_SIZE,
+};
+use spritely_sim::{Sim, SimDuration};
+
+use crate::cache::BlockCache;
+use crate::store::{Store, META_BASE};
+
+/// Cache key: `(inode number, logical block index)`. Inode numbers are
+/// never reused, so the generation is not needed here.
+type Key = (u64, u64);
+
+/// Configuration for a [`LocalFs`].
+#[derive(Debug, Clone, Copy)]
+pub struct FsParams {
+    /// Buffer cache capacity in blocks.
+    pub cache_blocks: usize,
+    /// Interval of the `/etc/update` daemon; `None` disables it entirely
+    /// ("infinite write-delay", paper §5.4).
+    pub update_interval: Option<SimDuration>,
+    /// Minimum dirty age for the daemon to flush a block. Traditional Unix
+    /// `sync` flushes everything (zero); Sprite used 30 s.
+    pub update_min_age: SimDuration,
+    /// Charge one synchronous disk write for namespace operations
+    /// (create/remove/mkdir/rmdir/rename), modelling synchronous directory
+    /// and inode updates.
+    pub charge_structural: bool,
+    /// Charge an inode update (a small write in the metadata region) for
+    /// every *synchronous* data write. RFC 1094 requires the server to
+    /// have size/mtime on stable storage before replying to a `write`, so
+    /// an NFS server pays this on every write RPC — it both adds a
+    /// positioning delay and breaks the sequentiality of bulk writes,
+    /// which is a large part of why write-through was so expensive.
+    pub sync_inode_writes: bool,
+}
+
+impl Default for FsParams {
+    fn default() -> Self {
+        FsParams {
+            cache_blocks: 4096, // 16 MB at 4 KB blocks
+            update_interval: Some(SimDuration::from_secs(30)),
+            update_min_age: SimDuration::ZERO,
+            charge_structural: true,
+            sync_inode_writes: true,
+        }
+    }
+}
+
+/// Cumulative statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FsStats {
+    /// Dirty blocks written to disk (delayed flushes + sync writes).
+    pub flushed_blocks: u64,
+    /// Dirty blocks dropped because their file was deleted first — the
+    /// "writes averted" the paper's §5.4 measures.
+    pub cancelled_blocks: u64,
+    /// Synchronous structural (inode/directory) writes.
+    pub structural_writes: u64,
+}
+
+struct Inner {
+    sim: Sim,
+    disk: Disk,
+    store: RefCell<Store>,
+    cache: RefCell<BlockCache<Key>>,
+    params: FsParams,
+    stats: RefCell<FsStats>,
+}
+
+/// A simulated local Unix file system on one disk.
+///
+/// All data operations are block-granular through a buffer cache with
+/// delayed writes; namespace operations update the store immediately and
+/// charge a synchronous structural disk write (as Unix does for directory
+/// updates).
+#[derive(Clone)]
+pub struct LocalFs {
+    inner: Rc<Inner>,
+}
+
+impl LocalFs {
+    /// Creates an empty file system (just a root directory) on `disk`.
+    pub fn new(sim: &Sim, fsid: u32, disk: Disk, params: FsParams) -> Self {
+        LocalFs {
+            inner: Rc::new(Inner {
+                sim: sim.clone(),
+                disk,
+                store: RefCell::new(Store::new(fsid)),
+                cache: RefCell::new(BlockCache::new(params.cache_blocks)),
+                params,
+                stats: RefCell::new(FsStats::default()),
+            }),
+        }
+    }
+
+    /// Root directory handle.
+    pub fn root(&self) -> FileHandle {
+        self.inner.store.borrow().root()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> FsStats {
+        *self.inner.stats.borrow()
+    }
+
+    /// Buffer-cache `(hits, misses)`.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.inner.cache.borrow().hit_stats()
+    }
+
+    /// Number of dirty blocks currently in the cache.
+    pub fn dirty_blocks(&self) -> usize {
+        self.inner.cache.borrow().dirty_count()
+    }
+
+    /// The underlying disk.
+    pub fn disk(&self) -> &Disk {
+        &self.inner.disk
+    }
+
+    fn now_us(&self) -> u64 {
+        self.inner.sim.now().as_micros()
+    }
+
+    // ---- namespace operations -------------------------------------------
+
+    /// Attributes of a file (in-memory; inode metadata is assumed cached).
+    pub fn getattr(&self, fh: FileHandle) -> Result<Fattr> {
+        self.inner.store.borrow().getattr(fh)
+    }
+
+    /// Single-component lookup.
+    pub fn lookup(&self, dir: FileHandle, name: &str) -> Result<(FileHandle, Fattr)> {
+        self.inner.store.borrow().lookup(dir, name)
+    }
+
+    /// Directory listing.
+    pub fn readdir(&self, dir: FileHandle) -> Result<Vec<DirEntry>> {
+        self.inner.store.borrow().readdir(dir)
+    }
+
+    async fn structural_write(&self, ino: u64) {
+        if !self.inner.params.charge_structural {
+            return;
+        }
+        self.inner.stats.borrow_mut().structural_writes += 1;
+        self.inner.disk.write(META_BASE + (ino % 997), 512).await;
+    }
+
+    /// Creates a regular file.
+    pub async fn create(&self, dir: FileHandle, name: &str) -> Result<(FileHandle, Fattr)> {
+        let now = self.now_us();
+        let r = self.inner.store.borrow_mut().create(dir, name, now)?;
+        self.structural_write(dir.inode).await;
+        Ok(r)
+    }
+
+    /// Creates a directory.
+    pub async fn mkdir(&self, dir: FileHandle, name: &str) -> Result<(FileHandle, Fattr)> {
+        let now = self.now_us();
+        let r = self.inner.store.borrow_mut().mkdir(dir, name, now)?;
+        self.structural_write(dir.inode).await;
+        Ok(r)
+    }
+
+    /// Removes a regular file, cancelling any of its delayed writes
+    /// (paper §4.2.3: Sprite and SNFS "cancel" delayed writes on delete).
+    pub async fn remove(&self, dir: FileHandle, name: &str) -> Result<()> {
+        let now = self.now_us();
+        let (victim, gone) = self.inner.store.borrow_mut().remove(dir, name, now)?;
+        if gone {
+            // Only the last hard link cancels the delayed writes.
+            let dropped = self
+                .inner
+                .cache
+                .borrow_mut()
+                .drop_matching(|k| k.0 == victim.inode);
+            self.inner.stats.borrow_mut().cancelled_blocks += dropped.dirty;
+        }
+        self.structural_write(dir.inode).await;
+        Ok(())
+    }
+
+    /// Removes an empty directory.
+    pub async fn rmdir(&self, dir: FileHandle, name: &str) -> Result<()> {
+        let now = self.now_us();
+        self.inner.store.borrow_mut().rmdir(dir, name, now)?;
+        self.structural_write(dir.inode).await;
+        Ok(())
+    }
+
+    /// Renames; a replaced target's delayed writes are cancelled.
+    pub async fn rename(
+        &self,
+        from_dir: FileHandle,
+        from_name: &str,
+        to_dir: FileHandle,
+        to_name: &str,
+    ) -> Result<()> {
+        let now = self.now_us();
+        let replaced = self
+            .inner
+            .store
+            .borrow_mut()
+            .rename(from_dir, from_name, to_dir, to_name, now)?;
+        if let Some(victim) = replaced {
+            let dropped = self
+                .inner
+                .cache
+                .borrow_mut()
+                .drop_matching(|k| k.0 == victim.inode);
+            self.inner.stats.borrow_mut().cancelled_blocks += dropped.dirty;
+        }
+        self.structural_write(from_dir.inode).await;
+        Ok(())
+    }
+
+    /// Creates a hard link `dir/name` to `from`.
+    pub async fn link(&self, from: FileHandle, dir: FileHandle, name: &str) -> Result<Fattr> {
+        let now = self.now_us();
+        let attr = self.inner.store.borrow_mut().link(from, dir, name, now)?;
+        self.structural_write(dir.inode).await;
+        Ok(attr)
+    }
+
+    /// Creates a symbolic link `dir/name` → `target`.
+    pub async fn symlink(
+        &self,
+        dir: FileHandle,
+        name: &str,
+        target: &str,
+    ) -> Result<(FileHandle, Fattr)> {
+        let now = self.now_us();
+        let r = self
+            .inner
+            .store
+            .borrow_mut()
+            .symlink(dir, name, target, now)?;
+        self.structural_write(dir.inode).await;
+        Ok(r)
+    }
+
+    /// Reads a symbolic link's target (metadata is in memory; no disk).
+    pub fn readlink(&self, fh: FileHandle) -> Result<String> {
+        self.inner.store.borrow().readlink(fh)
+    }
+
+    /// Sets attributes (currently: truncate).
+    pub async fn setattr(&self, fh: FileHandle, size: Option<u64>) -> Result<Fattr> {
+        let now = self.now_us();
+        let attr = match size {
+            Some(sz) => {
+                let a = self.inner.store.borrow_mut().truncate(fh, sz, now)?;
+                // Blocks beyond the new EOF are no longer meaningful.
+                let cut = blocks_for(sz);
+                self.inner
+                    .cache
+                    .borrow_mut()
+                    .drop_matching(|k| k.0 == fh.inode && k.1 >= cut);
+                self.structural_write(fh.inode).await;
+                a
+            }
+            None => self.inner.store.borrow().getattr(fh)?,
+        };
+        Ok(attr)
+    }
+
+    // ---- data operations --------------------------------------------------
+
+    async fn flush_victim(&self, key: Key, data: Vec<u8>) {
+        let addr = self.inner.store.borrow().addr_by_ino(key.0, key.1);
+        match addr {
+            Some(addr) => {
+                self.inner.disk.write(addr, data.len()).await;
+                self.inner
+                    .store
+                    .borrow_mut()
+                    .write_stable_by_ino(key.0, key.1, data);
+                self.inner.stats.borrow_mut().flushed_blocks += 1;
+            }
+            None => {
+                // The file vanished while the block waited; the write is
+                // cancelled.
+                self.inner.stats.borrow_mut().cancelled_blocks += 1;
+            }
+        }
+    }
+
+    /// Reads up to `len` bytes at `offset`. Returns `(data, eof, attr)`.
+    pub async fn read(
+        &self,
+        fh: FileHandle,
+        offset: u64,
+        len: u32,
+    ) -> Result<(Vec<u8>, bool, Fattr)> {
+        let attr = self.inner.store.borrow().getattr(fh)?;
+        if attr.ftype == FileType::Directory {
+            return Err(NfsStatus::IsDir);
+        }
+        let size = attr.size;
+        if offset >= size || len == 0 {
+            let now = self.now_us();
+            let attr = self.inner.store.borrow_mut().note_read(fh, now)?;
+            return Ok((Vec::new(), true, attr));
+        }
+        let end = size.min(offset + u64::from(len));
+        let mut out = Vec::with_capacity((end - offset) as usize);
+        let first = block_of(offset);
+        let last = block_of(end - 1);
+        for lblk in first..=last {
+            let key = (fh.inode, lblk);
+            let block = {
+                let cached = self.inner.cache.borrow_mut().get(&key);
+                match cached {
+                    Some(b) => b,
+                    None => {
+                        let (has, addr) = {
+                            let st = self.inner.store.borrow();
+                            (
+                                st.has_stable(fh.inode, lblk),
+                                st.addr_by_ino(fh.inode, lblk),
+                            )
+                        };
+                        let data = if has {
+                            let addr = addr.expect("stable block has an address");
+                            self.inner.disk.read(addr, BLOCK_SIZE).await;
+                            self.inner.store.borrow().read_stable(fh, lblk)?
+                        } else {
+                            // Hole or never-flushed region: zero fill, no disk.
+                            vec![0; BLOCK_SIZE]
+                        };
+                        let victim = self
+                            .inner
+                            .cache
+                            .borrow_mut()
+                            .insert_clean(key, data.clone());
+                        if let Some(v) = victim {
+                            self.flush_victim(v.key, v.data).await;
+                        }
+                        data
+                    }
+                }
+            };
+            let blk_start = lblk * BLOCK_SIZE as u64;
+            let from = offset.max(blk_start) - blk_start;
+            let to = (end - blk_start).min(BLOCK_SIZE as u64);
+            out.extend_from_slice(&block[from as usize..to as usize]);
+        }
+        let now = self.now_us();
+        let attr = self.inner.store.borrow_mut().note_read(fh, now)?;
+        Ok((out, end == size, attr))
+    }
+
+    /// Writes `data` at `offset`. With `sync`, the affected blocks are
+    /// flushed to disk before returning (NFS server semantics); otherwise
+    /// the write is delayed in the cache (Unix local semantics).
+    pub async fn write(
+        &self,
+        fh: FileHandle,
+        offset: u64,
+        data: &[u8],
+        sync: bool,
+    ) -> Result<Fattr> {
+        if data.is_empty() {
+            return self.inner.store.borrow().getattr(fh);
+        }
+        let old_attr = self.inner.store.borrow().getattr(fh)?;
+        if old_attr.ftype == FileType::Directory {
+            return Err(NfsStatus::IsDir);
+        }
+        let now = self.inner.sim.now();
+        let end = offset + data.len() as u64;
+        let first = block_of(offset);
+        let last = block_of(end - 1);
+        for lblk in first..=last {
+            let blk_start = lblk * BLOCK_SIZE as u64;
+            let from = offset.max(blk_start);
+            let to = end.min(blk_start + BLOCK_SIZE as u64);
+            let chunk = &data[(from - offset) as usize..(to - offset) as usize];
+            let key = (fh.inode, lblk);
+            let full = from == blk_start && (to - from) as usize == BLOCK_SIZE;
+            let merged = if full {
+                chunk.to_vec()
+            } else {
+                // Read-modify-write of a partial block.
+                let mut base = {
+                    let cached = self.inner.cache.borrow_mut().get(&key);
+                    match cached {
+                        Some(b) => b,
+                        None => {
+                            let (has, addr) = {
+                                let st = self.inner.store.borrow();
+                                (
+                                    st.has_stable(fh.inode, lblk),
+                                    st.addr_by_ino(fh.inode, lblk),
+                                )
+                            };
+                            if has {
+                                let addr = addr.expect("stable block has an address");
+                                self.inner.disk.read(addr, BLOCK_SIZE).await;
+                                self.inner.store.borrow().read_stable(fh, lblk)?
+                            } else {
+                                vec![0; BLOCK_SIZE]
+                            }
+                        }
+                    }
+                };
+                let off = (from - blk_start) as usize;
+                base[off..off + chunk.len()].copy_from_slice(chunk);
+                base
+            };
+            self.inner.store.borrow_mut().ensure_block(fh, lblk)?;
+            let victim = self.inner.cache.borrow_mut().write(key, merged, now);
+            if let Some(v) = victim {
+                self.flush_victim(v.key, v.data).await;
+            }
+        }
+        let attr = self.inner.store.borrow_mut().note_write(
+            fh,
+            offset,
+            data.len() as u64,
+            now.as_micros(),
+        )?;
+        if sync {
+            self.flush_range(fh, first, last).await?;
+            if self.inner.params.sync_inode_writes {
+                // Stable size/mtime before the reply (RFC 1094).
+                self.inner.stats.borrow_mut().structural_writes += 1;
+                self.inner
+                    .disk
+                    .write(META_BASE + (fh.inode % 997), 512)
+                    .await;
+            }
+        }
+        Ok(attr)
+    }
+
+    async fn flush_range(&self, fh: FileHandle, first: u64, last: u64) -> Result<()> {
+        for lblk in first..=last {
+            let key = (fh.inode, lblk);
+            let fd = self.inner.cache.borrow().flush_data(&key);
+            if let Some(fd) = fd {
+                let addr = self.inner.store.borrow_mut().ensure_block(fh, lblk)?;
+                self.inner.disk.write(addr, fd.data.len()).await;
+                self.inner
+                    .store
+                    .borrow_mut()
+                    .write_stable_by_ino(fh.inode, lblk, fd.data);
+                self.inner.cache.borrow_mut().mark_clean(&key, fd.seq);
+                self.inner.stats.borrow_mut().flushed_blocks += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes all of one file's dirty blocks (ascending block order, so
+    /// the disk sees sequential addresses).
+    pub async fn fsync(&self, fh: FileHandle) -> Result<()> {
+        let mut keys = self.inner.cache.borrow().keys_matching(|k| k.0 == fh.inode);
+        keys.sort_unstable();
+        for key in keys {
+            let fd = self.inner.cache.borrow().flush_data(&key);
+            if let Some(fd) = fd {
+                let seq = fd.seq;
+                self.flush_victim(key, fd.data).await;
+                self.inner.cache.borrow_mut().mark_clean(&key, seq);
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes every dirty block at least `min_age` old (the `update`
+    /// daemon's unit of work). `min_age = 0` is a full `sync`.
+    pub async fn flush_aged(&self, min_age: SimDuration) {
+        let now = self.inner.sim.now();
+        let mut due: Vec<Key> = self
+            .inner
+            .cache
+            .borrow()
+            .dirty_blocks()
+            .into_iter()
+            .filter(|&(_, t)| now.saturating_duration_since(t) >= min_age)
+            .map(|(k, _)| k)
+            .collect();
+        due.sort_unstable();
+        for key in due {
+            let fd = self.inner.cache.borrow().flush_data(&key);
+            if let Some(fd) = fd {
+                let seq = fd.seq;
+                self.flush_victim(key, fd.data).await;
+                self.inner.cache.borrow_mut().mark_clean(&key, seq);
+            }
+        }
+    }
+
+    /// Flushes everything dirty.
+    pub async fn sync_all(&self) {
+        self.flush_aged(SimDuration::ZERO).await;
+    }
+
+    /// Spawns the `/etc/update` daemon if enabled by
+    /// [`FsParams::update_interval`].
+    pub fn spawn_update_daemon(&self) {
+        let Some(interval) = self.inner.params.update_interval else {
+            return;
+        };
+        let fs = self.clone();
+        let sim = self.inner.sim.clone();
+        self.inner.sim.spawn(async move {
+            loop {
+                sim.sleep(interval).await;
+                fs.flush_aged(fs.inner.params.update_min_age).await;
+            }
+        });
+    }
+
+    /// Simulates a crash: all cached (non-stable) data is lost. Returns the
+    /// number of dirty blocks that were lost.
+    pub fn crash(&self) -> u64 {
+        let counts = self.inner.cache.borrow_mut().clear();
+        counts.dirty
+    }
+
+    /// Reads a whole file's stable bytes, bypassing cache and timing. For
+    /// tests and integrity checks only.
+    pub fn stable_contents(&self, fh: FileHandle) -> Result<Vec<u8>> {
+        let st = self.inner.store.borrow();
+        let attr = st.getattr(fh)?;
+        let mut out = Vec::with_capacity(attr.size as usize);
+        for lblk in 0..blocks_for(attr.size) {
+            let b = st.read_stable(fh, lblk)?;
+            out.extend_from_slice(&b);
+        }
+        out.truncate(attr.size as usize);
+        Ok(out)
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests for the block cache: against a reference model,
+//! no acknowledged data may ever be lost — every dirty block is either
+//! resident, handed back as an eviction victim, or explicitly dropped.
+
+use proptest::prelude::*;
+use spritely_localfs::BlockCache;
+use spritely_sim::SimTime;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { key: u8, val: u8 },
+    InsertClean { key: u8, val: u8 },
+    Get { key: u8 },
+    Flush { key: u8 },
+    DropFile { file: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u8..24, any::<u8>()).prop_map(|(key, val)| Op::Write { key, val }),
+        2 => (0u8..24, any::<u8>()).prop_map(|(key, val)| Op::InsertClean { key, val }),
+        3 => (0u8..24).prop_map(|key| Op::Get { key }),
+        2 => (0u8..24).prop_map(|key| Op::Flush { key }),
+        1 => (0u8..3).prop_map(|file| Op::DropFile { file }),
+    ]
+}
+
+/// Key space: (file, block) packed into a u8: file = key / 8, block = key % 8.
+fn unpack(key: u8) -> (u8, u8) {
+    (key / 8, key % 8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn cache_never_loses_acknowledged_data(
+        capacity in 1usize..12,
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+    ) {
+        let mut cache: BlockCache<(u8, u8)> = BlockCache::new(capacity);
+        // Model: the latest value per key (for read checks)...
+        let mut latest: HashMap<(u8, u8), u8> = HashMap::new();
+        // ...the dirty (unpersisted) values that must never vanish...
+        let mut dirty: HashMap<(u8, u8), u8> = HashMap::new();
+        // ...and values the owner persisted (eviction victims, flushes).
+        let mut flushed: HashMap<(u8, u8), u8> = HashMap::new();
+        let mut t = 0u64;
+        for op in ops {
+            t += 1;
+            match op {
+                Op::Write { key, val } => {
+                    let k = unpack(key);
+                    let victim = cache.write(k, vec![val], SimTime::from_micros(t));
+                    latest.insert(k, val);
+                    dirty.insert(k, val);
+                    if let Some(v) = victim {
+                        // Dirty eviction: the owner persists it.
+                        flushed.insert(v.key, v.data[0]);
+                        dirty.remove(&v.key);
+                    }
+                }
+                Op::InsertClean { key, val } => {
+                    let k = unpack(key);
+                    let victim = cache.insert_clean(k, vec![val]);
+                    // A clean insert over a dirty block preserves the
+                    // dirty data, so only update the model if the block
+                    // was not dirty.
+                    if !dirty.contains_key(&k) {
+                        latest.insert(k, val);
+                    }
+                    if let Some(v) = victim {
+                        flushed.insert(v.key, v.data[0]);
+                        dirty.remove(&v.key);
+                    }
+                }
+                Op::Get { key } => {
+                    let k = unpack(key);
+                    if let Some(data) = cache.get(&k) {
+                        prop_assert_eq!(
+                            data[0], latest[&k],
+                            "cache returned a value it was never given last"
+                        );
+                    }
+                }
+                Op::Flush { key } => {
+                    let k = unpack(key);
+                    if let Some(fd) = cache.flush_data(&k) {
+                        flushed.insert(k, fd.data[0]);
+                        cache.mark_clean(&k, fd.seq);
+                        dirty.remove(&k);
+                    }
+                }
+                Op::DropFile { file } => {
+                    let counts = cache.drop_matching(|k| k.0 == file);
+                    let _ = counts;
+                    latest.retain(|k, _| k.0 != file);
+                    dirty.retain(|k, _| k.0 != file);
+                    flushed.retain(|k, _| k.0 != file);
+                }
+            }
+            // Capacity is a hard bound.
+            prop_assert!(cache.len() <= capacity, "over capacity");
+            // Dirty data is sacred: resident with the right bytes, or
+            // already persisted by the owner. (Clean blocks may be
+            // silently dropped — they are recoverable from stable
+            // storage.)
+            for (&k, &v) in &dirty {
+                if cache.contains(&k) {
+                    prop_assert!(cache.is_dirty(&k), "dirty block demoted");
+                    let fd = cache.flush_data(&k).expect("dirty has flush data");
+                    prop_assert_eq!(fd.data[0], v);
+                } else {
+                    prop_assert_eq!(
+                        flushed.get(&k), Some(&v),
+                        "block {:?} vanished without being flushed", k
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dirty_count_matches_reality(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+    ) {
+        let mut cache: BlockCache<(u8, u8)> = BlockCache::new(64);
+        let mut t = 0u64;
+        for op in ops {
+            t += 1;
+            match op {
+                Op::Write { key, val } => {
+                    cache.write(unpack(key), vec![val], SimTime::from_micros(t));
+                }
+                Op::InsertClean { key, val } => {
+                    cache.insert_clean(unpack(key), vec![val]);
+                }
+                Op::Get { key } => {
+                    cache.get(&unpack(key));
+                }
+                Op::Flush { key } => {
+                    let k = unpack(key);
+                    if let Some(fd) = cache.flush_data(&k) {
+                        cache.mark_clean(&k, fd.seq);
+                    }
+                }
+                Op::DropFile { file } => {
+                    cache.drop_matching(|k| k.0 == file);
+                }
+            }
+            prop_assert_eq!(cache.dirty_count(), cache.dirty_blocks().len());
+            // dirty_blocks is sorted by dirty time.
+            let times: Vec<_> = cache.dirty_blocks().iter().map(|&(_, t)| t).collect();
+            let mut sorted = times.clone();
+            sorted.sort();
+            prop_assert_eq!(times, sorted);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for the inode store against a reference
+//! namespace model (a map of paths in a single directory).
+
+use proptest::prelude::*;
+use spritely_localfs::Store;
+use spritely_proto::NfsStatus;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Create(u8),
+    Remove(u8),
+    Mkdir(u8),
+    Rmdir(u8),
+    Rename(u8, u8),
+    Lookup(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0u8..8).prop_map(Op::Create),
+        2 => (0u8..8).prop_map(Op::Remove),
+        2 => (0u8..8).prop_map(Op::Mkdir),
+        1 => (0u8..8).prop_map(Op::Rmdir),
+        2 => (0u8..8, 0u8..8).prop_map(|(a, b)| Op::Rename(a, b)),
+        2 => (0u8..8).prop_map(Op::Lookup),
+    ]
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Kind {
+    File,
+    Dir,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn namespace_agrees_with_model(
+        ops in proptest::collection::vec(op_strategy(), 1..150)
+    ) {
+        let mut store = Store::new(1);
+        let root = store.root();
+        let mut model: BTreeMap<String, Kind> = BTreeMap::new();
+        let mut clock = 0u64;
+        for op in ops {
+            clock += 1;
+            match op {
+                Op::Create(n) => {
+                    let name = format!("n{n}");
+                    let r = store.create(root, &name, clock);
+                    match model.get(&name) {
+                        None => {
+                            prop_assert!(r.is_ok());
+                            model.insert(name, Kind::File);
+                        }
+                        Some(_) => prop_assert_eq!(r.unwrap_err(), NfsStatus::Exist),
+                    }
+                }
+                Op::Mkdir(n) => {
+                    let name = format!("n{n}");
+                    let r = store.mkdir(root, &name, clock);
+                    match model.get(&name) {
+                        None => {
+                            prop_assert!(r.is_ok());
+                            model.insert(name, Kind::Dir);
+                        }
+                        Some(_) => prop_assert_eq!(r.unwrap_err(), NfsStatus::Exist),
+                    }
+                }
+                Op::Remove(n) => {
+                    let name = format!("n{n}");
+                    let r = store.remove(root, &name, clock);
+                    match model.get(&name) {
+                        Some(Kind::File) => {
+                            prop_assert!(r.is_ok());
+                            model.remove(&name);
+                        }
+                        Some(Kind::Dir) => prop_assert_eq!(r.unwrap_err(), NfsStatus::IsDir),
+                        None => prop_assert_eq!(r.unwrap_err(), NfsStatus::NoEnt),
+                    }
+                }
+                Op::Rmdir(n) => {
+                    let name = format!("n{n}");
+                    let r = store.rmdir(root, &name, clock);
+                    match model.get(&name) {
+                        Some(Kind::Dir) => {
+                            // All model dirs are empty in this test.
+                            prop_assert!(r.is_ok());
+                            model.remove(&name);
+                        }
+                        Some(Kind::File) => prop_assert_eq!(r.unwrap_err(), NfsStatus::NotDir),
+                        None => prop_assert_eq!(r.unwrap_err(), NfsStatus::NoEnt),
+                    }
+                }
+                Op::Rename(a, b) => {
+                    let from = format!("n{a}");
+                    let to = format!("n{b}");
+                    let r = store.rename(root, &from, root, &to, clock);
+                    match (model.get(&from).copied(), model.get(&to).copied()) {
+                        (None, _) => prop_assert_eq!(r.unwrap_err(), NfsStatus::NoEnt),
+                        (Some(_), Some(Kind::Dir)) if a != b => {
+                            prop_assert_eq!(r.unwrap_err(), NfsStatus::IsDir)
+                        }
+                        (Some(kind), _) => {
+                            prop_assert!(r.is_ok());
+                            if a != b {
+                                model.remove(&from);
+                                model.insert(to, kind);
+                            }
+                        }
+                    }
+                }
+                Op::Lookup(n) => {
+                    let name = format!("n{n}");
+                    let r = store.lookup(root, &name);
+                    match model.get(&name) {
+                        Some(kind) => {
+                            let (_, attr) = r.unwrap();
+                            prop_assert_eq!(attr.is_dir(), *kind == Kind::Dir);
+                        }
+                        None => prop_assert_eq!(r.unwrap_err(), NfsStatus::NoEnt),
+                    }
+                }
+            }
+            // readdir always matches the model exactly.
+            let listed: Vec<String> = store
+                .readdir(root)
+                .unwrap()
+                .into_iter()
+                .map(|e| e.name)
+                .collect();
+            let expect: Vec<String> = model.keys().cloned().collect();
+            prop_assert_eq!(listed, expect);
+            // Inode accounting: root + one per entry (dirs are empty).
+            prop_assert_eq!(store.inode_count(), 1 + model.len());
+        }
+    }
+}

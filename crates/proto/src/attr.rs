@@ -1,0 +1,88 @@
+//! File attributes (the NFS `fattr` record).
+
+use crate::BLOCK_SIZE;
+
+/// The type of a file system object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FileType {
+    /// Regular file.
+    Regular,
+    /// Directory.
+    Directory,
+    /// Symbolic link.
+    Symlink,
+}
+
+/// File attributes, as returned by `getattr`, `lookup`, `open`, etc.
+///
+/// Times are virtual microseconds since simulation start. The NFS client's
+/// cache-consistency check compares `mtime` (and `ctime`) between probes; a
+/// change invalidates cached data (paper §2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fattr {
+    /// Unique file id within the file system (the inode number).
+    pub fileid: u64,
+    /// Object type.
+    pub ftype: FileType,
+    /// Size in bytes.
+    pub size: u64,
+    /// Number of hard links.
+    pub nlink: u32,
+    /// Last data modification time (virtual µs).
+    pub mtime: u64,
+    /// Last attribute change time (virtual µs).
+    pub ctime: u64,
+    /// Last access time (virtual µs).
+    pub atime: u64,
+}
+
+impl Fattr {
+    /// Number of blocks the file occupies at [`BLOCK_SIZE`] granularity.
+    pub fn blocks(&self) -> u64 {
+        self.size.div_ceil(BLOCK_SIZE as u64)
+    }
+
+    /// Returns true if this is a directory.
+    pub fn is_dir(&self) -> bool {
+        self.ftype == FileType::Directory
+    }
+
+    /// Returns true if the data-modification state differs from `other` in a
+    /// way that must invalidate client caches (mtime or size changed).
+    pub fn data_changed_from(&self, other: &Fattr) -> bool {
+        self.mtime != other.mtime || self.size != other.size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attr(size: u64, mtime: u64) -> Fattr {
+        Fattr {
+            fileid: 1,
+            ftype: FileType::Regular,
+            size,
+            nlink: 1,
+            mtime,
+            ctime: mtime,
+            atime: mtime,
+        }
+    }
+
+    #[test]
+    fn blocks_round_up() {
+        assert_eq!(attr(0, 0).blocks(), 0);
+        assert_eq!(attr(1, 0).blocks(), 1);
+        assert_eq!(attr(BLOCK_SIZE as u64, 0).blocks(), 1);
+        assert_eq!(attr(BLOCK_SIZE as u64 + 1, 0).blocks(), 2);
+    }
+
+    #[test]
+    fn data_changed_detects_mtime_and_size() {
+        let a = attr(100, 5);
+        assert!(!a.data_changed_from(&attr(100, 5)));
+        assert!(a.data_changed_from(&attr(100, 6)));
+        assert!(a.data_changed_from(&attr(101, 5)));
+    }
+}

@@ -1,0 +1,61 @@
+//! Shared protocol types for NFS and Spritely NFS (SNFS).
+//!
+//! Both the baseline NFS implementation (`spritely-nfs`) and the Spritely
+//! NFS implementation (`spritely-core`) speak in terms of the types defined
+//! here: opaque file handles, file attributes, procedure identifiers,
+//! status codes, and the request/reply message bodies carried by the RPC
+//! layer.
+//!
+//! The split mirrors the paper's implementation: SNFS reuses the NFS wire
+//! vocabulary and *adds* three operations — `open`, `close` (client→server)
+//! and `callback` (server→client) — plus a per-file version number.
+//!
+//! This crate is dependency-free; times inside attributes are raw virtual
+//! microseconds (see `spritely-sim::SimTime`).
+
+mod attr;
+mod handle;
+mod message;
+mod procs;
+mod status;
+
+pub use attr::{Fattr, FileType};
+pub use handle::{ClientId, FileHandle, FileVersion};
+pub use message::{
+    CallbackArg, CallbackReply, DirEntry, NfsReply, NfsRequest, OpenReply, ReadReply, RecoveredFile,
+};
+pub use procs::{NfsProc, ProcClass};
+pub use status::{NfsStatus, Result};
+
+/// The file system block size used throughout the simulation, in bytes.
+///
+/// The paper's experiments used a 4 KB "natural" server block size (§5.2);
+/// every cache and transfer in this reproduction is block-granular at this
+/// size.
+pub const BLOCK_SIZE: usize = 4096;
+
+/// Returns the block index containing byte `offset`.
+pub const fn block_of(offset: u64) -> u64 {
+    offset / BLOCK_SIZE as u64
+}
+
+/// Returns the number of blocks needed to hold `size` bytes.
+pub const fn blocks_for(size: u64) -> u64 {
+    size.div_ceil(BLOCK_SIZE as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_math() {
+        assert_eq!(block_of(0), 0);
+        assert_eq!(block_of(4095), 0);
+        assert_eq!(block_of(4096), 1);
+        assert_eq!(blocks_for(0), 0);
+        assert_eq!(blocks_for(1), 1);
+        assert_eq!(blocks_for(4096), 1);
+        assert_eq!(blocks_for(4097), 2);
+    }
+}

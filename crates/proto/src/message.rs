@@ -1,0 +1,397 @@
+//! RPC request and reply bodies.
+//!
+//! These are the in-memory equivalents of the XDR-encoded messages on the
+//! wire. Each body knows its procedure id (for per-procedure counters) and
+//! its approximate wire size (for network transfer-time modelling).
+
+use crate::attr::Fattr;
+use crate::handle::{ClientId, FileHandle, FileVersion};
+use crate::procs::NfsProc;
+use crate::status::NfsStatus;
+
+/// Approximate size of RPC + NFS headers on the wire, in bytes.
+const HEADER_BYTES: usize = 128;
+
+/// A client→server request body (NFS procedures plus SNFS `open`/`close`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NfsRequest {
+    /// Ping.
+    Null,
+    /// Fetch attributes for a handle.
+    GetAttr { fh: FileHandle },
+    /// Truncate to `size` and/or bump times.
+    SetAttr { fh: FileHandle, size: Option<u64> },
+    /// Translate one name component under a directory.
+    Lookup { dir: FileHandle, name: String },
+    /// Read `count` bytes at `offset`.
+    Read {
+        fh: FileHandle,
+        offset: u64,
+        count: u32,
+    },
+    /// Write `data` at `offset`; the server must reach stable storage
+    /// before replying (RFC 1094 semantics).
+    Write {
+        fh: FileHandle,
+        offset: u64,
+        data: Vec<u8>,
+    },
+    /// Create a regular file under `dir`.
+    Create { dir: FileHandle, name: String },
+    /// Remove a regular file.
+    Remove { dir: FileHandle, name: String },
+    /// Rename within the file system.
+    Rename {
+        from_dir: FileHandle,
+        from_name: String,
+        to_dir: FileHandle,
+        to_name: String,
+    },
+    /// Create a directory.
+    Mkdir { dir: FileHandle, name: String },
+    /// Remove an empty directory.
+    Rmdir { dir: FileHandle, name: String },
+    /// List a directory.
+    Readdir { dir: FileHandle },
+    /// File system statistics.
+    StatFs { fh: FileHandle },
+    /// SNFS: the client is opening `fh`; `write` is the open mode
+    /// (paper §3.1).
+    Open {
+        fh: FileHandle,
+        write: bool,
+        client: ClientId,
+    },
+    /// SNFS: the client is done with `fh`; `write` must match the mode
+    /// passed to the corresponding `Open` (paper §3.1).
+    Close {
+        fh: FileHandle,
+        write: bool,
+        client: ClientId,
+    },
+    /// SNFS recovery: liveness probe; the reply carries the server epoch
+    /// so a reboot is detectable (§2.4).
+    Keepalive { client: ClientId },
+    /// SNFS recovery: the client re-registers everything it knows after
+    /// detecting a server reboot. The server rebuilds its state table
+    /// from these reports — "the clients together know who is caching the
+    /// file" (§2.4).
+    Recover {
+        client: ClientId,
+        files: Vec<RecoveredFile>,
+    },
+    /// Create a hard link `to_dir/to_name` to the file `from`.
+    Link {
+        from: FileHandle,
+        to_dir: FileHandle,
+        to_name: String,
+    },
+    /// Create a symbolic link `dir/name` pointing at `target`.
+    Symlink {
+        dir: FileHandle,
+        name: String,
+        target: String,
+    },
+    /// Read a symbolic link's target.
+    Readlink { fh: FileHandle },
+}
+
+/// One file's worth of client state in a `Recover` report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveredFile {
+    /// The file.
+    pub fh: FileHandle,
+    /// Processes at this client with the file open for reading.
+    pub readers: u32,
+    /// Processes at this client with the file open for writing.
+    pub writers: u32,
+    /// Version of the client's cached copy, if it caches the file.
+    pub cached_version: Option<FileVersion>,
+    /// True if the client holds dirty (not yet written back) blocks.
+    pub dirty: bool,
+}
+
+impl NfsRequest {
+    /// The procedure id, for accounting.
+    pub fn proc_id(&self) -> NfsProc {
+        match self {
+            NfsRequest::Null => NfsProc::Null,
+            NfsRequest::GetAttr { .. } => NfsProc::GetAttr,
+            NfsRequest::SetAttr { .. } => NfsProc::SetAttr,
+            NfsRequest::Lookup { .. } => NfsProc::Lookup,
+            NfsRequest::Read { .. } => NfsProc::Read,
+            NfsRequest::Write { .. } => NfsProc::Write,
+            NfsRequest::Create { .. } => NfsProc::Create,
+            NfsRequest::Remove { .. } => NfsProc::Remove,
+            NfsRequest::Rename { .. } => NfsProc::Rename,
+            NfsRequest::Mkdir { .. } => NfsProc::Mkdir,
+            NfsRequest::Rmdir { .. } => NfsProc::Rmdir,
+            NfsRequest::Readdir { .. } => NfsProc::Readdir,
+            NfsRequest::StatFs { .. } => NfsProc::StatFs,
+            NfsRequest::Open { .. } => NfsProc::Open,
+            NfsRequest::Close { .. } => NfsProc::Close,
+            NfsRequest::Keepalive { .. } => NfsProc::Keepalive,
+            NfsRequest::Recover { .. } => NfsProc::Recover,
+            NfsRequest::Link { .. } => NfsProc::Link,
+            NfsRequest::Symlink { .. } => NfsProc::Symlink,
+            NfsRequest::Readlink { .. } => NfsProc::Readlink,
+        }
+    }
+
+    /// Approximate bytes this request occupies on the wire.
+    pub fn wire_size(&self) -> usize {
+        let payload = match self {
+            NfsRequest::Write { data, .. } => data.len(),
+            NfsRequest::Lookup { name, .. }
+            | NfsRequest::Create { name, .. }
+            | NfsRequest::Remove { name, .. }
+            | NfsRequest::Mkdir { name, .. }
+            | NfsRequest::Rmdir { name, .. } => name.len(),
+            NfsRequest::Rename {
+                from_name, to_name, ..
+            } => from_name.len() + to_name.len(),
+            NfsRequest::Recover { files, .. } => files.len() * 32,
+            NfsRequest::Link { to_name, .. } => to_name.len(),
+            NfsRequest::Symlink { name, target, .. } => name.len() + target.len(),
+            _ => 0,
+        };
+        HEADER_BYTES + payload
+    }
+}
+
+/// One entry in a `readdir` reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Component name.
+    pub name: String,
+    /// The entry's file id (inode number). A handle requires `lookup`.
+    pub fileid: u64,
+}
+
+/// Body of a successful `read`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadReply {
+    /// The bytes read (may be shorter than requested at end of file).
+    pub data: Vec<u8>,
+    /// True if the read reached end of file.
+    pub eof: bool,
+    /// Post-read attributes.
+    pub attr: Fattr,
+}
+
+/// Body of a successful SNFS `open` (paper §3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpenReply {
+    /// Whether the client may cache this file's data.
+    pub cache_enabled: bool,
+    /// Version after this open (incremented if opened for write).
+    pub version: FileVersion,
+    /// Version before this open; a writer whose cache matches this value
+    /// may keep its cache, because the version bump came from its own open.
+    pub prev_version: FileVersion,
+    /// Current attributes (replaces the `getattr` NFS does at open time).
+    pub attr: Fattr,
+    /// True if the file may be inconsistent because a client that held
+    /// dirty blocks crashed before writing them back (paper §3.2).
+    pub inconsistent: bool,
+}
+
+/// A server→client reply body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NfsReply {
+    /// Success with no body (`close`, `remove`, ...).
+    Ok,
+    /// Success with attributes (`getattr`, `setattr`, `write`).
+    Attr(Fattr),
+    /// Successful `lookup`/`create`/`mkdir`.
+    Handle { fh: FileHandle, attr: Fattr },
+    /// Successful `read`.
+    Read(ReadReply),
+    /// Successful `readdir`.
+    Readdir { entries: Vec<DirEntry> },
+    /// Successful SNFS `open`.
+    Open(OpenReply),
+    /// Reply to `keepalive`: the server's current epoch.
+    Epoch(u64),
+    /// Reply to `readlink`: the link's target path.
+    Path(String),
+    /// Any failure.
+    Err(NfsStatus),
+}
+
+impl NfsReply {
+    /// Approximate bytes this reply occupies on the wire.
+    pub fn wire_size(&self) -> usize {
+        let payload = match self {
+            NfsReply::Read(r) => r.data.len(),
+            NfsReply::Readdir { entries } => {
+                entries.iter().map(|e| e.name.len() + 16).sum::<usize>()
+            }
+            NfsReply::Path(p) => p.len(),
+            _ => 0,
+        };
+        HEADER_BYTES + payload
+    }
+
+    /// Converts an error reply into `Err`, anything else into `Ok(self)`.
+    pub fn into_result(self) -> Result<NfsReply, NfsStatus> {
+        match self {
+            NfsReply::Err(e) => Err(e),
+            ok => Ok(ok),
+        }
+    }
+
+    /// Extracts attributes if this reply carries them.
+    pub fn attr(&self) -> Option<&Fattr> {
+        match self {
+            NfsReply::Attr(a) => Some(a),
+            NfsReply::Handle { attr, .. } => Some(attr),
+            NfsReply::Read(r) => Some(&r.attr),
+            NfsReply::Open(o) => Some(&o.attr),
+            _ => None,
+        }
+    }
+}
+
+/// A server→client callback request (paper §3.2).
+///
+/// `writeback` asks the client to write its dirty blocks back before
+/// replying; `invalidate` asks it to drop cached blocks and stop caching.
+/// `relinquish` is the §6.2 extension: asks the client to give up a
+/// delayed-close ("closed but not yet reported") file so the server can
+/// reclaim the state-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallbackArg {
+    /// The file in question.
+    pub fh: FileHandle,
+    /// Write dirty blocks back to the server before replying.
+    pub writeback: bool,
+    /// Invalidate cached blocks and disable further caching.
+    pub invalidate: bool,
+    /// Relinquish a delayed-close file (§6.2 extension).
+    pub relinquish: bool,
+}
+
+impl CallbackArg {
+    /// Approximate wire size of the callback request.
+    pub fn wire_size(&self) -> usize {
+        HEADER_BYTES
+    }
+}
+
+/// Reply to a callback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallbackReply {
+    /// True if the client performed the requested actions. False means the
+    /// client no longer knows the file (e.g. it rebooted).
+    pub ok: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::FileType;
+
+    fn fh() -> FileHandle {
+        FileHandle::new(1, 2, 0)
+    }
+
+    fn attr() -> Fattr {
+        Fattr {
+            fileid: 2,
+            ftype: FileType::Regular,
+            size: 10,
+            nlink: 1,
+            mtime: 0,
+            ctime: 0,
+            atime: 0,
+        }
+    }
+
+    #[test]
+    fn proc_ids_cover_every_request() {
+        let reqs: Vec<(NfsRequest, NfsProc)> = vec![
+            (NfsRequest::Null, NfsProc::Null),
+            (NfsRequest::GetAttr { fh: fh() }, NfsProc::GetAttr),
+            (
+                NfsRequest::Lookup {
+                    dir: fh(),
+                    name: "x".into(),
+                },
+                NfsProc::Lookup,
+            ),
+            (
+                NfsRequest::Write {
+                    fh: fh(),
+                    offset: 0,
+                    data: vec![0; 100],
+                },
+                NfsProc::Write,
+            ),
+            (
+                NfsRequest::Open {
+                    fh: fh(),
+                    write: true,
+                    client: ClientId(1),
+                },
+                NfsProc::Open,
+            ),
+            (
+                NfsRequest::Close {
+                    fh: fh(),
+                    write: false,
+                    client: ClientId(1),
+                },
+                NfsProc::Close,
+            ),
+        ];
+        for (r, p) in reqs {
+            assert_eq!(r.proc_id(), p);
+        }
+    }
+
+    #[test]
+    fn write_wire_size_includes_data() {
+        let small = NfsRequest::GetAttr { fh: fh() }.wire_size();
+        let big = NfsRequest::Write {
+            fh: fh(),
+            offset: 0,
+            data: vec![0; 4096],
+        }
+        .wire_size();
+        assert!(big >= small + 4096);
+    }
+
+    #[test]
+    fn read_reply_wire_size_includes_data() {
+        let r = NfsReply::Read(ReadReply {
+            data: vec![0; 2048],
+            eof: false,
+            attr: attr(),
+        });
+        assert!(r.wire_size() >= 2048);
+    }
+
+    #[test]
+    fn into_result_splits_errors() {
+        assert_eq!(
+            NfsReply::Err(NfsStatus::NoEnt).into_result(),
+            Err(NfsStatus::NoEnt)
+        );
+        assert!(NfsReply::Ok.into_result().is_ok());
+    }
+
+    #[test]
+    fn attr_extraction() {
+        assert!(NfsReply::Attr(attr()).attr().is_some());
+        assert!(NfsReply::Ok.attr().is_none());
+        let open = NfsReply::Open(OpenReply {
+            cache_enabled: true,
+            version: FileVersion(1),
+            prev_version: FileVersion(0),
+            attr: attr(),
+            inconsistent: false,
+        });
+        assert_eq!(open.attr().unwrap().fileid, 2);
+    }
+}

@@ -1,0 +1,499 @@
+//! RPC endpoints (server side) and callers (client side).
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+
+use spritely_metrics::{LatencyStats, OpCounter, RateSeries};
+use spritely_proto::ClientId;
+use spritely_sim::{Event, Resource, Sim, SimDuration, SimTime};
+
+use crate::network::Network;
+use crate::{Proc, Wire};
+
+/// A boxed async request handler.
+pub type HandlerFn<Req, Rep> = Rc<dyn Fn(ClientId, Req) -> Pin<Box<dyn Future<Output = Rep>>>>;
+
+/// Server-side endpoint parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct EndpointParams {
+    /// Number of service threads. An SNFS server must have at least two so
+    /// that write-backs triggered by a callback can be serviced while the
+    /// callback-issuing thread waits (paper §3.2).
+    pub threads: usize,
+    /// Host CPU charged per call (RPC decode, dispatch, encode).
+    pub cpu_per_call: SimDuration,
+    /// Additional host CPU charged per KB of request payload.
+    pub cpu_per_kb: SimDuration,
+    /// How long completed entries stay in the duplicate-request cache.
+    pub dup_retention: SimDuration,
+}
+
+impl Default for EndpointParams {
+    fn default() -> Self {
+        EndpointParams {
+            threads: 4,
+            cpu_per_call: SimDuration::from_micros(400),
+            cpu_per_kb: SimDuration::from_micros(100),
+            dup_retention: SimDuration::from_secs(60),
+        }
+    }
+}
+
+enum DupState<Rep> {
+    InProgress(Event),
+    Done(Rep, SimTime),
+}
+
+struct EndpointInner<Req, Rep> {
+    sim: Sim,
+    threads: Resource,
+    cpu: Resource,
+    params: EndpointParams,
+    handler: HandlerFn<Req, Rep>,
+    dup: RefCell<HashMap<(ClientId, u64), DupState<Rep>>>,
+    counter: OpCounter,
+    rates: RefCell<Option<RateSeries>>,
+    alive: Cell<bool>,
+    executions: Cell<u64>,
+}
+
+/// A server-side RPC endpoint: thread pool + dup cache + accounting around
+/// a user-supplied async handler.
+///
+/// Cheap to clone. Executions are spawned as independent tasks, so a caller
+/// that times out and abandons its attempt does not abort server-side work
+/// (the retransmission will find the duplicate-cache entry instead).
+pub struct Endpoint<Req, Rep> {
+    inner: Rc<EndpointInner<Req, Rep>>,
+}
+
+impl<Req, Rep> Clone for Endpoint<Req, Rep> {
+    fn clone(&self) -> Self {
+        Endpoint {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl<Req, Rep> Endpoint<Req, Rep>
+where
+    Req: Proc + Wire + 'static,
+    Rep: Clone + 'static,
+{
+    /// Creates an endpoint.
+    ///
+    /// `cpu` is the host CPU resource shared with everything else on that
+    /// host; `counter` receives one record per *executed* call (duplicates
+    /// suppressed by the cache are not re-counted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.threads` is zero.
+    pub fn new(
+        sim: &Sim,
+        name: impl Into<String>,
+        cpu: Resource,
+        params: EndpointParams,
+        counter: OpCounter,
+        handler: HandlerFn<Req, Rep>,
+    ) -> Self {
+        assert!(params.threads > 0, "endpoint needs at least one thread");
+        Endpoint {
+            inner: Rc::new(EndpointInner {
+                sim: sim.clone(),
+                threads: Resource::new(sim, name, params.threads),
+                cpu,
+                params,
+                handler,
+                dup: RefCell::new(HashMap::new()),
+                counter,
+                rates: RefCell::new(None),
+                alive: Cell::new(true),
+                executions: Cell::new(0),
+            }),
+        }
+    }
+
+    /// Attaches a rate series that will record every executed call.
+    pub fn set_rate_series(&self, rates: RateSeries) {
+        *self.inner.rates.borrow_mut() = Some(rates);
+    }
+
+    /// The per-procedure counter.
+    pub fn counter(&self) -> &OpCounter {
+        &self.inner.counter
+    }
+
+    /// The service thread pool (for utilization reporting).
+    pub fn threads(&self) -> &Resource {
+        &self.inner.threads
+    }
+
+    /// Number of handler executions (excludes dup-cache hits).
+    pub fn executions(&self) -> u64 {
+        self.inner.executions.get()
+    }
+
+    /// Marks the endpoint up or down. Calls to a down endpoint hang until
+    /// the caller's timeout fires.
+    pub fn set_alive(&self, alive: bool) {
+        self.inner.alive.set(alive);
+    }
+
+    /// Returns true if the endpoint accepts requests.
+    pub fn is_alive(&self) -> bool {
+        self.inner.alive.get()
+    }
+
+    /// Delivers a request, executing it once per `(from, xid)` and serving
+    /// retransmissions from the duplicate cache.
+    pub async fn deliver(&self, from: ClientId, xid: u64, req: Req) -> Rep {
+        let key = (from, xid);
+        let ev = {
+            let mut dup = self.inner.dup.borrow_mut();
+            match dup.get(&key) {
+                Some(DupState::Done(rep, _)) => return rep.clone(),
+                Some(DupState::InProgress(ev)) => ev.clone(),
+                None => {
+                    let ev = Event::new();
+                    dup.insert(key, DupState::InProgress(ev.clone()));
+                    drop(dup);
+                    self.spawn_execution(key, from, req);
+                    ev
+                }
+            }
+        };
+        ev.wait().await;
+        match self.inner.dup.borrow().get(&key) {
+            Some(DupState::Done(rep, _)) => rep.clone(),
+            _ => unreachable!("execution completed without a Done entry"),
+        }
+    }
+
+    fn spawn_execution(&self, key: (ClientId, u64), from: ClientId, req: Req) {
+        let inner = Rc::clone(&self.inner);
+        let proc = req.proc_id();
+        let kb = req.wire_size() as f64 / 1024.0;
+        inner.sim.clone().spawn(async move {
+            let thread = inner.threads.acquire().await;
+            inner.counter.record(proc);
+            if let Some(r) = inner.rates.borrow().as_ref() {
+                r.record_at(inner.sim.now(), proc);
+            }
+            let cpu_time = inner.params.cpu_per_call + inner.params.cpu_per_kb.mul_f64(kb);
+            if !cpu_time.is_zero() {
+                inner.cpu.use_for(cpu_time).await;
+            }
+            let rep = (inner.handler)(from, req).await;
+            drop(thread);
+            inner.executions.set(inner.executions.get() + 1);
+            let now = inner.sim.now();
+            let mut dup = inner.dup.borrow_mut();
+            let prev = dup.insert(key, DupState::Done(rep, now));
+            // Opportunistic pruning keeps the cache bounded on long runs.
+            if dup.len().is_multiple_of(1024) {
+                let horizon = now.saturating_duration_since(SimTime::ZERO);
+                let _ = horizon;
+                let retention = inner.params.dup_retention;
+                dup.retain(|_, v| match v {
+                    DupState::InProgress(_) => true,
+                    DupState::Done(_, t) => now.saturating_duration_since(*t) < retention,
+                });
+            }
+            drop(dup);
+            match prev {
+                Some(DupState::InProgress(ev)) => ev.set(),
+                _ => unreachable!("execution finished without an InProgress entry"),
+            }
+        });
+    }
+}
+
+/// Errors a [`Caller`] can return.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RpcError {
+    /// No reply after all retransmissions.
+    Timeout,
+}
+
+impl fmt::Display for RpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpcError::Timeout => write!(f, "RPC timed out after retries"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+/// Client-side caller parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CallerParams {
+    /// Per-attempt reply timeout.
+    pub timeout: SimDuration,
+    /// Retransmissions after the first attempt.
+    pub max_retries: u32,
+    /// Caller-host CPU charged per call (argument marshalling etc.).
+    pub cpu_per_call: SimDuration,
+}
+
+impl Default for CallerParams {
+    fn default() -> Self {
+        CallerParams {
+            timeout: SimDuration::from_secs(1),
+            max_retries: 4,
+            cpu_per_call: SimDuration::from_micros(300),
+        }
+    }
+}
+
+/// A client-side RPC caller bound to one endpoint over one network.
+pub struct Caller<Req, Rep> {
+    sim: Sim,
+    net: Network,
+    endpoint: Endpoint<Req, Rep>,
+    from: ClientId,
+    cpu: Resource,
+    params: CallerParams,
+    next_xid: Cell<u64>,
+    retransmits: Cell<u64>,
+    latency: RefCell<Option<LatencyStats>>,
+}
+
+impl<Req, Rep> Clone for Caller<Req, Rep> {
+    fn clone(&self) -> Self {
+        Caller {
+            sim: self.sim.clone(),
+            net: self.net.clone(),
+            endpoint: self.endpoint.clone(),
+            from: self.from,
+            cpu: self.cpu.clone(),
+            params: self.params,
+            next_xid: Cell::new(0),
+            retransmits: Cell::new(0),
+            latency: RefCell::new(self.latency.borrow().clone()),
+        }
+    }
+}
+
+impl<Req, Rep> Caller<Req, Rep>
+where
+    Req: Proc + Wire + Clone + 'static,
+    Rep: Wire + Clone + 'static,
+{
+    /// Creates a caller. `cpu` is the calling host's CPU; `from` identifies
+    /// the calling host to the endpoint's dup cache and handler.
+    pub fn new(
+        sim: &Sim,
+        net: Network,
+        endpoint: Endpoint<Req, Rep>,
+        from: ClientId,
+        cpu: Resource,
+        params: CallerParams,
+    ) -> Self {
+        Caller {
+            sim: sim.clone(),
+            net,
+            endpoint,
+            from,
+            cpu,
+            params,
+            next_xid: Cell::new(0),
+            retransmits: Cell::new(0),
+            latency: RefCell::new(None),
+        }
+    }
+
+    /// Attaches a latency recorder; every subsequent call's end-to-end
+    /// time (including queueing, retransmissions and the reply) is
+    /// recorded under its procedure.
+    pub fn set_latency_stats(&self, stats: LatencyStats) {
+        *self.latency.borrow_mut() = Some(stats);
+    }
+
+    /// The caller's client id.
+    pub fn client_id(&self) -> ClientId {
+        self.from
+    }
+
+    /// Total retransmissions so far.
+    pub fn retransmits(&self) -> u64 {
+        self.retransmits.get()
+    }
+
+    /// Issues one RPC: marshal, transmit, await the reply, with timeout and
+    /// retransmission. At-most-once execution is guaranteed by the
+    /// endpoint's duplicate cache.
+    pub async fn call(&self, req: Req) -> Result<Rep, RpcError> {
+        if !self.params.cpu_per_call.is_zero() {
+            self.cpu.use_for(self.params.cpu_per_call).await;
+        }
+        let xid = self.next_xid.get();
+        self.next_xid.set(xid + 1);
+        let started = self.sim.now();
+        let proc = req.proc_id();
+        let attempts = 1 + self.params.max_retries;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                self.retransmits.set(self.retransmits.get() + 1);
+            }
+            let fut = self.attempt(xid, req.clone());
+            match self.sim.timeout(self.params.timeout, fut).await {
+                Ok(rep) => {
+                    if let Some(l) = self.latency.borrow().as_ref() {
+                        l.record(proc, self.sim.now().duration_since(started));
+                    }
+                    return Ok(rep);
+                }
+                Err(_) => continue,
+            }
+        }
+        Err(RpcError::Timeout)
+    }
+
+    async fn attempt(&self, xid: u64, req: Req) -> Rep {
+        self.net.transmit(req.wire_size()).await;
+        if !self.endpoint.is_alive() {
+            // The request is lost; hang until the caller's timeout fires.
+            std::future::pending::<()>().await;
+        }
+        let rep = self.endpoint.deliver(self.from, xid, req).await;
+        self.net.transmit(rep.wire_size()).await;
+        rep
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetParams;
+    use spritely_proto::{NfsProc, NfsReply, NfsRequest};
+
+    fn setup(handler_delay: SimDuration) -> (Sim, Caller<NfsRequest, NfsReply>) {
+        let sim = Sim::new();
+        let server_cpu = Resource::new(&sim, "scpu", 1);
+        let client_cpu = Resource::new(&sim, "ccpu", 1);
+        let net = Network::new(
+            &sim,
+            "net",
+            NetParams {
+                latency: SimDuration::from_micros(500),
+                bandwidth: 1_250_000,
+            },
+        );
+        let s2 = sim.clone();
+        let handler: HandlerFn<NfsRequest, NfsReply> = Rc::new(move |_from, _req| {
+            let s = s2.clone();
+            Box::pin(async move {
+                if !handler_delay.is_zero() {
+                    s.sleep(handler_delay).await;
+                }
+                NfsReply::Ok
+            })
+        });
+        let ep = Endpoint::new(
+            &sim,
+            "nfsd",
+            server_cpu,
+            EndpointParams {
+                threads: 2,
+                cpu_per_call: SimDuration::from_micros(400),
+                cpu_per_kb: SimDuration::ZERO,
+                dup_retention: SimDuration::from_secs(60),
+            },
+            OpCounter::new(),
+            handler,
+        );
+        let caller = Caller::new(
+            &sim,
+            net,
+            ep,
+            ClientId(1),
+            client_cpu,
+            CallerParams {
+                timeout: SimDuration::from_millis(100),
+                max_retries: 3,
+                cpu_per_call: SimDuration::from_micros(300),
+            },
+        );
+        (sim, caller)
+    }
+
+    #[test]
+    fn call_round_trip_succeeds_and_counts() {
+        let (sim, caller) = setup(SimDuration::ZERO);
+        let ep_counter = caller.endpoint.counter().clone();
+        let out = sim.block_on(async move { caller.call(NfsRequest::Null).await });
+        assert_eq!(out, Ok(NfsReply::Ok));
+        assert_eq!(ep_counter.get(NfsProc::Null), 1);
+    }
+
+    #[test]
+    fn slow_handler_triggers_retransmit_but_executes_once() {
+        let (sim, caller) = setup(SimDuration::from_millis(250));
+        let ep = caller.endpoint.clone();
+        let out = sim.block_on(async move {
+            let r = caller.call(NfsRequest::Null).await;
+            (r, caller.retransmits())
+        });
+        assert_eq!(out.0, Ok(NfsReply::Ok));
+        assert!(out.1 >= 1, "expected at least one retransmit");
+        assert_eq!(ep.executions(), 1, "dup cache must suppress re-execution");
+        assert_eq!(ep.counter().total(), 1);
+    }
+
+    #[test]
+    fn dead_endpoint_times_out() {
+        let (sim, caller) = setup(SimDuration::ZERO);
+        caller.endpoint.set_alive(false);
+        let out = sim.block_on(async move { caller.call(NfsRequest::Null).await });
+        assert_eq!(out, Err(RpcError::Timeout));
+        // 4 attempts x 100 ms, plus transmit times.
+        assert!(sim.now().as_micros() >= 400_000);
+    }
+
+    #[test]
+    fn concurrent_calls_use_thread_pool() {
+        let (sim, caller) = setup(SimDuration::from_millis(10));
+        let caller = Rc::new(caller);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let c = Rc::clone(&caller);
+            handles.push(sim.spawn(async move { c.call(NfsRequest::Null).await }));
+        }
+        sim.run_to_quiescence();
+        for h in handles {
+            assert_eq!(h.try_take().expect("finished"), Ok(NfsReply::Ok));
+        }
+        // 2 threads, 4 requests of 10 ms each → handler phase spans ≥20 ms.
+        assert!(sim.now().as_micros() >= 20_000);
+        assert_eq!(caller.endpoint.executions(), 4);
+    }
+
+    #[test]
+    fn per_call_cpu_is_charged_on_server() {
+        let (sim, caller) = setup(SimDuration::ZERO);
+        let cpu_busy_before = caller.endpoint.inner.cpu.busy_permit_micros();
+        let ep = caller.endpoint.clone();
+        sim.block_on(async move {
+            caller.call(NfsRequest::Null).await.unwrap();
+        });
+        let busy = ep.inner.cpu.busy_permit_micros() - cpu_busy_before;
+        assert_eq!(busy, 400);
+    }
+
+    #[test]
+    fn xids_distinguish_calls() {
+        let (sim, caller) = setup(SimDuration::ZERO);
+        let ep = caller.endpoint.clone();
+        sim.block_on(async move {
+            caller.call(NfsRequest::Null).await.unwrap();
+            caller.call(NfsRequest::Null).await.unwrap();
+        });
+        assert_eq!(ep.executions(), 2);
+    }
+}

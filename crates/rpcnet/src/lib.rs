@@ -1,0 +1,74 @@
+//! RPC-over-network model.
+//!
+//! Models the Sun-RPC-over-UDP transport the paper's systems used, at the
+//! level of detail the results depend on:
+//!
+//! * a shared Ethernet-like wire ([`Network`]) with per-message transfer
+//!   time (size / bandwidth, serialized on the wire) plus fixed latency;
+//! * server endpoints ([`Endpoint`]) with a FIFO thread pool, per-call CPU
+//!   cost on the host CPU, and a duplicate-request cache (NFS retransmits
+//!   are *not* idempotent without one — Juszczak 1989, cited in §2.5);
+//! * client callers ([`Caller`]) with timeout + retransmission;
+//! * per-procedure counters and call-rate series for the paper's tables
+//!   and figures.
+//!
+//! Both directions use the same machinery: NFS/SNFS requests flow
+//! client→server, and SNFS `callback` RPCs flow server→client over a
+//! second endpoint registered at the client (paper §4.2.2: "we simply use
+//! the existing NFS server code").
+
+mod endpoint;
+mod network;
+
+pub use endpoint::{Caller, CallerParams, Endpoint, EndpointParams, RpcError};
+pub use network::{NetParams, Network};
+
+use spritely_proto::{CallbackArg, CallbackReply, NfsProc, NfsReply, NfsRequest};
+
+/// Anything with a measurable wire size (drives transfer-time modelling).
+pub trait Wire {
+    /// Approximate bytes on the wire.
+    fn wire_size(&self) -> usize;
+}
+
+/// Anything with a procedure id (drives per-procedure accounting).
+pub trait Proc {
+    /// The procedure this message invokes.
+    fn proc_id(&self) -> NfsProc;
+}
+
+impl Wire for NfsRequest {
+    fn wire_size(&self) -> usize {
+        NfsRequest::wire_size(self)
+    }
+}
+
+impl Proc for NfsRequest {
+    fn proc_id(&self) -> NfsProc {
+        NfsRequest::proc_id(self)
+    }
+}
+
+impl Wire for NfsReply {
+    fn wire_size(&self) -> usize {
+        NfsReply::wire_size(self)
+    }
+}
+
+impl Wire for CallbackArg {
+    fn wire_size(&self) -> usize {
+        CallbackArg::wire_size(self)
+    }
+}
+
+impl Proc for CallbackArg {
+    fn proc_id(&self) -> NfsProc {
+        NfsProc::Callback
+    }
+}
+
+impl Wire for CallbackReply {
+    fn wire_size(&self) -> usize {
+        128
+    }
+}

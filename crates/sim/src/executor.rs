@@ -1,0 +1,637 @@
+//! The deterministic single-threaded discrete-event executor.
+//!
+//! A [`Sim`] owns a virtual clock and a set of tasks (plain Rust futures).
+//! Tasks run until they block on a simulation primitive (a timer, a
+//! semaphore, a channel, ...). When no task is runnable the executor advances
+//! the clock to the earliest pending timer and resumes whoever was waiting on
+//! it. Runs are fully deterministic: identical inputs produce identical event
+//! orders and identical final clocks.
+//!
+//! Tasks are not `Send`; the whole simulation lives on one OS thread. Wakers
+//! only touch a mutex-protected ready queue, which keeps the `Waker`
+//! contract (`Send + Sync`) satisfied without making tasks thread-safe.
+
+use std::cell::RefCell;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a spawned task, unique within one [`Sim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaskId(u64);
+
+/// The queue of tasks made runnable by wakers.
+///
+/// This is the only piece of executor state shared with [`Waker`]s, so it is
+/// the only piece that needs synchronization.
+#[derive(Default)]
+struct ReadyQueue {
+    queue: Mutex<VecDeque<TaskId>>,
+}
+
+impl ReadyQueue {
+    fn push(&self, id: TaskId) {
+        self.queue
+            .lock()
+            .expect("ready queue poisoned")
+            .push_back(id);
+    }
+
+    fn pop(&self) -> Option<TaskId> {
+        self.queue.lock().expect("ready queue poisoned").pop_front()
+    }
+}
+
+struct TaskWaker {
+    id: TaskId,
+    ready: Arc<ReadyQueue>,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.ready.push(self.id);
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.ready.push(self.id);
+    }
+}
+
+/// A timer waiting in the heap. Ordered by `(deadline, seq)` so that ties
+/// fire in registration order (determinism).
+struct TimerEntry {
+    deadline: SimTime,
+    seq: u64,
+    waker: Waker,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline && self.seq == other.seq
+    }
+}
+
+impl Eq for TimerEntry {}
+
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest deadline
+        // on top.
+        (other.deadline, other.seq).cmp(&(self.deadline, self.seq))
+    }
+}
+
+struct Core {
+    now: SimTime,
+    timers: BinaryHeap<TimerEntry>,
+    tasks: HashMap<TaskId, Pin<Box<dyn Future<Output = ()>>>>,
+    next_task: u64,
+    next_seq: u64,
+}
+
+/// Handle to a simulation. Cheap to clone; all clones refer to the same
+/// clock and task set.
+#[derive(Clone)]
+pub struct Sim {
+    core: Rc<RefCell<Core>>,
+    ready: Arc<ReadyQueue>,
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sim {
+    /// Creates an empty simulation with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Sim {
+            core: Rc::new(RefCell::new(Core {
+                now: SimTime::ZERO,
+                timers: BinaryHeap::new(),
+                tasks: HashMap::new(),
+                next_task: 0,
+                next_seq: 0,
+            })),
+            ready: Arc::new(ReadyQueue::default()),
+        }
+    }
+
+    /// Returns the current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.core.borrow().now
+    }
+
+    /// Spawns a task and returns a handle that resolves to its output.
+    ///
+    /// The task starts in the ready queue and will first run during the next
+    /// executor step. Tasks may spawn further tasks.
+    pub fn spawn<F>(&self, fut: F) -> JoinHandle<F::Output>
+    where
+        F: Future + 'static,
+        F::Output: 'static,
+    {
+        let state = Rc::new(RefCell::new(JoinState {
+            result: None,
+            wakers: Vec::new(),
+        }));
+        let state2 = Rc::clone(&state);
+        let wrapped = async move {
+            let out = fut.await;
+            let mut s = state2.borrow_mut();
+            s.result = Some(out);
+            for w in s.wakers.drain(..) {
+                w.wake();
+            }
+        };
+        let id = {
+            let mut core = self.core.borrow_mut();
+            let id = TaskId(core.next_task);
+            core.next_task += 1;
+            core.tasks.insert(id, Box::pin(wrapped));
+            id
+        };
+        self.ready.push(id);
+        JoinHandle { state }
+    }
+
+    /// Returns a future that completes `d` after the current virtual time.
+    pub fn sleep(&self, d: SimDuration) -> Sleep {
+        Sleep {
+            sim: self.clone(),
+            deadline: self.now() + d,
+            registered: false,
+        }
+    }
+
+    /// Returns a future that completes at the given absolute virtual time
+    /// (immediately if `at` is in the past).
+    pub fn sleep_until(&self, at: SimTime) -> Sleep {
+        Sleep {
+            sim: self.clone(),
+            deadline: at,
+            registered: false,
+        }
+    }
+
+    /// Runs `fut` with a deadline, returning `Err(TimedOut)` if the deadline
+    /// elapses first.
+    pub fn timeout<F>(&self, d: SimDuration, fut: F) -> Timeout<F>
+    where
+        F: Future,
+    {
+        Timeout {
+            sleep: self.sleep(d),
+            fut,
+        }
+    }
+
+    fn register_timer(&self, deadline: SimTime, waker: Waker) {
+        let mut core = self.core.borrow_mut();
+        let seq = core.next_seq;
+        core.next_seq += 1;
+        core.timers.push(TimerEntry {
+            deadline,
+            seq,
+            waker,
+        });
+    }
+
+    /// Polls every runnable task once; returns how many polls were made.
+    fn drain_ready(&self) -> usize {
+        let mut polled = 0;
+        while let Some(id) = self.ready.pop() {
+            // Take the future out of the map so the core is not borrowed
+            // while user code runs (user code re-enters the Sim).
+            let fut = self.core.borrow_mut().tasks.remove(&id);
+            let Some(mut fut) = fut else {
+                // Stale wake for a finished task; ignore.
+                continue;
+            };
+            polled += 1;
+            let waker = Waker::from(Arc::new(TaskWaker {
+                id,
+                ready: Arc::clone(&self.ready),
+            }));
+            let mut cx = Context::from_waker(&waker);
+            match fut.as_mut().poll(&mut cx) {
+                Poll::Ready(()) => {}
+                Poll::Pending => {
+                    self.core.borrow_mut().tasks.insert(id, fut);
+                }
+            }
+        }
+        polled
+    }
+
+    /// Advances the clock to the earliest pending timer and fires every
+    /// timer due at that instant. Returns false if there are no timers.
+    fn advance_time(&self) -> bool {
+        let mut core = self.core.borrow_mut();
+        let Some(first) = core.timers.peek() else {
+            return false;
+        };
+        let t = first.deadline;
+        assert!(t >= core.now, "timer in the past: executor bug");
+        core.now = t;
+        let mut due = Vec::new();
+        while core.timers.peek().is_some_and(|e| e.deadline == t) {
+            due.push(core.timers.pop().expect("peeked timer vanished"));
+        }
+        drop(core);
+        for e in due {
+            e.waker.wake();
+        }
+        true
+    }
+
+    /// Runs until the given handle's task has completed, then returns its
+    /// output. Other tasks keep running in the background while the target
+    /// is pending; they are left in place (paused) when it completes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation goes quiescent (no runnable tasks and no
+    /// timers) before the target completes — that is a deadlock in the
+    /// simulated system.
+    pub fn run_until<T: 'static>(&self, handle: JoinHandle<T>) -> T {
+        loop {
+            self.drain_ready();
+            if let Some(v) = handle.try_take() {
+                return v;
+            }
+            if !self.advance_time() {
+                panic!(
+                    "simulation deadlock at t={}: target task blocked with no pending timers",
+                    self.now()
+                );
+            }
+        }
+    }
+
+    /// Convenience: spawn `fut` and [`run_until`](Self::run_until) it.
+    pub fn block_on<F>(&self, fut: F) -> F::Output
+    where
+        F: Future + 'static,
+        F::Output: 'static,
+    {
+        let h = self.spawn(fut);
+        self.run_until(h)
+    }
+
+    /// Runs until there are no runnable tasks and no pending timers.
+    ///
+    /// Unlike [`run_until`](Self::run_until), infinite background loops will
+    /// prevent this from returning; prefer `run_until` when daemons are
+    /// running.
+    pub fn run_to_quiescence(&self) {
+        loop {
+            self.drain_ready();
+            if !self.advance_time() {
+                return;
+            }
+        }
+    }
+
+    /// Number of live (spawned, not yet finished) tasks.
+    pub fn live_tasks(&self) -> usize {
+        self.core.borrow().tasks.len()
+    }
+}
+
+struct JoinState<T> {
+    result: Option<T>,
+    wakers: Vec<Waker>,
+}
+
+/// Handle to a spawned task's eventual output.
+///
+/// Await it inside the simulation, or pass it to [`Sim::run_until`] from
+/// outside.
+pub struct JoinHandle<T> {
+    state: Rc<RefCell<JoinState<T>>>,
+}
+
+impl<T> Clone for JoinHandle<T> {
+    fn clone(&self) -> Self {
+        JoinHandle {
+            state: Rc::clone(&self.state),
+        }
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Takes the task's output if it has completed.
+    pub fn try_take(&self) -> Option<T> {
+        self.state.borrow_mut().result.take()
+    }
+
+    /// Returns true if the task has completed and its output has not been
+    /// taken yet.
+    pub fn is_finished(&self) -> bool {
+        self.state.borrow().result.is_some()
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let mut s = self.state.borrow_mut();
+        if let Some(v) = s.result.take() {
+            Poll::Ready(v)
+        } else {
+            s.wakers.push(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+/// Future returned by [`Sim::sleep`] / [`Sim::sleep_until`].
+pub struct Sleep {
+    sim: Sim,
+    deadline: SimTime,
+    registered: bool,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.sim.now() >= self.deadline {
+            return Poll::Ready(());
+        }
+        // Register exactly once: the heap entry's waker targets the owning
+        // task by id, which stays valid across re-polls, and the deadline
+        // never moves. Re-registering on every poll would let spurious
+        // wakeups multiply timer entries (each stale firing re-polls the
+        // task, which would enqueue yet another entry — quadratic blowup).
+        if !self.registered {
+            let deadline = self.deadline;
+            self.sim.register_timer(deadline, cx.waker().clone());
+            self.registered = true;
+        }
+        Poll::Pending
+    }
+}
+
+/// Error returned by [`Sim::timeout`] when the deadline elapses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedOut;
+
+impl std::fmt::Display for TimedOut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "simulated operation timed out")
+    }
+}
+
+impl std::error::Error for TimedOut {}
+
+/// Future returned by [`Sim::timeout`].
+pub struct Timeout<F> {
+    sleep: Sleep,
+    fut: F,
+}
+
+impl<F: Future> Future for Timeout<F> {
+    type Output = Result<F::Output, TimedOut>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // SAFETY: We never move `fut` or `sleep` out of the pinned struct;
+        // the projections below are the only accesses.
+        let this = unsafe { self.get_unchecked_mut() };
+        let fut = unsafe { Pin::new_unchecked(&mut this.fut) };
+        if let Poll::Ready(v) = fut.poll(cx) {
+            return Poll::Ready(Ok(v));
+        }
+        let sleep = unsafe { Pin::new_unchecked(&mut this.sleep) };
+        match sleep.poll(cx) {
+            Poll::Ready(()) => Poll::Ready(Err(TimedOut)),
+            Poll::Pending => Poll::Pending,
+        }
+    }
+}
+
+/// Yields once, letting every other runnable task proceed first.
+///
+/// Useful for modelling "hand off to a daemon without consuming time".
+pub fn yield_now() -> YieldNow {
+    YieldNow { yielded: false }
+}
+
+/// Future returned by [`yield_now`].
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn clock_starts_at_zero() {
+        let sim = Sim::new();
+        assert_eq!(sim.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn sleep_advances_virtual_time_only() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let out = sim.block_on(async move {
+            s.sleep(SimDuration::from_secs(30)).await;
+            s.now()
+        });
+        assert_eq!(out, SimTime::from_micros(30_000_000));
+    }
+
+    #[test]
+    fn tasks_interleave_deterministically() {
+        let sim = Sim::new();
+        let log: Rc<RefCell<Vec<(u64, &str)>>> = Rc::default();
+        for (name, delays) in [("a", [10u64, 20]), ("b", [15u64, 15])] {
+            let s = sim.clone();
+            let log = Rc::clone(&log);
+            sim.spawn(async move {
+                for d in delays {
+                    s.sleep(SimDuration::from_micros(d)).await;
+                    log.borrow_mut().push((s.now().as_micros(), name));
+                }
+            });
+        }
+        sim.run_to_quiescence();
+        assert_eq!(
+            *log.borrow(),
+            vec![(10, "a"), (15, "b"), (30, "a"), (30, "b")]
+        );
+    }
+
+    #[test]
+    fn equal_deadlines_fire_in_registration_order() {
+        let sim = Sim::new();
+        let log: Rc<RefCell<Vec<u32>>> = Rc::default();
+        for i in 0..5u32 {
+            let s = sim.clone();
+            let log = Rc::clone(&log);
+            sim.spawn(async move {
+                s.sleep(SimDuration::from_micros(100)).await;
+                log.borrow_mut().push(i);
+            });
+        }
+        sim.run_to_quiescence();
+        assert_eq!(*log.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn join_handle_returns_value() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let h = sim.spawn(async move {
+            s.sleep(SimDuration::from_millis(1)).await;
+            42u32
+        });
+        assert_eq!(sim.run_until(h), 42);
+    }
+
+    #[test]
+    fn join_handle_awaitable_from_other_task() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let out = sim.block_on(async move {
+            let inner = s.spawn({
+                let s = s.clone();
+                async move {
+                    s.sleep(SimDuration::from_millis(5)).await;
+                    "done"
+                }
+            });
+            inner.await
+        });
+        assert_eq!(out, "done");
+    }
+
+    #[test]
+    fn timeout_expires() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let out = sim.block_on(async move {
+            s.timeout(
+                SimDuration::from_millis(1),
+                s.sleep(SimDuration::from_secs(10)),
+            )
+            .await
+        });
+        assert_eq!(out, Err(TimedOut));
+    }
+
+    #[test]
+    fn timeout_passes_through_fast_future() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let out =
+            sim.block_on(async move { s.timeout(SimDuration::from_secs(10), async { 7u8 }).await });
+        assert_eq!(out, Ok(7));
+    }
+
+    #[test]
+    fn timeout_win_is_exclusive_at_same_instant() {
+        // If the inner future becomes ready exactly at the deadline, the
+        // value wins (future is polled first).
+        let sim = Sim::new();
+        let s = sim.clone();
+        let d = SimDuration::from_millis(3);
+        let out = sim.block_on({
+            let s = s.clone();
+            async move { s.timeout(d, s.sleep(d)).await }
+        });
+        assert_eq!(out, Ok(()));
+    }
+
+    #[test]
+    fn yield_now_lets_peers_run() {
+        let sim = Sim::new();
+        let flag = Rc::new(Cell::new(false));
+        let f2 = Rc::clone(&flag);
+        sim.spawn(async move {
+            f2.set(true);
+        });
+        let s = sim.clone();
+        let out = sim.block_on(async move {
+            // Without the yield the sibling task (spawned later in the
+            // ready queue) would not have run yet.
+            yield_now().await;
+            flag.get()
+        });
+        assert!(out);
+        let _ = s;
+    }
+
+    #[test]
+    fn run_to_quiescence_finishes_with_chained_spawns() {
+        let sim = Sim::new();
+        let count = Rc::new(Cell::new(0u32));
+        fn chain(s: Sim, count: Rc<Cell<u32>>, depth: u32) {
+            if depth == 0 {
+                return;
+            }
+            let s2 = s.clone();
+            s.spawn(async move {
+                s2.sleep(SimDuration::from_micros(1)).await;
+                count.set(count.get() + 1);
+                chain(s2.clone(), count, depth - 1);
+            });
+        }
+        chain(sim.clone(), Rc::clone(&count), 10);
+        sim.run_to_quiescence();
+        assert_eq!(count.get(), 10);
+        assert_eq!(sim.live_tasks(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn run_until_panics_on_deadlock() {
+        let sim = Sim::new();
+        let h = sim.spawn(std::future::pending::<()>());
+        sim.run_until(h);
+    }
+
+    #[test]
+    fn sleep_until_past_completes_immediately() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.block_on(async move {
+            s.sleep(SimDuration::from_secs(5)).await;
+            // Deadline already in the past.
+            s.sleep_until(SimTime::from_micros(1)).await;
+            assert_eq!(s.now().as_secs_f64(), 5.0);
+        });
+    }
+}

@@ -1,0 +1,282 @@
+//! Virtual time: instants and durations measured in integer microseconds.
+//!
+//! The simulator never consults the wall clock. All timing in the system is
+//! expressed in [`SimTime`] (an absolute instant since simulation start) and
+//! [`SimDuration`] (a span). Integer microseconds give deterministic
+//! arithmetic (no float drift) at a resolution far below any modelled
+//! hardware latency.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An absolute instant in virtual time, in microseconds since simulation
+/// start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of virtual time, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Builds an instant from raw microseconds since the epoch.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Returns the instant as microseconds since the epoch.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the instant as (possibly fractional) seconds since the epoch.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Returns the duration elapsed from `earlier` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`; virtual time never runs
+    /// backwards, so this indicates a simulator bug.
+    pub fn duration_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("SimTime::duration_since: `earlier` is in the future"),
+        )
+    }
+
+    /// Returns the duration elapsed from `earlier` to `self`, or zero if
+    /// `earlier` is later.
+    pub fn saturating_duration_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Builds a duration from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Builds a duration from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Builds a duration from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000)
+    }
+
+    /// Builds a duration from fractional seconds, rounding to the nearest
+    /// microsecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is negative or not finite.
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s.is_finite() && s >= 0.0, "invalid duration: {s}");
+        SimDuration((s * 1e6).round() as u64)
+    }
+
+    /// Returns the duration in microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Returns true if this duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Multiplies the duration by a float scale factor, rounding to the
+    /// nearest microsecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is negative or not finite.
+    pub fn mul_f64(self, f: f64) -> SimDuration {
+        assert!(f.is_finite() && f >= 0.0, "invalid scale: {f}");
+        SimDuration((self.0 as f64 * f).round() as u64)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.duration_since(rhs)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimDuration subtraction underflow"),
+        )
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> Self {
+        iter.fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}us", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_roundtrips() {
+        let t = SimTime::from_micros(5_000_000);
+        let d = SimDuration::from_secs(3);
+        assert_eq!((t + d).as_micros(), 8_000_000);
+        assert_eq!((t + d) - t, d);
+        assert_eq!((t + d).duration_since(t), d);
+    }
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(SimDuration::from_secs(2), SimDuration::from_millis(2_000));
+        assert_eq!(SimDuration::from_millis(5), SimDuration::from_micros(5_000));
+        assert_eq!(
+            SimDuration::from_secs_f64(0.5),
+            SimDuration::from_millis(500)
+        );
+    }
+
+    #[test]
+    fn saturating_ops_do_not_underflow() {
+        let a = SimDuration::from_secs(1);
+        let b = SimDuration::from_secs(2);
+        assert_eq!(a.saturating_sub(b), SimDuration::ZERO);
+        let t0 = SimTime::from_micros(10);
+        let t1 = SimTime::from_micros(20);
+        assert_eq!(t0.saturating_duration_since(t1), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "in the future")]
+    fn duration_since_panics_on_reversed_order() {
+        let t0 = SimTime::from_micros(10);
+        let t1 = SimTime::from_micros(20);
+        let _ = t0.duration_since(t1);
+    }
+
+    #[test]
+    fn mul_f64_rounds() {
+        let d = SimDuration::from_micros(10);
+        assert_eq!(d.mul_f64(1.26), SimDuration::from_micros(13));
+        assert_eq!(d.mul_f64(0.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn display_picks_a_sensible_unit() {
+        assert_eq!(SimDuration::from_micros(7).to_string(), "7us");
+        assert_eq!(SimDuration::from_millis(7).to_string(), "7.000ms");
+        assert_eq!(SimDuration::from_secs(7).to_string(), "7.000s");
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimDuration = [1u64, 2, 3]
+            .iter()
+            .map(|&s| SimDuration::from_secs(s))
+            .sum();
+        assert_eq!(total, SimDuration::from_secs(6));
+    }
+}

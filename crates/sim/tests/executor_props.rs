@@ -1,0 +1,116 @@
+//! Property-based tests for the executor and its primitives: FIFO
+//! fairness under arbitrary request patterns, conservation of semaphore
+//! permits, and bit-identical re-execution.
+
+use proptest::prelude::*;
+use spritely_sim::{Semaphore, Sim, SimDuration};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Tasks that request a capacity-1 semaphore at strictly increasing
+    /// times must be served in arrival order, regardless of hold times.
+    #[test]
+    fn semaphore_serves_in_arrival_order(
+        holds in proptest::collection::vec(1u64..5_000, 2..12)
+    ) {
+        let sim = Sim::new();
+        let sem = Semaphore::new(1);
+        let order: Rc<RefCell<Vec<usize>>> = Rc::default();
+        for (i, hold) in holds.iter().copied().enumerate() {
+            let sim2 = sim.clone();
+            let sem = sem.clone();
+            let order = Rc::clone(&order);
+            sim.spawn(async move {
+                // Strictly increasing arrival instants.
+                sim2.sleep(SimDuration::from_micros(i as u64)).await;
+                let _p = sem.acquire().await;
+                order.borrow_mut().push(i);
+                sim2.sleep(SimDuration::from_micros(hold)).await;
+            });
+        }
+        sim.run_to_quiescence();
+        let got = order.borrow().clone();
+        let want: Vec<usize> = (0..holds.len()).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// However tasks contend, every permit comes back: after quiescence
+    /// the semaphore is fully free and total elapsed equals the serial
+    /// sum for capacity 1.
+    #[test]
+    fn permits_are_conserved_and_time_is_exact(
+        holds in proptest::collection::vec(1u64..10_000, 1..16),
+        capacity in 1usize..4,
+    ) {
+        let sim = Sim::new();
+        let sem = Semaphore::new(capacity);
+        for hold in holds.iter().copied() {
+            let sim2 = sim.clone();
+            let sem = sem.clone();
+            sim.spawn(async move {
+                let _p = sem.acquire().await;
+                sim2.sleep(SimDuration::from_micros(hold)).await;
+            });
+        }
+        sim.run_to_quiescence();
+        prop_assert_eq!(sem.held(), 0, "all permits returned");
+        prop_assert_eq!(sem.queue_len(), 0, "no stranded waiters");
+        if capacity == 1 {
+            let total: u64 = holds.iter().sum();
+            prop_assert_eq!(sim.now().as_micros(), total);
+        } else {
+            // With more servers we finish no later than serial and no
+            // earlier than the critical path.
+            let total: u64 = holds.iter().sum();
+            let max = holds.iter().copied().max().unwrap_or(0);
+            prop_assert!(sim.now().as_micros() <= total);
+            prop_assert!(sim.now().as_micros() >= max);
+        }
+    }
+
+    /// The same program produces the same event history, twice.
+    #[test]
+    fn execution_is_deterministic(
+        delays in proptest::collection::vec(0u64..1_000, 1..20)
+    ) {
+        let run = |delays: &[u64]| -> (u64, Vec<usize>) {
+            let sim = Sim::new();
+            let log: Rc<RefCell<Vec<usize>>> = Rc::default();
+            let sem = Semaphore::new(2);
+            for (i, d) in delays.iter().copied().enumerate() {
+                let sim2 = sim.clone();
+                let log = Rc::clone(&log);
+                let sem = sem.clone();
+                sim.spawn(async move {
+                    sim2.sleep(SimDuration::from_micros(d)).await;
+                    let _p = sem.acquire().await;
+                    sim2.sleep(SimDuration::from_micros(d % 7 + 1)).await;
+                    log.borrow_mut().push(i);
+                });
+            }
+            sim.run_to_quiescence();
+            let events = log.borrow().clone();
+            (sim.now().as_micros(), events)
+        };
+        prop_assert_eq!(run(&delays), run(&delays));
+    }
+
+    /// Timeouts fire exactly at their deadline when the inner future
+    /// never resolves.
+    #[test]
+    fn timeout_deadline_is_exact(ms in 1u64..10_000) {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let out = sim.block_on(async move {
+            let r = s
+                .timeout(SimDuration::from_micros(ms), std::future::pending::<()>())
+                .await;
+            (r.is_err(), s.now().as_micros())
+        });
+        prop_assert!(out.0);
+        prop_assert_eq!(out.1, ms);
+    }
+}

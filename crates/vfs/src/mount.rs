@@ -1,0 +1,257 @@
+//! Mount table and backend dispatch.
+
+use std::rc::Rc;
+
+use spritely_core::SnfsClient;
+use spritely_localfs::LocalFs;
+use spritely_nfs::NfsClient;
+use spritely_proto::{DirEntry, Fattr, FileHandle, NfsStatus, Result};
+
+/// One of the three file system implementations a path can resolve to.
+#[derive(Clone)]
+pub enum FsBackend {
+    /// A local disk file system.
+    Local(LocalFs),
+    /// A remote file system over baseline NFS.
+    Nfs(NfsClient),
+    /// A remote file system over Spritely NFS.
+    Snfs(SnfsClient),
+}
+
+impl FsBackend {
+    /// Translates one name component under `dir`.
+    pub async fn lookup(&self, dir: FileHandle, name: &str) -> Result<(FileHandle, Fattr)> {
+        match self {
+            FsBackend::Local(fs) => fs.lookup(dir, name),
+            FsBackend::Nfs(c) => c.lookup(dir, name).await,
+            FsBackend::Snfs(c) => c.lookup(dir, name).await,
+        }
+    }
+
+    /// Creates a regular file.
+    pub async fn create(&self, dir: FileHandle, name: &str) -> Result<(FileHandle, Fattr)> {
+        match self {
+            FsBackend::Local(fs) => fs.create(dir, name).await,
+            FsBackend::Nfs(c) => c.create(dir, name).await,
+            FsBackend::Snfs(c) => c.create(dir, name).await,
+        }
+    }
+
+    /// Protocol-specific open work (consistency checks / open RPC).
+    pub async fn open(&self, fh: FileHandle, write: bool) -> Result<Fattr> {
+        match self {
+            FsBackend::Local(fs) => fs.getattr(fh),
+            FsBackend::Nfs(c) => c.open(fh, write).await,
+            FsBackend::Snfs(c) => c.open(fh, write).await,
+        }
+    }
+
+    /// Protocol-specific close work (drain / close RPC).
+    pub async fn close(&self, fh: FileHandle, write: bool) -> Result<()> {
+        match self {
+            FsBackend::Local(_) => Ok(()),
+            FsBackend::Nfs(c) => c.close(fh, write).await,
+            FsBackend::Snfs(c) => c.close(fh, write).await,
+        }
+    }
+
+    /// Reads up to `len` bytes at `offset`.
+    pub async fn read(&self, fh: FileHandle, offset: u64, len: u32) -> Result<Vec<u8>> {
+        match self {
+            FsBackend::Local(fs) => fs.read(fh, offset, len).await.map(|(d, _, _)| d),
+            FsBackend::Nfs(c) => c.read(fh, offset, len).await.map(|(d, _)| d),
+            FsBackend::Snfs(c) => c.read(fh, offset, len).await.map(|(d, _)| d),
+        }
+    }
+
+    /// Writes at `offset` with the backend's native write policy.
+    pub async fn write(&self, fh: FileHandle, offset: u64, data: &[u8]) -> Result<()> {
+        match self {
+            FsBackend::Local(fs) => fs.write(fh, offset, data, false).await.map(|_| ()),
+            FsBackend::Nfs(c) => c.write(fh, offset, data).await,
+            FsBackend::Snfs(c) => c.write(fh, offset, data).await,
+        }
+    }
+
+    /// Attributes.
+    pub async fn getattr(&self, fh: FileHandle) -> Result<Fattr> {
+        match self {
+            FsBackend::Local(fs) => fs.getattr(fh),
+            FsBackend::Nfs(c) => c.probe_attrs(fh, false).await,
+            FsBackend::Snfs(c) => c.getattr(fh).await,
+        }
+    }
+
+    /// Truncate.
+    pub async fn truncate(&self, fh: FileHandle, size: u64) -> Result<Fattr> {
+        match self {
+            FsBackend::Local(fs) => fs.setattr(fh, Some(size)).await,
+            FsBackend::Nfs(c) => c.setattr(fh, Some(size)).await,
+            FsBackend::Snfs(c) => c.setattr(fh, Some(size)).await,
+        }
+    }
+
+    /// Removes a regular file; `victim` lets remote clients drop caches
+    /// and cancel delayed writes.
+    pub async fn remove(&self, dir: FileHandle, name: &str, victim: FileHandle) -> Result<()> {
+        match self {
+            FsBackend::Local(fs) => fs.remove(dir, name).await,
+            FsBackend::Nfs(c) => {
+                c.remove(dir, name).await?;
+                c.forget(victim);
+                Ok(())
+            }
+            FsBackend::Snfs(c) => c.remove(dir, name, Some(victim)).await,
+        }
+    }
+
+    /// Creates a directory.
+    pub async fn mkdir(&self, dir: FileHandle, name: &str) -> Result<(FileHandle, Fattr)> {
+        match self {
+            FsBackend::Local(fs) => fs.mkdir(dir, name).await,
+            FsBackend::Nfs(c) => c.mkdir(dir, name).await,
+            FsBackend::Snfs(c) => c.mkdir(dir, name).await,
+        }
+    }
+
+    /// Removes an empty directory.
+    pub async fn rmdir(&self, dir: FileHandle, name: &str) -> Result<()> {
+        match self {
+            FsBackend::Local(fs) => fs.rmdir(dir, name).await,
+            FsBackend::Nfs(c) => c.rmdir(dir, name).await,
+            FsBackend::Snfs(c) => c.rmdir(dir, name).await,
+        }
+    }
+
+    /// Renames within one backend.
+    pub async fn rename(
+        &self,
+        from_dir: FileHandle,
+        from_name: &str,
+        to_dir: FileHandle,
+        to_name: &str,
+    ) -> Result<()> {
+        match self {
+            FsBackend::Local(fs) => fs.rename(from_dir, from_name, to_dir, to_name).await,
+            FsBackend::Nfs(c) => c.rename(from_dir, from_name, to_dir, to_name).await,
+            FsBackend::Snfs(c) => c.rename(from_dir, from_name, to_dir, to_name).await,
+        }
+    }
+
+    /// Lists a directory.
+    pub async fn readdir(&self, dir: FileHandle) -> Result<Vec<DirEntry>> {
+        match self {
+            FsBackend::Local(fs) => fs.readdir(dir),
+            FsBackend::Nfs(c) => c.readdir(dir).await,
+            FsBackend::Snfs(c) => c.readdir(dir).await,
+        }
+    }
+
+    /// Pushes pending data for `fh` toward the server/disk.
+    pub async fn fsync(&self, fh: FileHandle) -> Result<()> {
+        match self {
+            FsBackend::Local(fs) => fs.fsync(fh).await,
+            FsBackend::Nfs(c) => c.fsync(fh).await,
+            FsBackend::Snfs(c) => c.fsync(fh).await,
+        }
+    }
+
+    /// Creates a hard link `to_dir/to_name` to `from`.
+    pub async fn link(&self, from: FileHandle, to_dir: FileHandle, to_name: &str) -> Result<Fattr> {
+        match self {
+            FsBackend::Local(fs) => fs.link(from, to_dir, to_name).await,
+            FsBackend::Nfs(c) => c.link(from, to_dir, to_name).await,
+            FsBackend::Snfs(c) => c.link(from, to_dir, to_name).await,
+        }
+    }
+
+    /// Creates a symbolic link `dir/name` → `target`.
+    pub async fn symlink(
+        &self,
+        dir: FileHandle,
+        name: &str,
+        target: &str,
+    ) -> Result<(FileHandle, Fattr)> {
+        match self {
+            FsBackend::Local(fs) => fs.symlink(dir, name, target).await,
+            FsBackend::Nfs(c) => c.symlink(dir, name, target).await,
+            FsBackend::Snfs(c) => c.symlink(dir, name, target).await,
+        }
+    }
+
+    /// Reads a symbolic link's target.
+    pub async fn readlink(&self, fh: FileHandle) -> Result<String> {
+        match self {
+            FsBackend::Local(fs) => fs.readlink(fh),
+            FsBackend::Nfs(c) => c.readlink(fh).await,
+            FsBackend::Snfs(c) => c.readlink(fh).await,
+        }
+    }
+}
+
+/// One mount-table entry: a path prefix served by a backend.
+pub struct Mount {
+    prefix: Vec<String>,
+    backend: FsBackend,
+    root: FileHandle,
+}
+
+impl Mount {
+    /// Creates a mount of `backend` (whose root handle is `root`) at
+    /// `prefix` (e.g. `"/"` or `"/usr/tmp"`).
+    pub fn new(prefix: &str, backend: FsBackend, root: FileHandle) -> Self {
+        Mount {
+            prefix: split_path(prefix),
+            backend,
+            root,
+        }
+    }
+}
+
+/// Splits an absolute path into components.
+pub(crate) fn split_path(path: &str) -> Vec<String> {
+    path.split('/')
+        .filter(|c| !c.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+/// The mount table.
+#[derive(Clone)]
+pub struct Vfs {
+    mounts: Rc<Vec<Mount>>,
+}
+
+impl Vfs {
+    /// Builds a VFS from mounts. There must be a root (`"/"`) mount.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no root mount is supplied.
+    pub fn new(mounts: Vec<Mount>) -> Self {
+        assert!(
+            mounts.iter().any(|m| m.prefix.is_empty()),
+            "a root (\"/\") mount is required"
+        );
+        Vfs {
+            mounts: Rc::new(mounts),
+        }
+    }
+
+    /// Resolves a path to `(backend, backend-root, remaining components)`
+    /// using longest-prefix match on whole components.
+    pub fn resolve(&self, path: &str) -> Result<(FsBackend, FileHandle, Vec<String>)> {
+        let comps = split_path(path);
+        let mut best: Option<&Mount> = None;
+        for m in self.mounts.iter() {
+            if m.prefix.len() <= comps.len()
+                && m.prefix.iter().zip(&comps).all(|(a, b)| a == b)
+                && best.is_none_or(|b| m.prefix.len() > b.prefix.len())
+            {
+                best = Some(m);
+            }
+        }
+        let m = best.ok_or(NfsStatus::NoEnt)?;
+        Ok((m.backend.clone(), m.root, comps[m.prefix.len()..].to_vec()))
+    }
+}

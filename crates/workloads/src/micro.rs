@@ -1,0 +1,78 @@
+//! Microbenchmarks.
+
+use spritely_proto::Result;
+use spritely_sim::SimDuration;
+use spritely_vfs::{OpenFlags, Proc};
+
+const CHUNK: usize = 4096;
+
+/// Result of the §5.3 write-close-reopen-read probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReopenResult {
+    /// Time to write and close the file.
+    pub write_time: SimDuration,
+    /// Time to reopen and read it fully.
+    pub read_time: SimDuration,
+}
+
+/// The SunOS microbenchmark of §5.3: write a large file, close it, then
+/// open and read either the same file (`reread_same = true`) or a
+/// different pre-existing file of the same size.
+///
+/// On a client that invalidates its cache at close, the two cases cost
+/// the same; on a fixed client, re-reading the same file is nearly free.
+pub async fn write_close_reopen_read(
+    p: &Proc,
+    path: &str,
+    other_path: Option<&str>,
+    bytes: u64,
+) -> Result<ReopenResult> {
+    let t0 = p.sim().now();
+    let fd = p.open(path, OpenFlags::create_write()).await?;
+    let mut written = 0u64;
+    let chunk = vec![0xA5u8; CHUNK];
+    while written < bytes {
+        let n = CHUNK.min((bytes - written) as usize);
+        p.write(fd, &chunk[..n]).await?;
+        written += n as u64;
+    }
+    p.close(fd).await?;
+    let t1 = p.sim().now();
+    let read_path = other_path.unwrap_or(path);
+    let fd = p.open(read_path, OpenFlags::read()).await?;
+    loop {
+        let data = p.read(fd, CHUNK as u32).await?;
+        if data.is_empty() {
+            break;
+        }
+    }
+    p.close(fd).await?;
+    let t2 = p.sim().now();
+    Ok(ReopenResult {
+        write_time: t1.duration_since(t0),
+        read_time: t2.duration_since(t1),
+    })
+}
+
+/// Creates a temp file of `bytes`, lets it linger for `lifetime`, then
+/// deletes it. Under SNFS, a lifetime below the write-delay means the
+/// data never reaches the server (§5.4); under NFS it always does.
+pub async fn temp_file_lifetime(
+    p: &Proc,
+    path: &str,
+    bytes: u64,
+    lifetime: SimDuration,
+) -> Result<()> {
+    let fd = p.open(path, OpenFlags::create_write()).await?;
+    let mut written = 0u64;
+    let chunk = vec![0x5Au8; CHUNK];
+    while written < bytes {
+        let n = CHUNK.min((bytes - written) as usize);
+        p.write(fd, &chunk[..n]).await?;
+        written += n as u64;
+    }
+    p.close(fd).await?;
+    p.sim().sleep(lifetime).await;
+    p.unlink(path).await?;
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! Regenerates the paper's Andrew-benchmark artifacts: Table 5-1 (elapsed
+//! times per phase), Table 5-2 (RPC counts per procedure), and the data
+//! behind Figures 5-1/5-2 (server utilization and call rates over time).
+//!
+//! Run with: `cargo run --release --example andrew`
+
+use spritely::harness::{report, run_andrew, Protocol};
+
+fn main() {
+    println!("Running the Andrew benchmark in five configurations...\n");
+    let runs = vec![
+        run_andrew(Protocol::Local, false, 42),
+        run_andrew(Protocol::Nfs, false, 42),
+        run_andrew(Protocol::Nfs, true, 42),
+        run_andrew(Protocol::Snfs, false, 42),
+        run_andrew(Protocol::Snfs, true, 42),
+    ];
+
+    println!("Table 5-1: Andrew benchmark elapsed time (seconds)\n");
+    println!("{}", report::table_5_1(&runs));
+
+    println!("Table 5-2: RPC calls for the Andrew benchmark (steady state)\n");
+    println!("{}", report::table_5_2(&runs));
+
+    // Figures 5-1 / 5-2 use the /tmp-remote runs (indices 2 and 4), as in
+    // the paper ("in both cases, /tmp was remotely mounted").
+    println!(
+        "Figure 5-1 series (NFS, /tmp remote):\n{}",
+        report::figure_series(&runs[2])
+    );
+    println!(
+        "Figure 5-2 series (SNFS, /tmp remote):\n{}",
+        report::figure_series(&runs[4])
+    );
+
+    println!(
+        "RPC latency (NFS, /tmp remote):\n{}",
+        report::latency_table(&runs[2].latency)
+    );
+
+    let nfs = &runs[2];
+    let snfs = &runs[4];
+    println!(
+        "SNFS finishes the whole benchmark {:.0}% faster than NFS (/tmp remote); \
+         server disk writes {:.0}% lower.",
+        (1.0 - snfs.times.total().as_secs_f64() / nfs.times.total().as_secs_f64()) * 100.0,
+        (1.0 - snfs.server_disk.writes as f64 / nfs.server_disk.writes as f64) * 100.0,
+    );
+}

@@ -1,0 +1,41 @@
+//! Server scaling (paper §2.3): how many active clients can one server
+//! carry before response times inflate? Each client runs a compact
+//! compile workload as a diskless workstation (/tmp on the server);
+//! makespan and server utilization tell the capacity story the Sprite
+//! measurements hinted at (≈4x NFS's client capacity).
+//!
+//! Run with: `cargo run --release --example server_scaling`
+
+use spritely::harness::{run_scaling, Protocol};
+use spritely::metrics::TextTable;
+
+fn main() {
+    let mut t = TextTable::new(vec![
+        "clients",
+        "NFS makespan",
+        "NFS util",
+        "SNFS makespan",
+        "SNFS util",
+        "speedup",
+    ]);
+    for &n in &[1usize, 2, 4, 8] {
+        let nfs = run_scaling(Protocol::Nfs, n, 42);
+        let snfs = run_scaling(Protocol::Snfs, n, 42);
+        t.row(vec![
+            n.to_string(),
+            format!("{:.0} s", nfs.makespan.as_secs_f64()),
+            format!("{:.2}", nfs.server_util),
+            format!("{:.0} s", snfs.makespan.as_secs_f64()),
+            format!("{:.2}", snfs.server_util),
+            format!(
+                "{:.2}x",
+                nfs.makespan.as_secs_f64() / snfs.makespan.as_secs_f64()
+            ),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "The gap widens with client count: NFS's synchronous writes serialize on\n\
+         the server disk, while SNFS clients mostly stay out of the server's way."
+    );
+}

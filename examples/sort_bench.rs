@@ -1,0 +1,46 @@
+//! Regenerates the paper's sort-benchmark artifacts: Table 5-3 (elapsed
+//! times for three input sizes), Table 5-4 (RPC calls), and Tables
+//! 5-5/5-6 (infinite write-delay: the update daemon disabled).
+//!
+//! Run with: `cargo run --release --example sort_bench`
+
+use spritely::harness::{report, run_sort_experiment, Protocol};
+
+fn main() {
+    println!("Running the external-sort benchmark...\n");
+
+    // Table 5-3: three input sizes, /usr/tmp on local disk / NFS / SNFS.
+    let mut runs = Vec::new();
+    for &kb in &[281u64, 1408, 2816] {
+        for p in [Protocol::Local, Protocol::Nfs, Protocol::Snfs] {
+            runs.push(run_sort_experiment(p, kb * 1024, true));
+        }
+    }
+    println!("Table 5-3: sort benchmark elapsed time\n");
+    println!("{}", report::sort_table(&runs));
+
+    println!("Table 5-4: RPC calls for the sort benchmark (2816 KB input)\n");
+    let big: Vec<_> = runs
+        .drain(..)
+        .filter(|r| r.input_bytes == 2816 * 1024)
+        .collect();
+    println!("{}", report::sort_rpc_table(&big));
+
+    // Tables 5-5 / 5-6: with the update daemons disabled, SNFS temp data
+    // never reaches the server at all.
+    let mut infinite = Vec::new();
+    for p in [Protocol::Local, Protocol::Nfs, Protocol::Snfs] {
+        infinite.push(run_sort_experiment(p, 2816 * 1024, false));
+    }
+    println!("Table 5-5: sort benchmark, infinite write-delay\n");
+    println!("{}", report::sort_table(&infinite));
+
+    println!("Table 5-6: RPC calls, update daemon on vs. off (2816 KB)\n");
+    let mut t56 = big;
+    t56.extend(
+        infinite
+            .into_iter()
+            .filter(|r| r.protocol != Protocol::Local),
+    );
+    println!("{}", report::sort_rpc_table(&t56));
+}

