@@ -1,0 +1,42 @@
+//! Flush-latency microbench: simulated time to write a 64-block dirty
+//! file back to the server, paper-mode serial flush vs the gathered +
+//! pipelined write-behind pool (perf mode).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spritely_bench::{artifact, config};
+use spritely_harness::{report, run_flush, WriteBehindParams};
+
+const BLOCKS: usize = 64;
+
+fn bench(c: &mut Criterion) {
+    let runs = vec![
+        run_flush("paper (serial)", WriteBehindParams::default(), BLOCKS),
+        run_flush("pipelined", WriteBehindParams::pipelined(), BLOCKS),
+    ];
+    let serial = runs[0].flush_time;
+    let piped = runs[1].flush_time;
+    let speedup = serial.as_secs_f64() / piped.as_secs_f64();
+    artifact(
+        "Flush latency: 64-block write-back, serial vs gathered+pipelined",
+        &format!("{}\nspeedup: {speedup:.2}x", report::flush_table(&runs)),
+    );
+    assert!(
+        speedup >= 2.0,
+        "write gathering + pipelining must at least halve flush latency, got {speedup:.2}x"
+    );
+    let mut g = c.benchmark_group("flush_latency");
+    g.bench_function("flush_64blk_paper", |b| {
+        b.iter(|| run_flush("paper", WriteBehindParams::default(), BLOCKS).flush_time)
+    });
+    g.bench_function("flush_64blk_pipelined", |b| {
+        b.iter(|| run_flush("pipelined", WriteBehindParams::pipelined(), BLOCKS).flush_time)
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -22,14 +22,58 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use spritely_localfs::BlockCache;
-use spritely_metrics::OpCounter;
+use spritely_localfs::{BlockCache, DirtyRun};
+use spritely_metrics::{Histogram, InflightGauge, OpCounter};
 use spritely_proto::{
     block_of, blocks_for, CallbackArg, CallbackReply, ClientId, DirEntry, Fattr, FileHandle,
     FileVersion, NfsReply, NfsRequest, NfsStatus, ReadReply, Result, BLOCK_SIZE,
 };
 use spritely_rpcnet::{Caller, Endpoint, EndpointParams, RpcError};
-use spritely_sim::{Event, Resource, Sim, SimDuration};
+use spritely_sim::{Event, Resource, Semaphore, Sim, SimDuration};
+
+/// Configuration of the client's write-behind pool (the Ultrix biod
+/// analogue): how dirty blocks travel back to the server.
+///
+/// The defaults are **paper-faithful**: one block per `write` RPC and one
+/// RPC in flight, which is exactly the serial flush the paper's SNFS
+/// client performs — table 5-x RPC counts are unchanged. Perf-mode runs
+/// enable gathering and pipelining via [`pipelined`](Self::pipelined).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteBehindParams {
+    /// Flush daemons: how many planned runs may be staged at once
+    /// (Ultrix ran 4 biods per client).
+    pub pool: usize,
+    /// Maximum contiguous dirty blocks gathered into one `write` RPC.
+    pub gather_blocks: usize,
+    /// Maximum write-back RPCs in flight concurrently.
+    pub max_inflight: usize,
+}
+
+impl Default for WriteBehindParams {
+    fn default() -> Self {
+        WriteBehindParams {
+            pool: 4,
+            gather_blocks: 1,
+            max_inflight: 1,
+        }
+    }
+}
+
+impl WriteBehindParams {
+    /// BSD-style write gathering and pipelining (perf mode): 16-block
+    /// gathered writes, 2 in flight. The pipeline is deliberately
+    /// shallow: concurrent write RPCs interleave their blocks on the
+    /// server disk and forfeit sequential transfer, so past ~2 in
+    /// flight the extra overlap costs more seeks than it hides (the
+    /// same reason BSD gathered writes up to a track before issuing).
+    pub fn pipelined() -> Self {
+        WriteBehindParams {
+            pool: 4,
+            gather_blocks: 16,
+            max_inflight: 2,
+        }
+    }
+}
 
 /// Configuration of an [`SnfsClient`].
 #[derive(Debug, Clone, Copy)]
@@ -44,6 +88,11 @@ pub struct SnfsClientParams {
     /// Prefetch the next block on cache-missing sequential reads of
     /// cachable files.
     pub read_ahead: bool,
+    /// How many blocks ahead to prefetch (1 = the paper's single
+    /// speculative block; larger windows pipeline sequential reads).
+    pub read_ahead_window: usize,
+    /// Write-behind pool: gathering and pipelining of dirty-block flushes.
+    pub write_behind: WriteBehindParams,
     /// §6.2 extension: hold back `close` RPCs anticipating a reopen.
     pub delayed_close: bool,
     /// How long a delayed close lingers before being reported
@@ -67,6 +116,8 @@ impl Default for SnfsClientParams {
             write_delay: SimDuration::ZERO,
             update_interval: Some(SimDuration::from_secs(30)),
             read_ahead: true,
+            read_ahead_window: 1,
+            write_behind: WriteBehindParams::default(),
             delayed_close: false,
             delayed_close_timeout: SimDuration::from_secs(180),
             name_cache: false,
@@ -93,6 +144,9 @@ pub struct ClientStats {
     pub recoveries: u64,
     /// Lookups served from the local name cache (§7 extension).
     pub name_cache_hits: u64,
+    /// Write-back RPCs that failed (daemon, fsync, callback and eviction
+    /// paths alike).
+    pub writeback_failures: u64,
 }
 
 type Key = (FileHandle, u64);
@@ -124,6 +178,15 @@ struct Inner {
     /// Name-translation cache: `(dir, name) → (fh, attr)` (§7 extension;
     /// consistent via directory invalidate callbacks).
     names: RefCell<HashMap<(FileHandle, String), (FileHandle, Fattr)>>,
+    /// Write-behind pool slots: bounds how many planned flush runs are
+    /// staged concurrently.
+    flush_slots: Semaphore,
+    /// Bounds write-back RPCs in flight (1 = the paper's serial flush).
+    flush_inflight: Semaphore,
+    /// Blocks per gathered write-back RPC.
+    gather_hist: Histogram,
+    /// Concurrent write-back RPCs, with high-water mark.
+    inflight_gauge: InflightGauge,
 }
 
 /// A Spritely NFS client bound to one server.
@@ -142,6 +205,12 @@ impl SnfsClient {
     /// Creates a client that calls the server through `caller`.
     pub fn new(sim: &Sim, caller: Caller<NfsRequest, NfsReply>, params: SnfsClientParams) -> Self {
         let id = caller.client_id();
+        let wb = params.write_behind;
+        assert!(
+            wb.pool > 0,
+            "write-behind pool must have at least one daemon"
+        );
+        assert!(wb.max_inflight > 0, "need at least one in-flight write");
         SnfsClient {
             inner: Rc::new(Inner {
                 sim: sim.clone(),
@@ -154,6 +223,10 @@ impl SnfsClient {
                 stats: Cell::new(ClientStats::default()),
                 known_epoch: Cell::new(0),
                 names: RefCell::new(HashMap::new()),
+                flush_slots: Semaphore::new(wb.pool),
+                flush_inflight: Semaphore::new(wb.max_inflight),
+                gather_hist: Histogram::new(),
+                inflight_gauge: InflightGauge::new(),
             }),
         }
     }
@@ -176,6 +249,16 @@ impl SnfsClient {
     /// Number of dirty blocks awaiting write-back.
     pub fn dirty_blocks(&self) -> usize {
         self.inner.cache.borrow().dirty_count()
+    }
+
+    /// Histogram of blocks per gathered write-back RPC.
+    pub fn gather_histogram(&self) -> Histogram {
+        self.inner.gather_hist.clone()
+    }
+
+    /// Gauge of concurrent write-back RPCs (with high-water mark).
+    pub fn inflight_gauge(&self) -> InflightGauge {
+        self.inner.inflight_gauge.clone()
     }
 
     fn bump_stats(&self, f: impl FnOnce(&mut ClientStats)) {
@@ -454,17 +537,23 @@ impl SnfsClient {
         if !self.inner.params.read_ahead {
             return;
         }
-        let next = lblk + 1;
-        if next * (BLOCK_SIZE as u64) >= size
-            || self.inner.cache.borrow().contains(&(fh, next))
-            || self.inner.in_flight.borrow().contains_key(&(fh, next))
-        {
-            return;
+        // A window of 1 is the paper's single speculative block; wider
+        // windows keep several sequential fetches in flight at once.
+        let window = self.inner.params.read_ahead_window.max(1) as u64;
+        for next in lblk + 1..=lblk + window {
+            if next * (BLOCK_SIZE as u64) >= size {
+                break;
+            }
+            if self.inner.cache.borrow().contains(&(fh, next))
+                || self.inner.in_flight.borrow().contains_key(&(fh, next))
+            {
+                continue;
+            }
+            let this = self.clone();
+            self.inner.sim.spawn(async move {
+                let _ = this.fetch_block(fh, next, true).await;
+            });
         }
-        let this = self.clone();
-        self.inner.sim.spawn(async move {
-            let _ = this.fetch_block(fh, next, true).await;
-        });
     }
 
     /// Reads up to `len` bytes at `offset`. Returns `(data, eof)`.
@@ -574,8 +663,17 @@ impl SnfsClient {
             };
             let victim = self.inner.cache.borrow_mut().write(key, merged, now);
             if let Some(v) = victim {
-                // Cache pressure forces an early write-back.
-                self.write_block_back(v.key.0, v.key.1, v.data).await?;
+                // Cache pressure forces an early write-back, routed
+                // through the pool: the slot acquisition is the
+                // writer's backpressure, the RPC itself proceeds in the
+                // background (failures land in `writeback_failures`).
+                let slot = self.inner.flush_slots.acquire().await;
+                let this = self.clone();
+                self.inner.sim.spawn(async move {
+                    let _slot = slot;
+                    let _permit = this.inner.flush_inflight.acquire().await;
+                    let _ = this.write_back_rpc(v.key.0, v.key.1, v.data, 1).await;
+                });
             }
         }
         // Local attributes are authoritative for a caching writer.
@@ -587,34 +685,114 @@ impl SnfsClient {
         Ok(())
     }
 
-    async fn write_block_back(&self, fh: FileHandle, lblk: u64, data: Vec<u8>) -> Result<()> {
-        let rep = self
+    /// Sends one write-back RPC covering `blocks` blocks starting at
+    /// logical block `start`. Bumps the gather histogram, the in-flight
+    /// gauge, and the written-back / failure counters.
+    async fn write_back_rpc(
+        &self,
+        fh: FileHandle,
+        start: u64,
+        data: Vec<u8>,
+        blocks: u64,
+    ) -> Result<()> {
+        self.inner.gather_hist.record(blocks);
+        self.inner.inflight_gauge.inc();
+        let res = self
             .call(NfsRequest::Write {
                 fh,
-                offset: lblk * BLOCK_SIZE as u64,
+                offset: start * BLOCK_SIZE as u64,
                 data,
             })
-            .await?;
-        self.bump_stats(|s| s.written_back_blocks += 1);
-        match rep {
-            NfsReply::Attr(_) => Ok(()),
-            _ => Err(NfsStatus::Io),
+            .await;
+        self.inner.inflight_gauge.dec();
+        match res {
+            Ok(rep) => {
+                self.bump_stats(|s| s.written_back_blocks += blocks);
+                match rep {
+                    NfsReply::Attr(_) => Ok(()),
+                    _ => {
+                        self.bump_stats(|s| s.writeback_failures += 1);
+                        Err(NfsStatus::Io)
+                    }
+                }
+            }
+            Err(e) => {
+                self.bump_stats(|s| s.writeback_failures += 1);
+                Err(e)
+            }
+        }
+    }
+
+    /// Issues one planned run: re-extracts the blocks at issue time
+    /// (they may have gone clean, been rewritten, or vanished since
+    /// planning) and sends one gathered `write` RPC per contiguous
+    /// segment, marking blocks clean as each RPC lands. Stops at the
+    /// first failed segment; its blocks (and the rest of the run) stay
+    /// dirty for a later retry.
+    async fn flush_one_run(&self, fh: FileHandle, run: DirtyRun) -> Result<()> {
+        let gathered = self.inner.cache.borrow().gather_run(fh, run, BLOCK_SIZE);
+        for gw in gathered {
+            let blocks = gw.seqs.len() as u64;
+            self.write_back_rpc(fh, gw.start, gw.data, blocks).await?;
+            let mut cache = self.inner.cache.borrow_mut();
+            for (blk, seq) in gw.seqs {
+                cache.mark_clean(&(fh, blk), seq);
+            }
+        }
+        Ok(())
+    }
+
+    /// Pushes planned runs through the write-behind pool: each run takes
+    /// a pool slot *in plan order* (the semaphore is FIFO-fair), then a
+    /// daemon task gathers and sends it with at most
+    /// [`WriteBehindParams::max_inflight`] RPCs in flight. With
+    /// `stop_on_err`, runs not yet issued when an error lands are
+    /// abandoned — their blocks stay dirty — which with the paper-mode
+    /// defaults (one block per RPC, one RPC in flight) reproduces the
+    /// serial flush exactly.
+    async fn flush_runs(
+        &self,
+        fh: FileHandle,
+        runs: Vec<DirtyRun>,
+        stop_on_err: bool,
+    ) -> Result<()> {
+        let failed: Rc<Cell<Option<NfsStatus>>> = Rc::new(Cell::new(None));
+        let mut daemons = Vec::with_capacity(runs.len());
+        for run in runs {
+            if stop_on_err && failed.get().is_some() {
+                break;
+            }
+            let slot = self.inner.flush_slots.acquire().await;
+            let this = self.clone();
+            let failed = failed.clone();
+            daemons.push(self.inner.sim.spawn(async move {
+                let _slot = slot;
+                let _permit = this.inner.flush_inflight.acquire().await;
+                if stop_on_err && failed.get().is_some() {
+                    return;
+                }
+                if let Err(e) = this.flush_one_run(fh, run).await {
+                    if failed.get().is_none() {
+                        failed.set(Some(e));
+                    }
+                }
+            }));
+        }
+        for d in daemons {
+            d.await;
+        }
+        match failed.get() {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
     }
 
     /// Writes back all of `fh`'s dirty blocks (used by callbacks, fsync,
     /// and the update daemon).
     pub async fn writeback_file(&self, fh: FileHandle) -> Result<()> {
-        let mut keys = self.inner.cache.borrow().keys_matching(|k| k.0 == fh);
-        keys.sort_unstable();
-        for key in keys {
-            let fd = self.inner.cache.borrow().flush_data(&key);
-            if let Some(fd) = fd {
-                self.write_block_back(key.0, key.1, fd.data).await?;
-                self.inner.cache.borrow_mut().mark_clean(&key, fd.seq);
-            }
-        }
-        Ok(())
+        let gather = self.inner.params.write_behind.gather_blocks;
+        let runs = self.inner.cache.borrow().dirty_runs(fh, gather, BLOCK_SIZE);
+        self.flush_runs(fh, runs, true).await
     }
 
     /// Flushes dirty blocks older than the write-delay (the update
@@ -622,23 +800,34 @@ impl SnfsClient {
     pub async fn flush_aged(&self) {
         let now = self.inner.sim.now();
         let min_age = self.inner.params.write_delay;
-        let mut due: Vec<Key> = self
-            .inner
-            .cache
-            .borrow()
-            .dirty_blocks()
-            .into_iter()
-            .filter(|&(_, t)| now.saturating_duration_since(t) >= min_age)
-            .map(|(k, _)| k)
-            .collect();
-        due.sort_unstable();
-        for key in due {
-            let fd = self.inner.cache.borrow().flush_data(&key);
-            if let Some(fd) = fd {
-                if self.write_block_back(key.0, key.1, fd.data).await.is_ok() {
-                    self.inner.cache.borrow_mut().mark_clean(&key, fd.seq);
-                }
-            }
+        let gather = self.inner.params.write_behind.gather_blocks;
+        // Plan every file's runs up front from a single snapshot: blocks
+        // that age past the delay *during* the flush wait for the next
+        // daemon pass, exactly as with the serial flush.
+        let plans: Vec<(FileHandle, Vec<DirtyRun>)> = {
+            let cache = self.inner.cache.borrow();
+            let mut files: Vec<FileHandle> = cache
+                .dirty_blocks()
+                .into_iter()
+                .filter(|&(_, t)| now.saturating_duration_since(t) >= min_age)
+                .map(|((fh, _), _)| fh)
+                .collect();
+            files.sort_unstable();
+            files.dedup();
+            files
+                .into_iter()
+                .map(|fh| {
+                    let runs = cache.dirty_runs_where(fh, gather, BLOCK_SIZE, |_, t| {
+                        now.saturating_duration_since(t) >= min_age
+                    });
+                    (fh, runs)
+                })
+                .collect()
+        };
+        for (fh, runs) in plans {
+            // Failures are counted in `writeback_failures`; the blocks
+            // stay dirty and the next pass retries them.
+            let _ = self.flush_runs(fh, runs, false).await;
         }
     }
 

@@ -31,7 +31,7 @@ mod client;
 mod server;
 pub mod state_table;
 
-pub use client::{ClientStats, SnfsClient, SnfsClientParams};
+pub use client::{ClientStats, SnfsClient, SnfsClientParams, WriteBehindParams};
 pub use server::{ServerStats, SnfsServer, SnfsServerParams};
 pub use state_table::{CallbackNeeded, ClientOpens, FileState, OpenOutcome, StateTable};
 

@@ -17,7 +17,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use spritely_localfs::LocalFs;
-use spritely_metrics::OpCounter;
+use spritely_metrics::{InflightGauge, OpCounter};
 use spritely_proto::{
     CallbackArg, CallbackReply, ClientId, FileHandle, NfsReply, NfsRequest, NfsStatus, OpenReply,
 };
@@ -83,6 +83,8 @@ struct Inner {
     file_locks: RefCell<HashMap<FileHandle, Semaphore>>,
     /// At most N−1 simultaneous callbacks (N = service threads).
     callback_slots: Semaphore,
+    /// Concurrent callbacks in flight (peak must stay ≤ N−1).
+    callback_inflight: InflightGauge,
     params: SnfsServerParams,
     stats: Cell<ServerStats>,
     /// Reboot generation; bumped by [`SnfsServer::reboot`]. Clients learn
@@ -122,6 +124,7 @@ impl SnfsServer {
                 callback_clients: RefCell::new(HashMap::new()),
                 file_locks: RefCell::new(HashMap::new()),
                 callback_slots: Semaphore::new(service_threads - 1),
+                callback_inflight: InflightGauge::new(),
                 params,
                 stats: Cell::new(ServerStats::default()),
                 epoch: Cell::new(1),
@@ -159,18 +162,15 @@ impl SnfsServer {
                 }
             }
         };
-        for t in targets {
-            self.do_callback(
-                dir,
-                CallbackNeeded {
-                    target: t,
-                    writeback: false,
-                    invalidate: true,
-                },
-                false,
-            )
-            .await;
-        }
+        let callbacks: Vec<CallbackNeeded> = targets
+            .into_iter()
+            .map(|t| CallbackNeeded {
+                target: t,
+                writeback: false,
+                invalidate: true,
+            })
+            .collect();
+        self.fan_out_callbacks(dir, &callbacks, false).await;
     }
 
     /// The current reboot epoch (starts at 1).
@@ -220,6 +220,12 @@ impl SnfsServer {
     /// Server statistics.
     pub fn stats(&self) -> ServerStats {
         self.inner.stats.get()
+    }
+
+    /// Gauge of concurrent callbacks (its peak must stay ≤ N−1, the
+    /// §3.2 thread-pool rule — asserted in tests).
+    pub fn callback_gauge(&self) -> InflightGauge {
+        self.inner.callback_inflight.clone()
     }
 
     /// Number of state-table entries (for tests; paper §4.3.1 limits).
@@ -281,6 +287,7 @@ impl SnfsServer {
         // N−1 rule: hold a callback slot while waiting on the client.
         let slot = self.inner.callback_slots.acquire().await;
         self.bump_stats(|s| s.callbacks_sent += 1);
+        self.inner.callback_inflight.inc();
         let res = caller
             .call(CallbackArg {
                 fh,
@@ -289,6 +296,7 @@ impl SnfsServer {
                 relinquish,
             })
             .await;
+        self.inner.callback_inflight.dec();
         drop(slot);
         match res {
             Ok(rep) if rep.ok => {
@@ -307,6 +315,37 @@ impl SnfsServer {
         }
     }
 
+    /// Performs a set of callbacks. A single one runs inline; several
+    /// fan out as concurrent tasks across their target clients, each
+    /// still taking one of the N−1 callback slots inside
+    /// [`do_callback`](Self::do_callback) — so the fan-out never
+    /// exceeds the §3.2 thread-pool budget.
+    async fn fan_out_callbacks(
+        &self,
+        fh: FileHandle,
+        callbacks: &[CallbackNeeded],
+        relinquish: bool,
+    ) {
+        match callbacks {
+            [] => {}
+            [cb] => {
+                self.do_callback(fh, *cb, relinquish).await;
+            }
+            many => {
+                let mut tasks = Vec::with_capacity(many.len());
+                for &cb in many {
+                    let this = self.clone();
+                    tasks.push(self.inner.sim.spawn(async move {
+                        this.do_callback(fh, cb, relinquish).await;
+                    }));
+                }
+                for t in tasks {
+                    t.await;
+                }
+            }
+        }
+    }
+
     /// Reclaims state-table entries when over the limit (paper §4.3.1).
     async fn maybe_reclaim(&self) {
         if !self.inner.table.borrow().over_limit() {
@@ -318,10 +357,26 @@ impl SnfsServer {
             .table
             .borrow_mut()
             .reclaim(self.inner.params.reclaim_target);
+        // The victims are distinct files: fan their write-back
+        // callbacks out concurrently (bounded by the callback slots).
+        let mut tasks = Vec::with_capacity(victims.len());
         for (fh, client) in victims {
-            let _lock = self.file_lock(fh).acquire().await;
-            let ok = self
-                .do_callback(
+            let this = self.clone();
+            tasks.push(self.inner.sim.spawn(async move {
+                let _lock = this.file_lock(fh).acquire().await;
+                // Re-check under the lock: a concurrent open may have
+                // revived the entry (or moved its dirty claim), and a
+                // stale callback would invalidate an active client's
+                // cache.
+                {
+                    let table = this.inner.table.borrow();
+                    if table.state_of(fh) != crate::state_table::FileState::ClosedDirty
+                        || table.dirty_holder(fh) != Some(client)
+                    {
+                        return;
+                    }
+                }
+                this.do_callback(
                     fh,
                     CallbackNeeded {
                         target: client,
@@ -331,13 +386,13 @@ impl SnfsServer {
                     false,
                 )
                 .await;
-            let mut table = self.inner.table.borrow_mut();
-            if ok {
-                table.drop_if_closed(fh);
-            } else {
-                // client_crashed already cleaned it up.
-                table.drop_if_closed(fh);
-            }
+                // On failure, client_crashed already cleaned the entry
+                // up; either way drop it if it is now cleanly closed.
+                this.inner.table.borrow_mut().drop_if_closed(fh);
+            }));
+        }
+        for t in tasks {
+            t.await;
         }
     }
 
@@ -371,9 +426,7 @@ impl SnfsServer {
                 };
                 let _lock = self.file_lock(fh).acquire().await;
                 let outcome = self.inner.table.borrow_mut().open(fh, client, write);
-                for cb in &outcome.callbacks {
-                    self.do_callback(fh, *cb, false).await;
-                }
+                self.fan_out_callbacks(fh, &outcome.callbacks, false).await;
                 // Attributes may have changed if a write-back just landed.
                 let attr = self.inner.fs.getattr(fh).unwrap_or(attr0);
                 let reply = NfsReply::Open(OpenReply {
@@ -411,9 +464,7 @@ impl SnfsServer {
                 let write = matches!(req, NfsRequest::Write { .. });
                 let _lock = self.file_lock(fh).acquire().await;
                 let outcome = self.inner.table.borrow_mut().open(fh, from, write);
-                for cb in &outcome.callbacks {
-                    self.do_callback(fh, *cb, false).await;
-                }
+                self.fan_out_callbacks(fh, &outcome.callbacks, false).await;
                 let rep = spritely_nfs::handle(&self.inner.fs, req).await;
                 self.inner
                     .table

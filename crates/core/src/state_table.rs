@@ -237,6 +237,11 @@ impl StateTable {
         self.entries.get(&fh).map(|e| e.version)
     }
 
+    /// The client recorded as possibly holding dirty blocks for `fh`.
+    pub fn dirty_holder(&self, fh: FileHandle) -> Option<ClientId> {
+        self.entries.get(&fh).and_then(|e| e.dirty)
+    }
+
     /// Per-client open counts (for tests and debugging).
     pub fn clients_of(&self, fh: FileHandle) -> Vec<ClientOpens> {
         self.entries

@@ -17,16 +17,18 @@ pub mod config;
 pub mod report;
 
 mod andrew;
+mod flushx;
 mod microx;
 mod scaling;
 mod sortx;
 mod testbed;
 
 pub use andrew::{run_andrew, run_andrew_with, AndrewRun};
+pub use flushx::{run_flush, FlushRun};
 pub use microx::{run_reopen, run_temp_lifetime, ReopenRun, TempLifetimeRun};
 pub use scaling::{run_scaling, ScalingRun};
 pub use sortx::{run_sort_experiment, run_sort_with, SortRun};
-pub use spritely_core::SnfsServerParams;
+pub use spritely_core::{SnfsServerParams, WriteBehindParams};
 pub use testbed::{ClientHost, Protocol, RemoteClient, Testbed, TestbedParams};
 
 #[cfg(test)]

@@ -4,6 +4,7 @@ use spritely_metrics::TextTable;
 use spritely_proto::NfsProc;
 
 use crate::andrew::AndrewRun;
+use crate::flushx::FlushRun;
 use crate::microx::ReopenRun;
 use crate::sortx::SortRun;
 
@@ -165,6 +166,32 @@ pub fn latency_table(l: &spritely_metrics::LatencyStats) -> String {
             format!("{:.1} ms", l.mean(p).as_secs_f64() * 1e3),
             format!("{:.1} ms", l.percentile(p, 0.95).as_secs_f64() * 1e3),
             format!("{:.1} ms", l.max(p).as_secs_f64() * 1e3),
+        ]);
+    }
+    t.render()
+}
+
+/// Write-behind flush microbenchmark report: one row per pool
+/// configuration, including the write-back failure count (normally 0).
+pub fn flush_table(runs: &[FlushRun]) -> String {
+    let mut t = TextTable::new(vec![
+        "Mode",
+        "blocks",
+        "flush ms",
+        "write RPCs",
+        "blk/RPC",
+        "inflight",
+        "failures",
+    ]);
+    for r in runs {
+        t.row(vec![
+            r.label.to_string(),
+            r.dirty_blocks.to_string(),
+            format!("{:.1}", r.flush_time.as_secs_f64() * 1e3),
+            r.write_rpcs.to_string(),
+            format!("{:.1}", r.mean_batch),
+            r.peak_inflight.to_string(),
+            r.writeback_failures.to_string(),
         ]);
     }
     t.render()

@@ -2,7 +2,9 @@
 //! shared Ethernet, and a protocol choice per experiment.
 
 use spritely_blockdev::Disk;
-use spritely_core::{SnfsClient, SnfsClientParams, SnfsServer, SnfsServerParams};
+use spritely_core::{
+    SnfsClient, SnfsClientParams, SnfsServer, SnfsServerParams, WriteBehindParams,
+};
 use spritely_localfs::LocalFs;
 use spritely_metrics::{GaugeSeries, LatencyStats, OpCounter, RateSeries};
 use spritely_nfs::{nfs_server, NfsClient, NfsClientParams};
@@ -63,6 +65,12 @@ pub struct TestbedParams {
     pub nfs_attr_min: SimDuration,
     /// NFS client read-ahead.
     pub read_ahead: bool,
+    /// SNFS client read-ahead window (1 = the paper's single
+    /// speculative block).
+    pub read_ahead_window: usize,
+    /// SNFS client write-behind pool (gathering + pipelining). The
+    /// default is paper-faithful: one block per RPC, one in flight.
+    pub write_behind: WriteBehindParams,
     /// Name caching at the clients (§7 extension for SNFS, dnlc-style TTL
     /// cache for NFS).
     pub name_cache: bool,
@@ -79,6 +87,8 @@ impl Default for TestbedParams {
             snfs_write_delay: SimDuration::ZERO,
             nfs_attr_min: SimDuration::from_secs(3),
             read_ahead: true,
+            read_ahead_window: 1,
+            write_behind: WriteBehindParams::default(),
             name_cache: false,
             snfs_server: SnfsServerParams::default(),
         }
@@ -293,6 +303,8 @@ impl Testbed {
                                 .update_enabled
                                 .then(|| SimDuration::from_secs(30)),
                             read_ahead: params.read_ahead,
+                            read_ahead_window: params.read_ahead_window,
+                            write_behind: params.write_behind,
                             delayed_close: params.protocol == Protocol::SnfsDelayedClose,
                             name_cache: params.name_cache,
                             ..SnfsClientParams::default()

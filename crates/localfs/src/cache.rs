@@ -288,6 +288,110 @@ impl<K: Eq + Hash + Copy> BlockCache<K> {
     }
 }
 
+/// A contiguous run of dirty blocks of one file, planned for gathering
+/// into a single large write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirtyRun {
+    /// First logical block index of the run.
+    pub start: u64,
+    /// Number of blocks in the run.
+    pub len: usize,
+}
+
+/// One gathered write copied out of the cache: contiguous data starting
+/// at block `start`, plus the per-block seqs to pass back to
+/// [`BlockCache::mark_clean`] after the write lands.
+#[derive(Debug)]
+pub struct GatheredWrite {
+    /// First logical block index covered by `data`.
+    pub start: u64,
+    /// Concatenated block contents.
+    pub data: Vec<u8>,
+    /// `(block index, seq at copy time)` for every block included.
+    pub seqs: Vec<(u64, u64)>,
+}
+
+impl<F: Eq + Hash + Copy> BlockCache<(F, u64)> {
+    /// Partitions `file`'s dirty blocks into contiguous runs of at most
+    /// `max_blocks`, in block order. Runs break at holes (a missing or
+    /// clean block) and after any *short* block (`len != block_size`) —
+    /// a short block is only byte-contiguous with its successor once
+    /// zero-filled, so it must end its gathered write.
+    ///
+    /// `keep` filters candidate blocks by `(index, dirty-since)`; pass
+    /// `|_, _| true` to take every dirty block, or an age test for the
+    /// update daemon's aged flush.
+    pub fn dirty_runs_where(
+        &self,
+        file: F,
+        max_blocks: usize,
+        block_size: usize,
+        mut keep: impl FnMut(u64, SimTime) -> bool,
+    ) -> Vec<DirtyRun> {
+        assert!(max_blocks > 0, "gather limit must be positive");
+        let mut blocks: Vec<u64> = self
+            .map
+            .iter()
+            .filter(|((f, _), e)| *f == file && e.dirty_since.is_some())
+            .filter(|((_, b), e)| keep(*b, e.dirty_since.expect("filtered dirty")))
+            .map(|((_, b), _)| *b)
+            .collect();
+        blocks.sort_unstable();
+        let mut runs: Vec<DirtyRun> = Vec::new();
+        let mut prev_short = false;
+        for b in blocks {
+            let short = self.map[&(file, b)].data.len() != block_size;
+            let extend = match runs.last() {
+                Some(run) => run.start + run.len as u64 == b && run.len < max_blocks && !prev_short,
+                None => false,
+            };
+            if extend {
+                runs.last_mut().expect("just matched").len += 1;
+            } else {
+                runs.push(DirtyRun { start: b, len: 1 });
+            }
+            prev_short = short;
+        }
+        runs
+    }
+
+    /// All dirty runs of `file` (no age filter); see
+    /// [`dirty_runs_where`](Self::dirty_runs_where).
+    pub fn dirty_runs(&self, file: F, max_blocks: usize, block_size: usize) -> Vec<DirtyRun> {
+        self.dirty_runs_where(file, max_blocks, block_size, |_, _| true)
+    }
+
+    /// Copies a planned run out of the cache for writing. Blocks that
+    /// went clean or vanished since planning (a raced flush, a remove)
+    /// split the run; a block that became short mid-run ends its
+    /// segment, exactly as in [`dirty_runs_where`](Self::dirty_runs_where).
+    /// Normally returns one [`GatheredWrite`] covering the whole run.
+    pub fn gather_run(&self, file: F, run: DirtyRun, block_size: usize) -> Vec<GatheredWrite> {
+        let mut out: Vec<GatheredWrite> = Vec::new();
+        let mut open = false;
+        for b in run.start..run.start + run.len as u64 {
+            let Some(fd) = self.flush_data(&(file, b)) else {
+                open = false;
+                continue;
+            };
+            let short = fd.data.len() != block_size;
+            if open {
+                let gw = out.last_mut().expect("open implies a segment");
+                gw.data.extend_from_slice(&fd.data);
+                gw.seqs.push((b, fd.seq));
+            } else {
+                out.push(GatheredWrite {
+                    start: b,
+                    data: fd.data,
+                    seqs: vec![(b, fd.seq)],
+                });
+            }
+            open = !short;
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -411,5 +515,139 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_capacity_rejected() {
         let _: BlockCache<u32> = BlockCache::new(0);
+    }
+
+    // ---- dirty-run extraction (write gathering) ----------------------------
+
+    const BS: usize = 4; // toy block size for gathering tests
+
+    fn dirty_file_blocks(c: &mut BlockCache<(u32, u64)>, file: u32, blocks: &[u64]) {
+        for &b in blocks {
+            c.write((file, b), vec![b as u8; BS], t(b));
+        }
+    }
+
+    #[test]
+    fn runs_split_at_holes() {
+        let mut c: BlockCache<(u32, u64)> = BlockCache::new(64);
+        dirty_file_blocks(&mut c, 1, &[0, 1, 2, 4, 5, 9]);
+        let runs = c.dirty_runs(1, 16, BS);
+        assert_eq!(
+            runs,
+            vec![
+                DirtyRun { start: 0, len: 3 },
+                DirtyRun { start: 4, len: 2 },
+                DirtyRun { start: 9, len: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn runs_respect_gather_limit() {
+        let mut c: BlockCache<(u32, u64)> = BlockCache::new(64);
+        dirty_file_blocks(&mut c, 1, &[0, 1, 2, 3, 4]);
+        let runs = c.dirty_runs(1, 2, BS);
+        assert_eq!(
+            runs,
+            vec![
+                DirtyRun { start: 0, len: 2 },
+                DirtyRun { start: 2, len: 2 },
+                DirtyRun { start: 4, len: 1 },
+            ]
+        );
+        // gather limit 1 degenerates to one run per block (paper mode).
+        assert_eq!(c.dirty_runs(1, 1, BS).len(), 5);
+    }
+
+    #[test]
+    fn short_block_ends_its_run() {
+        let mut c: BlockCache<(u32, u64)> = BlockCache::new(64);
+        c.write((1, 0), vec![0; BS], t(0));
+        c.write((1, 1), vec![1; 2], t(1)); // short: EOF or hole prefix
+        c.write((1, 2), vec![2; BS], t(2));
+        let runs = c.dirty_runs(1, 16, BS);
+        assert_eq!(
+            runs,
+            vec![DirtyRun { start: 0, len: 2 }, DirtyRun { start: 2, len: 1 }]
+        );
+        // The short block rides at the tail of its gathered write.
+        let gws = c.gather_run(1, runs[0], BS);
+        assert_eq!(gws.len(), 1);
+        assert_eq!(gws[0].data.len(), BS + 2);
+    }
+
+    #[test]
+    fn runs_exclude_clean_and_other_files() {
+        let mut c: BlockCache<(u32, u64)> = BlockCache::new(64);
+        dirty_file_blocks(&mut c, 1, &[0, 1, 2]);
+        dirty_file_blocks(&mut c, 2, &[3]);
+        let fd = c.flush_data(&(1, 1)).expect("dirty");
+        c.mark_clean(&(1, 1), fd.seq);
+        let runs = c.dirty_runs(1, 16, BS);
+        assert_eq!(
+            runs,
+            vec![DirtyRun { start: 0, len: 1 }, DirtyRun { start: 2, len: 1 }]
+        );
+    }
+
+    #[test]
+    fn age_filter_limits_runs() {
+        let mut c: BlockCache<(u32, u64)> = BlockCache::new(64);
+        dirty_file_blocks(&mut c, 1, &[0, 1, 2]);
+        let runs = c.dirty_runs_where(1, 16, BS, |_, since| since <= t(1));
+        assert_eq!(runs, vec![DirtyRun { start: 0, len: 2 }]);
+    }
+
+    #[test]
+    fn gather_copies_data_and_seqs() {
+        let mut c: BlockCache<(u32, u64)> = BlockCache::new(64);
+        dirty_file_blocks(&mut c, 1, &[3, 4, 5]);
+        let runs = c.dirty_runs(1, 16, BS);
+        let gws = c.gather_run(1, runs[0], BS);
+        assert_eq!(gws.len(), 1);
+        let gw = &gws[0];
+        assert_eq!(gw.start, 3);
+        assert_eq!(gw.data.len(), 3 * BS);
+        assert_eq!(&gw.data[..BS], &[3u8; BS][..]);
+        assert_eq!(&gw.data[2 * BS..], &[5u8; BS][..]);
+        assert_eq!(
+            gw.seqs.iter().map(|&(b, _)| b).collect::<Vec<_>>(),
+            [3, 4, 5]
+        );
+        // The recorded seqs round-trip through mark_clean.
+        for &(b, seq) in &gw.seqs {
+            c.mark_clean(&(1, b), seq);
+        }
+        assert_eq!(c.dirty_count(), 0);
+    }
+
+    #[test]
+    fn gather_splits_when_planned_block_vanished() {
+        let mut c: BlockCache<(u32, u64)> = BlockCache::new(64);
+        dirty_file_blocks(&mut c, 1, &[0, 1, 2]);
+        let runs = c.dirty_runs(1, 16, BS);
+        assert_eq!(runs, vec![DirtyRun { start: 0, len: 3 }]);
+        // Block 1 is flushed (or dropped) between planning and gathering.
+        let fd = c.flush_data(&(1, 1)).expect("dirty");
+        c.mark_clean(&(1, 1), fd.seq);
+        let gws = c.gather_run(1, runs[0], BS);
+        assert_eq!(gws.len(), 2);
+        assert_eq!((gws[0].start, gws[0].data.len()), (0, BS));
+        assert_eq!((gws[1].start, gws[1].data.len()), (2, BS));
+    }
+
+    #[test]
+    fn gather_seq_race_keeps_rewritten_block_dirty() {
+        let mut c: BlockCache<(u32, u64)> = BlockCache::new(64);
+        dirty_file_blocks(&mut c, 1, &[0, 1]);
+        let runs = c.dirty_runs(1, 16, BS);
+        let gws = c.gather_run(1, runs[0], BS);
+        // A write races the gathered RPC: block 1 gets new data.
+        c.write((1, 1), vec![9; BS], t(50));
+        for &(b, seq) in &gws[0].seqs {
+            c.mark_clean(&(1, b), seq);
+        }
+        assert!(!c.is_dirty(&(1, 0)));
+        assert!(c.is_dirty(&(1, 1)), "raced block must stay dirty");
     }
 }

@@ -26,7 +26,7 @@ mod cache;
 mod fs;
 mod store;
 
-pub use cache::{BlockCache, DirtyVictim, DropCounts, FlushData};
+pub use cache::{BlockCache, DirtyRun, DirtyVictim, DropCounts, FlushData, GatheredWrite};
 pub use fs::{FsParams, FsStats, LocalFs};
 pub use store::{Store, META_BASE, NAME_MAX};
 

@@ -14,11 +14,13 @@
 //! paper-style tables from any of them.
 
 mod counter;
+mod hist;
 mod latency;
 mod series;
 mod table;
 
 pub use counter::{OpCounter, OpCounts};
+pub use hist::{Histogram, InflightGauge};
 pub use latency::LatencyStats;
 pub use series::{GaugeSeries, RateBucket, RateSeries};
 pub use table::TextTable;

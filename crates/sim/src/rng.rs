@@ -4,26 +4,64 @@
 //! wrapper over a seeded PRNG. Two runs with the same seed make identical
 //! draws, which together with the deterministic executor makes whole
 //! experiments reproducible bit-for-bit.
+//!
+//! The generator is a self-contained xoshiro256++ seeded via SplitMix64,
+//! so the simulator has no external dependencies and the stream is stable
+//! across toolchain and library upgrades.
 
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::time::SimDuration;
+
+/// xoshiro256++ state, seeded from a 64-bit seed via SplitMix64.
+struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    fn new(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the full 256-bit state;
+        // this is the standard seeding procedure and guarantees a nonzero
+        // state for every seed.
+        let mut sm = seed;
+        let mut next_sm = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Xoshiro256 {
+            s: [next_sm(), next_sm(), next_sm(), next_sm()],
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
 
 /// A cloneable handle to a shared, seeded PRNG stream.
 #[derive(Clone)]
 pub struct SimRng {
-    inner: Rc<RefCell<StdRng>>,
+    inner: Rc<RefCell<Xoshiro256>>,
 }
 
 impl SimRng {
     /// Creates a stream from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
         SimRng {
-            inner: Rc::new(RefCell::new(StdRng::seed_from_u64(seed))),
+            inner: Rc::new(RefCell::new(Xoshiro256::new(seed))),
         }
     }
 
@@ -32,13 +70,15 @@ impl SimRng {
     /// Use separate forks for separate subsystems so adding draws in one
     /// place does not perturb another.
     pub fn fork(&self) -> SimRng {
-        let seed: u64 = self.inner.borrow_mut().gen();
+        let seed = self.inner.borrow_mut().next_u64();
         SimRng::new(seed)
     }
 
     /// Uniform float in `[0, 1)`.
     pub fn f64(&self) -> f64 {
-        self.inner.borrow_mut().gen::<f64>()
+        // 53 high bits → uniform double in [0, 1).
+        let bits = self.inner.borrow_mut().next_u64() >> 11;
+        bits as f64 / (1u64 << 53) as f64
     }
 
     /// Uniform integer in `[lo, hi)`.
@@ -48,7 +88,15 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn range_u64(&self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range {lo}..{hi}");
-        self.inner.borrow_mut().gen_range(lo..hi)
+        let span = hi - lo;
+        // Rejection sampling to avoid modulo bias.
+        let zone = u64::MAX - u64::MAX % span;
+        loop {
+            let v = self.inner.borrow_mut().next_u64();
+            if v < zone {
+                return lo + v % span;
+            }
+        }
     }
 
     /// Uniform usize in `[0, n)`.
@@ -58,7 +106,7 @@ impl SimRng {
     /// Panics if `n == 0`.
     pub fn index(&self, n: usize) -> usize {
         assert!(n > 0, "empty index range");
-        self.inner.borrow_mut().gen_range(0..n)
+        self.range_u64(0, n as u64) as usize
     }
 
     /// Uniform duration in `[min, max]`.
@@ -89,6 +137,15 @@ mod tests {
         let b = SimRng::new(7).fork();
         for _ in 0..10 {
             assert_eq!(a.range_u64(0, 100), b.range_u64(0, 100));
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let rng = SimRng::new(3);
+        for _ in 0..1000 {
+            let x = rng.f64();
+            assert!((0.0..1.0).contains(&x));
         }
     }
 

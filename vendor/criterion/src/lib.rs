@@ -1,0 +1,170 @@
+//! Offline stand-in for [criterion](https://crates.io/crates/criterion).
+//!
+//! The build environment has no access to a cargo registry, so this crate
+//! implements the subset of the criterion API the workspace's benches
+//! use: `Criterion` with the builder knobs the benches set,
+//! `benchmark_group`/`bench_function`/`iter`, and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple — mean wall-clock time over up to
+//! `sample_size` iterations bounded by `measurement_time`, after a short
+//! warm-up — because for this workspace the benches' primary product is
+//! the printed paper-style artifact, with timing as a sanity signal.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Target number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Wall-clock budget for the measurement phase.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Wall-clock budget for the warm-up phase.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing the parent's settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark and prints its mean iteration time.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            mode: Mode::WarmUp,
+            budget: self.criterion.warm_up_time,
+            max_samples: usize::MAX,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.mode = Mode::Measure;
+        bencher.budget = self.criterion.measurement_time;
+        bencher.max_samples = self.criterion.sample_size;
+        bencher.samples.clear();
+        f(&mut bencher);
+        let n = bencher.samples.len().max(1) as u32;
+        let mean = bencher.samples.iter().sum::<Duration>() / n;
+        println!(
+            "{}/{}: time: [{:?} over {} samples]",
+            self.name,
+            id,
+            mean,
+            bencher.samples.len()
+        );
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; prints nothing).
+    pub fn finish(self) {}
+}
+
+enum Mode {
+    WarmUp,
+    Measure,
+}
+
+/// Handed to the closure passed to `bench_function`; drives iterations.
+pub struct Bencher {
+    mode: Mode,
+    budget: Duration,
+    max_samples: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine` within the phase's budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let phase_start = Instant::now();
+        let mut done = 0usize;
+        loop {
+            let start = Instant::now();
+            black_box(routine());
+            let elapsed = start.elapsed();
+            if let Mode::Measure = self.mode {
+                self.samples.push(elapsed);
+            }
+            done += 1;
+            // Always run at least one iteration; stop on either budget.
+            if phase_start.elapsed() >= self.budget || done >= self.max_samples {
+                break;
+            }
+        }
+    }
+}
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Declares a benchmark group runner function, mirroring criterion's
+/// macro of the same name (both the `name =`/`config =`/`targets =` form
+/// and the positional form).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+);
+    };
+}
+
+/// Declares `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,114 @@
+//! Offline stand-in for [proptest](https://crates.io/crates/proptest).
+//!
+//! The build environment has no access to a cargo registry, so this crate
+//! implements exactly the subset of the proptest API the workspace's
+//! property tests use: the [`proptest!`] test macro (with
+//! `#![proptest_config(..)]`), integer-range / tuple / `any` strategies,
+//! `prop_map`, weighted [`prop_oneof!`], [`collection::vec`], and the
+//! `prop_assert*` macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * case generation is fully deterministic (fixed per-case seeds), so a
+//!   failure reproduces on every run without a persistence file;
+//! * there is no shrinking — a failing case reports its panic directly;
+//! * `prop_assert*` panic instead of returning `TestCaseError`, which is
+//!   indistinguishable at the test-harness level.
+
+#![allow(clippy::type_complexity)]
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    //! Strategies for collections (only `vec` is provided).
+
+    use std::ops::Range;
+
+    use crate::strategy::{Strategy, VecStrategy};
+
+    /// A strategy producing `Vec`s of `element` with a length drawn
+    /// uniformly from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy::new(element, size)
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface: strategies, config, and macros.
+
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests: each inner `#[test] fn name(arg in strategy, ..)`
+/// becomes a normal `#[test]` that runs the body over `cases` generated
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr)
+     $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                $crate::test_runner::TestRunner::new(config).run_cases(|__proptest_rng| {
+                    $(let $arg =
+                        $crate::strategy::Strategy::generate_value(&($strat), __proptest_rng);)*
+                    $body
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Weighted choice between strategies: `prop_oneof![3 => a, 1 => b]`.
+/// Unweighted arms get weight 1.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((
+                $weight as u32,
+                {
+                    let __strategy = $strat;
+                    Box::new(move |__rng: &mut $crate::test_runner::TestRng| {
+                        $crate::strategy::Strategy::generate_value(&__strategy, __rng)
+                    })
+                },
+            )),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
