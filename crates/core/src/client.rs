@@ -22,7 +22,7 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use spritely_localfs::{BlockCache, DirtyRun};
+use spritely_localfs::{BlockCache, DirtyRun, DirtyVictim};
 use spritely_metrics::{Histogram, InflightGauge, OpCounter};
 use spritely_proto::{
     block_of, blocks_for, CallbackArg, CallbackReply, ClientId, DirEntry, Fattr, FileHandle,
@@ -187,6 +187,17 @@ struct Inner {
     gather_hist: Histogram,
     /// Concurrent write-back RPCs, with high-water mark.
     inflight_gauge: InflightGauge,
+    /// In-flight background eviction write-backs per file: a task count
+    /// plus an event set when the count returns to zero. An evicted
+    /// dirty block is gone from the cache, so this map is the only
+    /// record that its data has not reached the server yet —
+    /// `writeback_file` (and through it fsync, callbacks, and
+    /// `cold_boot`) must wait on it before claiming the file is clean.
+    evictions: RefCell<HashMap<FileHandle, (usize, Event)>>,
+    /// First error from a background eviction write-back of each file,
+    /// reported by the next `writeback_file`/`fsync` of that file
+    /// (classic delayed-write error semantics).
+    eviction_errors: RefCell<HashMap<FileHandle, NfsStatus>>,
 }
 
 /// A Spritely NFS client bound to one server.
@@ -227,6 +238,8 @@ impl SnfsClient {
                 flush_inflight: Semaphore::new(wb.max_inflight),
                 gather_hist: Histogram::new(),
                 inflight_gauge: InflightGauge::new(),
+                evictions: RefCell::new(HashMap::new()),
+                eviction_errors: RefCell::new(HashMap::new()),
             }),
         }
     }
@@ -249,6 +262,12 @@ impl SnfsClient {
     /// Number of dirty blocks awaiting write-back.
     pub fn dirty_blocks(&self) -> usize {
         self.inner.cache.borrow().dirty_count()
+    }
+
+    /// Number of evicted dirty blocks whose background write-back has
+    /// not completed yet (must be zero after a successful `fsync`).
+    pub fn pending_evictions(&self) -> usize {
+        self.inner.evictions.borrow().values().map(|(n, _)| n).sum()
     }
 
     /// Histogram of blocks per gathered write-back RPC.
@@ -510,10 +529,17 @@ impl SnfsClient {
             ev.set();
             match res? {
                 NfsReply::Read(ReadReply { data, .. }) => {
-                    self.inner
+                    let victim = self
+                        .inner
                         .cache
                         .borrow_mut()
                         .insert_clean(key, data.clone());
+                    // A fetch (or prefetch) can evict a dirty block of an
+                    // all-dirty cache; its data must be written out, not
+                    // dropped.
+                    if let Some(v) = victim {
+                        self.write_back_victim(v).await;
+                    }
                     Ok(data)
                 }
                 _ => Err(NfsStatus::Io),
@@ -663,17 +689,7 @@ impl SnfsClient {
             };
             let victim = self.inner.cache.borrow_mut().write(key, merged, now);
             if let Some(v) = victim {
-                // Cache pressure forces an early write-back, routed
-                // through the pool: the slot acquisition is the
-                // writer's backpressure, the RPC itself proceeds in the
-                // background (failures land in `writeback_failures`).
-                let slot = self.inner.flush_slots.acquire().await;
-                let this = self.clone();
-                self.inner.sim.spawn(async move {
-                    let _slot = slot;
-                    let _permit = this.inner.flush_inflight.acquire().await;
-                    let _ = this.write_back_rpc(v.key.0, v.key.1, v.data, 1).await;
-                });
+                self.write_back_victim(v).await;
             }
         }
         // Local attributes are authoritative for a caching writer.
@@ -683,6 +699,75 @@ impl SnfsClient {
             info.attr.mtime = now.as_micros();
         }
         Ok(())
+    }
+
+    /// Records the start of a background eviction write-back for `fh`.
+    /// Must run synchronously with the eviction itself (no await in
+    /// between): once the block has left the cache this registration is
+    /// the only thing that makes `writeback_file` wait for its data.
+    fn register_eviction(&self, fh: FileHandle) {
+        self.inner
+            .evictions
+            .borrow_mut()
+            .entry(fh)
+            .or_insert_with(|| (0, Event::new()))
+            .0 += 1;
+    }
+
+    /// Marks one eviction write-back for `fh` finished, waking waiters
+    /// when it was the last.
+    fn finish_eviction(&self, fh: FileHandle) {
+        let mut ev = self.inner.evictions.borrow_mut();
+        let entry = ev.get_mut(&fh).expect("finish without register");
+        entry.0 -= 1;
+        if entry.0 == 0 {
+            let (_, done) = ev.remove(&fh).expect("entry present");
+            done.set();
+        }
+    }
+
+    /// Waits until no eviction write-back for `fh` is in flight. Loops
+    /// because new evictions may start while we wait (each batch gets a
+    /// fresh event).
+    async fn wait_evictions(&self, fh: FileHandle) {
+        loop {
+            let done = self
+                .inner
+                .evictions
+                .borrow()
+                .get(&fh)
+                .map(|(_, d)| d.clone());
+            match done {
+                Some(d) => d.wait().await,
+                None => return,
+            }
+        }
+    }
+
+    /// Routes a dirty block evicted under cache pressure through the
+    /// write-behind pool. The eviction is registered before any await,
+    /// so a concurrent `writeback_file` always sees (and waits for) it;
+    /// the slot acquisition is the evicting task's backpressure, and the
+    /// RPC itself proceeds in the background. A failure is counted and
+    /// recorded against the file, to surface from its next
+    /// `writeback_file`/`fsync`.
+    async fn write_back_victim(&self, v: DirtyVictim<Key>) {
+        let (fh, lblk) = v.key;
+        self.register_eviction(fh);
+        let slot = self.inner.flush_slots.acquire().await;
+        let this = self.clone();
+        self.inner.sim.spawn(async move {
+            let _slot = slot;
+            let _permit = this.inner.flush_inflight.acquire().await;
+            if let Err(e) = this.write_back_rpc(fh, lblk, v.data, 1).await {
+                this.inner
+                    .eviction_errors
+                    .borrow_mut()
+                    .entry(fh)
+                    .or_insert(e);
+            }
+            this.finish_eviction(fh);
+        });
     }
 
     /// Sends one write-back RPC covering `blocks` blocks starting at
@@ -706,15 +791,15 @@ impl SnfsClient {
             .await;
         self.inner.inflight_gauge.dec();
         match res {
-            Ok(rep) => {
+            Ok(NfsReply::Attr(_)) => {
                 self.bump_stats(|s| s.written_back_blocks += blocks);
-                match rep {
-                    NfsReply::Attr(_) => Ok(()),
-                    _ => {
-                        self.bump_stats(|s| s.writeback_failures += 1);
-                        Err(NfsStatus::Io)
-                    }
-                }
+                Ok(())
+            }
+            Ok(_) => {
+                // The blocks stay dirty and will be retried: they are not
+                // written back, only failed.
+                self.bump_stats(|s| s.writeback_failures += 1);
+                Err(NfsStatus::Io)
             }
             Err(e) => {
                 self.bump_stats(|s| s.writeback_failures += 1);
@@ -787,12 +872,46 @@ impl SnfsClient {
         }
     }
 
-    /// Writes back all of `fh`'s dirty blocks (used by callbacks, fsync,
-    /// and the update daemon).
-    pub async fn writeback_file(&self, fh: FileHandle) -> Result<()> {
+    /// Flushes runs without touching the pool's slots or permits: one
+    /// gathered RPC at a time, awaited inline. The callback service uses
+    /// this path so a server-induced write-back can never queue behind
+    /// unrelated background flushes — the client-side mirror of the
+    /// server's N−1 reserved-thread rule (§3.2). A shared permit would
+    /// let the callback handler block on an in-flight RPC that is itself
+    /// stuck at the server behind the very open awaiting this callback,
+    /// closing a cross-machine deadlock cycle.
+    async fn flush_runs_direct(&self, fh: FileHandle, runs: Vec<DirtyRun>) -> Result<()> {
+        for run in runs {
+            self.flush_one_run(fh, run).await?;
+        }
+        Ok(())
+    }
+
+    /// Writes back all of `fh`'s dirty blocks: waits out any in-flight
+    /// eviction write-backs (so "done" really means the server has the
+    /// data), then flushes the resident dirty runs. An error recorded by
+    /// a background eviction is surfaced here, like a classic delayed
+    /// write error reported at the next fsync/close.
+    async fn writeback_file_via(&self, fh: FileHandle, use_pool: bool) -> Result<()> {
+        self.wait_evictions(fh).await;
+        let evict_err = self.inner.eviction_errors.borrow_mut().remove(&fh);
         let gather = self.inner.params.write_behind.gather_blocks;
         let runs = self.inner.cache.borrow().dirty_runs(fh, gather, BLOCK_SIZE);
-        self.flush_runs(fh, runs, true).await
+        let res = if use_pool {
+            self.flush_runs(fh, runs, true).await
+        } else {
+            self.flush_runs_direct(fh, runs).await
+        };
+        match evict_err {
+            Some(e) => Err(e),
+            None => res,
+        }
+    }
+
+    /// Writes back all of `fh`'s dirty blocks (used by fsync, open
+    /// transitions, and the update daemon).
+    pub async fn writeback_file(&self, fh: FileHandle) -> Result<()> {
+        self.writeback_file_via(fh, true).await
     }
 
     /// Flushes dirty blocks older than the write-delay (the update
@@ -866,6 +985,10 @@ impl SnfsClient {
                 .into_iter()
                 .map(|k| k.0)
                 .collect();
+            // Files whose only unwritten data is an in-flight eviction
+            // have no cache blocks left; writeback_file still waits them
+            // out.
+            v.extend(self.inner.evictions.borrow().keys().copied());
             v.sort_unstable();
             v.dedup();
             v
@@ -877,6 +1000,7 @@ impl SnfsClient {
         self.inner.cache.borrow_mut().clear();
         self.inner.files.borrow_mut().clear();
         self.inner.names.borrow_mut().clear();
+        self.inner.eviction_errors.borrow_mut().clear();
         Ok(())
     }
 
@@ -1002,7 +1126,10 @@ impl SnfsClient {
     pub async fn serve_callback(&self, arg: CallbackArg) -> CallbackReply {
         self.bump_stats(|s| s.callbacks_served += 1);
         let fh = arg.fh;
-        if arg.writeback && self.writeback_file(fh).await.is_err() {
+        // Bypass the pool: a callback-induced write-back must not share
+        // slots or in-flight permits with unrelated background flushes
+        // (see flush_runs_direct).
+        if arg.writeback && self.writeback_file_via(fh, false).await.is_err() {
             return CallbackReply { ok: false };
         }
         if arg.invalidate {
@@ -1183,6 +1310,8 @@ impl SnfsClient {
                 let dropped = self.inner.cache.borrow_mut().drop_matching(|k| k.0 == fh);
                 self.bump_stats(|s| s.cancelled_blocks += dropped.dirty);
                 self.inner.files.borrow_mut().remove(&fh);
+                // A pending eviction error for a deleted file is moot.
+                self.inner.eviction_errors.borrow_mut().remove(&fh);
             } else if let Some(info) = self.inner.files.borrow_mut().get_mut(&fh) {
                 info.attr.nlink = nlink - 1;
             }

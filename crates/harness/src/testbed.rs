@@ -76,6 +76,9 @@ pub struct TestbedParams {
     pub name_cache: bool,
     /// SNFS server state-table limit and reclaim target.
     pub snfs_server: SnfsServerParams,
+    /// Client data-cache capacity in blocks (shrink to force dirty-block
+    /// evictions in tests).
+    pub client_cache_blocks: usize,
 }
 
 impl Default for TestbedParams {
@@ -91,6 +94,7 @@ impl Default for TestbedParams {
             write_behind: WriteBehindParams::default(),
             name_cache: false,
             snfs_server: SnfsServerParams::default(),
+            client_cache_blocks: config::CLIENT_CACHE_BLOCKS,
         }
     }
 }
@@ -273,7 +277,7 @@ impl Testbed {
                             attr_min: params.nfs_attr_min,
                             invalidate_on_close: params.protocol == Protocol::Nfs,
                             read_ahead: params.read_ahead,
-                            cache_blocks: config::CLIENT_CACHE_BLOCKS,
+                            cache_blocks: params.client_cache_blocks,
                             name_cache: params.name_cache,
                             ..NfsClientParams::default()
                         },
@@ -297,7 +301,7 @@ impl Testbed {
                         &sim,
                         caller,
                         SnfsClientParams {
-                            cache_blocks: config::CLIENT_CACHE_BLOCKS,
+                            cache_blocks: params.client_cache_blocks,
                             write_delay: params.snfs_write_delay,
                             update_interval: params
                                 .update_enabled

@@ -177,6 +177,86 @@ fn callback_fan_out_respects_n_minus_one_bound() {
 }
 
 #[test]
+fn fsync_waits_for_eviction_write_backs() {
+    // A cache smaller than the write forces dirty-block evictions whose
+    // write-back RPCs proceed in the background. fsync must not return
+    // until those land too — a fire-and-forget eviction would let fsync
+    // report Ok while the evicted data was still in flight.
+    let tb = Testbed::build(TestbedParams {
+        protocol: Protocol::Snfs,
+        update_enabled: false,
+        client_cache_blocks: 4,
+        ..TestbedParams::default()
+    });
+    let c = snfs_client(&tb, 0);
+    let root = tb.server_fs.root();
+    let sim = tb.sim.clone();
+    let fs = tb.server_fs.clone();
+    let data: Vec<u8> = (0..8 * BLOCK_SIZE)
+        .map(|i| (i / BLOCK_SIZE + 1) as u8)
+        .collect();
+    let h = sim.spawn({
+        let (c, data) = (c.clone(), data.clone());
+        async move {
+            let (fh, _) = c.create(root, "evict").await.unwrap();
+            c.open(fh, true).await.unwrap();
+            c.write(fh, 0, &data).await.unwrap();
+            c.fsync(fh).await.unwrap();
+            // At this instant — before any further simulated time — every
+            // block must be on the server, the evicted ones included.
+            assert_eq!(c.pending_evictions(), 0, "fsync waited out evictions");
+            let (bytes, _, _) = fs.read(fh, 0, (8 * BLOCK_SIZE) as u32).await.unwrap();
+            assert_eq!(bytes, data, "server holds all blocks at fsync return");
+            c.close(fh, true).await.unwrap();
+        }
+    });
+    sim.run_until(h);
+    assert_eq!(c.dirty_blocks(), 0);
+    assert_eq!(c.stats().writeback_failures, 0);
+    assert_eq!(c.stats().written_back_blocks, 8, "each block written once");
+}
+
+#[test]
+fn callback_write_back_covers_in_flight_evictions() {
+    // The cross-client version of the same ordering: B's open makes the
+    // server call A back for its dirty data; the callback may not reply
+    // ok until A's in-flight eviction write-backs have landed, or B
+    // could read stale bytes.
+    let tb = Testbed::build_with_clients(
+        TestbedParams {
+            protocol: Protocol::Snfs,
+            update_enabled: false,
+            client_cache_blocks: 4,
+            ..TestbedParams::default()
+        },
+        2,
+    );
+    let (a, b) = (snfs_client(&tb, 0), snfs_client(&tb, 1));
+    let root = tb.server_fs.root();
+    let sim = tb.sim.clone();
+    let h = sim.spawn({
+        let (a, b) = (a.clone(), b.clone());
+        async move {
+            let (fh, _) = a.create(root, "handoff").await.unwrap();
+            a.open(fh, true).await.unwrap();
+            let data: Vec<u8> = (0..8 * BLOCK_SIZE)
+                .map(|i| (i / BLOCK_SIZE + 1) as u8)
+                .collect();
+            a.write(fh, 0, &data).await.unwrap();
+            a.close(fh, true).await.unwrap();
+            b.open(fh, false).await.unwrap();
+            let (got, _) = b.read(fh, 0, (8 * BLOCK_SIZE) as u32).await.unwrap();
+            assert_eq!(got, data, "B sees all of A's data, evicted blocks too");
+            b.close(fh, false).await.unwrap();
+        }
+    });
+    sim.run_until(h);
+    assert!(a.stats().callbacks_served >= 1, "the open did call A back");
+    assert_eq!(a.pending_evictions(), 0);
+    assert_eq!(a.stats().writeback_failures, 0);
+}
+
+#[test]
 fn paper_mode_pool_matches_serial_flush_rpc_for_rpc() {
     // The fidelity contract: with the default (paper-mode) pool the
     // flush is byte-identical to the old serial one — one single-block
