@@ -3,8 +3,10 @@
 //! pipelined write-behind pool (perf mode).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use spritely_bench::{artifact, config};
-use spritely_harness::{report, run_flush, WriteBehindParams};
+use spritely_bench::{artifact, artifact_file, config};
+use spritely_harness::{
+    report, run_flush, run_flush_with, Protocol, TestbedParams, WriteBehindParams,
+};
 
 const BLOCKS: usize = 64;
 
@@ -19,6 +21,27 @@ fn bench(c: &mut Criterion) {
     artifact(
         "Flush latency: 64-block write-back, serial vs gathered+pipelined",
         &format!("{}\nspeedup: {speedup:.2}x", report::flush_table(&runs)),
+    );
+    // Traced pipelined flush: checker-validated, artifacts for Perfetto.
+    let traced = run_flush_with(
+        "pipelined+trace",
+        TestbedParams {
+            protocol: Protocol::Snfs,
+            update_enabled: false,
+            write_behind: WriteBehindParams::pipelined(),
+            trace: true,
+            ..TestbedParams::default()
+        },
+        BLOCKS,
+    );
+    let trace = traced.trace.as_ref().expect("tracing was on");
+    artifact_file("trace_flush_pipelined.jsonl", &trace.to_jsonl());
+    artifact_file("trace_flush_pipelined.chrome.json", &trace.to_chrome_json());
+    artifact_file("stats_flush_pipelined.json", &traced.stats.to_json());
+    assert!(
+        trace.ok(),
+        "trace checker found violations:\n{}",
+        report::trace_summary(trace)
     );
     assert!(
         speedup >= 2.0,

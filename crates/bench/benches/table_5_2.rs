@@ -1,8 +1,8 @@
 //! Table 5-2: RPC operation counts for the Andrew benchmark.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use spritely_bench::{artifact, config};
-use spritely_harness::{report, run_andrew, Protocol};
+use spritely_bench::{artifact, artifact_file, config};
+use spritely_harness::{report, run_andrew, run_andrew_with, Protocol, TestbedParams};
 
 fn bench(c: &mut Criterion) {
     let runs = vec![
@@ -14,6 +14,31 @@ fn bench(c: &mut Criterion) {
     artifact(
         "Table 5-2: RPC calls for the Andrew benchmark (steady state)",
         &report::table_5_2(&runs),
+    );
+    // One traced SNFS run: the checker validates every state-table
+    // transition and callback, and the trace + stats snapshot land in
+    // artifacts/ for Perfetto / offline diffing.
+    let traced = run_andrew_with(
+        TestbedParams {
+            protocol: Protocol::Snfs,
+            tmp_remote: true,
+            trace: true,
+            ..TestbedParams::default()
+        },
+        42,
+    );
+    let trace = traced.trace.as_ref().expect("tracing was on");
+    artifact_file("trace_andrew_snfs.jsonl", &trace.to_jsonl());
+    artifact_file("trace_andrew_snfs.chrome.json", &trace.to_chrome_json());
+    artifact_file("stats_andrew_snfs.json", &traced.stats.to_json());
+    artifact(
+        "Trace summary: Andrew on SNFS (/tmp remote, seed 42)",
+        &report::trace_summary(trace),
+    );
+    assert!(
+        trace.ok(),
+        "trace checker found violations:\n{}",
+        report::trace_summary(trace)
     );
     let mut g = c.benchmark_group("table_5_2");
     g.bench_function("andrew_nfs_tmp_remote", |b| {

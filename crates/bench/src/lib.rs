@@ -7,6 +7,8 @@
 //! is what reproduces the paper. See EXPERIMENTS.md for the side-by-side
 //! record.
 
+use std::fs;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 /// Criterion settings tuned for whole-experiment benchmarks: each sample
@@ -18,7 +20,61 @@ pub fn config() -> criterion::Criterion {
         .warm_up_time(Duration::from_millis(500))
 }
 
-/// Prints a titled artifact block.
+/// `artifacts/` at the workspace root (gitignored; `baselines/` holds a
+/// committed snapshot for diffing).
+pub fn artifact_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../artifacts")
+}
+
+/// Filename slug: the part of the title before any ':', lowercased,
+/// runs of non-alphanumerics collapsed to single '_'.
+fn slug_of(title: &str) -> String {
+    let head = title.split(':').next().unwrap_or(title);
+    let mut out = String::new();
+    for c in head.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+        } else if !out.ends_with('_') {
+            out.push('_');
+        }
+    }
+    out.trim_matches('_').to_string()
+}
+
+/// Prints a titled artifact block and mirrors it to
+/// `artifacts/<slug>.txt` so runs leave a diffable record.
 pub fn artifact(title: &str, body: &str) {
     println!("\n================ {title} ================\n{body}");
+    artifact_file(
+        &format!("{}.txt", slug_of(title)),
+        &format!("{title}\n{body}\n"),
+    );
+}
+
+/// Writes an auxiliary artifact (trace JSONL, Chrome trace JSON, stats
+/// snapshots) under `artifacts/`. Best-effort: a read-only checkout must
+/// not fail the bench.
+pub fn artifact_file(name: &str, contents: &str) {
+    let dir = artifact_dir();
+    if fs::create_dir_all(&dir).is_ok() {
+        let _ = fs::write(dir.join(name), contents);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::slug_of;
+
+    #[test]
+    fn slugs_are_stable() {
+        assert_eq!(
+            slug_of("Table 5-2: RPC calls for the Andrew benchmark"),
+            "table_5_2"
+        );
+        assert_eq!(
+            slug_of("Flush latency: 64-block write-back"),
+            "flush_latency"
+        );
+        assert_eq!(slug_of("Figure 5-1: server utilization"), "figure_5_1");
+    }
 }

@@ -19,7 +19,7 @@
 //!   `relinquish` callback or a local timeout finally reports them.
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
 use spritely_localfs::{BlockCache, DirtyRun, DirtyVictim};
@@ -30,6 +30,7 @@ use spritely_proto::{
 };
 use spritely_rpcnet::{Caller, Endpoint, EndpointParams, RpcError};
 use spritely_sim::{Event, Resource, Semaphore, Sim, SimDuration};
+use spritely_trace::{EventKind, Tracer};
 
 /// Configuration of the client's write-behind pool (the Ultrix biod
 /// analogue): how dirty blocks travel back to the server.
@@ -198,6 +199,11 @@ struct Inner {
     /// reported by the next `writeback_file`/`fsync` of that file
     /// (classic delayed-write error semantics).
     eviction_errors: RefCell<HashMap<FileHandle, NfsStatus>>,
+    /// Files this client removed (last link gone): an in-flight eviction
+    /// write-back of such a file must be cancelled, not sent — the §4.2.3
+    /// cancellation covers data already on its way out of the cache.
+    removed: RefCell<HashSet<FileHandle>>,
+    tracer: RefCell<Option<Tracer>>,
 }
 
 /// A Spritely NFS client bound to one server.
@@ -240,8 +246,27 @@ impl SnfsClient {
                 inflight_gauge: InflightGauge::new(),
                 evictions: RefCell::new(HashMap::new()),
                 eviction_errors: RefCell::new(HashMap::new()),
+                removed: RefCell::new(HashSet::new()),
+                tracer: RefCell::new(None),
             }),
         }
+    }
+
+    /// Attaches a tracer; client-side cache events (dirty blocks, cache
+    /// reads, grants, invalidations, cancellations, flushes) get recorded.
+    pub fn set_tracer(&self, tracer: Tracer) {
+        *self.inner.tracer.borrow_mut() = Some(tracer);
+    }
+
+    fn emit(&self, parent: u64, kind: EventKind) -> u64 {
+        match self.inner.tracer.borrow().as_ref() {
+            Some(t) => t.emit(parent, kind),
+            None => 0,
+        }
+    }
+
+    fn traced(&self) -> bool {
+        self.inner.tracer.borrow().is_some()
     }
 
     /// This client's id.
@@ -287,11 +312,15 @@ impl SnfsClient {
     }
 
     async fn call(&self, req: NfsRequest) -> Result<NfsReply> {
+        self.call_ctx(0, req).await
+    }
+
+    async fn call_ctx(&self, parent: u64, req: NfsRequest) -> Result<NfsReply> {
         // A rebooted server answers `Grace` until its state table is
         // rebuilt; back off and retry — the grace period is short and
-        // bounded (§2.4).
+        // bounded (§2.4). Each retry is a fresh logical call (new xid).
         for _ in 0..30 {
-            match self.inner.caller.call(req.clone()).await {
+            match self.inner.caller.call_ctx(parent, req.clone()).await {
                 Ok(NfsReply::Err(NfsStatus::Grace)) => {
                     self.inner.sim.sleep(SimDuration::from_secs(2)).await;
                 }
@@ -307,6 +336,27 @@ impl SnfsClient {
     /// Opens a file: an `open` RPC (or a local reopen under §6.2),
     /// version-checked cache retention, and cachability bookkeeping.
     pub async fn open(&self, fh: FileHandle, write: bool) -> Result<Fattr> {
+        let op = self.emit(
+            0,
+            EventKind::OpBegin {
+                client: self.inner.id,
+                op: "open",
+                fh,
+            },
+        );
+        let res = self.open_inner(fh, write, op).await;
+        self.emit(
+            op,
+            EventKind::OpEnd {
+                client: self.inner.id,
+                op: "open",
+                ok: res.is_ok(),
+            },
+        );
+        res
+    }
+
+    async fn open_inner(&self, fh: FileHandle, write: bool, op: u64) -> Result<Fattr> {
         // §6.2 delayed close: if the file is "closed but not reported",
         // and the pending modes cover the new open, reopen locally.
         if self.inner.params.delayed_close {
@@ -343,16 +393,20 @@ impl SnfsClient {
             }
         }
         let rep = self
-            .call(NfsRequest::Open {
-                fh,
-                write,
-                client: self.inner.id,
-            })
+            .call_ctx(
+                op,
+                NfsRequest::Open {
+                    fh,
+                    write,
+                    client: self.inner.id,
+                },
+            )
             .await?;
         let open = match rep {
             NfsReply::Open(o) => o,
             _ => return Err(NfsStatus::Io),
         };
+        self.inner.removed.borrow_mut().remove(&fh);
         let (attr, flush_first, drop_blocks) = {
             let mut files = self.inner.files.borrow_mut();
             let info = files.entry(fh).or_insert(FileInfo {
@@ -401,8 +455,30 @@ impl SnfsClient {
             }
             (info.attr, flush_first, drop_blocks)
         };
+        // Trace the consistency decision: a discarded cache first, then
+        // the grant that replaces it.
+        if drop_blocks {
+            self.emit(
+                op,
+                EventKind::Invalidate {
+                    client: self.inner.id,
+                    fh,
+                },
+            );
+        }
+        self.emit(
+            op,
+            EventKind::OpenGrant {
+                client: self.inner.id,
+                fh,
+                version: open.version.0,
+                prev_version: open.prev_version.0,
+                cache_enabled: open.cache_enabled,
+                write,
+            },
+        );
         if flush_first {
-            self.writeback_file(fh).await?;
+            self.writeback_file_ctx(fh, op).await?;
         }
         if drop_blocks {
             self.bump_stats(|s| s.invalidations += 1);
@@ -415,6 +491,27 @@ impl SnfsClient {
     /// close — the whole point, §2.3). Sends the `close` RPC, or defers it
     /// under §6.2.
     pub async fn close(&self, fh: FileHandle, write: bool) -> Result<()> {
+        let op = self.emit(
+            0,
+            EventKind::OpBegin {
+                client: self.inner.id,
+                op: "close",
+                fh,
+            },
+        );
+        let res = self.close_inner(fh, write, op).await;
+        self.emit(
+            op,
+            EventKind::OpEnd {
+                client: self.inner.id,
+                op: "close",
+                ok: res.is_ok(),
+            },
+        );
+        res
+    }
+
+    async fn close_inner(&self, fh: FileHandle, write: bool, op: u64) -> Result<()> {
         {
             let mut files = self.inner.files.borrow_mut();
             if let Some(info) = files.get_mut(&fh) {
@@ -432,11 +529,14 @@ impl SnfsClient {
                 }
             }
         }
-        self.call(NfsRequest::Close {
-            fh,
-            write,
-            client: self.inner.id,
-        })
+        self.call_ctx(
+            op,
+            NfsRequest::Close {
+                fh,
+                write,
+                client: self.inner.id,
+            },
+        )
         .await?;
         Ok(())
     }
@@ -611,13 +711,41 @@ impl SnfsClient {
         let mut out = Vec::with_capacity((end - offset) as usize);
         let first = block_of(offset);
         let last = block_of(end - 1);
+        // Trace one cache-served read per call, stamped with the granted
+        // version, at the moment of the hit (synchronously — so the
+        // checker sees it ordered against grants and invalidations).
+        let cached_version = if self.traced() {
+            self.inner
+                .files
+                .borrow()
+                .get(&fh)
+                .and_then(|i| i.cached_version)
+        } else {
+            None
+        };
+        let mut hit_traced = false;
         for lblk in first..=last {
             let blk_start = lblk * BLOCK_SIZE as u64;
             let from = (offset.max(blk_start) - blk_start) as usize;
             let to = ((end - blk_start).min(BLOCK_SIZE as u64)) as usize;
             let cached = self.inner.cache.borrow_mut().get(&(fh, lblk));
             let mut block = match cached {
-                Some(b) => b,
+                Some(b) => {
+                    if !hit_traced {
+                        if let Some(v) = cached_version {
+                            self.emit(
+                                0,
+                                EventKind::CacheRead {
+                                    client: self.inner.id,
+                                    fh,
+                                    version: v.0,
+                                },
+                            );
+                            hit_traced = true;
+                        }
+                    }
+                    b
+                }
                 None => {
                     let b = self.fetch_block(fh, lblk, true).await?;
                     self.spawn_read_ahead(fh, lblk, size);
@@ -688,6 +816,14 @@ impl SnfsClient {
                 base
             };
             let victim = self.inner.cache.borrow_mut().write(key, merged, now);
+            self.emit(
+                0,
+                EventKind::BlockDirty {
+                    client: self.inner.id,
+                    fh,
+                    blk: lblk,
+                },
+            );
             if let Some(v) = victim {
                 self.write_back_victim(v).await;
             }
@@ -759,7 +895,22 @@ impl SnfsClient {
         self.inner.sim.spawn(async move {
             let _slot = slot;
             let _permit = this.inner.flush_inflight.acquire().await;
-            if let Err(e) = this.write_back_rpc(fh, lblk, v.data, 1).await {
+            // The file may have been removed while this write-back sat in
+            // the queue; its data is unreachable, so the write is
+            // cancelled like any other delayed write of a deleted file
+            // (§4.2.3) rather than resurrecting it on the server.
+            if this.inner.removed.borrow().contains(&fh) {
+                this.bump_stats(|s| s.cancelled_blocks += 1);
+                this.emit(
+                    0,
+                    EventKind::WriteCancel {
+                        client: this.inner.id,
+                        fh,
+                        from_blk: 0,
+                        blocks: 1,
+                    },
+                );
+            } else if let Err(e) = this.write_back_rpc(fh, lblk, v.data, 1, 0).await {
                 this.inner
                     .eviction_errors
                     .borrow_mut()
@@ -779,15 +930,19 @@ impl SnfsClient {
         start: u64,
         data: Vec<u8>,
         blocks: u64,
+        parent: u64,
     ) -> Result<()> {
         self.inner.gather_hist.record(blocks);
         self.inner.inflight_gauge.inc();
         let res = self
-            .call(NfsRequest::Write {
-                fh,
-                offset: start * BLOCK_SIZE as u64,
-                data,
-            })
+            .call_ctx(
+                parent,
+                NfsRequest::Write {
+                    fh,
+                    offset: start * BLOCK_SIZE as u64,
+                    data,
+                },
+            )
             .await;
         self.inner.inflight_gauge.dec();
         match res {
@@ -814,11 +969,12 @@ impl SnfsClient {
     /// segment, marking blocks clean as each RPC lands. Stops at the
     /// first failed segment; its blocks (and the rest of the run) stay
     /// dirty for a later retry.
-    async fn flush_one_run(&self, fh: FileHandle, run: DirtyRun) -> Result<()> {
+    async fn flush_one_run(&self, fh: FileHandle, run: DirtyRun, parent: u64) -> Result<()> {
         let gathered = self.inner.cache.borrow().gather_run(fh, run, BLOCK_SIZE);
         for gw in gathered {
             let blocks = gw.seqs.len() as u64;
-            self.write_back_rpc(fh, gw.start, gw.data, blocks).await?;
+            self.write_back_rpc(fh, gw.start, gw.data, blocks, parent)
+                .await?;
             let mut cache = self.inner.cache.borrow_mut();
             for (blk, seq) in gw.seqs {
                 cache.mark_clean(&(fh, blk), seq);
@@ -840,6 +996,7 @@ impl SnfsClient {
         fh: FileHandle,
         runs: Vec<DirtyRun>,
         stop_on_err: bool,
+        parent: u64,
     ) -> Result<()> {
         let failed: Rc<Cell<Option<NfsStatus>>> = Rc::new(Cell::new(None));
         let mut daemons = Vec::with_capacity(runs.len());
@@ -856,7 +1013,7 @@ impl SnfsClient {
                 if stop_on_err && failed.get().is_some() {
                     return;
                 }
-                if let Err(e) = this.flush_one_run(fh, run).await {
+                if let Err(e) = this.flush_one_run(fh, run, parent).await {
                     if failed.get().is_none() {
                         failed.set(Some(e));
                     }
@@ -880,9 +1037,14 @@ impl SnfsClient {
     /// let the callback handler block on an in-flight RPC that is itself
     /// stuck at the server behind the very open awaiting this callback,
     /// closing a cross-machine deadlock cycle.
-    async fn flush_runs_direct(&self, fh: FileHandle, runs: Vec<DirtyRun>) -> Result<()> {
+    async fn flush_runs_direct(
+        &self,
+        fh: FileHandle,
+        runs: Vec<DirtyRun>,
+        parent: u64,
+    ) -> Result<()> {
         for run in runs {
-            self.flush_one_run(fh, run).await?;
+            self.flush_one_run(fh, run, parent).await?;
         }
         Ok(())
     }
@@ -892,26 +1054,47 @@ impl SnfsClient {
     /// data), then flushes the resident dirty runs. An error recorded by
     /// a background eviction is surfaced here, like a classic delayed
     /// write error reported at the next fsync/close.
-    async fn writeback_file_via(&self, fh: FileHandle, use_pool: bool) -> Result<()> {
+    async fn writeback_file_via(&self, fh: FileHandle, use_pool: bool, parent: u64) -> Result<()> {
+        let flush_seq = self.emit(
+            parent,
+            EventKind::FlushBegin {
+                client: self.inner.id,
+                fh,
+                direct: !use_pool,
+            },
+        );
         self.wait_evictions(fh).await;
         let evict_err = self.inner.eviction_errors.borrow_mut().remove(&fh);
         let gather = self.inner.params.write_behind.gather_blocks;
         let runs = self.inner.cache.borrow().dirty_runs(fh, gather, BLOCK_SIZE);
         let res = if use_pool {
-            self.flush_runs(fh, runs, true).await
+            self.flush_runs(fh, runs, true, flush_seq).await
         } else {
-            self.flush_runs_direct(fh, runs).await
+            self.flush_runs_direct(fh, runs, flush_seq).await
         };
-        match evict_err {
+        let res = match evict_err {
             Some(e) => Err(e),
             None => res,
-        }
+        };
+        self.emit(
+            flush_seq,
+            EventKind::FlushEnd {
+                client: self.inner.id,
+                fh,
+                ok: res.is_ok(),
+            },
+        );
+        res
     }
 
     /// Writes back all of `fh`'s dirty blocks (used by fsync, open
     /// transitions, and the update daemon).
     pub async fn writeback_file(&self, fh: FileHandle) -> Result<()> {
-        self.writeback_file_via(fh, true).await
+        self.writeback_file_via(fh, true, 0).await
+    }
+
+    async fn writeback_file_ctx(&self, fh: FileHandle, parent: u64) -> Result<()> {
+        self.writeback_file_via(fh, true, parent).await
     }
 
     /// Flushes dirty blocks older than the write-delay (the update
@@ -946,7 +1129,7 @@ impl SnfsClient {
         for (fh, runs) in plans {
             // Failures are counted in `writeback_failures`; the blocks
             // stay dirty and the next pass retries them.
-            let _ = self.flush_runs(fh, runs, false).await;
+            let _ = self.flush_runs(fh, runs, false, 0).await;
         }
     }
 
@@ -969,7 +1152,33 @@ impl SnfsClient {
     /// Synchronously pushes a file's dirty blocks to the server (explicit
     /// flush for applications that want crash-resistance, §2.2).
     pub async fn fsync(&self, fh: FileHandle) -> Result<()> {
-        self.writeback_file(fh).await
+        let op = self.emit(
+            0,
+            EventKind::OpBegin {
+                client: self.inner.id,
+                op: "fsync",
+                fh,
+            },
+        );
+        let res = self.writeback_file_ctx(fh, op).await;
+        if res.is_ok() {
+            self.emit(
+                op,
+                EventKind::FsyncOk {
+                    client: self.inner.id,
+                    fh,
+                },
+            );
+        }
+        self.emit(
+            op,
+            EventKind::OpEnd {
+                client: self.inner.id,
+                op: "fsync",
+                ok: res.is_ok(),
+            },
+        );
+        res
     }
 
     /// Simulates an orderly client reboot (experiment setup): every dirty
@@ -1113,9 +1322,9 @@ impl SnfsClient {
         counter: OpCounter,
     ) -> Endpoint<CallbackArg, CallbackReply> {
         let this = self.clone();
-        let handler = Rc::new(move |_from: ClientId, arg: CallbackArg| {
+        let handler = Rc::new(move |_from: ClientId, ctx: u64, arg: CallbackArg| {
             let this = this.clone();
-            Box::pin(async move { this.serve_callback(arg).await })
+            Box::pin(async move { this.serve_callback_ctx(ctx, arg).await })
                 as std::pin::Pin<Box<dyn std::future::Future<Output = CallbackReply>>>
         });
         Endpoint::new(&self.inner.sim, name, cpu, params, counter, handler)
@@ -1124,16 +1333,27 @@ impl SnfsClient {
     /// Services one callback (paper §3.2): write back and/or invalidate,
     /// not returning until requested write-backs are complete.
     pub async fn serve_callback(&self, arg: CallbackArg) -> CallbackReply {
+        self.serve_callback_ctx(0, arg).await
+    }
+
+    async fn serve_callback_ctx(&self, ctx: u64, arg: CallbackArg) -> CallbackReply {
         self.bump_stats(|s| s.callbacks_served += 1);
         let fh = arg.fh;
         // Bypass the pool: a callback-induced write-back must not share
         // slots or in-flight permits with unrelated background flushes
         // (see flush_runs_direct).
-        if arg.writeback && self.writeback_file_via(fh, false).await.is_err() {
+        if arg.writeback && self.writeback_file_via(fh, false, ctx).await.is_err() {
             return CallbackReply { ok: false };
         }
         if arg.invalidate {
             self.bump_stats(|s| s.invalidations += 1);
+            self.emit(
+                ctx,
+                EventKind::Invalidate {
+                    client: self.inner.id,
+                    fh,
+                },
+            );
             let dropped = self.inner.cache.borrow_mut().drop_matching(|k| k.0 == fh);
             debug_assert_eq!(dropped.dirty, 0, "writeback should have preceded");
             // If `fh` is a directory this drops our name translations
@@ -1263,6 +1483,9 @@ impl SnfsClient {
             .await?;
         match rep {
             NfsReply::Handle { fh, attr } => {
+                // A fresh handle can never be "removed" — guard against
+                // the file system reusing handle values.
+                self.inner.removed.borrow_mut().remove(&fh);
                 self.inner.files.borrow_mut().insert(
                     fh,
                     FileInfo {
@@ -1295,6 +1518,33 @@ impl SnfsClient {
         name: &str,
         victim: Option<FileHandle>,
     ) -> Result<()> {
+        let op = self.emit(
+            0,
+            EventKind::OpBegin {
+                client: self.inner.id,
+                op: "remove",
+                fh: victim.unwrap_or(dir),
+            },
+        );
+        let res = self.remove_inner(dir, name, victim, op).await;
+        self.emit(
+            op,
+            EventKind::OpEnd {
+                client: self.inner.id,
+                op: "remove",
+                ok: res.is_ok(),
+            },
+        );
+        res
+    }
+
+    async fn remove_inner(
+        &self,
+        dir: FileHandle,
+        name: &str,
+        victim: Option<FileHandle>,
+        op: u64,
+    ) -> Result<()> {
         if let Some(fh) = victim {
             // Cancellation is only sound when this is the file's last
             // hard link; otherwise the data stays reachable under another
@@ -1309,9 +1559,21 @@ impl SnfsClient {
             if nlink <= 1 {
                 let dropped = self.inner.cache.borrow_mut().drop_matching(|k| k.0 == fh);
                 self.bump_stats(|s| s.cancelled_blocks += dropped.dirty);
+                self.emit(
+                    op,
+                    EventKind::WriteCancel {
+                        client: self.inner.id,
+                        fh,
+                        from_blk: 0,
+                        blocks: dropped.dirty,
+                    },
+                );
                 self.inner.files.borrow_mut().remove(&fh);
-                // A pending eviction error for a deleted file is moot.
+                // A pending eviction error for a deleted file is moot,
+                // and any eviction write-back still queued must be
+                // cancelled too (see write_back_victim).
                 self.inner.eviction_errors.borrow_mut().remove(&fh);
+                self.inner.removed.borrow_mut().insert(fh);
             } else if let Some(info) = self.inner.files.borrow_mut().get_mut(&fh) {
                 info.attr.nlink = nlink - 1;
             }
@@ -1321,10 +1583,13 @@ impl SnfsClient {
             .borrow_mut()
             .remove(&(dir, name.to_string()));
         let rep = self
-            .call(NfsRequest::Remove {
-                dir,
-                name: name.to_string(),
-            })
+            .call_ctx(
+                op,
+                NfsRequest::Remove {
+                    dir,
+                    name: name.to_string(),
+                },
+            )
             .await?;
         match rep {
             NfsReply::Ok => Ok(()),
@@ -1474,6 +1739,17 @@ impl SnfsClient {
                 .borrow_mut()
                 .drop_matching(|k| k.0 == fh && k.1 >= cut);
             self.bump_stats(|s| s.cancelled_blocks += dropped.dirty);
+            if dropped.dirty > 0 {
+                self.emit(
+                    0,
+                    EventKind::WriteCancel {
+                        client: self.inner.id,
+                        fh,
+                        from_blk: cut,
+                        blocks: dropped.dirty,
+                    },
+                );
+            }
         }
         let rep = self.call(NfsRequest::SetAttr { fh, size }).await?;
         match rep {

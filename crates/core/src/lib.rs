@@ -33,7 +33,9 @@ pub mod state_table;
 
 pub use client::{ClientStats, SnfsClient, SnfsClientParams, WriteBehindParams};
 pub use server::{ServerStats, SnfsServer, SnfsServerParams};
-pub use state_table::{CallbackNeeded, ClientOpens, FileState, OpenOutcome, StateTable};
+pub use state_table::{
+    CallbackNeeded, ClientOpens, FileState, OpenOutcome, ReclaimOutcome, StateTable,
+};
 
 #[cfg(test)]
 mod tests {

@@ -23,8 +23,9 @@ use spritely_proto::{
 };
 use spritely_rpcnet::{Caller, Endpoint, EndpointParams};
 use spritely_sim::{Resource, Semaphore, Sim, SimDuration};
+use spritely_trace::{Cause, EventKind, Tracer};
 
-use crate::state_table::{CallbackNeeded, StateTable};
+use crate::state_table::{CallbackNeeded, FileState, StateTable};
 
 /// SNFS server configuration.
 #[derive(Debug, Clone, Copy)]
@@ -95,6 +96,9 @@ struct Inner {
     /// Clients that may be caching name translations under a directory
     /// (§7 extension). Cleared per client when an invalidate is sent.
     dir_watchers: RefCell<HashMap<FileHandle, Vec<ClientId>>>,
+    /// Service-thread count (for the N−1 trace metadata).
+    service_threads: usize,
+    tracer: RefCell<Option<Tracer>>,
 }
 
 /// The Spritely NFS server.
@@ -130,7 +134,66 @@ impl SnfsServer {
                 epoch: Cell::new(1),
                 grace_until: Cell::new(None),
                 dir_watchers: RefCell::new(HashMap::new()),
+                service_threads,
+                tracer: RefCell::new(None),
             }),
+        }
+    }
+
+    /// Attaches a tracer. Emits the `server_threads` metadata the trace
+    /// checker uses for the N−1 callback bound, then records every
+    /// state-table transition, callback, and crash.
+    pub fn set_tracer(&self, tracer: Tracer) {
+        tracer.meta("server_threads", self.inner.service_threads.to_string());
+        tracer.meta("table_limit", self.inner.params.table_limit.to_string());
+        *self.inner.tracer.borrow_mut() = Some(tracer);
+    }
+
+    fn emit(&self, parent: u64, kind: EventKind) -> u64 {
+        match self.inner.tracer.borrow().as_ref() {
+            Some(t) => t.emit(parent, kind),
+            None => 0,
+        }
+    }
+
+    /// Records one state-table transition. Must be called in the same
+    /// synchronous region as the table mutation (no await between them),
+    /// so the trace order matches the mutation order.
+    fn emit_transition(
+        &self,
+        parent: u64,
+        fh: FileHandle,
+        cause: Cause,
+        client: ClientId,
+        from: FileState,
+        to: FileState,
+    ) -> u64 {
+        if self.inner.tracer.borrow().is_none() {
+            return 0;
+        }
+        let version = self.inner.table.borrow().version_of(fh).map_or(0, |v| v.0);
+        self.emit(
+            parent,
+            EventKind::Transition {
+                fh,
+                cause,
+                client,
+                from: from.into(),
+                to: to.into(),
+                version,
+            },
+        )
+    }
+
+    /// Records the per-file transitions of a client-crash cleanup.
+    fn emit_client_crashed(
+        &self,
+        parent: u64,
+        client: ClientId,
+        affected: &[(FileHandle, FileState, FileState)],
+    ) {
+        for &(fh, before, after) in affected {
+            self.emit_transition(parent, fh, Cause::ClientCrash, client, before, after);
         }
     }
 
@@ -147,7 +210,7 @@ impl SnfsServer {
     /// namespace change is acknowledged (§7 extension). Watchers are
     /// deregistered by the invalidate; they re-register on their next
     /// lookup.
-    async fn invalidate_dir_watchers(&self, dir: FileHandle, originator: ClientId) {
+    async fn invalidate_dir_watchers(&self, parent: u64, dir: FileHandle, originator: ClientId) {
         if !self.inner.params.dir_callbacks {
             return;
         }
@@ -170,7 +233,7 @@ impl SnfsServer {
                 invalidate: true,
             })
             .collect();
-        self.fan_out_callbacks(dir, &callbacks, false).await;
+        self.fan_out_callbacks(parent, dir, &callbacks, false).await;
     }
 
     /// The current reboot epoch (starts at 1).
@@ -191,6 +254,7 @@ impl SnfsServer {
     /// system's buffer cache. Stable storage survives. The caller should
     /// also mark the server's endpoints down until [`reboot`](Self::reboot).
     pub fn crash(&self) {
+        self.emit(0, EventKind::ServerCrash);
         self.inner.table.borrow_mut().clear();
         self.inner.fs.crash();
     }
@@ -247,9 +311,9 @@ impl SnfsServer {
         counter: OpCounter,
     ) -> Endpoint<NfsRequest, NfsReply> {
         let this = self.clone();
-        let handler = Rc::new(move |from: ClientId, req: NfsRequest| {
+        let handler = Rc::new(move |from: ClientId, ctx: u64, req: NfsRequest| {
             let this = this.clone();
-            Box::pin(async move { this.handle(from, req).await })
+            Box::pin(async move { this.handle(from, ctx, req).await })
                 as std::pin::Pin<Box<dyn std::future::Future<Output = NfsReply>>>
         });
         Endpoint::new(&self.inner.sim, name, cpu, params, counter, handler)
@@ -272,7 +336,13 @@ impl SnfsServer {
 
     /// Performs one callback; on failure, treats the client as crashed.
     /// Returns true on success.
-    async fn do_callback(&self, fh: FileHandle, cb: CallbackNeeded, relinquish: bool) -> bool {
+    async fn do_callback(
+        &self,
+        parent: u64,
+        fh: FileHandle,
+        cb: CallbackNeeded,
+        relinquish: bool,
+    ) -> bool {
         let caller = self
             .inner
             .callback_clients
@@ -281,37 +351,62 @@ impl SnfsServer {
             .cloned();
         let Some(caller) = caller else {
             self.bump_stats(|s| s.callbacks_failed += 1);
-            self.inner.table.borrow_mut().client_crashed(cb.target);
+            let affected = self.inner.table.borrow_mut().client_crashed(cb.target);
+            self.emit_client_crashed(parent, cb.target, &affected);
             return false;
         };
         // N−1 rule: hold a callback slot while waiting on the client.
         let slot = self.inner.callback_slots.acquire().await;
         self.bump_stats(|s| s.callbacks_sent += 1);
         self.inner.callback_inflight.inc();
-        let res = caller
-            .call(CallbackArg {
+        // The begin event sits inside the slot so the checker's
+        // concurrent-callback count mirrors the real N−1 budget.
+        let cb_seq = self.emit(
+            parent,
+            EventKind::CallbackBegin {
+                target: cb.target,
                 fh,
                 writeback: cb.writeback,
                 invalidate: cb.invalidate,
-                relinquish,
-            })
+            },
+        );
+        let res = caller
+            .call_ctx(
+                cb_seq,
+                CallbackArg {
+                    fh,
+                    writeback: cb.writeback,
+                    invalidate: cb.invalidate,
+                    relinquish,
+                },
+            )
             .await;
         self.inner.callback_inflight.dec();
+        let ok = matches!(&res, Ok(rep) if rep.ok);
+        self.emit(
+            cb_seq,
+            EventKind::CallbackEnd {
+                target: cb.target,
+                fh,
+                ok,
+            },
+        );
         drop(slot);
-        match res {
-            Ok(rep) if rep.ok => {
-                if cb.writeback {
-                    self.inner.table.borrow_mut().writeback_done(fh, cb.target);
-                }
-                true
+        if ok {
+            if cb.writeback {
+                let st0 = self.inner.table.borrow().state_of(fh);
+                self.inner.table.borrow_mut().writeback_done(fh, cb.target);
+                let st1 = self.inner.table.borrow().state_of(fh);
+                self.emit_transition(cb_seq, fh, Cause::WritebackDone, cb.target, st0, st1);
             }
-            _ => {
-                // The "dead client" case of §3.2: honor the open, but the
-                // file may be inconsistent; drop the client's state.
-                self.bump_stats(|s| s.callbacks_failed += 1);
-                self.inner.table.borrow_mut().client_crashed(cb.target);
-                false
-            }
+            true
+        } else {
+            // The "dead client" case of §3.2: honor the open, but the
+            // file may be inconsistent; drop the client's state.
+            self.bump_stats(|s| s.callbacks_failed += 1);
+            let affected = self.inner.table.borrow_mut().client_crashed(cb.target);
+            self.emit_client_crashed(cb_seq, cb.target, &affected);
+            false
         }
     }
 
@@ -322,6 +417,7 @@ impl SnfsServer {
     /// exceeds the §3.2 thread-pool budget.
     async fn fan_out_callbacks(
         &self,
+        parent: u64,
         fh: FileHandle,
         callbacks: &[CallbackNeeded],
         relinquish: bool,
@@ -329,14 +425,14 @@ impl SnfsServer {
         match callbacks {
             [] => {}
             [cb] => {
-                self.do_callback(fh, *cb, relinquish).await;
+                self.do_callback(parent, fh, *cb, relinquish).await;
             }
             many => {
                 let mut tasks = Vec::with_capacity(many.len());
                 for &cb in many {
                     let this = self.clone();
                     tasks.push(self.inner.sim.spawn(async move {
-                        this.do_callback(fh, cb, relinquish).await;
+                        this.do_callback(parent, fh, cb, relinquish).await;
                     }));
                 }
                 for t in tasks {
@@ -352,15 +448,25 @@ impl SnfsServer {
             return;
         }
         self.bump_stats(|s| s.reclaim_passes += 1);
-        let victims = self
+        let outcome = self
             .inner
             .table
             .borrow_mut()
             .reclaim(self.inner.params.reclaim_target);
+        for fh in &outcome.dropped {
+            self.emit_transition(
+                0,
+                *fh,
+                Cause::Reclaim,
+                ClientId(0),
+                FileState::Closed,
+                FileState::Closed,
+            );
+        }
         // The victims are distinct files: fan their write-back
         // callbacks out concurrently (bounded by the callback slots).
-        let mut tasks = Vec::with_capacity(victims.len());
-        for (fh, client) in victims {
+        let mut tasks = Vec::with_capacity(outcome.writebacks.len());
+        for (fh, client) in outcome.writebacks {
             let this = self.clone();
             tasks.push(self.inner.sim.spawn(async move {
                 let _lock = this.file_lock(fh).acquire().await;
@@ -377,6 +483,7 @@ impl SnfsServer {
                     }
                 }
                 this.do_callback(
+                    0,
                     fh,
                     CallbackNeeded {
                         target: client,
@@ -388,7 +495,10 @@ impl SnfsServer {
                 .await;
                 // On failure, client_crashed already cleaned the entry
                 // up; either way drop it if it is now cleanly closed.
-                this.inner.table.borrow_mut().drop_if_closed(fh);
+                let st0 = this.inner.table.borrow().state_of(fh);
+                if this.inner.table.borrow_mut().drop_if_closed(fh) {
+                    this.emit_transition(0, fh, Cause::Reclaim, client, st0, FileState::Closed);
+                }
             }));
         }
         for t in tasks {
@@ -396,8 +506,9 @@ impl SnfsServer {
         }
     }
 
-    /// Dispatches one request.
-    pub async fn handle(&self, from: ClientId, req: NfsRequest) -> NfsReply {
+    /// Dispatches one request. `ctx` is the trace context of the RPC
+    /// handler span (0 when untraced).
+    pub async fn handle(&self, from: ClientId, ctx: u64, req: NfsRequest) -> NfsReply {
         // Recovery-mode gate (§2.4): while the grace period runs, only
         // liveness and re-registration traffic is served, so the
         // consistency state cannot change before it is reconstructed.
@@ -413,7 +524,21 @@ impl SnfsServer {
             }
             NfsRequest::Recover { client, ref files } => {
                 debug_assert_eq!(from, client);
-                self.inner.table.borrow_mut().restore(client, files);
+                if self.inner.tracer.borrow().is_some() {
+                    // Restore file-by-file so each table change gets its
+                    // own transition event (same net effect as one call).
+                    for f in files {
+                        let st0 = self.inner.table.borrow().state_of(f.fh);
+                        self.inner
+                            .table
+                            .borrow_mut()
+                            .restore(client, std::slice::from_ref(f));
+                        let st1 = self.inner.table.borrow().state_of(f.fh);
+                        self.emit_transition(ctx, f.fh, Cause::Restore, client, st0, st1);
+                    }
+                } else {
+                    self.inner.table.borrow_mut().restore(client, files);
+                }
                 NfsReply::Epoch(self.inner.epoch.get())
             }
             NfsRequest::Open { fh, write, client } => {
@@ -425,8 +550,17 @@ impl SnfsServer {
                     Err(e) => return NfsReply::Err(e),
                 };
                 let _lock = self.file_lock(fh).acquire().await;
+                let st0 = self.inner.table.borrow().state_of(fh);
                 let outcome = self.inner.table.borrow_mut().open(fh, client, write);
-                self.fan_out_callbacks(fh, &outcome.callbacks, false).await;
+                let st1 = self.inner.table.borrow().state_of(fh);
+                let cause = if write {
+                    Cause::OpenWrite
+                } else {
+                    Cause::OpenRead
+                };
+                let t_seq = self.emit_transition(ctx, fh, cause, client, st0, st1);
+                self.fan_out_callbacks(t_seq, fh, &outcome.callbacks, false)
+                    .await;
                 // Attributes may have changed if a write-back just landed.
                 let attr = self.inner.fs.getattr(fh).unwrap_or(attr0);
                 let reply = NfsReply::Open(OpenReply {
@@ -449,7 +583,14 @@ impl SnfsServer {
             NfsRequest::Close { fh, write, client } => {
                 debug_assert_eq!(from, client, "close must carry the caller's id");
                 let _lock = self.file_lock(fh).acquire().await;
-                self.inner.table.borrow_mut().close(fh, client, write);
+                let st0 = self.inner.table.borrow().state_of(fh);
+                let st1 = self.inner.table.borrow_mut().close(fh, client, write);
+                let cause = if write {
+                    Cause::CloseWrite
+                } else {
+                    Cause::CloseRead
+                };
+                self.emit_transition(ctx, fh, cause, client, st0, st1);
                 NfsReply::Ok
             }
             NfsRequest::Read { fh, .. } | NfsRequest::Write { fh, .. }
@@ -463,13 +604,30 @@ impl SnfsServer {
                 // through synchronously).
                 let write = matches!(req, NfsRequest::Write { .. });
                 let _lock = self.file_lock(fh).acquire().await;
+                let st0 = self.inner.table.borrow().state_of(fh);
                 let outcome = self.inner.table.borrow_mut().open(fh, from, write);
-                self.fan_out_callbacks(fh, &outcome.callbacks, false).await;
+                let st1 = self.inner.table.borrow().state_of(fh);
+                let cause = if write {
+                    Cause::OpenWrite
+                } else {
+                    Cause::OpenRead
+                };
+                let t_seq = self.emit_transition(ctx, fh, cause, from, st0, st1);
+                self.fan_out_callbacks(t_seq, fh, &outcome.callbacks, false)
+                    .await;
                 let rep = spritely_nfs::handle(&self.inner.fs, req).await;
-                self.inner
+                let st2 = self.inner.table.borrow().state_of(fh);
+                let st3 = self
+                    .inner
                     .table
                     .borrow_mut()
                     .close_with(fh, from, write, false);
+                let cause = if write {
+                    Cause::CloseWrite
+                } else {
+                    Cause::CloseRead
+                };
+                self.emit_transition(ctx, fh, cause, from, st2, st3);
                 rep
             }
             NfsRequest::Remove { dir, ref name } => {
@@ -481,10 +639,22 @@ impl SnfsServer {
                 let rep = spritely_nfs::handle(&self.inner.fs, req.clone()).await;
                 if let (Some((fh, attr)), NfsReply::Ok) = (victim, &rep) {
                     if attr.nlink <= 1 {
+                        let st0 = self.inner.table.borrow().state_of(fh);
+                        let had_entry = self.inner.table.borrow().version_of(fh).is_some();
                         self.inner.table.borrow_mut().file_removed(fh);
+                        if had_entry {
+                            self.emit_transition(
+                                ctx,
+                                fh,
+                                Cause::Removed,
+                                from,
+                                st0,
+                                FileState::Closed,
+                            );
+                        }
                     }
                 }
-                self.invalidate_dir_watchers(dir, from).await;
+                self.invalidate_dir_watchers(ctx, dir, from).await;
                 rep
             }
             NfsRequest::Lookup { dir, .. } => {
@@ -503,7 +673,7 @@ impl SnfsServer {
                 let created = matches!(req, NfsRequest::Create { .. } | NfsRequest::Mkdir { .. });
                 let rep = spritely_nfs::handle(&self.inner.fs, req).await;
                 if !matches!(rep, NfsReply::Err(_)) {
-                    self.invalidate_dir_watchers(dir, from).await;
+                    self.invalidate_dir_watchers(ctx, dir, from).await;
                     // The creator learns the new translation from the
                     // reply and will cache it — it is a watcher too.
                     if created && self.inner.params.dir_callbacks {
@@ -515,7 +685,7 @@ impl SnfsServer {
             NfsRequest::Link { to_dir, .. } => {
                 let rep = spritely_nfs::handle(&self.inner.fs, req).await;
                 if !matches!(rep, NfsReply::Err(_)) {
-                    self.invalidate_dir_watchers(to_dir, from).await;
+                    self.invalidate_dir_watchers(ctx, to_dir, from).await;
                     if self.inner.params.dir_callbacks {
                         self.watch_dir(to_dir, from);
                     }
@@ -525,7 +695,7 @@ impl SnfsServer {
             NfsRequest::Symlink { dir, .. } => {
                 let rep = spritely_nfs::handle(&self.inner.fs, req).await;
                 if !matches!(rep, NfsReply::Err(_)) {
-                    self.invalidate_dir_watchers(dir, from).await;
+                    self.invalidate_dir_watchers(ctx, dir, from).await;
                     if self.inner.params.dir_callbacks {
                         self.watch_dir(dir, from);
                     }
@@ -537,9 +707,9 @@ impl SnfsServer {
             } => {
                 let rep = spritely_nfs::handle(&self.inner.fs, req).await;
                 if !matches!(rep, NfsReply::Err(_)) {
-                    self.invalidate_dir_watchers(from_dir, from).await;
+                    self.invalidate_dir_watchers(ctx, from_dir, from).await;
                     if to_dir != from_dir {
-                        self.invalidate_dir_watchers(to_dir, from).await;
+                        self.invalidate_dir_watchers(ctx, to_dir, from).await;
                     }
                 }
                 rep

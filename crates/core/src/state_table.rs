@@ -37,6 +37,20 @@ pub enum FileState {
     WriteShared,
 }
 
+impl From<FileState> for spritely_trace::FState {
+    fn from(s: FileState) -> Self {
+        match s {
+            FileState::Closed => spritely_trace::FState::Closed,
+            FileState::ClosedDirty => spritely_trace::FState::ClosedDirty,
+            FileState::OneReader => spritely_trace::FState::OneReader,
+            FileState::OneRdrDirty => spritely_trace::FState::OneRdrDirty,
+            FileState::MultReaders => spritely_trace::FState::MultReaders,
+            FileState::OneWriter => spritely_trace::FState::OneWriter,
+            FileState::WriteShared => spritely_trace::FState::WriteShared,
+        }
+    }
+}
+
 /// Per-client open counts within one entry (the "client information
 /// block" of §4.3.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,6 +72,16 @@ pub struct CallbackNeeded {
     pub writeback: bool,
     /// Ask the client to invalidate its cache and stop caching.
     pub invalidate: bool,
+}
+
+/// What [`StateTable::reclaim`] did and what it still needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReclaimOutcome {
+    /// Cleanly-closed entries dropped outright.
+    pub dropped: Vec<FileHandle>,
+    /// Closed-dirty entries that need a write-back callback before they
+    /// can be dropped.
+    pub writebacks: Vec<(FileHandle, ClientId)>,
 }
 
 /// The table's answer to an `open` RPC.
@@ -468,11 +492,13 @@ impl StateTable {
 
     /// A client is unreachable: drop all of its opens. Files for which it
     /// held dirty blocks are flagged inconsistent (reported on the next
-    /// open, cleared by the next open-for-write). Returns how many entries
-    /// were affected.
-    pub fn client_crashed(&mut self, client: ClientId) -> usize {
-        let mut affected = 0;
-        for e in self.entries.values_mut() {
+    /// open, cleared by the next open-for-write). Returns the affected
+    /// files with their before/after states, sorted by handle (a
+    /// deterministic order, independent of hash-map iteration).
+    pub fn client_crashed(&mut self, client: ClientId) -> Vec<(FileHandle, FileState, FileState)> {
+        let mut affected = Vec::new();
+        for (&fh, e) in self.entries.iter_mut() {
+            let state_before = e.state();
             let before = e.clients.len();
             e.clients.retain(|c| c.client != client);
             let mut touched = before != e.clients.len();
@@ -485,17 +511,19 @@ impl StateTable {
                 e.uncached = false;
             }
             if touched {
-                affected += 1;
+                affected.push((fh, state_before, e.state()));
             }
         }
+        affected.sort_unstable_by_key(|&(fh, _, _)| fh);
         affected
     }
 
     /// Frees cleanly-closed entries and returns the write-back callbacks
     /// needed to free closed-dirty ones (paper §4.3.1: "when entries run
     /// low, those recording closed files may be reclaimed by sending
-    /// callbacks"). Reclaims down toward `target` entries.
-    pub fn reclaim(&mut self, target: usize) -> Vec<(FileHandle, ClientId)> {
+    /// callbacks"). Reclaims down toward `target` entries. The outcome
+    /// lists both what was dropped and what still needs a write-back.
+    pub fn reclaim(&mut self, target: usize) -> ReclaimOutcome {
         // Pass 1: drop Closed entries outright.
         let mut to_drop: Vec<FileHandle> = self
             .entries
@@ -504,26 +532,34 @@ impl StateTable {
             .map(|(&fh, _)| fh)
             .collect();
         to_drop.sort_unstable(); // deterministic order
+        let mut dropped = Vec::new();
         for fh in to_drop {
             if self.entries.len() <= target {
                 break;
             }
             self.entries.remove(&fh);
             self.stats.reclaimed_closed += 1;
+            dropped.push(fh);
         }
         if self.entries.len() <= target {
-            return Vec::new();
+            return ReclaimOutcome {
+                dropped,
+                writebacks: Vec::new(),
+            };
         }
         // Pass 2: closed-dirty entries need a write-back callback first.
-        let mut dirty: Vec<(FileHandle, ClientId)> = self
+        let mut writebacks: Vec<(FileHandle, ClientId)> = self
             .entries
             .iter()
             .filter(|(_, e)| e.state() == FileState::ClosedDirty)
             .map(|(&fh, e)| (fh, e.dirty.expect("ClosedDirty implies holder")))
             .collect();
-        dirty.sort_unstable();
-        dirty.truncate(self.entries.len() - target);
-        dirty
+        writebacks.sort_unstable();
+        writebacks.truncate(self.entries.len() - target);
+        ReclaimOutcome {
+            dropped,
+            writebacks,
+        }
     }
 
     /// Rebuilds table state from one client's recovery report (§2.4:
@@ -885,7 +921,17 @@ mod tests {
         t.open(fh(2), C1, false);
         t.open(fh(2), C2, false);
         let affected = t.client_crashed(C1);
-        assert_eq!(affected, 2);
+        assert_eq!(affected.len(), 2);
+        assert_eq!(
+            affected[0],
+            (fh(1), FileState::ClosedDirty, FileState::Closed),
+            "dirty claim dropped"
+        );
+        assert_eq!(
+            affected[1],
+            (fh(2), FileState::MultReaders, FileState::OneReader),
+            "C1's read open dropped"
+        );
         // fh(1) lost its dirty data → next open reports inconsistent.
         let o = t.open(fh(1), C2, false);
         assert!(o.inconsistent);
@@ -912,11 +958,16 @@ mod tests {
         t.close(fh(3), C1, true);
         t.open(fh(4), C1, false);
         assert!(t.over_limit());
-        let dirty = t.reclaim(2);
+        let out = t.reclaim(2);
         assert_eq!(t.len(), 2, "closed entries dropped");
-        assert!(dirty.is_empty(), "target met without touching dirty");
-        let dirty = t.reclaim(1);
-        assert_eq!(dirty, vec![(fh(3), C1)]);
+        assert_eq!(out.dropped, vec![fh(1), fh(2)]);
+        assert!(
+            out.writebacks.is_empty(),
+            "target met without touching dirty"
+        );
+        let out = t.reclaim(1);
+        assert!(out.dropped.is_empty());
+        assert_eq!(out.writebacks, vec![(fh(3), C1)]);
         // Service performs the write-back, confirms, drops.
         t.writeback_done(fh(3), C1);
         assert!(t.drop_if_closed(fh(3)));

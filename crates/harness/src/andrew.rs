@@ -27,6 +27,10 @@ pub struct AndrewRun {
     pub util_samples: Vec<(SimTime, f64)>,
     /// End-to-end RPC latency per procedure.
     pub latency: spritely_metrics::LatencyStats,
+    /// Unified end-of-run statistics snapshot (serializable).
+    pub stats: crate::snapshot::StatsSnapshot,
+    /// Checked event trace (present when `TestbedParams::trace` was on).
+    pub trace: Option<crate::snapshot::TraceReport>,
 }
 
 /// Column label like `"SNFS /tmp-remote"`.
@@ -149,5 +153,7 @@ pub fn run_andrew_with(params: TestbedParams, seed: u64) -> AndrewRun {
         },
         util_samples: tb.util.samples(),
         latency: tb.latency.clone(),
+        stats: tb.stats_snapshot(),
+        trace: tb.finish_trace(),
     }
 }

@@ -31,18 +31,32 @@ pub struct FlushRun {
     pub peak_inflight: u64,
     /// Write-back RPCs that failed (should be 0 here).
     pub writeback_failures: u64,
+    /// Unified end-of-run statistics snapshot (serializable).
+    pub stats: crate::snapshot::StatsSnapshot,
+    /// Checked event trace (present when `TestbedParams::trace` was on).
+    pub trace: Option<crate::snapshot::TraceReport>,
 }
 
 /// Dirties `blocks` blocks of one SNFS file and times the `fsync` that
 /// flushes them, under the given write-behind configuration.
 pub fn run_flush(label: &'static str, write_behind: WriteBehindParams, blocks: usize) -> FlushRun {
-    let tb = Testbed::build(TestbedParams {
-        protocol: Protocol::Snfs,
-        // No update daemons: the fsync is the only flush.
-        update_enabled: false,
-        write_behind,
-        ..TestbedParams::default()
-    });
+    run_flush_with(
+        label,
+        TestbedParams {
+            protocol: Protocol::Snfs,
+            // No update daemons: the fsync is the only flush.
+            update_enabled: false,
+            write_behind,
+            ..TestbedParams::default()
+        },
+        blocks,
+    )
+}
+
+/// [`run_flush`] with full control of the testbed (e.g. tracing on).
+pub fn run_flush_with(label: &'static str, params: TestbedParams, blocks: usize) -> FlushRun {
+    let write_behind = params.write_behind;
+    let tb = Testbed::build(params);
     let ops_before = tb.counter.snapshot();
     let p = tb.proc();
     let sim = tb.sim.clone();
@@ -77,6 +91,8 @@ pub fn run_flush(label: &'static str, write_behind: WriteBehindParams, blocks: u
         mean_batch: client.gather_histogram().mean(),
         peak_inflight: client.inflight_gauge().peak(),
         writeback_failures: client.stats().writeback_failures,
+        stats: tb.stats_snapshot(),
+        trace: tb.finish_trace(),
     }
 }
 

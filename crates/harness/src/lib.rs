@@ -15,6 +15,7 @@
 
 pub mod config;
 pub mod report;
+pub mod snapshot;
 
 mod andrew;
 mod flushx;
@@ -24,9 +25,10 @@ mod sortx;
 mod testbed;
 
 pub use andrew::{run_andrew, run_andrew_with, AndrewRun};
-pub use flushx::{run_flush, FlushRun};
+pub use flushx::{run_flush, run_flush_with, FlushRun};
 pub use microx::{run_reopen, run_temp_lifetime, ReopenRun, TempLifetimeRun};
 pub use scaling::{run_scaling, ScalingRun};
+pub use snapshot::{ClientSnapshot, ServerSnapshot, StatsSnapshot, TraceReport};
 pub use sortx::{run_sort_experiment, run_sort_with, SortRun};
 pub use spritely_core::{SnfsServerParams, WriteBehindParams};
 pub use testbed::{ClientHost, Protocol, RemoteClient, Testbed, TestbedParams};

@@ -211,3 +211,25 @@ pub fn reopen_table(runs: &[ReopenRun]) -> String {
     }
     t.render()
 }
+
+/// Human-readable summary of a checked trace: per-kind event counts
+/// followed by every invariant violation (normally none).
+pub fn trace_summary(report: &crate::snapshot::TraceReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("trace: {} events\n", report.events.len()));
+    for (name, count) in spritely_trace::check::kind_counts(&report.events) {
+        out.push_str(&format!("  {name:<14} {count}\n"));
+    }
+    if report.violations.is_empty() {
+        out.push_str("checker: OK (0 violations)\n");
+    } else {
+        out.push_str(&format!(
+            "checker: {} VIOLATION(S)\n",
+            report.violations.len()
+        ));
+        for v in &report.violations {
+            out.push_str(&format!("  {v}\n"));
+        }
+    }
+    out
+}

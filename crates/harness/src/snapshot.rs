@@ -1,0 +1,136 @@
+//! Serializable end-of-run observability artifacts: a unified
+//! client/server statistics snapshot (JSON) and the checked event trace.
+//!
+//! The paper reports its results as tables distilled from counters the
+//! kernels kept (§5); this module is the simulation's equivalent of
+//! dumping those counters at the end of a run, in a form other tools
+//! can consume.
+
+use spritely_core::{ClientStats, ServerStats};
+use spritely_trace::{check_trace, to_chrome_json, to_jsonl, TraceEvent, Violation};
+
+/// One client host's counters at the end of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientSnapshot {
+    /// Client id (1-based, as on the wire).
+    pub id: u32,
+    /// Data-cache hits.
+    pub cache_hits: u64,
+    /// Data-cache misses.
+    pub cache_misses: u64,
+    /// Dirty blocks still awaiting write-back when the snapshot was taken.
+    pub dirty_blocks: u64,
+    /// SNFS-specific counters (None for a plain-NFS client).
+    pub snfs: Option<ClientStats>,
+}
+
+/// The server's counters at the end of a run (SNFS protocols only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerSnapshot {
+    /// Callback statistics.
+    pub stats: ServerStats,
+    /// Peak concurrent callbacks (must stay ≤ N−1, §3.2).
+    pub callback_peak: u64,
+    /// State-table entries at snapshot time.
+    pub table_entries: u64,
+}
+
+/// Unified, serializable view of every statistics structure a run
+/// produces. `to_json` is hand-rolled (stable field order, no deps).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSnapshot {
+    /// Protocol label ("SNFS", "NFS", ...).
+    pub protocol: String,
+    /// Total RPCs the server endpoint served.
+    pub rpc_total: u64,
+    /// Per-client counters, in client-id order.
+    pub clients: Vec<ClientSnapshot>,
+    /// Server counters (SNFS only).
+    pub server: Option<ServerSnapshot>,
+}
+
+impl StatsSnapshot {
+    /// Serializes the snapshot as a single JSON object with stable field
+    /// order (byte-identical across identical runs).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"protocol\":\"{}\",\"rpc_total\":{},\"clients\":[",
+            self.protocol, self.rpc_total
+        ));
+        for (i, c) in self.clients.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"id\":{},\"cache_hits\":{},\"cache_misses\":{},\"dirty_blocks\":{}",
+                c.id, c.cache_hits, c.cache_misses, c.dirty_blocks
+            ));
+            if let Some(s) = &c.snfs {
+                out.push_str(&format!(
+                    ",\"cancelled_blocks\":{},\"written_back_blocks\":{},\
+                     \"callbacks_served\":{},\"invalidations\":{},\"local_reopens\":{},\
+                     \"recoveries\":{},\"name_cache_hits\":{},\"writeback_failures\":{}",
+                    s.cancelled_blocks,
+                    s.written_back_blocks,
+                    s.callbacks_served,
+                    s.invalidations,
+                    s.local_reopens,
+                    s.recoveries,
+                    s.name_cache_hits,
+                    s.writeback_failures
+                ));
+            }
+            out.push('}');
+        }
+        out.push_str("],\"server\":");
+        match &self.server {
+            None => out.push_str("null"),
+            Some(s) => out.push_str(&format!(
+                "{{\"callbacks_sent\":{},\"callbacks_failed\":{},\"reclaim_passes\":{},\
+                 \"callback_peak\":{},\"table_entries\":{}}}",
+                s.stats.callbacks_sent,
+                s.stats.callbacks_failed,
+                s.stats.reclaim_passes,
+                s.callback_peak,
+                s.table_entries
+            )),
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// A finished, checked trace: the event log plus every invariant
+/// violation the offline checker found (empty on a correct run).
+#[derive(Debug, Clone)]
+pub struct TraceReport {
+    /// The recorded events, in emission (= causal) order.
+    pub events: Vec<TraceEvent>,
+    /// Invariant violations found by [`spritely_trace::check_trace`].
+    pub violations: Vec<Violation>,
+}
+
+impl TraceReport {
+    /// Finishes `tracer` and runs the invariant checker over the log.
+    pub fn from_events(events: Vec<TraceEvent>) -> Self {
+        let violations = check_trace(&events);
+        TraceReport { events, violations }
+    }
+
+    /// True when the checker found nothing wrong.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The trace as JSON-lines (byte-stable across identical runs).
+    pub fn to_jsonl(&self) -> String {
+        to_jsonl(&self.events)
+    }
+
+    /// The trace as a Chrome `trace_event` JSON document
+    /// (load in Perfetto / `chrome://tracing`).
+    pub fn to_chrome_json(&self) -> String {
+        to_chrome_json(&self.events)
+    }
+}

@@ -21,6 +21,10 @@ pub struct SortRun {
     pub ops: OpCounts,
     /// Client-local disk writes during the sort (the "local" cost floor).
     pub client_disk_writes: u64,
+    /// Unified end-of-run statistics snapshot (serializable).
+    pub stats: crate::snapshot::StatsSnapshot,
+    /// Checked event trace (present when `TestbedParams::trace` was on).
+    pub trace: Option<crate::snapshot::TraceReport>,
 }
 
 /// Runs the sort benchmark once on a fresh testbed.
@@ -82,5 +86,7 @@ pub fn run_sort_with(params: TestbedParams, input_bytes: u64) -> SortRun {
         elapsed,
         ops: tb.counter.snapshot() - ops_before,
         client_disk_writes: tb.clients[0].local_fs.disk().stats().writes - disk_before,
+        stats: tb.stats_snapshot(),
+        trace: tb.finish_trace(),
     }
 }

@@ -11,6 +11,7 @@ use spritely_nfs::{nfs_server, NfsClient, NfsClientParams};
 use spritely_proto::{ClientId, FileHandle, NfsReply, NfsRequest};
 use spritely_rpcnet::{Caller, Endpoint, Network};
 use spritely_sim::{Resource, Sim, SimDuration};
+use spritely_trace::Tracer;
 use spritely_vfs::{FsBackend, Mount, Proc, Vfs};
 
 use crate::config;
@@ -79,6 +80,11 @@ pub struct TestbedParams {
     /// Client data-cache capacity in blocks (shrink to force dirty-block
     /// evictions in tests).
     pub client_cache_blocks: usize,
+    /// Record a structured event trace of the run (client ops, RPCs,
+    /// handlers, state-table transitions, callbacks, flushes). Tracing
+    /// never awaits or consumes randomness, so a traced run produces the
+    /// same tables as an untraced one.
+    pub trace: bool,
 }
 
 impl Default for TestbedParams {
@@ -95,6 +101,7 @@ impl Default for TestbedParams {
             name_cache: false,
             snfs_server: SnfsServerParams::default(),
             client_cache_blocks: config::CLIENT_CACHE_BLOCKS,
+            trace: false,
         }
     }
 }
@@ -158,6 +165,8 @@ pub struct Testbed {
     pub util: GaugeSeries,
     /// The shared network.
     pub net: Network,
+    /// The run's event tracer (present when [`TestbedParams::trace`]).
+    pub tracer: Option<Tracer>,
     /// The NFS/SNFS endpoint (absent for `Protocol::Local`).
     pub endpoint: Option<Endpoint<NfsRequest, NfsReply>>,
     /// Client hosts (at least one).
@@ -191,6 +200,12 @@ impl Testbed {
         let util = GaugeSeries::new();
         let latency = LatencyStats::new();
         let net = Network::new(&sim, "ether", config::net_params());
+        let tracer = params.trace.then(|| {
+            let t = Tracer::new(&sim);
+            t.meta("protocol", params.protocol.label());
+            t.meta("clients", n_clients.to_string());
+            t
+        });
         // Well-known server directories.
         let root = server_fs.root();
         let (src_dir, target_dir, tmp_dir) = {
@@ -216,6 +231,9 @@ impl Testbed {
                     counter.clone(),
                 );
                 ep.set_rate_series(rates.clone());
+                if let Some(t) = &tracer {
+                    ep.set_tracer(t.clone());
+                }
                 Some(ep)
             }
             Protocol::Snfs | Protocol::SnfsDelayedClose => {
@@ -225,6 +243,9 @@ impl Testbed {
                     config::SERVER_THREADS,
                     params.snfs_server,
                 );
+                if let Some(t) = &tracer {
+                    srv.set_tracer(t.clone());
+                }
                 let ep = srv.endpoint(
                     "snfsd",
                     server_cpu.clone(),
@@ -232,6 +253,9 @@ impl Testbed {
                     counter.clone(),
                 );
                 ep.set_rate_series(rates.clone());
+                if let Some(t) = &tracer {
+                    ep.set_tracer(t.clone());
+                }
                 snfs_server = Some(srv);
                 Some(ep)
             }
@@ -270,6 +294,9 @@ impl Testbed {
                         config::caller_params(),
                     );
                     caller.set_latency_stats(latency.clone());
+                    if let Some(t) = &tracer {
+                        caller.set_tracer(t.clone());
+                    }
                     let client = NfsClient::new(
                         &sim,
                         caller,
@@ -297,6 +324,9 @@ impl Testbed {
                         config::caller_params(),
                     );
                     caller.set_latency_stats(latency.clone());
+                    if let Some(t) = &tracer {
+                        caller.set_tracer(t.clone());
+                    }
                     let client = SnfsClient::new(
                         &sim,
                         caller,
@@ -314,6 +344,9 @@ impl Testbed {
                             ..SnfsClientParams::default()
                         },
                     );
+                    if let Some(t) = &tracer {
+                        client.set_tracer(t.clone());
+                    }
                     client.spawn_update_daemon();
                     client.spawn_keepalive_daemon(SimDuration::from_secs(10));
                     // Register the callback channel.
@@ -324,6 +357,9 @@ impl Testbed {
                         config::callback_endpoint_params(),
                         counter.clone(),
                     );
+                    if let Some(t) = &tracer {
+                        cb_ep.set_tracer(t.clone());
+                    }
                     let cb_caller = Caller::new(
                         &sim,
                         net.clone(),
@@ -332,6 +368,9 @@ impl Testbed {
                         server_cpu.clone(),
                         config::caller_params(),
                     );
+                    if let Some(t) = &tracer {
+                        cb_caller.set_tracer(t.clone());
+                    }
                     srv.register_client(cid, cb_caller);
                     (
                         RemoteClient::Snfs(client.clone()),
@@ -385,6 +424,7 @@ impl Testbed {
             latency,
             util,
             net,
+            tracer,
             endpoint,
             clients,
             server_dirs: (src_dir, target_dir, tmp_dir),
@@ -394,6 +434,63 @@ impl Testbed {
     /// A process on the first client host.
     pub fn proc(&self) -> Proc {
         self.clients[0].proc(&self.sim)
+    }
+
+    /// Finishes the trace (if tracing was on) and runs the invariant
+    /// checker over it. Runners call this at the end of a run.
+    pub fn finish_trace(&self) -> Option<crate::snapshot::TraceReport> {
+        self.tracer
+            .as_ref()
+            .map(|t| crate::snapshot::TraceReport::from_events(t.finish()))
+    }
+
+    /// Unified statistics snapshot of every host (serializable; see
+    /// [`crate::snapshot::StatsSnapshot`]).
+    pub fn stats_snapshot(&self) -> crate::snapshot::StatsSnapshot {
+        let clients = self
+            .clients
+            .iter()
+            .enumerate()
+            .filter_map(|(i, host)| {
+                let id = i as u32 + 1;
+                match &host.remote {
+                    RemoteClient::None => None,
+                    RemoteClient::Nfs(c) => {
+                        let (hits, misses) = c.cache_stats();
+                        Some(crate::snapshot::ClientSnapshot {
+                            id,
+                            cache_hits: hits,
+                            cache_misses: misses,
+                            dirty_blocks: 0,
+                            snfs: None,
+                        })
+                    }
+                    RemoteClient::Snfs(c) => {
+                        let (hits, misses) = c.cache_stats();
+                        Some(crate::snapshot::ClientSnapshot {
+                            id,
+                            cache_hits: hits,
+                            cache_misses: misses,
+                            dirty_blocks: c.dirty_blocks() as u64,
+                            snfs: Some(c.stats()),
+                        })
+                    }
+                }
+            })
+            .collect();
+        crate::snapshot::StatsSnapshot {
+            protocol: self.params.protocol.label().to_string(),
+            rpc_total: self.counter.snapshot().total(),
+            clients,
+            server: self
+                .snfs_server
+                .as_ref()
+                .map(|srv| crate::snapshot::ServerSnapshot {
+                    stats: srv.stats(),
+                    callback_peak: srv.callback_gauge().peak(),
+                    table_entries: srv.table_len() as u64,
+                }),
+        }
     }
 
     /// Spawns a sampler recording server CPU utilization once per figure

@@ -34,7 +34,7 @@ pub fn nfs_server(
 ) -> Endpoint<NfsRequest, NfsReply> {
     let handler = {
         let fs = fs.clone();
-        Rc::new(move |_from, req: NfsRequest| {
+        Rc::new(move |_from, _ctx: u64, req: NfsRequest| {
             let fs = fs.clone();
             Box::pin(async move { handle(&fs, req).await })
                 as std::pin::Pin<Box<dyn std::future::Future<Output = NfsReply>>>

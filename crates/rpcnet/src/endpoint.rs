@@ -10,12 +10,15 @@ use std::rc::Rc;
 use spritely_metrics::{LatencyStats, OpCounter, RateSeries};
 use spritely_proto::ClientId;
 use spritely_sim::{Event, Resource, Sim, SimDuration, SimTime};
+use spritely_trace::{EventKind, Tracer};
 
 use crate::network::Network;
-use crate::{Proc, Wire};
+use crate::{Proc, ReplyStatus, Wire};
 
-/// A boxed async request handler.
-pub type HandlerFn<Req, Rep> = Rc<dyn Fn(ClientId, Req) -> Pin<Box<dyn Future<Output = Rep>>>>;
+/// A boxed async request handler. The `u64` is the causal trace context
+/// (the handler-begin event's sequence number, 0 when untraced) for the
+/// handler to parent its own trace events under.
+pub type HandlerFn<Req, Rep> = Rc<dyn Fn(ClientId, u64, Req) -> Pin<Box<dyn Future<Output = Rep>>>>;
 
 /// Server-side endpoint parameters.
 #[derive(Debug, Clone, Copy)]
@@ -57,6 +60,7 @@ struct EndpointInner<Req, Rep> {
     dup: RefCell<HashMap<(ClientId, u64), DupState<Rep>>>,
     counter: OpCounter,
     rates: RefCell<Option<RateSeries>>,
+    tracer: RefCell<Option<Tracer>>,
     alive: Cell<bool>,
     executions: Cell<u64>,
 }
@@ -82,7 +86,7 @@ impl<Req, Rep> Clone for Endpoint<Req, Rep> {
 impl<Req, Rep> Endpoint<Req, Rep>
 where
     Req: Proc + Wire + 'static,
-    Rep: Clone + 'static,
+    Rep: Clone + ReplyStatus + 'static,
 {
     /// Creates an endpoint.
     ///
@@ -112,6 +116,7 @@ where
                 dup: RefCell::new(HashMap::new()),
                 counter,
                 rates: RefCell::new(None),
+                tracer: RefCell::new(None),
                 alive: Cell::new(true),
                 executions: Cell::new(0),
             }),
@@ -121,6 +126,13 @@ where
     /// Attaches a rate series that will record every executed call.
     pub fn set_rate_series(&self, rates: RateSeries) {
         *self.inner.rates.borrow_mut() = Some(rates);
+    }
+
+    /// Attaches a tracer: every handler execution is recorded as a
+    /// `handler_begin`/`handler_end` span, causally linked to the
+    /// originating `rpc_call` event.
+    pub fn set_tracer(&self, tracer: Tracer) {
+        *self.inner.tracer.borrow_mut() = Some(tracer);
     }
 
     /// The per-procedure counter.
@@ -150,8 +162,9 @@ where
     }
 
     /// Delivers a request, executing it once per `(from, xid)` and serving
-    /// retransmissions from the duplicate cache.
-    pub async fn deliver(&self, from: ClientId, xid: u64, req: Req) -> Rep {
+    /// retransmissions from the duplicate cache. `parent` is the trace
+    /// context of the originating `rpc_call` event (0 when untraced).
+    pub async fn deliver(&self, from: ClientId, xid: u64, parent: u64, req: Req) -> Rep {
         let key = (from, xid);
         let ev = {
             let mut dup = self.inner.dup.borrow_mut();
@@ -162,7 +175,7 @@ where
                     let ev = Event::new();
                     dup.insert(key, DupState::InProgress(ev.clone()));
                     drop(dup);
-                    self.spawn_execution(key, from, req);
+                    self.spawn_execution(key, from, parent, req);
                     ev
                 }
             }
@@ -174,7 +187,7 @@ where
         }
     }
 
-    fn spawn_execution(&self, key: (ClientId, u64), from: ClientId, req: Req) {
+    fn spawn_execution(&self, key: (ClientId, u64), from: ClientId, parent: u64, req: Req) {
         let inner = Rc::clone(&self.inner);
         let proc = req.proc_id();
         let kb = req.wire_size() as f64 / 1024.0;
@@ -184,11 +197,33 @@ where
             if let Some(r) = inner.rates.borrow().as_ref() {
                 r.record_at(inner.sim.now(), proc);
             }
+            let ctx = match inner.tracer.borrow().as_ref() {
+                Some(t) => t.emit(
+                    parent,
+                    EventKind::HandlerBegin {
+                        from,
+                        xid: key.1,
+                        proc,
+                    },
+                ),
+                None => 0,
+            };
             let cpu_time = inner.params.cpu_per_call + inner.params.cpu_per_kb.mul_f64(kb);
             if !cpu_time.is_zero() {
                 inner.cpu.use_for(cpu_time).await;
             }
-            let rep = (inner.handler)(from, req).await;
+            let rep = (inner.handler)(from, ctx, req).await;
+            if let Some(t) = inner.tracer.borrow().as_ref() {
+                t.emit(
+                    ctx,
+                    EventKind::HandlerEnd {
+                        from,
+                        xid: key.1,
+                        proc,
+                        ok: rep.trace_ok(),
+                    },
+                );
+            }
             drop(thread);
             inner.executions.set(inner.executions.get() + 1);
             let now = inner.sim.now();
@@ -262,6 +297,7 @@ pub struct Caller<Req, Rep> {
     next_xid: Cell<u64>,
     retransmits: Cell<u64>,
     latency: RefCell<Option<LatencyStats>>,
+    tracer: RefCell<Option<Tracer>>,
 }
 
 impl<Req, Rep> Clone for Caller<Req, Rep> {
@@ -276,6 +312,7 @@ impl<Req, Rep> Clone for Caller<Req, Rep> {
             next_xid: Cell::new(0),
             retransmits: Cell::new(0),
             latency: RefCell::new(self.latency.borrow().clone()),
+            tracer: RefCell::new(self.tracer.borrow().clone()),
         }
     }
 }
@@ -283,7 +320,7 @@ impl<Req, Rep> Clone for Caller<Req, Rep> {
 impl<Req, Rep> Caller<Req, Rep>
 where
     Req: Proc + Wire + Clone + 'static,
-    Rep: Wire + Clone + 'static,
+    Rep: Wire + Clone + ReplyStatus + 'static,
 {
     /// Creates a caller. `cpu` is the calling host's CPU; `from` identifies
     /// the calling host to the endpoint's dup cache and handler.
@@ -305,6 +342,7 @@ where
             next_xid: Cell::new(0),
             retransmits: Cell::new(0),
             latency: RefCell::new(None),
+            tracer: RefCell::new(None),
         }
     }
 
@@ -313,6 +351,12 @@ where
     /// recorded under its procedure.
     pub fn set_latency_stats(&self, stats: LatencyStats) {
         *self.latency.borrow_mut() = Some(stats);
+    }
+
+    /// Attaches a tracer: every call is recorded as an `rpc_call` /
+    /// `rpc_reply` pair keyed by xid.
+    pub fn set_tracer(&self, tracer: Tracer) {
+        *self.tracer.borrow_mut() = Some(tracer);
     }
 
     /// The caller's client id.
@@ -329,6 +373,12 @@ where
     /// retransmission. At-most-once execution is guaranteed by the
     /// endpoint's duplicate cache.
     pub async fn call(&self, req: Req) -> Result<Rep, RpcError> {
+        self.call_ctx(0, req).await
+    }
+
+    /// Like [`Caller::call`], but parents the `rpc_call` trace event
+    /// under `parent` (a client-operation span, usually).
+    pub async fn call_ctx(&self, parent: u64, req: Req) -> Result<Rep, RpcError> {
         if !self.params.cpu_per_call.is_zero() {
             self.cpu.use_for(self.params.cpu_per_call).await;
         }
@@ -336,16 +386,44 @@ where
         self.next_xid.set(xid + 1);
         let started = self.sim.now();
         let proc = req.proc_id();
+        let rpc_seq = match self.tracer.borrow().as_ref() {
+            Some(t) => {
+                let (offset, len) = req.trace_range();
+                t.emit(
+                    parent,
+                    EventKind::RpcCall {
+                        from: self.from,
+                        xid,
+                        proc,
+                        fh: req.trace_fh(),
+                        offset,
+                        len,
+                    },
+                )
+            }
+            None => 0,
+        };
         let attempts = 1 + self.params.max_retries;
         for attempt in 0..attempts {
             if attempt > 0 {
                 self.retransmits.set(self.retransmits.get() + 1);
             }
-            let fut = self.attempt(xid, req.clone());
+            let fut = self.attempt(xid, rpc_seq, req.clone());
             match self.sim.timeout(self.params.timeout, fut).await {
                 Ok(rep) => {
                     if let Some(l) = self.latency.borrow().as_ref() {
                         l.record(proc, self.sim.now().duration_since(started));
+                    }
+                    if let Some(t) = self.tracer.borrow().as_ref() {
+                        t.emit(
+                            rpc_seq,
+                            EventKind::RpcReply {
+                                from: self.from,
+                                xid,
+                                proc,
+                                ok: rep.trace_ok(),
+                            },
+                        );
                     }
                     return Ok(rep);
                 }
@@ -355,13 +433,13 @@ where
         Err(RpcError::Timeout)
     }
 
-    async fn attempt(&self, xid: u64, req: Req) -> Rep {
+    async fn attempt(&self, xid: u64, parent: u64, req: Req) -> Rep {
         self.net.transmit(req.wire_size()).await;
         if !self.endpoint.is_alive() {
             // The request is lost; hang until the caller's timeout fires.
             std::future::pending::<()>().await;
         }
-        let rep = self.endpoint.deliver(self.from, xid, req).await;
+        let rep = self.endpoint.deliver(self.from, xid, parent, req).await;
         self.net.transmit(rep.wire_size()).await;
         rep
     }
@@ -386,7 +464,7 @@ mod tests {
             },
         );
         let s2 = sim.clone();
-        let handler: HandlerFn<NfsRequest, NfsReply> = Rc::new(move |_from, _req| {
+        let handler: HandlerFn<NfsRequest, NfsReply> = Rc::new(move |_from, _ctx, _req| {
             let s = s2.clone();
             Box::pin(async move {
                 if !handler_delay.is_zero() {

@@ -23,7 +23,7 @@ mod network;
 pub use endpoint::{Caller, CallerParams, Endpoint, EndpointParams, RpcError};
 pub use network::{NetParams, Network};
 
-use spritely_proto::{CallbackArg, CallbackReply, NfsProc, NfsReply, NfsRequest};
+use spritely_proto::{CallbackArg, CallbackReply, FileHandle, NfsProc, NfsReply, NfsRequest};
 
 /// Anything with a measurable wire size (drives transfer-time modelling).
 pub trait Wire {
@@ -35,6 +35,23 @@ pub trait Wire {
 pub trait Proc {
     /// The procedure this message invokes.
     fn proc_id(&self) -> NfsProc;
+
+    /// The file this request concerns, if any (for tracing).
+    fn trace_fh(&self) -> Option<FileHandle> {
+        None
+    }
+
+    /// `(offset, len)` of the affected byte range, if any (for tracing).
+    fn trace_range(&self) -> (u64, u64) {
+        (0, 0)
+    }
+}
+
+/// Replies that can report success/failure to the trace (the trace
+/// records an `ok` flag per reply; the wire format is unaffected).
+pub trait ReplyStatus {
+    /// True unless the reply signals an error.
+    fn trace_ok(&self) -> bool;
 }
 
 impl Wire for NfsRequest {
@@ -46,6 +63,37 @@ impl Wire for NfsRequest {
 impl Proc for NfsRequest {
     fn proc_id(&self) -> NfsProc {
         NfsRequest::proc_id(self)
+    }
+
+    fn trace_fh(&self) -> Option<FileHandle> {
+        match self {
+            NfsRequest::Null | NfsRequest::Keepalive { .. } | NfsRequest::Recover { .. } => None,
+            NfsRequest::GetAttr { fh }
+            | NfsRequest::SetAttr { fh, .. }
+            | NfsRequest::Read { fh, .. }
+            | NfsRequest::Write { fh, .. }
+            | NfsRequest::StatFs { fh }
+            | NfsRequest::Open { fh, .. }
+            | NfsRequest::Close { fh, .. }
+            | NfsRequest::Readlink { fh } => Some(*fh),
+            NfsRequest::Lookup { dir, .. }
+            | NfsRequest::Create { dir, .. }
+            | NfsRequest::Remove { dir, .. }
+            | NfsRequest::Mkdir { dir, .. }
+            | NfsRequest::Rmdir { dir, .. }
+            | NfsRequest::Readdir { dir }
+            | NfsRequest::Symlink { dir, .. } => Some(*dir),
+            NfsRequest::Rename { from_dir, .. } => Some(*from_dir),
+            NfsRequest::Link { from, .. } => Some(*from),
+        }
+    }
+
+    fn trace_range(&self) -> (u64, u64) {
+        match self {
+            NfsRequest::Read { offset, count, .. } => (*offset, u64::from(*count)),
+            NfsRequest::Write { offset, data, .. } => (*offset, data.len() as u64),
+            _ => (0, 0),
+        }
     }
 }
 
@@ -64,6 +112,22 @@ impl Wire for CallbackArg {
 impl Proc for CallbackArg {
     fn proc_id(&self) -> NfsProc {
         NfsProc::Callback
+    }
+
+    fn trace_fh(&self) -> Option<FileHandle> {
+        Some(self.fh)
+    }
+}
+
+impl ReplyStatus for NfsReply {
+    fn trace_ok(&self) -> bool {
+        !matches!(self, NfsReply::Err(_))
+    }
+}
+
+impl ReplyStatus for CallbackReply {
+    fn trace_ok(&self) -> bool {
+        self.ok
     }
 }
 

@@ -30,7 +30,7 @@ fn rig(delays: Vec<u64>, timeout_ms: u64) -> (Sim, Caller<NfsRequest, NfsReply>,
         let sim = sim.clone();
         let executed = Rc::clone(&executed);
         let idx = Cell::new(0usize);
-        Rc::new(move |_from: ClientId, _req: NfsRequest| {
+        Rc::new(move |_from: ClientId, _ctx: u64, _req: NfsRequest| {
             let sim = sim.clone();
             let executed = Rc::clone(&executed);
             let d = delays[idx.get() % delays.len()];

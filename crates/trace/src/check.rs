@@ -1,0 +1,693 @@
+//! Offline protocol-invariant checking over a recorded trace.
+//!
+//! The checker replays the event stream and asserts the properties the
+//! paper's protocol argument rests on:
+//!
+//! 1. **Legal transitions** — every server state-table transition is an
+//!    edge of the 7-state machine (§4.3.4, Figure 4-2).
+//! 2. **Callback bound** — at most N−1 consistency callbacks are in
+//!    flight at once, N = server service threads (§3.2).
+//! 3. **No stale reads** — a read served from a client cache carries a
+//!    version no older than the latest version granted to a write open
+//!    (§3.1: version numbers detect stale data at reopen).
+//! 4. **Cancelled writes** — delayed writes for a removed file are
+//!    cancelled, never flushed to the server (§2: "data ... never
+//!    written to the server at all" for short-lived files).
+//! 5. **fsync claims** — an fsync OK is preceded by write RPCs (with OK
+//!    replies) covering every block dirtied before it.
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+use spritely_proto::{ClientId, FileHandle, NfsProc, BLOCK_SIZE};
+
+use crate::{Cause, EventKind, FState, TraceEvent};
+
+/// One invariant violation, anchored to the offending event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    pub seq: u64,
+    pub t_us: u64,
+    pub invariant: &'static str,
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] seq {} t={}us: {}",
+            self.invariant, self.seq, self.t_us, self.detail
+        )
+    }
+}
+
+/// Is `from --cause--> to` an edge of the server state machine?
+///
+/// `to == from` is always accepted for open/close/writeback causes: a
+/// second open by the same client, closing one of several handles, or a
+/// writeback that races a reopen all leave the derived state unchanged.
+fn legal(cause: Cause, from: FState, to: FState) -> bool {
+    use FState::*;
+    match cause {
+        Cause::OpenRead => {
+            to == from && !matches!(from, Closed | ClosedDirty)
+                || matches!(
+                    (from, to),
+                    (Closed, OneReader)
+                        | (ClosedDirty, OneRdrDirty)
+                        | (OneReader, MultReaders)
+                        | (OneRdrDirty, MultReaders)
+                        | (OneWriter, WriteShared)
+                )
+        }
+        Cause::OpenWrite => {
+            to == from && matches!(from, OneWriter | WriteShared)
+                || matches!(
+                    (from, to),
+                    (Closed, OneWriter)
+                        | (ClosedDirty, OneWriter)
+                        | (OneReader, OneWriter)
+                        | (OneReader, WriteShared)
+                        | (OneRdrDirty, OneWriter)
+                        | (OneRdrDirty, WriteShared)
+                        | (MultReaders, WriteShared)
+                        | (OneWriter, WriteShared)
+                )
+        }
+        Cause::CloseRead => {
+            to == from
+                || matches!(
+                    (from, to),
+                    (OneReader, Closed)
+                        | (OneRdrDirty, ClosedDirty)
+                        | (MultReaders, OneReader)
+                        | (MultReaders, OneRdrDirty)
+                        | (WriteShared, Closed)
+                        | (WriteShared, ClosedDirty)
+                )
+        }
+        Cause::CloseWrite => {
+            to == from
+                || matches!(
+                    (from, to),
+                    (OneWriter, Closed)
+                        | (OneWriter, ClosedDirty)
+                        | (OneWriter, OneReader)
+                        | (OneWriter, OneRdrDirty)
+                        | (WriteShared, Closed)
+                        | (WriteShared, ClosedDirty)
+                )
+        }
+        Cause::WritebackDone => {
+            to == from || matches!((from, to), (ClosedDirty, Closed) | (OneRdrDirty, OneReader))
+        }
+        // Crash handling and recovery may land anywhere; the point of
+        // tracing them is the record, not a legality constraint.
+        Cause::ClientCrash | Cause::Restore => true,
+        // Removal and reclaim destroy the entry: derived state Closed.
+        Cause::Removed | Cause::Reclaim => to == Closed,
+    }
+}
+
+#[derive(Default)]
+struct CheckState {
+    /// Tracked server state per file (absent = CLOSED).
+    states: HashMap<FileHandle, FState>,
+    /// N from the `server_threads` meta event.
+    threads: Option<u64>,
+    cb_depth: u64,
+    cb_peak: u64,
+    /// Latest cache grant per (client, file): Some(v) = may cache at
+    /// version v, None = open granted with caching disabled.
+    granted: HashMap<(ClientId, FileHandle), Option<u64>>,
+    /// Highest version ever granted to a write open, per file.
+    latest_write_v: HashMap<FileHandle, u64>,
+    /// (client, file) pairs whose delayed writes were cancelled whole
+    /// (file removed): no Write RPC may follow.
+    removed: HashMap<(ClientId, FileHandle), u64>,
+    /// Blocks dirtied but not yet acknowledged by an OK Write reply.
+    dirty: HashMap<(ClientId, FileHandle), BTreeSet<u64>>,
+    /// In-flight Write RPCs: (caller, xid) -> (file, first_blk, last_blk).
+    pending_writes: HashMap<(ClientId, u64), (FileHandle, u64, u64)>,
+}
+
+/// Replay `events` and return every invariant violation found (empty =
+/// the run upheld the protocol).
+pub fn check_trace(events: &[TraceEvent]) -> Vec<Violation> {
+    let mut st = CheckState::default();
+    let mut out = Vec::new();
+    for e in events {
+        let flag = |invariant: &'static str, detail: String, out: &mut Vec<Violation>| {
+            out.push(Violation {
+                seq: e.seq,
+                t_us: e.t_us,
+                invariant,
+                detail,
+            });
+        };
+        match &e.kind {
+            EventKind::Meta { key, value } if *key == "server_threads" => {
+                st.threads = value.parse().ok();
+            }
+            EventKind::Transition {
+                fh,
+                cause,
+                from,
+                to,
+                ..
+            } => {
+                let tracked = st.states.get(fh).copied().unwrap_or(FState::Closed);
+                if tracked != *from {
+                    flag(
+                        "legal-transition",
+                        format!(
+                            "{fh}: transition claims from={} but tracked state is {}",
+                            from.name(),
+                            tracked.name()
+                        ),
+                        &mut out,
+                    );
+                }
+                if !legal(*cause, *from, *to) {
+                    flag(
+                        "legal-transition",
+                        format!(
+                            "{fh}: {} -> {} is not a legal {} edge",
+                            from.name(),
+                            to.name(),
+                            cause.name()
+                        ),
+                        &mut out,
+                    );
+                }
+                if *to == FState::Closed {
+                    st.states.remove(fh);
+                } else {
+                    st.states.insert(*fh, *to);
+                }
+            }
+            EventKind::CallbackBegin { target, fh, .. } => {
+                st.cb_depth += 1;
+                st.cb_peak = st.cb_peak.max(st.cb_depth);
+                if let Some(n) = st.threads {
+                    if st.cb_depth > n.saturating_sub(1) {
+                        flag(
+                            "callback-bound",
+                            format!(
+                                "{} callbacks in flight (to c{} for {fh}) exceeds N-1 = {}",
+                                st.cb_depth,
+                                target.0,
+                                n - 1
+                            ),
+                            &mut out,
+                        );
+                    }
+                }
+            }
+            EventKind::CallbackEnd { .. } => {
+                st.cb_depth = st.cb_depth.saturating_sub(1);
+            }
+            EventKind::OpenGrant {
+                client,
+                fh,
+                version,
+                cache_enabled,
+                write,
+                ..
+            } => {
+                if *write {
+                    let v = st.latest_write_v.entry(*fh).or_insert(0);
+                    *v = (*v).max(*version);
+                }
+                st.granted
+                    .insert((*client, *fh), cache_enabled.then_some(*version));
+            }
+            EventKind::Invalidate { client, fh } => {
+                st.granted.remove(&(*client, *fh));
+                st.dirty.remove(&(*client, *fh));
+            }
+            EventKind::CacheRead {
+                client,
+                fh,
+                version,
+            } => match st.granted.get(&(*client, *fh)) {
+                None => flag(
+                    "stale-read",
+                    format!("c{} read {fh} from cache without a live grant", client.0),
+                    &mut out,
+                ),
+                Some(None) => flag(
+                    "stale-read",
+                    format!(
+                        "c{} read {fh} from cache while caching was disabled",
+                        client.0
+                    ),
+                    &mut out,
+                ),
+                Some(Some(g)) => {
+                    if version != g {
+                        flag(
+                            "stale-read",
+                            format!("c{} read {fh} at v{version} but was granted v{g}", client.0),
+                            &mut out,
+                        );
+                    }
+                    let latest = st.latest_write_v.get(fh).copied().unwrap_or(0);
+                    if *version < latest {
+                        flag(
+                            "stale-read",
+                            format!(
+                                "c{} read {fh} at v{version}, older than latest write-open v{latest}",
+                                client.0
+                            ),
+                            &mut out,
+                        );
+                    }
+                }
+            },
+            EventKind::WriteCancel {
+                client,
+                fh,
+                from_blk,
+                blocks,
+            } => {
+                if *from_blk == 0 {
+                    st.removed.insert((*client, *fh), *blocks);
+                }
+                if let Some(d) = st.dirty.get_mut(&(*client, *fh)) {
+                    d.retain(|b| b < from_blk);
+                }
+            }
+            EventKind::BlockDirty { client, fh, blk } => {
+                st.dirty.entry((*client, *fh)).or_default().insert(*blk);
+            }
+            EventKind::RpcCall {
+                from,
+                xid,
+                proc,
+                fh: Some(fh),
+                offset,
+                len,
+            } if *proc == NfsProc::Write => {
+                if st.removed.contains_key(&(*from, *fh)) {
+                    flag(
+                        "cancelled-write",
+                        format!(
+                            "c{} flushed a delayed write to removed file {fh} \
+                             (off {offset} len {len}) instead of cancelling it",
+                            from.0
+                        ),
+                        &mut out,
+                    );
+                }
+                if *len > 0 {
+                    let first = offset / BLOCK_SIZE as u64;
+                    let last = (offset + len - 1) / BLOCK_SIZE as u64;
+                    st.pending_writes.insert((*from, *xid), (*fh, first, last));
+                }
+            }
+            EventKind::RpcReply {
+                from,
+                xid,
+                proc,
+                ok,
+            } if *proc == NfsProc::Write => {
+                if let Some((fh, first, last)) = st.pending_writes.remove(&(*from, *xid)) {
+                    if *ok {
+                        if let Some(d) = st.dirty.get_mut(&(*from, fh)) {
+                            d.retain(|b| *b < first || *b > last);
+                        }
+                    }
+                }
+            }
+            EventKind::FsyncOk { client, fh } => {
+                if let Some(d) = st.dirty.get(&(*client, *fh)) {
+                    if !d.is_empty() {
+                        let blks: Vec<String> = d.iter().take(8).map(|b| b.to_string()).collect();
+                        flag(
+                            "fsync-claims",
+                            format!(
+                                "c{} fsync({fh}) returned OK with {} block(s) not yet \
+                                 acknowledged by Write replies: [{}]",
+                                client.0,
+                                d.len(),
+                                blks.join(",")
+                            ),
+                            &mut out,
+                        );
+                    }
+                }
+            }
+            EventKind::ServerCrash => {
+                st.states.clear();
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Count events of each kind — handy for summaries.
+pub fn kind_counts(events: &[TraceEvent]) -> Vec<(&'static str, usize)> {
+    let mut order: Vec<&'static str> = Vec::new();
+    let mut counts: HashMap<&'static str, usize> = HashMap::new();
+    for e in events {
+        let name = kind_name(&e.kind);
+        if !counts.contains_key(name) {
+            order.push(name);
+        }
+        *counts.entry(name).or_insert(0) += 1;
+    }
+    order.into_iter().map(|n| (n, counts[n])).collect()
+}
+
+pub fn kind_name(kind: &EventKind) -> &'static str {
+    match kind {
+        EventKind::Meta { .. } => "meta",
+        EventKind::OpBegin { .. } => "op_begin",
+        EventKind::OpEnd { .. } => "op_end",
+        EventKind::RpcCall { .. } => "rpc_call",
+        EventKind::RpcReply { .. } => "rpc_reply",
+        EventKind::HandlerBegin { .. } => "handler_begin",
+        EventKind::HandlerEnd { .. } => "handler_end",
+        EventKind::Transition { .. } => "transition",
+        EventKind::CallbackBegin { .. } => "cb_begin",
+        EventKind::CallbackEnd { .. } => "cb_end",
+        EventKind::FlushBegin { .. } => "flush_begin",
+        EventKind::FlushEnd { .. } => "flush_end",
+        EventKind::BlockDirty { .. } => "block_dirty",
+        EventKind::CacheRead { .. } => "cache_read",
+        EventKind::OpenGrant { .. } => "open_grant",
+        EventKind::Invalidate { .. } => "invalidate",
+        EventKind::WriteCancel { .. } => "write_cancel",
+        EventKind::FsyncOk { .. } => "fsync_ok",
+        EventKind::ServerCrash => "server_crash",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fh(i: u64) -> FileHandle {
+        FileHandle::new(1, i, 1)
+    }
+
+    fn ev(seq: u64, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            seq,
+            t_us: seq,
+            parent: 0,
+            kind,
+        }
+    }
+
+    #[test]
+    fn legal_open_close_cycle_passes() {
+        let c = ClientId(1);
+        let events = vec![
+            ev(
+                1,
+                EventKind::Transition {
+                    fh: fh(1),
+                    cause: Cause::OpenWrite,
+                    client: c,
+                    from: FState::Closed,
+                    to: FState::OneWriter,
+                    version: 2,
+                },
+            ),
+            ev(
+                2,
+                EventKind::Transition {
+                    fh: fh(1),
+                    cause: Cause::CloseWrite,
+                    client: c,
+                    from: FState::OneWriter,
+                    to: FState::ClosedDirty,
+                    version: 2,
+                },
+            ),
+            ev(
+                3,
+                EventKind::Transition {
+                    fh: fh(1),
+                    cause: Cause::WritebackDone,
+                    client: c,
+                    from: FState::ClosedDirty,
+                    to: FState::Closed,
+                    version: 2,
+                },
+            ),
+        ];
+        assert!(check_trace(&events).is_empty());
+    }
+
+    #[test]
+    fn illegal_transition_is_flagged() {
+        let events = vec![ev(
+            1,
+            EventKind::Transition {
+                fh: fh(1),
+                cause: Cause::OpenRead,
+                client: ClientId(1),
+                from: FState::Closed,
+                to: FState::WriteShared,
+                version: 1,
+            },
+        )];
+        let v = check_trace(&events);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "legal-transition");
+    }
+
+    #[test]
+    fn transition_discontinuity_is_flagged() {
+        // Claims from=ONE_WRTR but nothing ever opened the file.
+        let events = vec![ev(
+            1,
+            EventKind::Transition {
+                fh: fh(1),
+                cause: Cause::CloseWrite,
+                client: ClientId(1),
+                from: FState::OneWriter,
+                to: FState::Closed,
+                version: 1,
+            },
+        )];
+        let v = check_trace(&events);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].detail.contains("tracked state"));
+    }
+
+    #[test]
+    fn callback_bound_uses_meta_thread_count() {
+        let mut events = vec![ev(
+            1,
+            EventKind::Meta {
+                key: "server_threads",
+                value: "3".into(),
+            },
+        )];
+        for i in 0..3u64 {
+            events.push(ev(
+                2 + i,
+                EventKind::CallbackBegin {
+                    target: ClientId(i as u32 + 1),
+                    fh: fh(1),
+                    writeback: false,
+                    invalidate: true,
+                },
+            ));
+        }
+        let v = check_trace(&events);
+        assert_eq!(v.len(), 1, "third concurrent callback breaks N-1 = 2");
+        assert_eq!(v[0].invariant, "callback-bound");
+    }
+
+    #[test]
+    fn stale_version_read_is_flagged() {
+        let c = ClientId(1);
+        let events = vec![
+            ev(
+                1,
+                EventKind::OpenGrant {
+                    client: c,
+                    fh: fh(1),
+                    version: 3,
+                    prev_version: 2,
+                    cache_enabled: true,
+                    write: false,
+                },
+            ),
+            ev(
+                2,
+                EventKind::OpenGrant {
+                    client: ClientId(2),
+                    fh: fh(1),
+                    version: 7,
+                    prev_version: 3,
+                    cache_enabled: true,
+                    write: true,
+                },
+            ),
+            // Client 1 was never invalidated in this forged trace and
+            // keeps serving v3 — stale relative to the write open at v7.
+            ev(
+                3,
+                EventKind::CacheRead {
+                    client: c,
+                    fh: fh(1),
+                    version: 3,
+                },
+            ),
+        ];
+        let v = check_trace(&events);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "stale-read");
+        assert!(v[0].detail.contains("older than latest write-open"));
+    }
+
+    #[test]
+    fn read_after_invalidate_is_flagged() {
+        let c = ClientId(1);
+        let events = vec![
+            ev(
+                1,
+                EventKind::OpenGrant {
+                    client: c,
+                    fh: fh(1),
+                    version: 3,
+                    prev_version: 2,
+                    cache_enabled: true,
+                    write: false,
+                },
+            ),
+            ev(
+                2,
+                EventKind::Invalidate {
+                    client: c,
+                    fh: fh(1),
+                },
+            ),
+            ev(
+                3,
+                EventKind::CacheRead {
+                    client: c,
+                    fh: fh(1),
+                    version: 3,
+                },
+            ),
+        ];
+        let v = check_trace(&events);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].detail.contains("without a live grant"));
+    }
+
+    #[test]
+    fn write_after_cancel_is_flagged_and_fsync_claims_checked() {
+        let c = ClientId(1);
+        let events = vec![
+            ev(
+                1,
+                EventKind::BlockDirty {
+                    client: c,
+                    fh: fh(1),
+                    blk: 0,
+                },
+            ),
+            ev(
+                2,
+                EventKind::WriteCancel {
+                    client: c,
+                    fh: fh(1),
+                    from_blk: 0,
+                    blocks: 1,
+                },
+            ),
+            ev(
+                3,
+                EventKind::RpcCall {
+                    from: c,
+                    xid: 9,
+                    proc: NfsProc::Write,
+                    fh: Some(fh(1)),
+                    offset: 0,
+                    len: BLOCK_SIZE as u64,
+                },
+            ),
+            // And an fsync claiming a block that never got a Write reply.
+            ev(
+                4,
+                EventKind::BlockDirty {
+                    client: c,
+                    fh: fh(2),
+                    blk: 5,
+                },
+            ),
+            ev(
+                5,
+                EventKind::FsyncOk {
+                    client: c,
+                    fh: fh(2),
+                },
+            ),
+        ];
+        let v = check_trace(&events);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].invariant, "cancelled-write");
+        assert_eq!(v[1].invariant, "fsync-claims");
+    }
+
+    #[test]
+    fn ok_write_replies_discharge_fsync_claims() {
+        let c = ClientId(1);
+        let events = vec![
+            ev(
+                1,
+                EventKind::BlockDirty {
+                    client: c,
+                    fh: fh(1),
+                    blk: 0,
+                },
+            ),
+            ev(
+                2,
+                EventKind::BlockDirty {
+                    client: c,
+                    fh: fh(1),
+                    blk: 1,
+                },
+            ),
+            ev(
+                3,
+                EventKind::RpcCall {
+                    from: c,
+                    xid: 1,
+                    proc: NfsProc::Write,
+                    fh: Some(fh(1)),
+                    offset: 0,
+                    len: 2 * BLOCK_SIZE as u64,
+                },
+            ),
+            ev(
+                4,
+                EventKind::RpcReply {
+                    from: c,
+                    xid: 1,
+                    proc: NfsProc::Write,
+                    ok: true,
+                },
+            ),
+            ev(
+                5,
+                EventKind::FsyncOk {
+                    client: c,
+                    fh: fh(1),
+                },
+            ),
+        ];
+        assert!(check_trace(&events).is_empty());
+    }
+}

@@ -1,0 +1,447 @@
+//! Trace serialization: JSONL (the byte-stable regression format) and
+//! Chrome `trace_event` JSON (loadable in Perfetto / chrome://tracing).
+
+use std::fmt::Write as _;
+
+use crate::{json_escape, EventKind, TraceEvent};
+
+/// Serialize a trace as JSON Lines: one event per line, fixed field
+/// order, no floats. Identical seeds yield byte-identical output.
+pub fn to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 96);
+    for e in events {
+        write_event_json(&mut out, e);
+        out.push('\n');
+    }
+    out
+}
+
+fn write_event_json(out: &mut String, e: &TraceEvent) {
+    let _ = write!(
+        out,
+        "{{\"seq\":{},\"t\":{},\"par\":{}",
+        e.seq, e.t_us, e.parent
+    );
+    match &e.kind {
+        EventKind::Meta { key, value } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"meta\",\"key\":\"{}\",\"value\":\"{}\"",
+                json_escape(key),
+                json_escape(value)
+            );
+        }
+        EventKind::OpBegin { client, op, fh } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"op_begin\",\"client\":{},\"op\":\"{}\",\"fh\":\"{}\"",
+                client.0, op, fh
+            );
+        }
+        EventKind::OpEnd { client, op, ok } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"op_end\",\"client\":{},\"op\":\"{}\",\"ok\":{}",
+                client.0, op, ok
+            );
+        }
+        EventKind::RpcCall {
+            from,
+            xid,
+            proc,
+            fh,
+            offset,
+            len,
+        } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"rpc_call\",\"from\":{},\"xid\":{},\"proc\":\"{}\"",
+                from.0,
+                xid,
+                proc.name()
+            );
+            if let Some(fh) = fh {
+                let _ = write!(out, ",\"fh\":\"{fh}\"");
+            }
+            let _ = write!(out, ",\"off\":{offset},\"len\":{len}");
+        }
+        EventKind::RpcReply {
+            from,
+            xid,
+            proc,
+            ok,
+        } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"rpc_reply\",\"from\":{},\"xid\":{},\"proc\":\"{}\",\"ok\":{}",
+                from.0,
+                xid,
+                proc.name(),
+                ok
+            );
+        }
+        EventKind::HandlerBegin { from, xid, proc } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"handler_begin\",\"from\":{},\"xid\":{},\"proc\":\"{}\"",
+                from.0,
+                xid,
+                proc.name()
+            );
+        }
+        EventKind::HandlerEnd {
+            from,
+            xid,
+            proc,
+            ok,
+        } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"handler_end\",\"from\":{},\"xid\":{},\"proc\":\"{}\",\"ok\":{}",
+                from.0,
+                xid,
+                proc.name(),
+                ok
+            );
+        }
+        EventKind::Transition {
+            fh,
+            cause,
+            client,
+            from,
+            to,
+            version,
+        } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"transition\",\"fh\":\"{}\",\"cause\":\"{}\",\"client\":{},\"from\":\"{}\",\"to\":\"{}\",\"ver\":{}",
+                fh,
+                cause.name(),
+                client.0,
+                from.name(),
+                to.name(),
+                version
+            );
+        }
+        EventKind::CallbackBegin {
+            target,
+            fh,
+            writeback,
+            invalidate,
+        } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"cb_begin\",\"target\":{},\"fh\":\"{}\",\"writeback\":{},\"invalidate\":{}",
+                target.0, fh, writeback, invalidate
+            );
+        }
+        EventKind::CallbackEnd { target, fh, ok } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"cb_end\",\"target\":{},\"fh\":\"{}\",\"ok\":{}",
+                target.0, fh, ok
+            );
+        }
+        EventKind::FlushBegin { client, fh, direct } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"flush_begin\",\"client\":{},\"fh\":\"{}\",\"direct\":{}",
+                client.0, fh, direct
+            );
+        }
+        EventKind::FlushEnd { client, fh, ok } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"flush_end\",\"client\":{},\"fh\":\"{}\",\"ok\":{}",
+                client.0, fh, ok
+            );
+        }
+        EventKind::BlockDirty { client, fh, blk } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"block_dirty\",\"client\":{},\"fh\":\"{}\",\"blk\":{}",
+                client.0, fh, blk
+            );
+        }
+        EventKind::CacheRead {
+            client,
+            fh,
+            version,
+        } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"cache_read\",\"client\":{},\"fh\":\"{}\",\"ver\":{}",
+                client.0, fh, version
+            );
+        }
+        EventKind::OpenGrant {
+            client,
+            fh,
+            version,
+            prev_version,
+            cache_enabled,
+            write,
+        } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"open_grant\",\"client\":{},\"fh\":\"{}\",\"ver\":{},\"prev\":{},\"cache\":{},\"write\":{}",
+                client.0, fh, version, prev_version, cache_enabled, write
+            );
+        }
+        EventKind::Invalidate { client, fh } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"invalidate\",\"client\":{},\"fh\":\"{}\"",
+                client.0, fh
+            );
+        }
+        EventKind::WriteCancel {
+            client,
+            fh,
+            from_blk,
+            blocks,
+        } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"write_cancel\",\"client\":{},\"fh\":\"{}\",\"from_blk\":{},\"blocks\":{}",
+                client.0, fh, from_blk, blocks
+            );
+        }
+        EventKind::FsyncOk { client, fh } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"fsync_ok\",\"client\":{},\"fh\":\"{}\"",
+                client.0, fh
+            );
+        }
+        EventKind::ServerCrash => {
+            let _ = write!(out, ",\"ev\":\"server_crash\"");
+        }
+    }
+    out.push('}');
+}
+
+/// Pid used for server-side rows in the Chrome export.
+const SERVER_PID: u32 = 0;
+
+/// Serialize a trace in the Chrome `trace_event` format. Open
+/// `ui.perfetto.dev` and drop the file in. Server-side work appears
+/// under pid 0; each client under its own pid.
+pub fn to_chrome_json(events: &[TraceEvent]) -> String {
+    let mut out = String::from("{\"traceEvents\":[\n");
+    let mut first = true;
+    let mut push = |line: String, out: &mut String| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&line);
+    };
+    // Process-name metadata rows.
+    let mut pids: Vec<u32> = events.iter().filter_map(|e| chrome_pid(&e.kind)).collect();
+    pids.push(SERVER_PID);
+    pids.sort_unstable();
+    pids.dedup();
+    for pid in pids {
+        let name = if pid == SERVER_PID {
+            "server".to_string()
+        } else {
+            format!("client {pid}")
+        };
+        push(
+            format!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\"args\":{{\"name\":\"{name}\"}}}}"
+            ),
+            &mut out,
+        );
+    }
+    for e in events {
+        if let Some(line) = chrome_event(e) {
+            push(line, &mut out);
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+fn chrome_pid(kind: &EventKind) -> Option<u32> {
+    match kind {
+        EventKind::OpBegin { client, .. }
+        | EventKind::OpEnd { client, .. }
+        | EventKind::FlushBegin { client, .. }
+        | EventKind::FlushEnd { client, .. }
+        | EventKind::BlockDirty { client, .. }
+        | EventKind::CacheRead { client, .. }
+        | EventKind::Invalidate { client, .. }
+        | EventKind::WriteCancel { client, .. }
+        | EventKind::FsyncOk { client, .. }
+        | EventKind::OpenGrant { client, .. } => Some(client.0),
+        EventKind::RpcCall { from, .. } | EventKind::RpcReply { from, .. } => Some(from.0),
+        _ => None,
+    }
+}
+
+fn span(ph: char, pid: u32, tid: u32, name: &str, t: u64) -> String {
+    format!(
+        "{{\"ph\":\"{ph}\",\"pid\":{pid},\"tid\":{tid},\"ts\":{t},\"name\":\"{}\",\"cat\":\"snfs\"}}",
+        json_escape(name)
+    )
+}
+
+fn instant(pid: u32, tid: u32, name: &str, t: u64, args: &str) -> String {
+    format!(
+        "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":{tid},\"ts\":{t},\"s\":\"t\",\"name\":\"{}\",\"cat\":\"snfs\",\"args\":{{{args}}}}}",
+        json_escape(name)
+    )
+}
+
+fn chrome_event(e: &TraceEvent) -> Option<String> {
+    let t = e.t_us;
+    Some(match &e.kind {
+        EventKind::Meta { key, value } => instant(
+            SERVER_PID,
+            0,
+            &format!("meta {key}"),
+            t,
+            &format!("\"value\":\"{}\"", json_escape(value)),
+        ),
+        EventKind::OpBegin { client, op, fh } => {
+            span('B', client.0, 1, &format!("{op} {fh}"), t)
+        }
+        EventKind::OpEnd { client, op, .. } => span('E', client.0, 1, op, t),
+        EventKind::RpcCall { from, xid, proc, .. } => format!(
+            "{{\"ph\":\"b\",\"pid\":{},\"tid\":2,\"ts\":{t},\"id\":{xid},\"name\":\"{}\",\"cat\":\"rpc\"}}",
+            from.0,
+            proc.name()
+        ),
+        EventKind::RpcReply { from, xid, proc, .. } => format!(
+            "{{\"ph\":\"e\",\"pid\":{},\"tid\":2,\"ts\":{t},\"id\":{xid},\"name\":\"{}\",\"cat\":\"rpc\"}}",
+            from.0,
+            proc.name()
+        ),
+        EventKind::HandlerBegin { from, proc, .. } => span(
+            'B',
+            SERVER_PID,
+            100 + from.0,
+            &format!("{} (c{})", proc.name(), from.0),
+            t,
+        ),
+        EventKind::HandlerEnd { from, proc, .. } => {
+            span('E', SERVER_PID, 100 + from.0, proc.name(), t)
+        }
+        EventKind::Transition {
+            fh,
+            cause,
+            from,
+            to,
+            ..
+        } => instant(
+            SERVER_PID,
+            1,
+            &format!("{fh}: {} -> {} ({})", from.name(), to.name(), cause.name()),
+            t,
+            "",
+        ),
+        EventKind::CallbackBegin { target, fh, .. } => span(
+            'B',
+            SERVER_PID,
+            200 + target.0,
+            &format!("callback c{} {fh}", target.0),
+            t,
+        ),
+        EventKind::CallbackEnd { target, .. } => {
+            span('E', SERVER_PID, 200 + target.0, "callback", t)
+        }
+        EventKind::FlushBegin { client, fh, direct } => span(
+            'B',
+            client.0,
+            3,
+            &format!("flush {fh}{}", if *direct { " (direct)" } else { "" }),
+            t,
+        ),
+        EventKind::FlushEnd { client, .. } => span('E', client.0, 3, "flush", t),
+        EventKind::BlockDirty { client, fh, blk } => {
+            instant(client.0, 1, &format!("dirty {fh}#{blk}"), t, "")
+        }
+        EventKind::CacheRead { client, fh, version } => instant(
+            client.0,
+            1,
+            &format!("cache read {fh} v{version}"),
+            t,
+            "",
+        ),
+        EventKind::OpenGrant {
+            client,
+            fh,
+            version,
+            cache_enabled,
+            ..
+        } => instant(
+            client.0,
+            1,
+            &format!(
+                "grant {fh} v{version}{}",
+                if *cache_enabled { "" } else { " (no cache)" }
+            ),
+            t,
+            "",
+        ),
+        EventKind::Invalidate { client, fh } => {
+            instant(client.0, 1, &format!("invalidate {fh}"), t, "")
+        }
+        EventKind::WriteCancel {
+            client, fh, blocks, ..
+        } => instant(client.0, 1, &format!("cancel {fh} ({blocks} blks)"), t, ""),
+        EventKind::FsyncOk { client, fh } => {
+            instant(client.0, 1, &format!("fsync ok {fh}"), t, "")
+        }
+        EventKind::ServerCrash => instant(SERVER_PID, 1, "SERVER CRASH", t, ""),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spritely_proto::{ClientId, FileHandle};
+
+    #[test]
+    fn jsonl_is_stable_and_one_line_per_event() {
+        let ev = vec![
+            TraceEvent {
+                seq: 1,
+                t_us: 5,
+                parent: 0,
+                kind: EventKind::Meta {
+                    key: "protocol",
+                    value: "snfs".into(),
+                },
+            },
+            TraceEvent {
+                seq: 2,
+                t_us: 9,
+                parent: 1,
+                kind: EventKind::FsyncOk {
+                    client: ClientId(1),
+                    fh: FileHandle::new(1, 2, 3),
+                },
+            },
+        ];
+        let s = to_jsonl(&ev);
+        assert_eq!(s.lines().count(), 2);
+        assert_eq!(s, to_jsonl(&ev), "serialization is a pure function");
+        assert!(s.starts_with("{\"seq\":1,\"t\":5,\"par\":0,\"ev\":\"meta\""));
+    }
+
+    #[test]
+    fn chrome_export_is_json_shaped() {
+        let ev = vec![TraceEvent {
+            seq: 1,
+            t_us: 0,
+            parent: 0,
+            kind: EventKind::ServerCrash,
+        }];
+        let s = to_chrome_json(&ev);
+        assert!(s.starts_with("{\"traceEvents\":["));
+        assert!(s.trim_end().ends_with("]}"));
+    }
+}

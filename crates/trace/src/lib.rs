@@ -1,0 +1,355 @@
+//! Deterministic causal event tracing for the SNFS simulation.
+//!
+//! Every interesting action in a run — a client operation, the RPCs it
+//! issues, the server handler that services each RPC, the state-table
+//! transition it causes, the callbacks that fan out, and the client
+//! flushes those callbacks trigger — is recorded as a [`TraceEvent`]
+//! with a sim-time timestamp, a sequence number, and a causal parent
+//! link. Because the simulator is single-threaded and deterministic,
+//! identical seeds yield byte-identical traces, so a serialized trace
+//! doubles as a regression artifact.
+//!
+//! The crate also ships an offline [`check`]er that replays a trace and
+//! asserts the protocol invariants the paper argues for (§3.2, §4.3.4).
+
+use std::cell::{Cell, RefCell};
+use std::fmt;
+use std::rc::Rc;
+
+use spritely_proto::{ClientId, FileHandle, NfsProc};
+use spritely_sim::Sim;
+
+pub mod check;
+pub mod export;
+
+pub use check::{check_trace, Violation};
+pub use export::{to_chrome_json, to_jsonl};
+
+/// The seven server cache-state values (paper §4.3.4, Figure 4-2),
+/// mirrored here so the trace crate does not depend on `core`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FState {
+    Closed,
+    ClosedDirty,
+    OneReader,
+    OneRdrDirty,
+    MultReaders,
+    OneWriter,
+    WriteShared,
+}
+
+impl FState {
+    pub fn name(self) -> &'static str {
+        match self {
+            FState::Closed => "CLOSED",
+            FState::ClosedDirty => "CLOSED_DIRTY",
+            FState::OneReader => "ONE_RDR",
+            FState::OneRdrDirty => "ONE_RDR_DIRTY",
+            FState::MultReaders => "MULT_RDRS",
+            FState::OneWriter => "ONE_WRTR",
+            FState::WriteShared => "WRITE_SHARED",
+        }
+    }
+}
+
+impl fmt::Display for FState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Why a state-table transition happened — the "input" column of the
+/// state machine in paper Figure 4-2, plus the failure/recovery edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cause {
+    OpenRead,
+    OpenWrite,
+    CloseRead,
+    CloseWrite,
+    /// A dirty client finished writing back (callback completed OK).
+    WritebackDone,
+    /// The client holding state crashed (or was declared dead).
+    ClientCrash,
+    /// The file was removed; its table entry is gone.
+    Removed,
+    /// The entry was reclaimed (dropped) to bound table size.
+    Reclaim,
+    /// Post-reboot recovery re-created the entry from a client report.
+    Restore,
+}
+
+impl Cause {
+    pub fn name(self) -> &'static str {
+        match self {
+            Cause::OpenRead => "open_read",
+            Cause::OpenWrite => "open_write",
+            Cause::CloseRead => "close_read",
+            Cause::CloseWrite => "close_write",
+            Cause::WritebackDone => "writeback_done",
+            Cause::ClientCrash => "client_crash",
+            Cause::Removed => "removed",
+            Cause::Reclaim => "reclaim",
+            Cause::Restore => "restore",
+        }
+    }
+}
+
+/// One recorded event. `parent` is the sequence number of the causally
+/// preceding event (0 = root). Sequence numbers start at 1 and are
+/// assigned in emission order, which — in a single-threaded
+/// deterministic simulator — is a total order consistent with
+/// causality.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    pub seq: u64,
+    pub t_us: u64,
+    pub parent: u64,
+    pub kind: EventKind,
+}
+
+/// What happened. Field order here fixes the JSONL field order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// Run-level metadata (protocol, thread counts, seed, …).
+    Meta { key: &'static str, value: String },
+    /// A client-visible operation began (open/close/fsync/remove).
+    OpBegin {
+        client: ClientId,
+        op: &'static str,
+        fh: FileHandle,
+    },
+    OpEnd {
+        client: ClientId,
+        op: &'static str,
+        ok: bool,
+    },
+    /// An RPC left a caller. `from` is ClientId(0) for server-originated
+    /// callbacks.
+    RpcCall {
+        from: ClientId,
+        xid: u64,
+        proc: NfsProc,
+        fh: Option<FileHandle>,
+        offset: u64,
+        len: u64,
+    },
+    RpcReply {
+        from: ClientId,
+        xid: u64,
+        proc: NfsProc,
+        ok: bool,
+    },
+    /// Server-side execution of one RPC (after dup-cache / thread gate).
+    HandlerBegin {
+        from: ClientId,
+        xid: u64,
+        proc: NfsProc,
+    },
+    HandlerEnd {
+        from: ClientId,
+        xid: u64,
+        proc: NfsProc,
+        ok: bool,
+    },
+    /// A server state-table transition for one file.
+    Transition {
+        fh: FileHandle,
+        cause: Cause,
+        client: ClientId,
+        from: FState,
+        to: FState,
+        version: u64,
+    },
+    /// The server started a consistency callback to `target`.
+    CallbackBegin {
+        target: ClientId,
+        fh: FileHandle,
+        writeback: bool,
+        invalidate: bool,
+    },
+    CallbackEnd {
+        target: ClientId,
+        fh: FileHandle,
+        ok: bool,
+    },
+    /// A client began flushing a file's dirty blocks (write-behind pool
+    /// or the direct callback path).
+    FlushBegin {
+        client: ClientId,
+        fh: FileHandle,
+        direct: bool,
+    },
+    FlushEnd {
+        client: ClientId,
+        fh: FileHandle,
+        ok: bool,
+    },
+    /// A block became dirty in a client cache (delayed write).
+    BlockDirty {
+        client: ClientId,
+        fh: FileHandle,
+        blk: u64,
+    },
+    /// A read was served from the client cache at `version`.
+    CacheRead {
+        client: ClientId,
+        fh: FileHandle,
+        version: u64,
+    },
+    /// The server granted an open; records the consistency decision.
+    OpenGrant {
+        client: ClientId,
+        fh: FileHandle,
+        version: u64,
+        prev_version: u64,
+        cache_enabled: bool,
+        write: bool,
+    },
+    /// The client discarded its cached copy (callback or reopen miss).
+    Invalidate { client: ClientId, fh: FileHandle },
+    /// Delayed writes were cancelled, not flushed (file removed or
+    /// truncated): blocks at indices >= `from_blk` are gone.
+    WriteCancel {
+        client: ClientId,
+        fh: FileHandle,
+        from_blk: u64,
+        blocks: u64,
+    },
+    /// fsync returned OK to the application.
+    FsyncOk { client: ClientId, fh: FileHandle },
+    /// The server crashed, losing its state table.
+    ServerCrash,
+}
+
+struct Inner {
+    sim: Sim,
+    events: RefCell<Vec<TraceEvent>>,
+    next: Cell<u64>,
+}
+
+/// A cheaply clonable handle to one run's event log. Components hold a
+/// clone and call [`Tracer::emit`]; emission never awaits, never reads
+/// wall-clock time, and never consumes randomness, so a traced run is
+/// behaviorally identical to an untraced one.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Rc<Inner>,
+}
+
+impl Tracer {
+    pub fn new(sim: &Sim) -> Self {
+        Tracer {
+            inner: Rc::new(Inner {
+                sim: sim.clone(),
+                events: RefCell::new(Vec::new()),
+                next: Cell::new(0),
+            }),
+        }
+    }
+
+    /// Record an event; returns its sequence number for use as the
+    /// `parent` of causally dependent events.
+    pub fn emit(&self, parent: u64, kind: EventKind) -> u64 {
+        let seq = self.inner.next.get() + 1;
+        self.inner.next.set(seq);
+        self.inner.events.borrow_mut().push(TraceEvent {
+            seq,
+            t_us: self.inner.sim.now().as_micros(),
+            parent,
+            kind,
+        });
+        seq
+    }
+
+    pub fn meta(&self, key: &'static str, value: impl Into<String>) {
+        self.emit(
+            0,
+            EventKind::Meta {
+                key,
+                value: value.into(),
+            },
+        );
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.events.borrow().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot the event log (the tracer remains usable).
+    pub fn finish(&self) -> Vec<TraceEvent> {
+        self.inner.events.borrow().clone()
+    }
+}
+
+/// Escape a string for inclusion in a JSON double-quoted literal.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fh(i: u64) -> FileHandle {
+        FileHandle::new(1, i, 1)
+    }
+
+    #[test]
+    fn sequence_numbers_and_parents_link_up() {
+        let sim = Sim::new();
+        let tr = Tracer::new(&sim);
+        let a = tr.emit(
+            0,
+            EventKind::OpBegin {
+                client: ClientId(1),
+                op: "open",
+                fh: fh(9),
+            },
+        );
+        let b = tr.emit(
+            a,
+            EventKind::RpcCall {
+                from: ClientId(1),
+                xid: 1,
+                proc: NfsProc::Open,
+                fh: Some(fh(9)),
+                offset: 0,
+                len: 0,
+            },
+        );
+        let ev = tr.finish();
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[0].seq, a);
+        assert_eq!(ev[1].seq, b);
+        assert_eq!(ev[1].parent, a);
+    }
+
+    #[test]
+    fn emission_is_deterministic_under_clone() {
+        let sim = Sim::new();
+        let tr = Tracer::new(&sim);
+        let tr2 = tr.clone();
+        tr.meta("protocol", "snfs");
+        tr2.meta("seed", "42");
+        assert_eq!(tr.len(), 2);
+        let ev = tr2.finish();
+        assert_eq!(ev[0].seq, 1);
+        assert_eq!(ev[1].seq, 2);
+    }
+}

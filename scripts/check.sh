@@ -13,7 +13,13 @@ cargo test --workspace -q
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> cargo clippy -p spritely-trace -- -D warnings"
+cargo clippy -p spritely-trace --all-targets -- -D warnings
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> traced Andrew run (invariant checker gate)"
+cargo run --release --quiet --example traced_andrew
 
 echo "==> OK"

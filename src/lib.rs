@@ -29,7 +29,10 @@
 //! * [`workloads`] — Andrew benchmark, external sort, microbenchmarks;
 //! * [`harness`] — experiment runners and paper-style reports for every
 //!   table and figure in the evaluation;
-//! * [`metrics`] — RPC counters, rate/utilization series, text tables.
+//! * [`metrics`] — RPC counters, rate/utilization series, text tables;
+//! * [`trace`] — deterministic causal event tracing with a protocol
+//!   invariant checker (state machine legality, N−1 callback bound,
+//!   stale reads, cancelled writes, fsync claims).
 //!
 //! # Quickstart
 //!
@@ -54,5 +57,6 @@ pub use spritely_nfs as nfs;
 pub use spritely_proto as proto;
 pub use spritely_rpcnet as rpcnet;
 pub use spritely_sim as sim;
+pub use spritely_trace as trace;
 pub use spritely_vfs as vfs;
 pub use spritely_workloads as workloads;
