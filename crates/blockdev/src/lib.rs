@@ -1,4 +1,4 @@
-//! A simple seek/rotation/transfer disk model.
+//! A seek/rotation/transfer disk model with pluggable arm scheduling.
 //!
 //! The paper's server used RA81/RA82 drives ("moderately high performance"
 //! for 1989). What matters for reproducing the results is not the exact
@@ -10,15 +10,21 @@
 //! 2. **Sequential transfers are much cheaper than random ones** — delayed
 //!    write-back batches dirty blocks into sequential runs.
 //!
-//! [`Disk`] models a single arm (FIFO queue) with a positioning time that
-//! is charged in full for non-adjacent accesses and a reduced
-//! track-to-track time for sequential ones, plus a bytes/rate transfer
-//! time. All timing is deterministic.
+//! [`Disk`] models a single arm. The order requests are pulled off the
+//! queue is a [`DiskSched`] policy: [`DiskSched::Fifo`] (the default)
+//! reproduces the paper-era driver exactly — strict arrival order, full
+//! `avg_position` charged for every non-adjacent access — while
+//! [`DiskSched::CLook`] services the nearest block in the sweep
+//! direction, charging a seek-distance-dependent positioning time, with
+//! an aging limit `max_bypass` so no request is bypassed more than K
+//! times. All timing is deterministic.
 
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use spritely_sim::{Resource, Sim, SimDuration};
+use spritely_metrics::{Histogram, InflightGauge};
+use spritely_sim::{Event, Resource, Sim, SimDuration};
+use spritely_trace::{EventKind, Tracer};
 
 /// Timing parameters for a [`Disk`].
 #[derive(Debug, Clone, Copy)]
@@ -52,6 +58,39 @@ impl DiskParams {
     }
 }
 
+/// Arm scheduling policy for a [`Disk`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DiskSched {
+    /// Strict arrival order; every non-adjacent access pays the full
+    /// `avg_position`. This is the paper-era behavior and the default.
+    #[default]
+    Fifo,
+    /// C-LOOK elevator: serve the pending request with the smallest block
+    /// address at or above the arm's current position, wrapping to the
+    /// lowest pending address when the sweep runs dry. Positioning is
+    /// charged by seek distance (see [`Disk::clook_position`]).
+    CLook {
+        /// Aging limit: once a request has been bypassed this many times
+        /// it is served before any sweep-order pick, so no request is
+        /// ever bypassed more than `max_bypass` times.
+        max_bypass: u32,
+        /// Seek distance (in blocks) treated as a full stroke; longer
+        /// seeks are charged the same as a full stroke.
+        stroke_blocks: u64,
+    },
+}
+
+impl DiskSched {
+    /// The value of the `disk_sched` trace meta event for this policy,
+    /// parsed back by the trace checker's reordering-bound rule.
+    pub fn meta_value(&self) -> String {
+        match self {
+            DiskSched::Fifo => "fifo".to_string(),
+            DiskSched::CLook { max_bypass, .. } => format!("clook:{max_bypass}"),
+        }
+    }
+}
+
 /// Cumulative statistics for one disk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct DiskStats {
@@ -65,13 +104,22 @@ pub struct DiskStats {
     pub bytes_written: u64,
 }
 
-/// A single-arm disk with a FIFO request queue.
+/// A single-arm disk with a scheduled request queue.
 #[derive(Clone)]
 pub struct Disk {
     sim: Sim,
     arm: Resource,
     params: DiskParams,
+    sched: DiskSched,
     state: Rc<RefCell<DiskState>>,
+    queue: Rc<RefCell<SchedQueue>>,
+    /// Requests queued but not yet dispatched to the arm.
+    queue_depth: InflightGauge,
+    /// Per-request queue wait (enqueue to dispatch), in milliseconds.
+    wait_ms: Histogram,
+    /// Per-request positioning time charged, in milliseconds.
+    pos_ms: Histogram,
+    tracer: Rc<RefCell<Option<Tracer>>>,
 }
 
 struct DiskState {
@@ -79,23 +127,62 @@ struct DiskState {
     stats: DiskStats,
 }
 
+/// One queued C-LOOK request awaiting dispatch.
+struct Pending {
+    id: u64,
+    block: u64,
+    bypass: u32,
+    grant: Event,
+}
+
+#[derive(Default)]
+struct SchedQueue {
+    /// Arrival order; only used by the C-LOOK policy (FIFO rides the
+    /// arm resource's own queue).
+    pending: Vec<Pending>,
+    /// Request currently granted the arm, if any.
+    current: Option<u64>,
+    next_req: u64,
+}
+
 impl Disk {
-    /// Creates a disk attached to `sim`.
+    /// Creates a FIFO-scheduled disk attached to `sim`.
     pub fn new(sim: &Sim, name: impl Into<String>, params: DiskParams) -> Self {
+        Self::with_sched(sim, name, params, DiskSched::Fifo)
+    }
+
+    /// Creates a disk with an explicit scheduling policy.
+    pub fn with_sched(
+        sim: &Sim,
+        name: impl Into<String>,
+        params: DiskParams,
+        sched: DiskSched,
+    ) -> Self {
         Disk {
             sim: sim.clone(),
             arm: Resource::new(sim, name, 1),
             params,
+            sched,
             state: Rc::new(RefCell::new(DiskState {
                 last_block: None,
                 stats: DiskStats::default(),
             })),
+            queue: Rc::new(RefCell::new(SchedQueue::default())),
+            queue_depth: InflightGauge::new(),
+            wait_ms: Histogram::new(),
+            pos_ms: Histogram::new(),
+            tracer: Rc::new(RefCell::new(None)),
         }
     }
 
     /// The disk's timing parameters.
     pub fn params(&self) -> DiskParams {
         self.params
+    }
+
+    /// The active scheduling policy.
+    pub fn sched(&self) -> DiskSched {
+        self.sched
     }
 
     /// Statistics so far.
@@ -108,8 +195,36 @@ impl Disk {
         &self.arm
     }
 
-    /// Reads `bytes` at `block`, waiting in the FIFO queue and consuming
-    /// positioning + transfer time.
+    /// Queue-depth gauge: requests enqueued but not yet dispatched.
+    pub fn queue_depth(&self) -> &InflightGauge {
+        &self.queue_depth
+    }
+
+    /// Per-request queue wait histogram (milliseconds).
+    pub fn wait_ms(&self) -> &Histogram {
+        &self.wait_ms
+    }
+
+    /// Per-request positioning-time histogram (milliseconds).
+    pub fn pos_ms(&self) -> &Histogram {
+        &self.pos_ms
+    }
+
+    /// Attach a tracer; every request emits `disk_queue` / `disk_done`
+    /// events from then on. Emission never awaits, so traced runs are
+    /// behaviorally identical.
+    pub fn set_tracer(&self, tracer: Tracer) {
+        *self.tracer.borrow_mut() = Some(tracer);
+    }
+
+    fn emit(&self, kind: EventKind) {
+        if let Some(t) = self.tracer.borrow().as_ref() {
+            t.emit(0, kind);
+        }
+    }
+
+    /// Reads `bytes` at `block`, waiting in the scheduler queue and
+    /// consuming positioning + transfer time.
     pub async fn read(&self, block: u64, bytes: usize) {
         self.access(block, bytes, false).await;
     }
@@ -121,8 +236,37 @@ impl Disk {
     }
 
     async fn access(&self, block: u64, bytes: usize, is_write: bool) {
+        match self.sched {
+            DiskSched::Fifo => self.access_fifo(block, bytes, is_write).await,
+            DiskSched::CLook {
+                max_bypass,
+                stroke_blocks,
+            } => {
+                self.access_clook(block, bytes, is_write, max_bypass, stroke_blocks)
+                    .await
+            }
+        }
+    }
+
+    /// The paper-era path: ride the arm resource's FIFO queue directly.
+    /// Everything added around the legacy body (gauge, histograms, trace
+    /// events) is synchronous accounting, so the timing is bit-for-bit
+    /// what it was before scheduling existed.
+    async fn access_fifo(&self, block: u64, bytes: usize, is_write: bool) {
+        let req = self.next_req_id();
+        self.emit(EventKind::DiskQueue {
+            disk: self.arm.name(),
+            req,
+            block,
+            write: is_write,
+        });
+        self.queue_depth.inc();
+        let enq_us = self.sim.now().as_micros();
         let guard = self.arm.acquire().await;
-        let service = {
+        let wait_us = self.sim.now().as_micros() - enq_us;
+        self.queue_depth.dec();
+        self.wait_ms.record(wait_us / 1_000);
+        let (service, pos) = {
             let st = self.state.borrow();
             let seq = st.last_block == Some(block.wrapping_sub(1)) || st.last_block == Some(block);
             let pos = if seq {
@@ -130,9 +274,87 @@ impl Disk {
             } else {
                 self.params.avg_position
             };
-            pos + self.params.transfer_time(bytes)
+            (pos + self.params.transfer_time(bytes), pos)
         };
+        self.pos_ms.record(pos.as_micros() / 1_000);
         self.sim.sleep(service).await;
+        self.finish_access(block, bytes, is_write);
+        self.emit(EventKind::DiskDone {
+            disk: self.arm.name(),
+            req,
+            block,
+            write: is_write,
+            wait_us,
+            pos_us: pos.as_micros(),
+        });
+        drop(guard);
+    }
+
+    /// The C-LOOK path: requests park in a scheduler queue and are granted
+    /// the arm in sweep order (nearest block at or above the head, wrapping
+    /// when the sweep runs dry), with `max_bypass` aging.
+    async fn access_clook(
+        &self,
+        block: u64,
+        bytes: usize,
+        is_write: bool,
+        max_bypass: u32,
+        stroke_blocks: u64,
+    ) {
+        let req = self.next_req_id();
+        self.emit(EventKind::DiskQueue {
+            disk: self.arm.name(),
+            req,
+            block,
+            write: is_write,
+        });
+        self.queue_depth.inc();
+        let enq_us = self.sim.now().as_micros();
+        let grant = Event::new();
+        self.queue.borrow_mut().pending.push(Pending {
+            id: req,
+            block,
+            bypass: 0,
+            grant: grant.clone(),
+        });
+        // Ensures the request is de-queued (or the arm handed off) even if
+        // this future is dropped mid-wait.
+        let ticket = Ticket {
+            disk: self,
+            id: req,
+        };
+        self.dispatch_next(max_bypass);
+        grant.wait().await;
+        let wait_us = self.sim.now().as_micros() - enq_us;
+        self.queue_depth.dec();
+        self.wait_ms.record(wait_us / 1_000);
+        // Only the granted request ever touches the arm, so this acquire
+        // always takes the fast path; the resource exists purely for
+        // busy-time (utilization) accounting.
+        let guard = self.arm.acquire().await;
+        let pos = self.clook_position(block, stroke_blocks);
+        self.pos_ms.record(pos.as_micros() / 1_000);
+        self.sim.sleep(pos + self.params.transfer_time(bytes)).await;
+        self.finish_access(block, bytes, is_write);
+        self.emit(EventKind::DiskDone {
+            disk: self.arm.name(),
+            req,
+            block,
+            write: is_write,
+            wait_us,
+            pos_us: pos.as_micros(),
+        });
+        drop(guard);
+        drop(ticket); // releases the arm to the next pick
+    }
+
+    fn next_req_id(&self) -> u64 {
+        let mut q = self.queue.borrow_mut();
+        q.next_req += 1;
+        q.next_req
+    }
+
+    fn finish_access(&self, block: u64, bytes: usize, is_write: bool) {
         let mut st = self.state.borrow_mut();
         st.last_block = Some(block);
         if is_write {
@@ -142,8 +364,103 @@ impl Disk {
             st.stats.reads += 1;
             st.stats.bytes_read += bytes as u64;
         }
-        drop(st);
-        drop(guard);
+    }
+
+    /// Positioning time for a C-LOOK dispatch: seek distance `d` blocks
+    /// costs `seq + 1.5 (avg - seq) sqrt(d / stroke)`, saturating at a
+    /// full stroke. The square root approximates the accelerate/decelerate
+    /// profile of a real arm, and the 1.5 factor calibrates the curve so a
+    /// uniformly random seek averages `avg_position` (E[sqrt(U)] = 2/3) —
+    /// FIFO and C-LOOK agree on unscheduled random workloads and diverge
+    /// exactly when scheduling shortens seeks.
+    fn clook_position(&self, block: u64, stroke_blocks: u64) -> SimDuration {
+        let Some(head) = self.state.borrow().last_block else {
+            return self.params.avg_position;
+        };
+        let d = head.abs_diff(block);
+        if d <= 1 {
+            return self.params.seq_position;
+        }
+        let stroke = stroke_blocks.max(2);
+        let frac = d.min(stroke) as f64 / stroke as f64;
+        let seq = self.params.seq_position.as_micros() as f64;
+        let avg = self.params.avg_position.as_micros() as f64;
+        SimDuration::from_micros((seq + 1.5 * (avg - seq) * frac.sqrt()).round() as u64)
+    }
+
+    /// If the arm is free, pick the next request per C-LOOK and grant it.
+    fn dispatch_next(&self, max_bypass: u32) {
+        let mut q = self.queue.borrow_mut();
+        if q.current.is_some() || q.pending.is_empty() {
+            return;
+        }
+        let head = self.state.borrow().last_block.unwrap_or(0);
+        let pick = Self::clook_pick(&q.pending, head, max_bypass);
+        let chosen = q.pending.remove(pick);
+        for p in &mut q.pending {
+            if p.id < chosen.id {
+                p.bypass += 1;
+            }
+        }
+        q.current = Some(chosen.id);
+        drop(q);
+        chosen.grant.set();
+    }
+
+    /// Index of the next request to serve: the oldest aged-out request if
+    /// any has been bypassed `max_bypass` times, else the lowest block at
+    /// or above `head` (the sweep), else the lowest block overall (the
+    /// wrap). Ties break by arrival order.
+    fn clook_pick(pending: &[Pending], head: u64, max_bypass: u32) -> usize {
+        if let Some(i) = pending
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.bypass >= max_bypass)
+            .min_by_key(|(_, p)| p.id)
+            .map(|(i, _)| i)
+        {
+            return i;
+        }
+        pending
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.block >= head)
+            .min_by_key(|(_, p)| (p.block, p.id))
+            .or_else(|| {
+                pending
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, p)| (p.block, p.id))
+            })
+            .map(|(i, _)| i)
+            .expect("pending is non-empty")
+    }
+}
+
+/// Cancel-safety for the C-LOOK path: if the access future is dropped
+/// while queued, the request leaves the queue; if it was already granted
+/// (or mid-service), the arm is handed to the next pick.
+struct Ticket<'a> {
+    disk: &'a Disk,
+    id: u64,
+}
+
+impl Drop for Ticket<'_> {
+    fn drop(&mut self) {
+        let max_bypass = match self.disk.sched {
+            DiskSched::CLook { max_bypass, .. } => max_bypass,
+            DiskSched::Fifo => return,
+        };
+        let mut q = self.disk.queue.borrow_mut();
+        if q.current == Some(self.id) {
+            q.current = None;
+            drop(q);
+            self.disk.dispatch_next(max_bypass);
+        } else if let Some(i) = q.pending.iter().position(|p| p.id == self.id) {
+            q.pending.remove(i);
+            drop(q);
+            self.disk.queue_depth.dec();
+        }
     }
 }
 
@@ -152,13 +469,25 @@ mod tests {
     use super::*;
 
     fn disk(sim: &Sim) -> Disk {
-        Disk::new(
+        Disk::new(sim, "d0", test_params())
+    }
+
+    fn test_params() -> DiskParams {
+        DiskParams {
+            avg_position: SimDuration::from_millis(20),
+            seq_position: SimDuration::from_millis(2),
+            transfer_rate: 1_000_000, // 1 MB/s => 4 KB = 4096 us
+        }
+    }
+
+    fn clook(sim: &Sim, max_bypass: u32) -> Disk {
+        Disk::with_sched(
             sim,
             "d0",
-            DiskParams {
-                avg_position: SimDuration::from_millis(20),
-                seq_position: SimDuration::from_millis(2),
-                transfer_rate: 1_000_000, // 1 MB/s => 4 KB = 4096 us
+            test_params(),
+            DiskSched::CLook {
+                max_bypass,
+                stroke_blocks: 1 << 20,
             },
         )
     }
@@ -239,5 +568,175 @@ mod tests {
             transfer_rate: 0,
         };
         assert_eq!(p.transfer_time(1 << 20), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn fifo_observability_counts_waits_and_depth() {
+        let sim = Sim::new();
+        let d = disk(&sim);
+        for i in 0..3u64 {
+            let d = d.clone();
+            sim.spawn(async move {
+                d.read(i * 1000, 4096).await;
+            });
+        }
+        sim.run_to_quiescence();
+        assert_eq!(d.wait_ms().count(), 3);
+        assert_eq!(d.pos_ms().count(), 3);
+        // Request 3 waited behind two full services.
+        assert_eq!(d.wait_ms().max(), 2 * (20_000 + 4_096) / 1_000);
+        assert_eq!(d.queue_depth().current(), 0);
+        // The first request dispatches instantly; 2 and 3 overlap in queue.
+        assert_eq!(d.queue_depth().peak(), 2);
+    }
+
+    #[test]
+    fn clook_serves_sweep_order_not_arrival_order() {
+        let sim = Sim::new();
+        let d = clook(&sim, 1000);
+        // Seed the head at block 0, then queue far, near, middle while
+        // the arm is busy with the first request.
+        let order: Rc<RefCell<Vec<u64>>> = Rc::default();
+        {
+            let d = d.clone();
+            sim.spawn(async move {
+                d.write(0, 512).await;
+            });
+        }
+        for &blk in &[900_000u64, 10, 5_000] {
+            let d = d.clone();
+            let order = Rc::clone(&order);
+            sim.spawn(async move {
+                d.read(blk, 512).await;
+                order.borrow_mut().push(blk);
+            });
+        }
+        sim.run_to_quiescence();
+        assert_eq!(*order.borrow(), vec![10, 5_000, 900_000]);
+        assert_eq!(d.stats().reads, 3);
+        assert_eq!(d.stats().writes, 1);
+    }
+
+    #[test]
+    fn clook_short_seeks_cost_less_than_fifo_average() {
+        let sim = Sim::new();
+        let d = clook(&sim, 1000);
+        let d2 = d.clone();
+        sim.block_on(async move {
+            d2.write(0, 512).await;
+            d2.write(200, 512).await; // short seek within the stroke
+        });
+        // First access pays avg_position (cold head); the 200-block seek
+        // on a 1M-block stroke costs ~2.4 ms, far under the 20 ms average.
+        assert_eq!(d.pos_ms().count(), 2);
+        assert_eq!(d.pos_ms().count_of(20), 1);
+        let short = d.pos_ms().sum() - 20;
+        assert!(short < 5, "short seek should beat avg, got {short} ms");
+    }
+
+    #[test]
+    fn clook_aging_bounds_starvation() {
+        // A request at a far block with max_bypass = 1 must be served
+        // after at most one nearer request bypasses it.
+        let sim = Sim::new();
+        let d = clook(&sim, 1);
+        let order: Rc<RefCell<Vec<u64>>> = Rc::default();
+        {
+            let d = d.clone();
+            sim.spawn(async move {
+                d.write(0, 512).await;
+            });
+        }
+        // Far request arrives first, then a stream of near requests.
+        for &blk in &[500_000u64, 10, 20, 30, 40] {
+            let d = d.clone();
+            let order = Rc::clone(&order);
+            sim.spawn(async move {
+                d.read(blk, 512).await;
+                order.borrow_mut().push(blk);
+            });
+        }
+        sim.run_to_quiescence();
+        let served = order.borrow().clone();
+        let far_at = served.iter().position(|&b| b == 500_000).unwrap();
+        assert!(
+            far_at <= 1,
+            "far request bypassed more than once: {served:?}"
+        );
+    }
+
+    #[test]
+    fn clook_wrap_returns_to_lowest_block() {
+        let sim = Sim::new();
+        let d = clook(&sim, 1000);
+        let order: Rc<RefCell<Vec<u64>>> = Rc::default();
+        {
+            let d = d.clone();
+            sim.spawn(async move {
+                d.write(100, 512).await; // head lands at 100
+            });
+        }
+        for &blk in &[5u64, 200] {
+            let d = d.clone();
+            let order = Rc::clone(&order);
+            sim.spawn(async move {
+                d.read(blk, 512).await;
+                order.borrow_mut().push(blk);
+            });
+        }
+        sim.run_to_quiescence();
+        // Sweep up to 200 first, then wrap down to 5.
+        assert_eq!(*order.borrow(), vec![200, 5]);
+    }
+
+    #[test]
+    fn clook_arm_utilization_accounts_service_time() {
+        let sim = Sim::new();
+        let d = clook(&sim, 1000);
+        for i in 0..3u64 {
+            let d = d.clone();
+            sim.spawn(async move {
+                d.read(i * 100_000, 4096).await;
+            });
+        }
+        sim.run_to_quiescence();
+        // One request at a time: busy integral equals elapsed time.
+        assert_eq!(
+            d.arm().busy_permit_micros(),
+            u128::from(sim.now().as_micros())
+        );
+        assert_eq!(d.queue_depth().current(), 0);
+    }
+
+    #[test]
+    fn dropped_queued_request_leaves_the_queue() {
+        let sim = Sim::new();
+        let d = clook(&sim, 1000);
+        {
+            let d = d.clone();
+            sim.spawn(async move {
+                d.write(0, 4096).await;
+            });
+        }
+        {
+            let d = d.clone();
+            let s = sim.clone();
+            sim.spawn(async move {
+                // Cancelled long before the arm frees up.
+                let _ = s
+                    .timeout(SimDuration::from_micros(10), d.read(999, 512))
+                    .await;
+            });
+        }
+        {
+            let d = d.clone();
+            sim.spawn(async move {
+                d.read(50, 512).await;
+            });
+        }
+        sim.run_to_quiescence();
+        assert_eq!(d.stats().reads, 1, "cancelled read must not be served");
+        assert_eq!(d.queue_depth().current(), 0);
+        assert_eq!(d.queue.borrow().pending.len(), 0);
     }
 }

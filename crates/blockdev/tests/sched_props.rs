@@ -1,0 +1,112 @@
+//! Property tests for the disk-arm scheduler: C-LOOK must serve every
+//! request exactly once, never bypass a request more than `max_bypass`
+//! times, and the FIFO policy must be timing-equivalent to the original
+//! unscheduled queue (serial service in arrival order with the two-level
+//! positioning rule).
+
+use proptest::prelude::*;
+use spritely_blockdev::{Disk, DiskParams, DiskSched};
+use spritely_sim::{Sim, SimDuration};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn params() -> DiskParams {
+    DiskParams {
+        avg_position: SimDuration::from_millis(20),
+        seq_position: SimDuration::from_millis(2),
+        transfer_rate: 1_000_000,
+    }
+}
+
+/// Runs `blocks` as concurrent requests (spawned in order at t = 0) and
+/// returns the completion order of block addresses.
+fn run_all(sched: DiskSched, blocks: &[u64]) -> (Vec<u64>, u64) {
+    let sim = Sim::new();
+    let d = Disk::with_sched(&sim, "d0", params(), sched);
+    let order: Rc<RefCell<Vec<u64>>> = Rc::default();
+    for (i, &blk) in blocks.iter().enumerate() {
+        let d = d.clone();
+        let order = Rc::clone(&order);
+        sim.spawn(async move {
+            d.read(blk, 4096).await;
+            order.borrow_mut().push(blk * 1000 + i as u64);
+        });
+    }
+    sim.run_to_quiescence();
+    let served = order.borrow().clone();
+    assert_eq!(d.stats().reads, blocks.len() as u64);
+    (served, sim.now().as_micros())
+}
+
+/// The original FIFO disk timing: serial service in arrival order,
+/// `seq_position` when the block is the same or adjacent to the previous
+/// one, `avg_position` otherwise, plus transfer time.
+fn fifo_reference_micros(blocks: &[u64]) -> u64 {
+    let p = params();
+    let mut last: Option<u64> = None;
+    let mut t = 0;
+    for &b in blocks {
+        let seq = last == Some(b.wrapping_sub(1)) || last == Some(b);
+        let pos = if seq { p.seq_position } else { p.avg_position };
+        t += pos.as_micros() + p.transfer_time(4096).as_micros();
+        last = Some(b);
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn clook_serves_every_request_exactly_once(
+        blocks in proptest::collection::vec(0u64..2000, 1..40),
+        max_bypass in 0u32..6,
+    ) {
+        let sched = DiskSched::CLook { max_bypass, stroke_blocks: 1 << 12 };
+        let (served, _) = run_all(sched, &blocks);
+        prop_assert_eq!(served.len(), blocks.len());
+        let mut want: Vec<u64> = blocks
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| b * 1000 + i as u64)
+            .collect();
+        let mut got = served.clone();
+        want.sort_unstable();
+        got.sort_unstable();
+        prop_assert_eq!(got, want, "each request served exactly once");
+    }
+
+    #[test]
+    fn clook_bypass_count_is_bounded(
+        blocks in proptest::collection::vec(0u64..2000, 1..40),
+        max_bypass in 0u32..6,
+    ) {
+        let sched = DiskSched::CLook { max_bypass, stroke_blocks: 1 << 12 };
+        let (served, _) = run_all(sched, &blocks);
+        // Request i (arrival order) is bypassed once for every
+        // later-arriving request served before it.
+        let arrival_of = |tag: u64| (tag % 1000) as usize;
+        for (pos, &tag) in served.iter().enumerate() {
+            let bypasses = served[..pos]
+                .iter()
+                .filter(|&&earlier| arrival_of(earlier) > arrival_of(tag))
+                .count();
+            prop_assert!(
+                bypasses <= max_bypass as usize,
+                "request {} bypassed {} times (K = {})",
+                arrival_of(tag), bypasses, max_bypass
+            );
+        }
+    }
+
+    #[test]
+    fn fifo_matches_the_unscheduled_reference_model(
+        blocks in proptest::collection::vec(0u64..2000, 1..40),
+    ) {
+        let (served, elapsed) = run_all(DiskSched::Fifo, &blocks);
+        let arrival: Vec<u64> = served.iter().map(|t| t % 1000).collect();
+        let want: Vec<u64> = (0..blocks.len() as u64).collect();
+        prop_assert_eq!(arrival, want, "FIFO serves in arrival order");
+        prop_assert_eq!(elapsed, fifo_reference_micros(&blocks));
+    }
+}

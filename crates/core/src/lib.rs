@@ -32,7 +32,7 @@ mod server;
 pub mod state_table;
 
 pub use client::{ClientStats, SnfsClient, SnfsClientParams, WriteBehindParams};
-pub use server::{ServerStats, SnfsServer, SnfsServerParams};
+pub use server::{ServerIoParams, ServerStats, SnfsServer, SnfsServerParams};
 pub use state_table::{
     CallbackNeeded, ClientOpens, FileState, OpenOutcome, ReclaimOutcome, StateTable,
 };
@@ -483,6 +483,38 @@ mod tests {
                     "reclaim callbacks forced write-backs"
                 );
             }
+        });
+    }
+
+    #[test]
+    fn file_lock_table_is_bounded() {
+        // Satellite fix: the per-file lock map used to grow without
+        // bound (one semaphore per file handle ever touched). Idle
+        // locks for CLOSED files are now garbage-collected.
+        let rig = Rig::new();
+        let c = rig.client(1, SnfsClientParams::default());
+        let root = rig.root();
+        let server = rig.server.clone();
+        rig.sim.block_on(async move {
+            let mut handles = Vec::new();
+            for i in 0..32 {
+                let (fh, _) = c.create(root, &format!("f{i}")).await.unwrap();
+                handles.push(fh);
+                c.open(fh, false).await.unwrap();
+                c.close(fh, false).await.unwrap();
+            }
+            assert_eq!(
+                server.file_locks_len(),
+                0,
+                "idle locks for closed files are reclaimed"
+            );
+            // A file that is still open keeps its lock entry alive.
+            c.open(handles[0], true).await.unwrap();
+            assert_eq!(server.file_locks_len(), 1);
+            c.close(handles[0], true).await.unwrap();
+            // Closed-dirty: the entry stays until the write-back lands,
+            // but the map never tracks more than the active files.
+            assert!(server.file_locks_len() <= 1);
         });
     }
 

@@ -16,6 +16,7 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
+use spritely_blockdev::DiskSched;
 use spritely_localfs::LocalFs;
 use spritely_metrics::{InflightGauge, OpCounter};
 use spritely_proto::{
@@ -60,6 +61,65 @@ impl Default for SnfsServerParams {
             grace_period: SimDuration::from_secs(20),
             dir_callbacks: true,
         }
+    }
+}
+
+/// Server I/O pipeline configuration: how the server's disk arm is
+/// scheduled, how large its block cache is, whether concurrent miss
+/// reads coalesce, and how many RPCs may be admitted concurrently.
+///
+/// [`ServerIoParams::paper`] (the default) reproduces the measured 1989
+/// server byte-for-byte; [`ServerIoParams::pipelined`] turns all three
+/// layers on. Server writes stay synchronous in both modes — the cache
+/// is write-through and never delays durability, per the paper's NFS
+/// server semantics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerIoParams {
+    /// Disk-arm scheduling policy for the server disk.
+    pub sched: DiskSched,
+    /// Server buffer-cache capacity in blocks.
+    pub cache_blocks: usize,
+    /// Collapse concurrent cache misses on one block into a single disk
+    /// read (followers wait for the leader's fetch).
+    pub single_flight_reads: bool,
+    /// RPC service threads. This is the admission width — that many RPCs
+    /// overlap CPU with disk waits — and the N of the N−1 callback bound.
+    pub service_threads: usize,
+}
+
+impl ServerIoParams {
+    /// The paper-era server: FIFO arm, the baseline 896-block cache, one
+    /// disk read per miss, 4 service threads. Keeps every `table_5_*`
+    /// and `figure_5_*` artifact byte-identical.
+    pub fn paper() -> Self {
+        ServerIoParams {
+            sched: DiskSched::Fifo,
+            cache_blocks: 896,
+            single_flight_reads: false,
+            service_threads: 4,
+        }
+    }
+
+    /// The pipelined server: C-LOOK arm scheduling (aging limit 4, so no
+    /// request is bypassed more than 4 times; 2M-block full stroke), a
+    /// 4096-block cache with single-flight misses, and 8 service threads
+    /// overlapping CPU with disk waits.
+    pub fn pipelined() -> Self {
+        ServerIoParams {
+            sched: DiskSched::CLook {
+                max_bypass: 4,
+                stroke_blocks: 1 << 21,
+            },
+            cache_blocks: 4096,
+            single_flight_reads: true,
+            service_threads: 8,
+        }
+    }
+}
+
+impl Default for ServerIoParams {
+    fn default() -> Self {
+        Self::paper()
     }
 }
 
@@ -328,6 +388,25 @@ impl SnfsServer {
             .clone()
     }
 
+    /// Drops a file's lock entry once nothing references it — the
+    /// semaphore is fully idle (no holder, no grant, no waiter) and the
+    /// file is back to CLOSED (absent from the table). Every `file_lock`
+    /// caller acquires in the same synchronous region as the lookup, so
+    /// an idle semaphore has no about-to-acquire claimants either.
+    /// Without this the map leaked one entry per file ever opened.
+    fn gc_file_lock(&self, fh: FileHandle) {
+        let mut locks = self.inner.file_locks.borrow_mut();
+        let Some(sem) = locks.get(&fh) else { return };
+        if sem.is_idle() && self.inner.table.borrow().state_of(fh) == FileState::Closed {
+            locks.remove(&fh);
+        }
+    }
+
+    /// Number of live per-file lock entries (bounded-growth tests).
+    pub fn file_locks_len(&self) -> usize {
+        self.inner.file_locks.borrow().len()
+    }
+
     fn bump_stats(&self, f: impl FnOnce(&mut ServerStats)) {
         let mut s = self.inner.stats.get();
         f(&mut s);
@@ -353,6 +432,9 @@ impl SnfsServer {
             self.bump_stats(|s| s.callbacks_failed += 1);
             let affected = self.inner.table.borrow_mut().client_crashed(cb.target);
             self.emit_client_crashed(parent, cb.target, &affected);
+            for (afh, ..) in &affected {
+                self.gc_file_lock(*afh);
+            }
             return false;
         };
         // N−1 rule: hold a callback slot while waiting on the client.
@@ -406,6 +488,9 @@ impl SnfsServer {
             self.bump_stats(|s| s.callbacks_failed += 1);
             let affected = self.inner.table.borrow_mut().client_crashed(cb.target);
             self.emit_client_crashed(cb_seq, cb.target, &affected);
+            for (afh, ..) in &affected {
+                self.gc_file_lock(*afh);
+            }
             false
         }
     }
@@ -469,36 +554,37 @@ impl SnfsServer {
         for (fh, client) in outcome.writebacks {
             let this = self.clone();
             tasks.push(self.inner.sim.spawn(async move {
-                let _lock = this.file_lock(fh).acquire().await;
+                let lock = this.file_lock(fh).acquire().await;
                 // Re-check under the lock: a concurrent open may have
                 // revived the entry (or moved its dirty claim), and a
                 // stale callback would invalidate an active client's
                 // cache.
-                {
+                let stale = {
                     let table = this.inner.table.borrow();
-                    if table.state_of(fh) != crate::state_table::FileState::ClosedDirty
+                    table.state_of(fh) != crate::state_table::FileState::ClosedDirty
                         || table.dirty_holder(fh) != Some(client)
-                    {
-                        return;
+                };
+                if !stale {
+                    this.do_callback(
+                        0,
+                        fh,
+                        CallbackNeeded {
+                            target: client,
+                            writeback: true,
+                            invalidate: true,
+                        },
+                        false,
+                    )
+                    .await;
+                    // On failure, client_crashed already cleaned the entry
+                    // up; either way drop it if it is now cleanly closed.
+                    let st0 = this.inner.table.borrow().state_of(fh);
+                    if this.inner.table.borrow_mut().drop_if_closed(fh) {
+                        this.emit_transition(0, fh, Cause::Reclaim, client, st0, FileState::Closed);
                     }
                 }
-                this.do_callback(
-                    0,
-                    fh,
-                    CallbackNeeded {
-                        target: client,
-                        writeback: true,
-                        invalidate: true,
-                    },
-                    false,
-                )
-                .await;
-                // On failure, client_crashed already cleaned the entry
-                // up; either way drop it if it is now cleanly closed.
-                let st0 = this.inner.table.borrow().state_of(fh);
-                if this.inner.table.borrow_mut().drop_if_closed(fh) {
-                    this.emit_transition(0, fh, Cause::Reclaim, client, st0, FileState::Closed);
-                }
+                drop(lock);
+                this.gc_file_lock(fh);
             }));
         }
         for t in tasks {
@@ -582,7 +668,7 @@ impl SnfsServer {
             }
             NfsRequest::Close { fh, write, client } => {
                 debug_assert_eq!(from, client, "close must carry the caller's id");
-                let _lock = self.file_lock(fh).acquire().await;
+                let lock = self.file_lock(fh).acquire().await;
                 let st0 = self.inner.table.borrow().state_of(fh);
                 let st1 = self.inner.table.borrow_mut().close(fh, client, write);
                 let cause = if write {
@@ -591,6 +677,8 @@ impl SnfsServer {
                     Cause::CloseRead
                 };
                 self.emit_transition(ctx, fh, cause, client, st0, st1);
+                drop(lock);
+                self.gc_file_lock(fh);
                 NfsReply::Ok
             }
             NfsRequest::Read { fh, .. } | NfsRequest::Write { fh, .. }
@@ -603,7 +691,7 @@ impl SnfsServer {
                 // the implicit close leaves no dirty claim (the data went
                 // through synchronously).
                 let write = matches!(req, NfsRequest::Write { .. });
-                let _lock = self.file_lock(fh).acquire().await;
+                let lock = self.file_lock(fh).acquire().await;
                 let st0 = self.inner.table.borrow().state_of(fh);
                 let outcome = self.inner.table.borrow_mut().open(fh, from, write);
                 let st1 = self.inner.table.borrow().state_of(fh);
@@ -628,6 +716,8 @@ impl SnfsServer {
                     Cause::CloseRead
                 };
                 self.emit_transition(ctx, fh, cause, from, st2, st3);
+                drop(lock);
+                self.gc_file_lock(fh);
                 rep
             }
             NfsRequest::Remove { dir, ref name } => {
@@ -652,6 +742,7 @@ impl SnfsServer {
                                 FileState::Closed,
                             );
                         }
+                        self.gc_file_lock(fh);
                     }
                 }
                 self.invalidate_dir_watchers(ctx, dir, from).await;

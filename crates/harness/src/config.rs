@@ -41,6 +41,7 @@ pub fn server_fs_params(update_enabled: bool) -> FsParams {
         update_min_age: SimDuration::ZERO,
         charge_structural: true,
         sync_inode_writes: true,
+        single_flight_reads: false,
     }
 }
 
@@ -52,6 +53,7 @@ pub fn client_fs_params(update_enabled: bool) -> FsParams {
         update_min_age: SimDuration::ZERO,
         charge_structural: true,
         sync_inode_writes: true,
+        single_flight_reads: false,
     }
 }
 

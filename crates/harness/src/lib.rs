@@ -27,10 +27,10 @@ mod testbed;
 pub use andrew::{run_andrew, run_andrew_with, AndrewRun};
 pub use flushx::{run_flush, run_flush_with, FlushRun};
 pub use microx::{run_reopen, run_temp_lifetime, ReopenRun, TempLifetimeRun};
-pub use scaling::{run_scaling, ScalingRun};
-pub use snapshot::{ClientSnapshot, ServerSnapshot, StatsSnapshot, TraceReport};
+pub use scaling::{run_scaling, run_scaling_with, ScalingRun};
+pub use snapshot::{ClientSnapshot, ServerIoSnapshot, ServerSnapshot, StatsSnapshot, TraceReport};
 pub use sortx::{run_sort_experiment, run_sort_with, SortRun};
-pub use spritely_core::{SnfsServerParams, WriteBehindParams};
+pub use spritely_core::{ServerIoParams, SnfsServerParams, WriteBehindParams};
 pub use testbed::{ClientHost, Protocol, RemoteClient, Testbed, TestbedParams};
 
 #[cfg(test)]

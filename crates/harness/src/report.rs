@@ -212,6 +212,39 @@ pub fn reopen_table(runs: &[ReopenRun]) -> String {
     t.render()
 }
 
+/// Server I/O pipeline observability (DESIGN.md §12): per scaling run,
+/// the server block-cache hit rate and the disk-queue shape — peak
+/// depth, mean queue wait and mean arm positioning time per request.
+pub fn server_io_table(runs: &[(&str, &crate::ScalingRun)]) -> String {
+    let mut t = TextTable::new(vec![
+        "Config",
+        "clients",
+        "makespan s",
+        "cache hit%",
+        "disk q peak",
+        "wait ms",
+        "pos ms",
+    ]);
+    for (label, r) in runs {
+        let (h, m) = r.server_cache;
+        let hit = if h + m > 0 {
+            100.0 * h as f64 / (h + m) as f64
+        } else {
+            0.0
+        };
+        t.row(vec![
+            label.to_string(),
+            r.clients.to_string(),
+            secs(r.makespan),
+            format!("{hit:.1}"),
+            r.disk_queue_peak.to_string(),
+            format!("{:.1}", r.disk_wait_ms_mean),
+            format!("{:.1}", r.disk_pos_ms_mean),
+        ]);
+    }
+    t.render()
+}
+
 /// Human-readable summary of a checked trace: per-kind event counts
 /// followed by every invariant violation (normally none).
 pub fn trace_summary(report: &crate::snapshot::TraceReport) -> String {

@@ -26,6 +26,19 @@ pub struct ScalingRun {
     pub disk_writes: u64,
     /// RPC counts during the run.
     pub ops: OpCounts,
+    /// Server block-cache (hits, misses) during the run.
+    pub server_cache: (u64, u64),
+    /// Peak server disk-queue depth (whole run, setup included — the
+    /// gauge has no reset).
+    pub disk_queue_peak: u64,
+    /// Mean per-request disk queue wait during the run, in ms.
+    pub disk_wait_ms_mean: f64,
+    /// Mean per-request arm positioning time during the run, in ms.
+    pub disk_pos_ms_mean: f64,
+    /// Unified end-of-run statistics snapshot (serializable).
+    pub stats: crate::snapshot::StatsSnapshot,
+    /// Checked event trace (present when `TestbedParams::trace` was on).
+    pub trace: Option<crate::snapshot::TraceReport>,
 }
 
 /// A compact per-client workload: a scaled-down Andrew benchmark in a
@@ -47,14 +60,23 @@ fn small_andrew() -> AndrewParams {
 
 /// Runs `n_clients` identical workloads concurrently against one server.
 pub fn run_scaling(protocol: Protocol, n_clients: usize, seed: u64) -> ScalingRun {
-    let tb = Testbed::build_with_clients(
+    run_scaling_with(
         TestbedParams {
             protocol,
             tmp_remote: true,
             ..TestbedParams::default()
         },
         n_clients,
-    );
+        seed,
+    )
+}
+
+/// [`run_scaling`] with full control of the testbed — used to compare
+/// server I/O configurations ([`spritely_core::ServerIoParams`]) at a
+/// fixed protocol and client count.
+pub fn run_scaling_with(params: TestbedParams, n_clients: usize, seed: u64) -> ScalingRun {
+    let protocol = params.protocol;
+    let tb = Testbed::build_with_clients(params, n_clients);
     // Setup: per-client namespaces and source trees (untimed).
     {
         let mut handles = Vec::new();
@@ -106,6 +128,9 @@ pub fn run_scaling(protocol: Protocol, n_clients: usize, seed: u64) -> ScalingRu
     let ops_before = tb.counter.snapshot();
     let disk_before = tb.server_fs.disk().stats().writes;
     let busy_before = tb.server_cpu.busy_permit_micros();
+    let cache_before = tb.server_fs.cache_stats();
+    let wait_mark = tb.server_fs.disk().wait_ms().mark();
+    let pos_mark = tb.server_fs.disk().pos_ms().mark();
     let mut handles = Vec::new();
     for (i, host) in tb.clients.iter().enumerate() {
         let p = host.proc(&tb.sim);
@@ -129,13 +154,24 @@ pub fn run_scaling(protocol: Protocol, n_clients: usize, seed: u64) -> ScalingRu
     let makespan = tb.sim.now().duration_since(t0);
     let total: SimDuration = elapsed.iter().copied().sum();
     let busy = tb.server_cpu.busy_permit_micros() - busy_before;
+    let cache_after = tb.server_fs.cache_stats();
+    let disk = tb.server_fs.disk();
     ScalingRun {
         protocol,
         clients: n_clients,
         makespan,
         mean_client: total / n_clients as u64,
         server_util: busy as f64 / makespan.as_micros() as f64,
-        disk_writes: tb.server_fs.disk().stats().writes - disk_before,
+        disk_writes: disk.stats().writes - disk_before,
         ops: tb.counter.snapshot() - ops_before,
+        server_cache: (
+            cache_after.0 - cache_before.0,
+            cache_after.1 - cache_before.1,
+        ),
+        disk_queue_peak: disk.queue_depth().peak(),
+        disk_wait_ms_mean: disk.wait_ms().mean_since(wait_mark),
+        disk_pos_ms_mean: disk.pos_ms().mean_since(pos_mark),
+        stats: tb.stats_snapshot(),
+        trace: tb.finish_trace(),
     }
 }

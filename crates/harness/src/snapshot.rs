@@ -24,6 +24,31 @@ pub struct ClientSnapshot {
     pub snfs: Option<ClientStats>,
 }
 
+/// Server I/O pipeline counters: the exported file system's block cache
+/// and the disk queue behind it (present for every protocol — plain NFS
+/// exercises the same server disk).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerIoSnapshot {
+    /// Server block-cache hits on the read path.
+    pub cache_hits: u64,
+    /// Server block-cache misses on the read path.
+    pub cache_misses: u64,
+    /// Completed disk reads.
+    pub disk_reads: u64,
+    /// Completed disk writes.
+    pub disk_writes: u64,
+    /// Peak disk-queue depth (queued + in service).
+    pub disk_queue_peak: u64,
+    /// Requests that went through the disk queue.
+    pub disk_requests: u64,
+    /// Total queue wait across requests, in milliseconds.
+    pub disk_wait_ms_sum: u64,
+    /// Worst single-request queue wait, in milliseconds.
+    pub disk_wait_ms_max: u64,
+    /// Total arm positioning time across requests, in milliseconds.
+    pub disk_pos_ms_sum: u64,
+}
+
 /// The server's counters at the end of a run (SNFS protocols only).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServerSnapshot {
@@ -47,6 +72,8 @@ pub struct StatsSnapshot {
     pub clients: Vec<ClientSnapshot>,
     /// Server counters (SNFS only).
     pub server: Option<ServerSnapshot>,
+    /// Server-side cache and disk-queue counters (all protocols).
+    pub server_io: ServerIoSnapshot,
 }
 
 impl StatsSnapshot {
@@ -96,6 +123,22 @@ impl StatsSnapshot {
                 s.table_entries
             )),
         }
+        let io = &self.server_io;
+        out.push_str(&format!(
+            ",\"server_io\":{{\"cache_hits\":{},\"cache_misses\":{},\
+             \"disk_reads\":{},\"disk_writes\":{},\"disk_queue_peak\":{},\
+             \"disk_requests\":{},\"disk_wait_ms_sum\":{},\"disk_wait_ms_max\":{},\
+             \"disk_pos_ms_sum\":{}}}",
+            io.cache_hits,
+            io.cache_misses,
+            io.disk_reads,
+            io.disk_writes,
+            io.disk_queue_peak,
+            io.disk_requests,
+            io.disk_wait_ms_sum,
+            io.disk_wait_ms_max,
+            io.disk_pos_ms_sum
+        ));
         out.push('}');
         out
     }

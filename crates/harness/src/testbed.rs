@@ -3,7 +3,7 @@
 
 use spritely_blockdev::Disk;
 use spritely_core::{
-    SnfsClient, SnfsClientParams, SnfsServer, SnfsServerParams, WriteBehindParams,
+    ServerIoParams, SnfsClient, SnfsClientParams, SnfsServer, SnfsServerParams, WriteBehindParams,
 };
 use spritely_localfs::LocalFs;
 use spritely_metrics::{GaugeSeries, LatencyStats, OpCounter, RateSeries};
@@ -77,6 +77,11 @@ pub struct TestbedParams {
     pub name_cache: bool,
     /// SNFS server state-table limit and reclaim target.
     pub snfs_server: SnfsServerParams,
+    /// Server I/O pipeline: disk-arm scheduling, server block cache,
+    /// single-flight misses, and RPC admission width. The default
+    /// ([`ServerIoParams::paper`]) reproduces the measured 1989 server
+    /// byte-for-byte; [`ServerIoParams::pipelined`] turns the pipeline on.
+    pub server_io: ServerIoParams,
     /// Client data-cache capacity in blocks (shrink to force dirty-block
     /// evictions in tests).
     pub client_cache_blocks: usize,
@@ -100,6 +105,7 @@ impl Default for TestbedParams {
             write_behind: WriteBehindParams::default(),
             name_cache: false,
             snfs_server: SnfsServerParams::default(),
+            server_io: ServerIoParams::paper(),
             client_cache_blocks: config::CLIENT_CACHE_BLOCKS,
             trace: false,
         }
@@ -186,13 +192,16 @@ impl Testbed {
         assert!(n_clients >= 1, "need at least one client");
         let sim = Sim::new();
         // ---- server ------------------------------------------------------
-        let server_disk = Disk::new(&sim, "server-disk", config::disk_params());
-        let server_fs = LocalFs::new(
+        let server_disk = Disk::with_sched(
             &sim,
-            1,
-            server_disk,
-            config::server_fs_params(params.update_enabled),
+            "server-disk",
+            config::disk_params(),
+            params.server_io.sched,
         );
+        let mut server_fsp = config::server_fs_params(params.update_enabled);
+        server_fsp.cache_blocks = params.server_io.cache_blocks;
+        server_fsp.single_flight_reads = params.server_io.single_flight_reads;
+        let server_fs = LocalFs::new(&sim, 1, server_disk, server_fsp);
         server_fs.spawn_update_daemon();
         let server_cpu = Resource::new(&sim, "server-cpu", 1);
         let counter = OpCounter::new();
@@ -204,6 +213,9 @@ impl Testbed {
             let t = Tracer::new(&sim);
             t.meta("protocol", params.protocol.label());
             t.meta("clients", n_clients.to_string());
+            t.meta("disk_sched", params.server_io.sched.meta_value());
+            server_fs.disk().set_tracer(t.clone());
+            server_fs.set_tracer(t.clone());
             t
         });
         // Well-known server directories.
@@ -218,6 +230,10 @@ impl Testbed {
             })
         };
         // ---- protocol endpoint --------------------------------------------
+        // The admission width (endpoint threads) comes from the server I/O
+        // params: that many RPCs may overlap CPU with disk waits.
+        let mut ep_params = config::endpoint_params();
+        ep_params.threads = params.server_io.service_threads;
         let mut snfs_server = None;
         let endpoint = match params.protocol {
             Protocol::Local => None,
@@ -227,7 +243,7 @@ impl Testbed {
                     "nfsd",
                     server_fs.clone(),
                     server_cpu.clone(),
-                    config::endpoint_params(),
+                    ep_params,
                     counter.clone(),
                 );
                 ep.set_rate_series(rates.clone());
@@ -240,18 +256,13 @@ impl Testbed {
                 let srv = SnfsServer::new(
                     &sim,
                     server_fs.clone(),
-                    config::SERVER_THREADS,
+                    params.server_io.service_threads,
                     params.snfs_server,
                 );
                 if let Some(t) = &tracer {
                     srv.set_tracer(t.clone());
                 }
-                let ep = srv.endpoint(
-                    "snfsd",
-                    server_cpu.clone(),
-                    config::endpoint_params(),
-                    counter.clone(),
-                );
+                let ep = srv.endpoint("snfsd", server_cpu.clone(), ep_params, counter.clone());
                 ep.set_rate_series(rates.clone());
                 if let Some(t) = &tracer {
                     ep.set_tracer(t.clone());
@@ -478,6 +489,9 @@ impl Testbed {
                 }
             })
             .collect();
+        let disk = self.server_fs.disk();
+        let (cache_hits, cache_misses) = self.server_fs.cache_stats();
+        let dstats = disk.stats();
         crate::snapshot::StatsSnapshot {
             protocol: self.params.protocol.label().to_string(),
             rpc_total: self.counter.snapshot().total(),
@@ -490,6 +504,17 @@ impl Testbed {
                     callback_peak: srv.callback_gauge().peak(),
                     table_entries: srv.table_len() as u64,
                 }),
+            server_io: crate::snapshot::ServerIoSnapshot {
+                cache_hits,
+                cache_misses,
+                disk_reads: dstats.reads,
+                disk_writes: dstats.writes,
+                disk_queue_peak: disk.queue_depth().peak(),
+                disk_requests: disk.wait_ms().count(),
+                disk_wait_ms_sum: disk.wait_ms().sum(),
+                disk_wait_ms_max: disk.wait_ms().max(),
+                disk_pos_ms_sum: disk.pos_ms().sum(),
+            },
         }
     }
 

@@ -2,13 +2,15 @@
 //! delayed-write semantics and the `/etc/update` sync daemon.
 
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::rc::Rc;
 
 use spritely_blockdev::Disk;
 use spritely_proto::{
     block_of, blocks_for, DirEntry, Fattr, FileHandle, FileType, NfsStatus, Result, BLOCK_SIZE,
 };
-use spritely_sim::{Sim, SimDuration};
+use spritely_sim::{Event, Sim, SimDuration};
+use spritely_trace::{EventKind, Tracer};
 
 use crate::cache::BlockCache;
 use crate::store::{Store, META_BASE};
@@ -39,6 +41,11 @@ pub struct FsParams {
     /// positioning delay and breaks the sequentiality of bulk writes,
     /// which is a large part of why write-through was so expensive.
     pub sync_inode_writes: bool,
+    /// Collapse concurrent cache misses on the same block into one disk
+    /// read: followers wait for the leader's fetch instead of queueing a
+    /// duplicate request. Off by default — the paper-era server re-read
+    /// the block once per RPC.
+    pub single_flight_reads: bool,
 }
 
 impl Default for FsParams {
@@ -49,6 +56,7 @@ impl Default for FsParams {
             update_min_age: SimDuration::ZERO,
             charge_structural: true,
             sync_inode_writes: true,
+            single_flight_reads: false,
         }
     }
 }
@@ -72,6 +80,10 @@ struct Inner {
     cache: RefCell<BlockCache<Key>>,
     params: FsParams,
     stats: RefCell<FsStats>,
+    /// Blocks with a disk read in flight (single-flight mode): followers
+    /// wait on the event instead of issuing a duplicate read.
+    inflight: RefCell<HashMap<Key, Event>>,
+    tracer: RefCell<Option<Tracer>>,
 }
 
 /// A simulated local Unix file system on one disk.
@@ -96,7 +108,22 @@ impl LocalFs {
                 cache: RefCell::new(BlockCache::new(params.cache_blocks)),
                 params,
                 stats: RefCell::new(FsStats::default()),
+                inflight: RefCell::new(HashMap::new()),
+                tracer: RefCell::new(None),
             }),
+        }
+    }
+
+    /// Attach a tracer; block-cache lookups on the read path emit
+    /// `srv_cache_read` events from then on. Emission never awaits, so a
+    /// traced run is behaviorally identical.
+    pub fn set_tracer(&self, tracer: Tracer) {
+        *self.inner.tracer.borrow_mut() = Some(tracer);
+    }
+
+    fn emit_cache_read(&self, ino: u64, blk: u64, hit: bool) {
+        if let Some(t) = self.inner.tracer.borrow().as_ref() {
+            t.emit(0, EventKind::SrvCacheRead { ino, blk, hit });
         }
     }
 
@@ -293,6 +320,71 @@ impl LocalFs {
         }
     }
 
+    /// One block of `fh` through the buffer cache: hit, or miss + disk
+    /// read + clean insert. In single-flight mode, concurrent misses on
+    /// the same block coalesce — followers wait for the leader's fetch
+    /// and then re-check the cache.
+    async fn fetch_cached_block(&self, fh: FileHandle, lblk: u64) -> Result<Vec<u8>> {
+        let key = (fh.inode, lblk);
+        loop {
+            let cached = self.inner.cache.borrow_mut().get(&key);
+            if let Some(b) = cached {
+                self.emit_cache_read(fh.inode, lblk, true);
+                return Ok(b);
+            }
+            if self.inner.params.single_flight_reads {
+                let leader = self.inner.inflight.borrow().get(&key).cloned();
+                if let Some(ev) = leader {
+                    ev.wait().await;
+                    // The leader populated the cache (or vanished); either
+                    // way, re-check from the top.
+                    continue;
+                }
+            }
+            self.emit_cache_read(fh.inode, lblk, false);
+            let gate = if self.inner.params.single_flight_reads {
+                let ev = Event::new();
+                self.inner.inflight.borrow_mut().insert(key, ev.clone());
+                Some(ev)
+            } else {
+                None
+            };
+            let fetched = self.fetch_from_disk(fh, lblk).await;
+            if let Some(ev) = gate {
+                self.inner.inflight.borrow_mut().remove(&key);
+                ev.set();
+            }
+            let data = fetched?;
+            let victim = self
+                .inner
+                .cache
+                .borrow_mut()
+                .insert_clean(key, data.clone());
+            if let Some(v) = victim {
+                self.flush_victim(v.key, v.data).await;
+            }
+            return Ok(data);
+        }
+    }
+
+    async fn fetch_from_disk(&self, fh: FileHandle, lblk: u64) -> Result<Vec<u8>> {
+        let (has, addr) = {
+            let st = self.inner.store.borrow();
+            (
+                st.has_stable(fh.inode, lblk),
+                st.addr_by_ino(fh.inode, lblk),
+            )
+        };
+        if has {
+            let addr = addr.expect("stable block has an address");
+            self.inner.disk.read(addr, BLOCK_SIZE).await;
+            self.inner.store.borrow().read_stable(fh, lblk)
+        } else {
+            // Hole or never-flushed region: zero fill, no disk.
+            Ok(vec![0; BLOCK_SIZE])
+        }
+    }
+
     /// Reads up to `len` bytes at `offset`. Returns `(data, eof, attr)`.
     pub async fn read(
         &self,
@@ -315,39 +407,7 @@ impl LocalFs {
         let first = block_of(offset);
         let last = block_of(end - 1);
         for lblk in first..=last {
-            let key = (fh.inode, lblk);
-            let block = {
-                let cached = self.inner.cache.borrow_mut().get(&key);
-                match cached {
-                    Some(b) => b,
-                    None => {
-                        let (has, addr) = {
-                            let st = self.inner.store.borrow();
-                            (
-                                st.has_stable(fh.inode, lblk),
-                                st.addr_by_ino(fh.inode, lblk),
-                            )
-                        };
-                        let data = if has {
-                            let addr = addr.expect("stable block has an address");
-                            self.inner.disk.read(addr, BLOCK_SIZE).await;
-                            self.inner.store.borrow().read_stable(fh, lblk)?
-                        } else {
-                            // Hole or never-flushed region: zero fill, no disk.
-                            vec![0; BLOCK_SIZE]
-                        };
-                        let victim = self
-                            .inner
-                            .cache
-                            .borrow_mut()
-                            .insert_clean(key, data.clone());
-                        if let Some(v) = victim {
-                            self.flush_victim(v.key, v.data).await;
-                        }
-                        data
-                    }
-                }
-            };
+            let block = self.fetch_cached_block(fh, lblk).await?;
             let blk_start = lblk * BLOCK_SIZE as u64;
             let from = offset.max(blk_start) - blk_start;
             let to = (end - blk_start).min(BLOCK_SIZE as u64);

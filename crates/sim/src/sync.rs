@@ -102,6 +102,15 @@ impl Semaphore {
         self.inner.borrow().queue.len()
     }
 
+    /// True when every permit is free and nothing is queued: no task
+    /// holds, has been granted, or is waiting for this semaphore.
+    /// (A granted-but-unobserved permit keeps `permits` below capacity,
+    /// so it is visible here even though [`held`](Self::held) misses it.)
+    pub fn is_idle(&self) -> bool {
+        let s = self.inner.borrow();
+        s.permits == s.capacity && s.queue.is_empty()
+    }
+
     /// Acquires one permit, waiting FIFO if none is free.
     pub fn acquire(&self) -> Acquire {
         Acquire {

@@ -15,6 +15,10 @@
 //!    written to the server at all" for short-lived files).
 //! 5. **fsync claims** — an fsync OK is preceded by write RPCs (with OK
 //!    replies) covering every block dirtied before it.
+//! 6. **Disk scheduling bound** — every disk completion matches a
+//!    queued request, and no queued request is bypassed more often than
+//!    the active scheduler allows (FIFO: never; C-LOOK: at most its
+//!    aging limit K, from the `disk_sched` meta event).
 
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
@@ -130,6 +134,12 @@ struct CheckState {
     dirty: HashMap<(ClientId, FileHandle), BTreeSet<u64>>,
     /// In-flight Write RPCs: (caller, xid) -> (file, first_blk, last_blk).
     pending_writes: HashMap<(ClientId, u64), (FileHandle, u64, u64)>,
+    /// Reordering bound K from the `disk_sched` meta event ("fifo" = 0,
+    /// "clook:K" = K). Absent = traces without the meta are unchecked.
+    disk_bound: Option<u64>,
+    /// Queued-but-uncompleted disk requests per disk, in arrival order:
+    /// (req id, times bypassed).
+    disk_pending: HashMap<String, Vec<(u64, u64)>>,
 }
 
 /// Replay `events` and return every invariant violation found (empty =
@@ -149,6 +159,50 @@ pub fn check_trace(events: &[TraceEvent]) -> Vec<Violation> {
         match &e.kind {
             EventKind::Meta { key, value } if *key == "server_threads" => {
                 st.threads = value.parse().ok();
+            }
+            EventKind::Meta { key, value } if *key == "disk_sched" => {
+                st.disk_bound = if value == "fifo" {
+                    Some(0)
+                } else {
+                    value.strip_prefix("clook:").and_then(|k| k.parse().ok())
+                };
+            }
+            EventKind::DiskQueue { disk, req, .. } => {
+                st.disk_pending
+                    .entry(disk.clone())
+                    .or_default()
+                    .push((*req, 0));
+            }
+            EventKind::DiskDone { disk, req, .. } => {
+                let pending = st.disk_pending.entry(disk.clone()).or_default();
+                match pending.iter().position(|(r, _)| r == req) {
+                    None => flag(
+                        "disk-complete",
+                        format!("{disk}: completion of req {req} that was never queued"),
+                        &mut out,
+                    ),
+                    Some(p) => {
+                        pending.remove(p);
+                        // Everything that arrived earlier and is still
+                        // pending was just bypassed once more.
+                        for (r, bypass) in pending.iter_mut().take(p) {
+                            *bypass += 1;
+                            if let Some(k) = st.disk_bound {
+                                if *bypass == k + 1 {
+                                    flag(
+                                        "disk-reorder",
+                                        format!(
+                                            "{disk}: req {r} bypassed {} times, \
+                                             over the scheduler bound K = {k}",
+                                            *bypass
+                                        ),
+                                        &mut out,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
             }
             EventKind::Transition {
                 fh,
@@ -383,6 +437,9 @@ pub fn kind_name(kind: &EventKind) -> &'static str {
         EventKind::WriteCancel { .. } => "write_cancel",
         EventKind::FsyncOk { .. } => "fsync_ok",
         EventKind::ServerCrash => "server_crash",
+        EventKind::DiskQueue { .. } => "disk_queue",
+        EventKind::DiskDone { .. } => "disk_done",
+        EventKind::SrvCacheRead { .. } => "srv_cache_read",
     }
 }
 
@@ -638,6 +695,102 @@ mod tests {
         assert_eq!(v.len(), 2);
         assert_eq!(v[0].invariant, "cancelled-write");
         assert_eq!(v[1].invariant, "fsync-claims");
+    }
+
+    fn disk_q(seq: u64, req: u64) -> TraceEvent {
+        ev(
+            seq,
+            EventKind::DiskQueue {
+                disk: "d0".into(),
+                req,
+                block: req * 100,
+                write: false,
+            },
+        )
+    }
+
+    fn disk_done(seq: u64, req: u64) -> TraceEvent {
+        ev(
+            seq,
+            EventKind::DiskDone {
+                disk: "d0".into(),
+                req,
+                block: req * 100,
+                write: false,
+                wait_us: 0,
+                pos_us: 0,
+            },
+        )
+    }
+
+    fn sched_meta(value: &str) -> TraceEvent {
+        ev(
+            1,
+            EventKind::Meta {
+                key: "disk_sched",
+                value: value.into(),
+            },
+        )
+    }
+
+    #[test]
+    fn fifo_disk_completions_in_order_pass() {
+        let events = vec![
+            sched_meta("fifo"),
+            disk_q(2, 1),
+            disk_q(3, 2),
+            disk_done(4, 1),
+            disk_done(5, 2),
+        ];
+        assert!(check_trace(&events).is_empty());
+    }
+
+    #[test]
+    fn fifo_disk_reorder_is_flagged() {
+        let events = vec![
+            sched_meta("fifo"),
+            disk_q(2, 1),
+            disk_q(3, 2),
+            disk_done(4, 2), // bypasses req 1 under a FIFO scheduler
+            disk_done(5, 1),
+        ];
+        let v = check_trace(&events);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "disk-reorder");
+    }
+
+    #[test]
+    fn clook_reorder_within_bound_passes_and_over_bound_is_flagged() {
+        // K = 1: req 1 may be bypassed once but not twice.
+        let within = vec![
+            sched_meta("clook:1"),
+            disk_q(2, 1),
+            disk_q(3, 2),
+            disk_done(4, 2),
+            disk_done(5, 1),
+        ];
+        assert!(check_trace(&within).is_empty());
+        let over = vec![
+            sched_meta("clook:1"),
+            disk_q(2, 1),
+            disk_q(3, 2),
+            disk_q(4, 3),
+            disk_done(5, 2),
+            disk_done(6, 3), // second bypass of req 1
+            disk_done(7, 1),
+        ];
+        let v = check_trace(&over);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "disk-reorder");
+        assert!(v[0].detail.contains("bypassed 2 times"));
+    }
+
+    #[test]
+    fn unqueued_disk_completion_is_flagged() {
+        let events = vec![sched_meta("fifo"), disk_done(2, 7)];
+        let v = check_trace(&events);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "disk-complete");
     }
 
     #[test]

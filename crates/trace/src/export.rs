@@ -217,6 +217,46 @@ fn write_event_json(out: &mut String, e: &TraceEvent) {
         EventKind::ServerCrash => {
             let _ = write!(out, ",\"ev\":\"server_crash\"");
         }
+        EventKind::DiskQueue {
+            disk,
+            req,
+            block,
+            write,
+        } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"disk_queue\",\"disk\":\"{}\",\"req\":{},\"blk\":{},\"write\":{}",
+                json_escape(disk),
+                req,
+                block,
+                write
+            );
+        }
+        EventKind::DiskDone {
+            disk,
+            req,
+            block,
+            write,
+            wait_us,
+            pos_us,
+        } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"disk_done\",\"disk\":\"{}\",\"req\":{},\"blk\":{},\"write\":{},\"wait\":{},\"pos\":{}",
+                json_escape(disk),
+                req,
+                block,
+                write,
+                wait_us,
+                pos_us
+            );
+        }
+        EventKind::SrvCacheRead { ino, blk, hit } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"srv_cache_read\",\"ino\":{ino},\"blk\":{blk},\"hit\":{hit}"
+            );
+        }
     }
     out.push('}');
 }
@@ -396,6 +436,27 @@ fn chrome_event(e: &TraceEvent) -> Option<String> {
             instant(client.0, 1, &format!("fsync ok {fh}"), t, "")
         }
         EventKind::ServerCrash => instant(SERVER_PID, 1, "SERVER CRASH", t, ""),
+        EventKind::DiskQueue {
+            disk, req, block, write,
+        } => format!(
+            "{{\"ph\":\"b\",\"pid\":{SERVER_PID},\"tid\":4,\"ts\":{t},\"id\":{req},\"name\":\"{} {} blk {block}\",\"cat\":\"disk\"}}",
+            json_escape(disk),
+            if *write { "w" } else { "r" },
+        ),
+        EventKind::DiskDone { disk, req, .. } => format!(
+            "{{\"ph\":\"e\",\"pid\":{SERVER_PID},\"tid\":4,\"ts\":{t},\"id\":{req},\"name\":\"{}\",\"cat\":\"disk\"}}",
+            json_escape(disk),
+        ),
+        EventKind::SrvCacheRead { ino, blk, hit } => instant(
+            SERVER_PID,
+            5,
+            &format!(
+                "srv cache {} {ino}#{blk}",
+                if *hit { "hit" } else { "miss" }
+            ),
+            t,
+            "",
+        ),
     })
 }
 

@@ -219,6 +219,26 @@ pub enum EventKind {
     FsyncOk { client: ClientId, fh: FileHandle },
     /// The server crashed, losing its state table.
     ServerCrash,
+    /// A request entered a disk's scheduler queue. `req` is a per-disk
+    /// monotone id; `disk` names the device (traces may carry several).
+    DiskQueue {
+        disk: String,
+        req: u64,
+        block: u64,
+        write: bool,
+    },
+    /// A disk request finished service: `wait_us` is queue wait (enqueue
+    /// to dispatch), `pos_us` the positioning time charged.
+    DiskDone {
+        disk: String,
+        req: u64,
+        block: u64,
+        write: bool,
+        wait_us: u64,
+        pos_us: u64,
+    },
+    /// A server-side block-cache lookup on the read path.
+    SrvCacheRead { ino: u64, blk: u64, hit: bool },
 }
 
 struct Inner {

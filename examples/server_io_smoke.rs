@@ -1,0 +1,49 @@
+//! Smoke test for the server I/O pipeline: runs the 4-client SNFS
+//! scaling workload against the paper-faithful FIFO server and the
+//! pipelined one (C-LOOK arm + server block cache + wider admission),
+//! with tracing on for the pipelined run so the disk-queue/reorder
+//! checker rule is exercised. Exits non-zero if the pipeline is not
+//! faster or the checker finds a violation. `scripts/check.sh` runs
+//! this as a gate.
+//!
+//! Run with: `cargo run --release --example server_io_smoke`
+
+use std::process::ExitCode;
+
+use spritely::harness::{report, run_scaling_with, Protocol, ServerIoParams, TestbedParams};
+
+fn params(io: ServerIoParams, trace: bool) -> TestbedParams {
+    TestbedParams {
+        protocol: Protocol::Snfs,
+        tmp_remote: true,
+        server_io: io,
+        trace,
+        ..TestbedParams::default()
+    }
+}
+
+fn main() -> ExitCode {
+    let paper = run_scaling_with(params(ServerIoParams::paper(), false), 4, 42);
+    let pipe = run_scaling_with(params(ServerIoParams::pipelined(), true), 4, 42);
+    let labeled = [("paper", &paper), ("pipelined", &pipe)];
+    println!("{}", report::server_io_table(&labeled));
+    println!(
+        "makespan: paper {:.1} s, pipelined {:.1} s ({:.2}x)",
+        paper.makespan.as_secs_f64(),
+        pipe.makespan.as_secs_f64(),
+        paper.makespan.as_secs_f64() / pipe.makespan.as_secs_f64()
+    );
+    let trace = pipe.trace.as_ref().expect("tracing was enabled");
+    if !trace.ok() {
+        eprintln!(
+            "trace checker found violations:\n{}",
+            report::trace_summary(trace)
+        );
+        return ExitCode::FAILURE;
+    }
+    if pipe.makespan >= paper.makespan {
+        eprintln!("pipelined server I/O is not faster than the paper server");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -16,10 +16,16 @@ cargo fmt --check
 echo "==> cargo clippy -p spritely-trace -- -D warnings"
 cargo clippy -p spritely-trace --all-targets -- -D warnings
 
+echo "==> cargo clippy -p spritely-blockdev -- -D warnings"
+cargo clippy -p spritely-blockdev --all-targets -- -D warnings
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> traced Andrew run (invariant checker gate)"
 cargo run --release --quiet --example traced_andrew
+
+echo "==> server I/O pipeline smoke run (pipelined must beat paper)"
+cargo run --release --quiet --example server_io_smoke
 
 echo "==> OK"
