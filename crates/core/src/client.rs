@@ -29,7 +29,7 @@ use spritely_proto::{
     FileVersion, NfsReply, NfsRequest, NfsStatus, ReadReply, Result, BLOCK_SIZE,
 };
 use spritely_rpcnet::{Caller, Endpoint, EndpointParams, RpcError};
-use spritely_sim::{Event, Resource, Semaphore, Sim, SimDuration};
+use spritely_sim::{Event, Resource, Semaphore, Sim, SimDuration, SimTime};
 use spritely_trace::{EventKind, Tracer};
 
 /// Configuration of the client's write-behind pool (the Ultrix biod
@@ -148,6 +148,9 @@ pub struct ClientStats {
     /// Write-back RPCs that failed (daemon, fsync, callback and eviction
     /// paths alike).
     pub writeback_failures: u64,
+    /// `getattr` RPCs elided because a piggybacked post-op attribute was
+    /// fresh enough to answer (only with a piggybacking transport).
+    pub attr_piggybacks: u64,
 }
 
 type Key = (FileHandle, u64);
@@ -203,6 +206,10 @@ struct Inner {
     /// write-back of such a file must be cancelled, not sent — the §4.2.3
     /// cancellation covers data already on its way out of the cache.
     removed: RefCell<HashSet<FileHandle>>,
+    /// Post-op attributes that rode back piggybacked on write-through,
+    /// write-shared-read, and close replies, with arrival time. Only
+    /// recorded (and consulted) when the transport piggybacks attrs.
+    piggy_attrs: RefCell<HashMap<FileHandle, (Fattr, SimTime)>>,
     tracer: RefCell<Option<Tracer>>,
 }
 
@@ -247,6 +254,7 @@ impl SnfsClient {
                 evictions: RefCell::new(HashMap::new()),
                 eviction_errors: RefCell::new(HashMap::new()),
                 removed: RefCell::new(HashSet::new()),
+                piggy_attrs: RefCell::new(HashMap::new()),
                 tracer: RefCell::new(None),
             }),
         }
@@ -316,11 +324,27 @@ impl SnfsClient {
     }
 
     async fn call_ctx(&self, parent: u64, req: NfsRequest) -> Result<NfsReply> {
+        self.call_inner(parent, req, false).await
+    }
+
+    /// Background variant for write-back and read-ahead traffic: the
+    /// transport batcher may hold such a call briefly to coalesce it
+    /// with its peers.
+    async fn call_bg(&self, parent: u64, req: NfsRequest) -> Result<NfsReply> {
+        self.call_inner(parent, req, true).await
+    }
+
+    async fn call_inner(&self, parent: u64, req: NfsRequest, bg: bool) -> Result<NfsReply> {
         // A rebooted server answers `Grace` until its state table is
         // rebuilt; back off and retry — the grace period is short and
         // bounded (§2.4). Each retry is a fresh logical call (new xid).
         for _ in 0..30 {
-            match self.inner.caller.call_ctx(parent, req.clone()).await {
+            let res = if bg {
+                self.inner.caller.call_bg(parent, req.clone()).await
+            } else {
+                self.inner.caller.call_ctx(parent, req.clone()).await
+            };
+            match res {
                 Ok(NfsReply::Err(NfsStatus::Grace)) => {
                     self.inner.sim.sleep(SimDuration::from_secs(2)).await;
                 }
@@ -529,15 +553,19 @@ impl SnfsClient {
                 }
             }
         }
-        self.call_ctx(
-            op,
-            NfsRequest::Close {
-                fh,
-                write,
-                client: self.inner.id,
-            },
-        )
-        .await?;
+        let rep = self
+            .call_ctx(
+                op,
+                NfsRequest::Close {
+                    fh,
+                    write,
+                    client: self.inner.id,
+                },
+            )
+            .await?;
+        if let NfsReply::Attr(attr) = rep {
+            self.note_piggyback_attr(fh, attr);
+        }
         Ok(())
     }
 
@@ -600,17 +628,58 @@ impl SnfsClient {
             .is_none_or(|i| i.cacheable)
     }
 
+    // ---- piggybacked post-op attributes --------------------------------------
+
+    /// True when the transport pipeline piggybacks post-op attributes.
+    fn piggyback(&self) -> bool {
+        self.inner.caller.transport().piggyback
+    }
+
+    /// Records a post-op attribute that rode back on a reply. No-op
+    /// unless the transport piggybacks (so the paper transport keeps
+    /// exactly its original state).
+    fn note_piggyback_attr(&self, fh: FileHandle, attr: Fattr) {
+        if self.piggyback() {
+            self.inner
+                .piggy_attrs
+                .borrow_mut()
+                .insert(fh, (attr, self.inner.sim.now()));
+        }
+    }
+
+    /// A piggybacked attribute fresh enough to answer a `getattr` on a
+    /// write-shared file: the same relaxation as the NFS attribute-cache
+    /// floor, but bounded to one second.
+    fn fresh_piggyback_attr(&self, fh: FileHandle) -> Option<Fattr> {
+        let map = self.inner.piggy_attrs.borrow();
+        let (attr, at) = map.get(&fh)?;
+        let age = self.inner.sim.now().saturating_duration_since(*at);
+        (age < SimDuration::from_secs(1)).then_some(*attr)
+    }
+
     fn local_attr(&self, fh: FileHandle) -> Option<Fattr> {
         self.inner.files.borrow().get(&fh).map(|i| i.attr)
     }
 
     // ---- data path ----------------------------------------------------------
 
-    async fn fetch_block(&self, fh: FileHandle, lblk: u64, cache_it: bool) -> Result<Vec<u8>> {
+    async fn fetch_block(
+        &self,
+        fh: FileHandle,
+        lblk: u64,
+        cache_it: bool,
+        bg: bool,
+    ) -> Result<Vec<u8>> {
         let key = (fh, lblk);
         if cache_it {
+            // Coalesce with an identical fetch already in flight. If that
+            // fetch is a read-ahead parked in the batcher, kick it onto
+            // the wire: someone is waiting for the data now.
             let waiting = self.inner.in_flight.borrow().get(&key).cloned();
             if let Some(ev) = waiting {
+                if !bg {
+                    self.inner.caller.kick();
+                }
                 ev.wait().await;
                 if let Some(b) = self.inner.cache.borrow_mut().get(&key) {
                     return Ok(b);
@@ -618,13 +687,16 @@ impl SnfsClient {
             }
             let ev = Event::new();
             self.inner.in_flight.borrow_mut().insert(key, ev.clone());
-            let res = self
-                .call(NfsRequest::Read {
-                    fh,
-                    offset: lblk * BLOCK_SIZE as u64,
-                    count: BLOCK_SIZE as u32,
-                })
-                .await;
+            let req = NfsRequest::Read {
+                fh,
+                offset: lblk * BLOCK_SIZE as u64,
+                count: BLOCK_SIZE as u32,
+            };
+            let res = if bg {
+                self.call_bg(0, req).await
+            } else {
+                self.call(req).await
+            };
             self.inner.in_flight.borrow_mut().remove(&key);
             ev.set();
             match res? {
@@ -677,7 +749,7 @@ impl SnfsClient {
             }
             let this = self.clone();
             self.inner.sim.spawn(async move {
-                let _ = this.fetch_block(fh, next, true).await;
+                let _ = this.fetch_block(fh, next, true, true).await;
             });
         }
     }
@@ -695,7 +767,10 @@ impl SnfsClient {
                 })
                 .await?;
             return match rep {
-                NfsReply::Read(ReadReply { data, eof, .. }) => Ok((data, eof)),
+                NfsReply::Read(ReadReply { data, eof, attr }) => {
+                    self.note_piggyback_attr(fh, attr);
+                    Ok((data, eof))
+                }
                 _ => Err(NfsStatus::Io),
             };
         }
@@ -747,7 +822,7 @@ impl SnfsClient {
                     b
                 }
                 None => {
-                    let b = self.fetch_block(fh, lblk, true).await?;
+                    let b = self.fetch_block(fh, lblk, true, false).await?;
                     self.spawn_read_ahead(fh, lblk, size);
                     b
                 }
@@ -777,7 +852,10 @@ impl SnfsClient {
                 })
                 .await?;
             return match rep {
-                NfsReply::Attr(_) => Ok(()),
+                NfsReply::Attr(attr) => {
+                    self.note_piggyback_attr(fh, attr);
+                    Ok(())
+                }
                 _ => Err(NfsStatus::Io),
             };
         }
@@ -805,7 +883,7 @@ impl SnfsClient {
                     Some(b) => b,
                     None if blk_start < old_size => {
                         // Partial write into an existing block: fetch it.
-                        self.fetch_block(fh, lblk, true).await?
+                        self.fetch_block(fh, lblk, true, false).await?
                     }
                     None => Vec::new(),
                 };
@@ -874,7 +952,12 @@ impl SnfsClient {
                 .get(&fh)
                 .map(|(_, d)| d.clone());
             match done {
-                Some(d) => d.wait().await,
+                Some(d) => {
+                    // About to block on background write-backs: push any
+                    // parked batch out instead of riding the Nagle window.
+                    self.inner.caller.kick();
+                    d.wait().await;
+                }
                 None => return,
             }
         }
@@ -935,7 +1018,7 @@ impl SnfsClient {
         self.inner.gather_hist.record(blocks);
         self.inner.inflight_gauge.inc();
         let res = self
-            .call_ctx(
+            .call_bg(
                 parent,
                 NfsRequest::Write {
                     fh,
@@ -1210,6 +1293,7 @@ impl SnfsClient {
         self.inner.files.borrow_mut().clear();
         self.inner.names.borrow_mut().clear();
         self.inner.eviction_errors.borrow_mut().clear();
+        self.inner.piggy_attrs.borrow_mut().clear();
         Ok(())
     }
 
@@ -1359,6 +1443,7 @@ impl SnfsClient {
             // If `fh` is a directory this drops our name translations
             // under it (§7 extension); for files it is a no-op.
             self.drop_dir_names(fh);
+            self.inner.piggy_attrs.borrow_mut().remove(&fh);
             let mut files = self.inner.files.borrow_mut();
             if let Some(info) = files.get_mut(&fh) {
                 info.cached_version = None;
@@ -1385,6 +1470,12 @@ impl SnfsClient {
     pub async fn getattr(&self, fh: FileHandle) -> Result<Fattr> {
         if self.is_cacheable(fh) {
             if let Some(a) = self.local_attr(fh) {
+                return Ok(a);
+            }
+        }
+        if self.piggyback() {
+            if let Some(a) = self.fresh_piggyback_attr(fh) {
+                self.bump_stats(|s| s.attr_piggybacks += 1);
                 return Ok(a);
             }
         }
@@ -1569,6 +1660,7 @@ impl SnfsClient {
                     },
                 );
                 self.inner.files.borrow_mut().remove(&fh);
+                self.inner.piggy_attrs.borrow_mut().remove(&fh);
                 // A pending eviction error for a deleted file is moot,
                 // and any eviction write-back still queued must be
                 // cancelled too (see write_back_victim).

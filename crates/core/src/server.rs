@@ -679,7 +679,13 @@ impl SnfsServer {
                 self.emit_transition(ctx, fh, cause, client, st0, st1);
                 drop(lock);
                 self.gc_file_lock(fh);
-                NfsReply::Ok
+                // Piggyback post-op attributes: same wire size as a bare
+                // Ok, and clients that don't consume them ignore the body,
+                // so the paper transport is unaffected.
+                match self.inner.fs.getattr(fh) {
+                    Ok(attr) => NfsReply::Attr(attr),
+                    Err(_) => NfsReply::Ok,
+                }
             }
             NfsRequest::Read { fh, .. } | NfsRequest::Write { fh, .. }
                 if self.inner.params.hybrid_nfs

@@ -28,9 +28,12 @@ pub use andrew::{run_andrew, run_andrew_with, AndrewRun};
 pub use flushx::{run_flush, run_flush_with, FlushRun};
 pub use microx::{run_reopen, run_temp_lifetime, ReopenRun, TempLifetimeRun};
 pub use scaling::{run_scaling, run_scaling_with, ScalingRun};
-pub use snapshot::{ClientSnapshot, ServerIoSnapshot, ServerSnapshot, StatsSnapshot, TraceReport};
+pub use snapshot::{
+    ClientSnapshot, ServerIoSnapshot, ServerSnapshot, StatsSnapshot, TraceReport, TransportSnapshot,
+};
 pub use sortx::{run_sort_experiment, run_sort_with, SortRun};
 pub use spritely_core::{ServerIoParams, SnfsServerParams, WriteBehindParams};
+pub use spritely_rpcnet::{TransportParams, TransportStats};
 pub use testbed::{ClientHost, Protocol, RemoteClient, Testbed, TestbedParams};
 
 #[cfg(test)]
@@ -116,6 +119,75 @@ mod tests {
         let buggy = run_reopen(Protocol::Nfs, true, 256 * 1024);
         let fixed = run_reopen(Protocol::NfsFixed, true, 256 * 1024);
         assert!(buggy.ops.get(NfsProc::Read) > fixed.ops.get(NfsProc::Read));
+    }
+}
+
+#[cfg(test)]
+mod transport_tests {
+    use super::*;
+    use spritely_vfs::OpenFlags;
+
+    /// Eight concurrent tasks on one NFS client each write a 16-block
+    /// file, then reopen and read it back — the multi-process workload
+    /// the compound batcher targets.
+    fn run_concurrent_workload(transport: TransportParams) -> Testbed {
+        let tb = Testbed::build(TestbedParams {
+            protocol: Protocol::Nfs,
+            transport,
+            trace: true,
+            ..TestbedParams::default()
+        });
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            let p = tb.proc();
+            handles.push(tb.sim.spawn(async move {
+                let path = format!("/remote/f{i}");
+                let fd = p.open(&path, OpenFlags::create_write()).await.unwrap();
+                p.write(fd, &[7u8; 16 * 4096]).await.unwrap();
+                p.close(fd).await.unwrap();
+                let fd = p.open(&path, OpenFlags::read()).await.unwrap();
+                while !p.read(fd, 4096).await.unwrap().is_empty() {}
+                p.close(fd).await.unwrap();
+            }));
+        }
+        for h in handles {
+            tb.sim.run_until(h);
+        }
+        tb
+    }
+
+    #[test]
+    fn pipelined_transport_batches_fewer_messages_and_checks_clean() {
+        let paper = run_concurrent_workload(TransportParams::paper());
+        let piped = run_concurrent_workload(TransportParams::pipelined());
+
+        let ps = paper.stats_snapshot();
+        let xs = piped.stats_snapshot();
+        assert_eq!(ps.transport.batches, 0, "paper transport never batches");
+        assert!(xs.transport.batches > 0, "pipelined transport batches");
+        assert!(
+            xs.transport.net_messages < ps.transport.net_messages,
+            "batching must shrink wire messages: {} vs {}",
+            xs.transport.net_messages,
+            ps.transport.net_messages
+        );
+        assert!(xs.transport.saved_round_trips > 0);
+
+        // Piggybacked post-op attributes elide reopen-time probes; the
+        // pipelined run therefore executes no *more* RPCs than paper.
+        assert!(xs.transport.attr_elisions > 0, "reopen probes elided");
+        assert!(xs.rpc_total <= ps.rpc_total);
+
+        // The causal checker accepts the batched trace (conservation +
+        // at-most-once execution hold).
+        let report = piped.finish_trace().expect("trace was on");
+        assert!(report.ok(), "checker violations: {:?}", report.violations);
+
+        // The table renders both configurations.
+        let table =
+            report::transport_table(&[("paper", &ps.transport), ("pipelined", &xs.transport)]);
+        assert!(table.contains("pipelined"));
+        assert!(table.contains("Saved/proc"));
     }
 }
 

@@ -245,6 +245,63 @@ pub fn server_io_table(runs: &[(&str, &crate::ScalingRun)]) -> String {
     t.render()
 }
 
+/// Transport-pipeline comparison: wire traffic and batching effect per
+/// configuration, followed by the round trips saved per procedure
+/// (procedures with no savings in any configuration are skipped).
+///
+/// Each row is `(label, end-of-run transport snapshot)` — see
+/// [`crate::TransportSnapshot`].
+pub fn transport_table(rows: &[(&str, &crate::TransportSnapshot)]) -> String {
+    let mut t = TextTable::new(vec![
+        "Config",
+        "msgs",
+        "kbytes",
+        "busy ms",
+        "batches",
+        "mean batch",
+        "saved RTs",
+        "attr elides",
+    ]);
+    for (label, tr) in rows {
+        let mean = if tr.batches > 0 {
+            tr.batched_calls as f64 / tr.batches as f64
+        } else {
+            0.0
+        };
+        t.row(vec![
+            label.to_string(),
+            tr.net_messages.to_string(),
+            (tr.net_bytes / 1024).to_string(),
+            tr.wire_busy_ms.to_string(),
+            tr.batches.to_string(),
+            format!("{mean:.1}"),
+            tr.saved_round_trips.to_string(),
+            tr.attr_elisions.to_string(),
+        ]);
+    }
+    let mut out = t.render();
+    let procs: Vec<NfsProc> = NfsProc::ALL
+        .into_iter()
+        .filter(|&p| rows.iter().any(|(_, tr)| tr.saved_per_proc.get(p) > 0))
+        .collect();
+    if !procs.is_empty() {
+        let mut headers = vec!["Saved/proc".to_string()];
+        headers.extend(rows.iter().map(|(l, _)| l.to_string()));
+        let mut t2 = TextTable::new(headers);
+        for p in procs {
+            let mut row = vec![p.name().to_string()];
+            row.extend(
+                rows.iter()
+                    .map(|(_, tr)| tr.saved_per_proc.get(p).to_string()),
+            );
+            t2.row(row);
+        }
+        out.push('\n');
+        out.push_str(&t2.render());
+    }
+    out
+}
+
 /// Human-readable summary of a checked trace: per-kind event counts
 /// followed by every invariant violation (normally none).
 pub fn trace_summary(report: &crate::snapshot::TraceReport) -> String {

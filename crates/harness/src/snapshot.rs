@@ -49,6 +49,35 @@ pub struct ServerIoSnapshot {
     pub disk_pos_ms_sum: u64,
 }
 
+/// Transport-pipeline counters: wire traffic, batching, and piggyback
+/// consumption. On the paper transport everything except the raw
+/// message/byte counters is zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportSnapshot {
+    /// Messages put on the wire (requests + replies; a compound batch is
+    /// one message).
+    pub net_messages: u64,
+    /// Bytes put on the wire.
+    pub net_bytes: u64,
+    /// Total medium busy time, in milliseconds (aggregated across lanes
+    /// on a switched network).
+    pub wire_busy_ms: u64,
+    /// Compound batches flushed.
+    pub batches: u64,
+    /// Requests that travelled inside those batches.
+    pub batched_calls: u64,
+    /// Largest batch flushed.
+    pub max_batch: u64,
+    /// Round trips saved by batching (requests after the first in each
+    /// batch).
+    pub saved_round_trips: u64,
+    /// `getattr` round trips elided by piggybacked post-op attributes
+    /// (NFS open probes + SNFS write-shared stats).
+    pub attr_elisions: u64,
+    /// Round trips saved by batching, broken down by procedure.
+    pub saved_per_proc: spritely_metrics::OpCounts,
+}
+
 /// The server's counters at the end of a run (SNFS protocols only).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServerSnapshot {
@@ -74,6 +103,8 @@ pub struct StatsSnapshot {
     pub server: Option<ServerSnapshot>,
     /// Server-side cache and disk-queue counters (all protocols).
     pub server_io: ServerIoSnapshot,
+    /// Transport-pipeline counters (all protocols).
+    pub transport: TransportSnapshot,
 }
 
 impl StatsSnapshot {
@@ -97,7 +128,8 @@ impl StatsSnapshot {
                 out.push_str(&format!(
                     ",\"cancelled_blocks\":{},\"written_back_blocks\":{},\
                      \"callbacks_served\":{},\"invalidations\":{},\"local_reopens\":{},\
-                     \"recoveries\":{},\"name_cache_hits\":{},\"writeback_failures\":{}",
+                     \"recoveries\":{},\"name_cache_hits\":{},\"writeback_failures\":{},\
+                     \"attr_piggybacks\":{}",
                     s.cancelled_blocks,
                     s.written_back_blocks,
                     s.callbacks_served,
@@ -105,7 +137,8 @@ impl StatsSnapshot {
                     s.local_reopens,
                     s.recoveries,
                     s.name_cache_hits,
-                    s.writeback_failures
+                    s.writeback_failures,
+                    s.attr_piggybacks
                 ));
             }
             out.push('}');
@@ -139,6 +172,28 @@ impl StatsSnapshot {
             io.disk_wait_ms_max,
             io.disk_pos_ms_sum
         ));
+        let t = &self.transport;
+        out.push_str(&format!(
+            ",\"transport\":{{\"net_messages\":{},\"net_bytes\":{},\
+             \"wire_busy_ms\":{},\"batches\":{},\"batched_calls\":{},\
+             \"max_batch\":{},\"saved_round_trips\":{},\"attr_elisions\":{},\
+             \"saved_per_proc\":{{",
+            t.net_messages,
+            t.net_bytes,
+            t.wire_busy_ms,
+            t.batches,
+            t.batched_calls,
+            t.max_batch,
+            t.saved_round_trips,
+            t.attr_elisions
+        ));
+        for (i, (p, n)) in t.saved_per_proc.nonzero().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", p.name(), n));
+        }
+        out.push_str("}}");
         out.push('}');
         out
     }

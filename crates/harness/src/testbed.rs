@@ -9,7 +9,7 @@ use spritely_localfs::LocalFs;
 use spritely_metrics::{GaugeSeries, LatencyStats, OpCounter, RateSeries};
 use spritely_nfs::{nfs_server, NfsClient, NfsClientParams};
 use spritely_proto::{ClientId, FileHandle, NfsReply, NfsRequest};
-use spritely_rpcnet::{Caller, Endpoint, Network};
+use spritely_rpcnet::{Caller, Endpoint, Network, TransportParams, TransportStats};
 use spritely_sim::{Resource, Sim, SimDuration};
 use spritely_trace::Tracer;
 use spritely_vfs::{FsBackend, Mount, Proc, Vfs};
@@ -85,6 +85,13 @@ pub struct TestbedParams {
     /// Client data-cache capacity in blocks (shrink to force dirty-block
     /// evictions in tests).
     pub client_cache_blocks: usize,
+    /// Transport pipeline: compound-RPC batching, piggybacked post-op
+    /// attributes, switched network, retransmission backoff. The default
+    /// ([`TransportParams::paper`]) reproduces the paper's transport
+    /// byte-for-byte; [`TransportParams::pipelined`] turns it all on.
+    /// Applies to client callers only — callback RPCs always use the
+    /// paper transport.
+    pub transport: TransportParams,
     /// Record a structured event trace of the run (client ops, RPCs,
     /// handlers, state-table transitions, callbacks, flushes). Tracing
     /// never awaits or consumes randomness, so a traced run produces the
@@ -107,6 +114,7 @@ impl Default for TestbedParams {
             snfs_server: SnfsServerParams::default(),
             server_io: ServerIoParams::paper(),
             client_cache_blocks: config::CLIENT_CACHE_BLOCKS,
+            transport: TransportParams::paper(),
             trace: false,
         }
     }
@@ -171,6 +179,9 @@ pub struct Testbed {
     pub util: GaugeSeries,
     /// The shared network.
     pub net: Network,
+    /// Aggregated transport observability across every client caller
+    /// (batch sizes, saved round trips). Empty on the paper transport.
+    pub transport_stats: TransportStats,
     /// The run's event tracer (present when [`TestbedParams::trace`]).
     pub tracer: Option<Tracer>,
     /// The NFS/SNFS endpoint (absent for `Protocol::Local`).
@@ -208,7 +219,13 @@ impl Testbed {
         let rates = RateSeries::new(config::figure_bucket());
         let util = GaugeSeries::new();
         let latency = LatencyStats::new();
-        let net = Network::new(&sim, "ether", config::net_params());
+        let netp = if params.transport.switched {
+            config::net_params().switched_full_duplex()
+        } else {
+            config::net_params()
+        };
+        let net = Network::new(&sim, "ether", netp);
+        let transport_stats = TransportStats::new();
         let tracer = params.trace.then(|| {
             let t = Tracer::new(&sim);
             t.meta("protocol", params.protocol.label());
@@ -216,6 +233,7 @@ impl Testbed {
             t.meta("disk_sched", params.server_io.sched.meta_value());
             server_fs.disk().set_tracer(t.clone());
             server_fs.set_tracer(t.clone());
+            net.set_tracer(t.clone());
             t
         });
         // Well-known server directories.
@@ -304,6 +322,8 @@ impl Testbed {
                         cpu.clone(),
                         config::caller_params(),
                     );
+                    caller.set_transport(params.transport);
+                    caller.set_transport_stats(transport_stats.clone());
                     caller.set_latency_stats(latency.clone());
                     if let Some(t) = &tracer {
                         caller.set_tracer(t.clone());
@@ -334,6 +354,8 @@ impl Testbed {
                         cpu.clone(),
                         config::caller_params(),
                     );
+                    caller.set_transport(params.transport);
+                    caller.set_transport_stats(transport_stats.clone());
                     caller.set_latency_stats(latency.clone());
                     if let Some(t) = &tracer {
                         caller.set_tracer(t.clone());
@@ -435,6 +457,7 @@ impl Testbed {
             latency,
             util,
             net,
+            transport_stats,
             tracer,
             endpoint,
             clients,
@@ -492,6 +515,16 @@ impl Testbed {
         let disk = self.server_fs.disk();
         let (cache_hits, cache_misses) = self.server_fs.cache_stats();
         let dstats = disk.stats();
+        let attr_elisions: u64 = self
+            .clients
+            .iter()
+            .map(|host| match &host.remote {
+                RemoteClient::None => 0,
+                RemoteClient::Nfs(c) => c.elided_probes(),
+                RemoteClient::Snfs(c) => c.stats().attr_piggybacks,
+            })
+            .sum();
+        let ts = &self.transport_stats;
         crate::snapshot::StatsSnapshot {
             protocol: self.params.protocol.label().to_string(),
             rpc_total: self.counter.snapshot().total(),
@@ -514,6 +547,17 @@ impl Testbed {
                 disk_wait_ms_sum: disk.wait_ms().sum(),
                 disk_wait_ms_max: disk.wait_ms().max(),
                 disk_pos_ms_sum: disk.pos_ms().sum(),
+            },
+            transport: crate::snapshot::TransportSnapshot {
+                net_messages: self.net.messages(),
+                net_bytes: self.net.bytes(),
+                wire_busy_ms: (self.net.busy_micros() / 1000) as u64,
+                batches: ts.batch_sizes.count(),
+                batched_calls: ts.batch_sizes.sum(),
+                max_batch: ts.batch_sizes.max(),
+                saved_round_trips: ts.saved.snapshot().total(),
+                attr_elisions,
+                saved_per_proc: ts.saved.snapshot(),
             },
         }
     }

@@ -19,7 +19,7 @@
 //!   Toggleable via [`NfsClientParams::invalidate_on_close`] to model
 //!   newer clients.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
@@ -116,6 +116,10 @@ struct Inner {
     in_flight: RefCell<HashMap<Key, Event>>,
     /// TTL-based name-translation cache (dnlc-style), when enabled.
     names: RefCell<HashMap<(FileHandle, String), NameEntry>>,
+    /// Open-time `getattr` probes elided because a piggybacked post-op
+    /// attribute was still inside the probe floor (piggybacking
+    /// transports only).
+    elided_probes: Cell<u64>,
     biods: Semaphore,
 }
 
@@ -153,6 +157,7 @@ impl NfsClient {
                 opens: RefCell::new(HashMap::new()),
                 in_flight: RefCell::new(HashMap::new()),
                 names: RefCell::new(HashMap::new()),
+                elided_probes: Cell::new(0),
             }),
         }
     }
@@ -162,8 +167,24 @@ impl NfsClient {
         self.inner.cache.borrow().hit_stats()
     }
 
+    /// Open-time `getattr` probes elided thanks to piggybacked post-op
+    /// attributes (always 0 on the paper transport).
+    pub fn elided_probes(&self) -> u64 {
+        self.inner.elided_probes.get()
+    }
+
     async fn call(&self, req: NfsRequest) -> Result<NfsReply> {
         match self.inner.caller.call(req).await {
+            Ok(rep) => rep.into_result(),
+            Err(e) => Err(status_of(e)),
+        }
+    }
+
+    /// Background variant for biod traffic (write-behind, read-ahead):
+    /// the transport batcher may hold such a call briefly to coalesce it
+    /// with its peers.
+    async fn call_bg(&self, req: NfsRequest) -> Result<NfsReply> {
+        match self.inner.caller.call_bg(0, req).await {
             Ok(rep) => rep.into_result(),
             Err(e) => Err(status_of(e)),
         }
@@ -247,7 +268,25 @@ impl NfsClient {
     /// consistency check (a `getattr` RPC).
     pub async fn open(&self, fh: FileHandle, _write: bool) -> Result<Fattr> {
         *self.inner.opens.borrow_mut().entry(fh).or_insert(0) += 1;
-        // The open-time check always goes to the server.
+        // The open-time check always goes to the server — unless the
+        // transport piggybacks post-op attributes and a reply refreshed
+        // them within the probe floor, in which case that reply already
+        // was the consistency check.
+        if self.inner.caller.transport().piggyback {
+            let fresh = {
+                let attrs = self.inner.attrs.borrow();
+                attrs.get(&fh).and_then(|e| {
+                    let age = self.inner.sim.now().saturating_duration_since(e.fetched);
+                    (age < self.inner.params.attr_min).then_some(e.attr)
+                })
+            };
+            if let Some(a) = fresh {
+                self.inner
+                    .elided_probes
+                    .set(self.inner.elided_probes.get() + 1);
+                return Ok(a);
+            }
+        }
         self.probe_attrs(fh, true).await
     }
 
@@ -288,11 +327,16 @@ impl NfsClient {
 
     // ---- data path ----------------------------------------------------------
 
-    async fn fetch_block(&self, fh: FileHandle, lblk: u64) -> Result<Vec<u8>> {
+    async fn fetch_block(&self, fh: FileHandle, lblk: u64, bg: bool) -> Result<Vec<u8>> {
         let key = (fh, lblk);
-        // Coalesce with an identical fetch already in flight.
+        // Coalesce with an identical fetch already in flight. If that
+        // fetch is a read-ahead parked in the batcher, kick it onto the
+        // wire: someone is waiting for the data now.
         let waiting = self.inner.in_flight.borrow().get(&key).cloned();
         if let Some(ev) = waiting {
+            if !bg {
+                self.inner.caller.kick();
+            }
             ev.wait().await;
             if let Some(b) = self.inner.cache.borrow_mut().get(&key) {
                 return Ok(b);
@@ -301,13 +345,16 @@ impl NfsClient {
         }
         let ev = Event::new();
         self.inner.in_flight.borrow_mut().insert(key, ev.clone());
-        let res = self
-            .call(NfsRequest::Read {
-                fh,
-                offset: lblk * BLOCK_SIZE as u64,
-                count: BLOCK_SIZE as u32,
-            })
-            .await;
+        let req = NfsRequest::Read {
+            fh,
+            offset: lblk * BLOCK_SIZE as u64,
+            count: BLOCK_SIZE as u32,
+        };
+        let res = if bg {
+            self.call_bg(req).await
+        } else {
+            self.call(req).await
+        };
         self.inner.in_flight.borrow_mut().remove(&key);
         ev.set();
         match res? {
@@ -340,7 +387,7 @@ impl NfsClient {
             if this.inner.cache.borrow().contains(&(fh, next)) {
                 return;
             }
-            let _ = this.fetch_block(fh, next).await;
+            let _ = this.fetch_block(fh, next, true).await;
         });
     }
 
@@ -376,7 +423,7 @@ impl NfsClient {
             let block = match cached {
                 Some(b) if b.len() >= to => b,
                 _ => {
-                    let b = self.fetch_block(fh, lblk).await?;
+                    let b = self.fetch_block(fh, lblk, false).await?;
                     self.spawn_read_ahead(fh, lblk, size);
                     b
                 }
@@ -403,7 +450,7 @@ impl NfsClient {
         let this = self.clone();
         self.inner.sim.spawn(async move {
             let permit = this.inner.biods.acquire().await;
-            let res = this.call(NfsRequest::Write { fh, offset, data }).await;
+            let res = this.call_bg(NfsRequest::Write { fh, offset, data }).await;
             drop(permit);
             let mut pending = this.inner.pending.borrow_mut();
             let p = pending.entry(fh).or_default();
@@ -439,6 +486,9 @@ impl NfsClient {
             }
         };
         if let Some(ev) = ev {
+            // About to block on write-behind: push any parked batch out
+            // now rather than letting it ride the Nagle window.
+            self.inner.caller.kick();
             ev.wait().await;
         }
     }

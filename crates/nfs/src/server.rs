@@ -125,10 +125,13 @@ pub async fn handle(fs: &LocalFs, req: NfsRequest) -> NfsReply {
             Err(e) => NfsReply::Err(e),
         },
         // A stateless server has no open/close and no recovery protocol:
-        // reject, so SNFS clients fall back to plain NFS (§6.1).
+        // reject, so SNFS clients fall back to plain NFS (§6.1). A
+        // compound is a transport artifact — the batching caller delivers
+        // its inner calls individually, so one must never reach a handler.
         NfsRequest::Open { .. }
         | NfsRequest::Close { .. }
         | NfsRequest::Keepalive { .. }
-        | NfsRequest::Recover { .. } => NfsReply::Err(NfsStatus::Inval),
+        | NfsRequest::Recover { .. }
+        | NfsRequest::Compound { .. } => NfsReply::Err(NfsStatus::Inval),
     }
 }

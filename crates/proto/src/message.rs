@@ -12,6 +12,18 @@ use crate::status::NfsStatus;
 /// Approximate size of RPC + NFS headers on the wire, in bytes.
 const HEADER_BYTES: usize = 128;
 
+/// Per-operation framing inside a compound message (an op tag plus a
+/// length word), replacing the full RPC header each inner call would
+/// have paid as a standalone message.
+pub const COMPOUND_OP_BYTES: usize = 16;
+
+/// Bytes of wire traffic a message occupies when carried *inside* a
+/// compound: its payload plus the slim per-op framing instead of a full
+/// RPC header.
+fn compound_slot_bytes(standalone_wire_size: usize) -> usize {
+    standalone_wire_size - HEADER_BYTES + COMPOUND_OP_BYTES
+}
+
 /// A client→server request body (NFS procedures plus SNFS `open`/`close`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NfsRequest {
@@ -94,6 +106,11 @@ pub enum NfsRequest {
     },
     /// Read a symbolic link's target.
     Readlink { fh: FileHandle },
+    /// Transport-level batch: several requests sharing one RPC exchange
+    /// (one header + slim per-op framing on the wire). Built by the
+    /// batching `Caller`; each inner call keeps its own xid and counters,
+    /// so the paper's per-procedure tables are unaffected. Never nested.
+    Compound { calls: Vec<NfsRequest> },
 }
 
 /// One file's worth of client state in a `Recover` report.
@@ -135,6 +152,7 @@ impl NfsRequest {
             NfsRequest::Link { .. } => NfsProc::Link,
             NfsRequest::Symlink { .. } => NfsProc::Symlink,
             NfsRequest::Readlink { .. } => NfsProc::Readlink,
+            NfsRequest::Compound { .. } => NfsProc::Compound,
         }
     }
 
@@ -153,9 +171,34 @@ impl NfsRequest {
             NfsRequest::Recover { files, .. } => files.len() * 32,
             NfsRequest::Link { to_name, .. } => to_name.len(),
             NfsRequest::Symlink { name, target, .. } => name.len() + target.len(),
+            NfsRequest::Compound { calls } => {
+                return HEADER_BYTES
+                    + calls
+                        .iter()
+                        .map(|c| compound_slot_bytes(c.wire_size()))
+                        .sum::<usize>();
+            }
             _ => 0,
         };
         HEADER_BYTES + payload
+    }
+
+    /// Wraps a batch of requests in a single compound message. A batch of
+    /// one stays a plain request: it needs no framing and must look
+    /// identical to the unbatched wire format.
+    pub fn compound(mut calls: Vec<NfsRequest>) -> NfsRequest {
+        debug_assert!(!calls.is_empty(), "empty compound request");
+        debug_assert!(
+            !calls
+                .iter()
+                .any(|c| matches!(c, NfsRequest::Compound { .. })),
+            "compound requests must not nest"
+        );
+        if calls.len() == 1 {
+            calls.pop().expect("length checked")
+        } else {
+            NfsRequest::Compound { calls }
+        }
     }
 }
 
@@ -217,6 +260,9 @@ pub enum NfsReply {
     Path(String),
     /// Any failure.
     Err(NfsStatus),
+    /// Transport-level batch of replies, positionally matching the calls
+    /// of the `NfsRequest::Compound` that produced it.
+    Compound { replies: Vec<NfsReply> },
 }
 
 impl NfsReply {
@@ -228,9 +274,33 @@ impl NfsReply {
                 entries.iter().map(|e| e.name.len() + 16).sum::<usize>()
             }
             NfsReply::Path(p) => p.len(),
+            NfsReply::Compound { replies } => {
+                return HEADER_BYTES
+                    + replies
+                        .iter()
+                        .map(|r| compound_slot_bytes(r.wire_size()))
+                        .sum::<usize>();
+            }
             _ => 0,
         };
         HEADER_BYTES + payload
+    }
+
+    /// Wraps a batch of replies in a single compound message; a batch of
+    /// one stays a plain reply (mirrors [`NfsRequest::compound`]).
+    pub fn compound(mut replies: Vec<NfsReply>) -> NfsReply {
+        debug_assert!(!replies.is_empty(), "empty compound reply");
+        debug_assert!(
+            !replies
+                .iter()
+                .any(|r| matches!(r, NfsReply::Compound { .. })),
+            "compound replies must not nest"
+        );
+        if replies.len() == 1 {
+            replies.pop().expect("length checked")
+        } else {
+            NfsReply::Compound { replies }
+        }
     }
 
     /// Converts an error reply into `Err`, anything else into `Ok(self)`.
@@ -285,6 +355,14 @@ pub struct CallbackReply {
     /// True if the client performed the requested actions. False means the
     /// client no longer knows the file (e.g. it rebooted).
     pub ok: bool,
+}
+
+impl CallbackReply {
+    /// Approximate wire size of the callback reply: the status bit rides
+    /// inside the headers, so there is no payload beyond them.
+    pub fn wire_size(&self) -> usize {
+        HEADER_BYTES
+    }
 }
 
 #[cfg(test)]
@@ -379,6 +457,68 @@ mod tests {
             Err(NfsStatus::NoEnt)
         );
         assert!(NfsReply::Ok.into_result().is_ok());
+    }
+
+    #[test]
+    fn compound_request_accounting() {
+        let calls = vec![
+            NfsRequest::GetAttr { fh: fh() },
+            NfsRequest::Write {
+                fh: fh(),
+                offset: 0,
+                data: vec![0; 4096],
+            },
+            NfsRequest::Lookup {
+                dir: fh(),
+                name: "abc".into(),
+            },
+        ];
+        let standalone: usize = calls.iter().map(|c| c.wire_size()).sum();
+        let compound = NfsRequest::compound(calls.clone());
+        assert_eq!(compound.proc_id(), NfsProc::Compound);
+        // One shared header plus per-op framing: every payload byte is
+        // still accounted for, and each inner call past the first saves
+        // a full header minus its framing.
+        let expected = HEADER_BYTES + calls.len() * COMPOUND_OP_BYTES + 4096 + 3;
+        assert_eq!(compound.wire_size(), expected);
+        assert!(compound.wire_size() < standalone);
+    }
+
+    #[test]
+    fn compound_of_one_is_the_plain_message() {
+        let req = NfsRequest::GetAttr { fh: fh() };
+        assert_eq!(NfsRequest::compound(vec![req.clone()]), req);
+        let rep = NfsReply::Attr(attr());
+        assert_eq!(NfsReply::compound(vec![rep.clone()]), rep);
+    }
+
+    #[test]
+    fn compound_reply_accounting() {
+        let replies = vec![
+            NfsReply::Attr(attr()),
+            NfsReply::Read(ReadReply {
+                data: vec![0; 2048],
+                eof: false,
+                attr: attr(),
+            }),
+        ];
+        let compound = NfsReply::compound(replies.clone());
+        let expected = HEADER_BYTES + replies.len() * COMPOUND_OP_BYTES + 2048;
+        assert_eq!(compound.wire_size(), expected);
+        assert!(compound.wire_size() < replies.iter().map(|r| r.wire_size()).sum());
+    }
+
+    #[test]
+    fn callback_wire_sizes_are_header_only() {
+        let arg = CallbackArg {
+            fh: fh(),
+            writeback: true,
+            invalidate: true,
+            relinquish: false,
+        };
+        let rep = CallbackReply { ok: true };
+        assert_eq!(arg.wire_size(), HEADER_BYTES);
+        assert_eq!(rep.wire_size(), HEADER_BYTES);
     }
 
     #[test]

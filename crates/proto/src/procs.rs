@@ -51,6 +51,10 @@ pub enum NfsProc {
     Symlink,
     /// Read a symbolic link's target (RFC 1094 READLINK).
     Readlink,
+    /// Transport-level batch of several requests sharing one RPC exchange
+    /// (NFSv4-style COMPOUND; see DESIGN.md §13). Never counted in the
+    /// paper tables — the inner procedures are what get recorded.
+    Compound,
 }
 
 /// Coarse classification used in the paper's tables.
@@ -67,7 +71,7 @@ pub enum ProcClass {
 
 impl NfsProc {
     /// All procedures, in display order.
-    pub const ALL: [NfsProc; 21] = [
+    pub const ALL: [NfsProc; 22] = [
         NfsProc::Null,
         NfsProc::GetAttr,
         NfsProc::SetAttr,
@@ -89,6 +93,7 @@ impl NfsProc {
         NfsProc::Link,
         NfsProc::Symlink,
         NfsProc::Readlink,
+        NfsProc::Compound,
     ];
 
     /// Classifies the procedure for the paper's aggregate rows.
@@ -136,6 +141,7 @@ impl NfsProc {
             NfsProc::Link => "link",
             NfsProc::Symlink => "symlink",
             NfsProc::Readlink => "readlink",
+            NfsProc::Compound => "compound",
         }
     }
 }

@@ -8,11 +8,12 @@ use std::pin::Pin;
 use std::rc::Rc;
 
 use spritely_metrics::{LatencyStats, OpCounter, RateSeries};
-use spritely_proto::ClientId;
-use spritely_sim::{Event, Resource, Sim, SimDuration, SimTime};
+use spritely_proto::{ClientId, NfsProc};
+use spritely_sim::{Event, Resource, Sim, SimDuration, SimRng, SimTime};
 use spritely_trace::{EventKind, Tracer};
 
 use crate::network::Network;
+use crate::transport::{Compoundable, TransportParams, TransportStats};
 use crate::{Proc, ReplyStatus, Wire};
 
 /// A boxed async request handler. The `u64` is the causal trace context
@@ -286,6 +287,204 @@ impl Default for CallerParams {
     }
 }
 
+/// One request parked in a caller's batch queue, with the slot its
+/// reply will be delivered through.
+struct BatchEntry<Req, Rep> {
+    xid: u64,
+    parent: u64,
+    req: Req,
+    slot: Rc<RefCell<Option<Rep>>>,
+    done: Event,
+}
+
+/// The Nagle-style batching queue behind a caller (present only when
+/// `TransportParams::max_batch > 1`), used by background traffic only
+/// (`Caller::call_bg`): foreground calls keep the unbatched wire path,
+/// so they are never delayed and never wait behind a compound's
+/// slowest member. A background request with no batch in flight is
+/// sent at once (a lone call pays no extra latency); while a batch is
+/// outstanding, followers park here and flush as one compound when the
+/// outstanding batch completes, `max_batch` accumulate, or the
+/// `batch_window` safety deadline fires. Each flush pays one wire
+/// exchange for the whole batch.
+struct Batcher<Req, Rep> {
+    sim: Sim,
+    net: Network,
+    endpoint: Endpoint<Req, Rep>,
+    from: ClientId,
+    max_batch: usize,
+    window: SimDuration,
+    queue: RefCell<Vec<BatchEntry<Req, Rep>>>,
+    window_armed: Cell<bool>,
+    inflight: Cell<usize>,
+    next_id: Cell<u64>,
+    stats: RefCell<Option<TransportStats>>,
+    tracer: RefCell<Option<Tracer>>,
+}
+
+impl<Req, Rep> Batcher<Req, Rep>
+where
+    Req: Proc + Wire + Clone + Compoundable + 'static,
+    Rep: Wire + Clone + ReplyStatus + Compoundable + 'static,
+{
+    /// Parks one background request. Returns the reply slot and the
+    /// event that fires once the flush has filled it. Only background
+    /// traffic (write-behind, read-ahead) enters the batcher, so no
+    /// latency-sensitive call ever waits behind a compound's slowest
+    /// member.
+    fn enqueue(
+        self: &Rc<Self>,
+        xid: u64,
+        parent: u64,
+        req: Req,
+    ) -> (Rc<RefCell<Option<Rep>>>, Event) {
+        let slot = Rc::new(RefCell::new(None));
+        let done = Event::new();
+        let len = {
+            let mut q = self.queue.borrow_mut();
+            q.push(BatchEntry {
+                xid,
+                parent,
+                req,
+                slot: Rc::clone(&slot),
+                done: done.clone(),
+            });
+            q.len()
+        };
+        if len >= self.max_batch || self.inflight.get() == 0 {
+            // Full batch, or nothing outstanding (Nagle: an idle caller
+            // sends immediately instead of holding a lone request for
+            // the window).
+            self.flush_now();
+        } else if !self.window_armed.get() {
+            self.window_armed.set(true);
+            let b = Rc::clone(self);
+            self.sim.clone().spawn(async move {
+                b.sim.sleep(b.window).await;
+                b.window_armed.set(false);
+                b.flush_now();
+            });
+        }
+        (slot, done)
+    }
+
+    /// Flushes whatever has accumulated (no-op on an empty queue). The
+    /// queue is partitioned by procedure — reads compound with reads,
+    /// writes with writes — because a compound's reply waits for its
+    /// slowest member: mixing a cached read into a disk write's batch
+    /// would hand the read the write's latency.
+    fn flush_now(self: &Rc<Self>) {
+        let batch = std::mem::take(&mut *self.queue.borrow_mut());
+        if batch.is_empty() {
+            return;
+        }
+        let mut groups: Vec<(NfsProc, Vec<BatchEntry<Req, Rep>>)> = Vec::new();
+        for e in batch {
+            let pid = e.req.proc_id();
+            match groups.iter_mut().find(|(p, _)| *p == pid) {
+                Some((_, g)) => g.push(e),
+                None => groups.push((pid, vec![e])),
+            }
+        }
+        for (_, g) in groups {
+            self.spawn_flush(g);
+        }
+    }
+
+    /// Marks one outstanding flush complete; once the last one drains,
+    /// ack-clocks the next batch out.
+    fn finish_flush(self: &Rc<Self>) {
+        self.inflight.set(self.inflight.get() - 1);
+        if self.inflight.get() == 0 {
+            self.flush_now();
+        }
+    }
+
+    fn spawn_flush(self: &Rc<Self>, batch: Vec<BatchEntry<Req, Rep>>) {
+        self.inflight.set(self.inflight.get() + 1);
+        let b = Rc::clone(self);
+        self.sim.clone().spawn(async move {
+            let n = batch.len();
+            let id = b.next_id.get();
+            b.next_id.set(id + 1);
+            if let Some(s) = b.stats.borrow().as_ref() {
+                s.batch_sizes.record(n as u64);
+                // Every request after the first rides along: one saved
+                // round trip each, attributed to its procedure.
+                for e in batch.iter().skip(1) {
+                    s.saved.record(e.req.proc_id());
+                }
+            }
+            if let Some(t) = b.tracer.borrow().as_ref() {
+                t.emit(
+                    0,
+                    EventKind::Batch {
+                        from: b.from,
+                        id,
+                        count: n as u64,
+                        reply: false,
+                    },
+                );
+            }
+            let creq = Req::compound(batch.iter().map(|e| e.req.clone()).collect());
+            b.net.transmit_from(b.from.0, true, creq.wire_size()).await;
+            if !b.endpoint.is_alive() {
+                // The whole batch is lost; each caller's timeout fires
+                // and the retransmissions re-enqueue.
+                b.finish_flush();
+                return;
+            }
+            // Deliver every inner request concurrently — each keeps its
+            // own xid, so dup-cache entries and per-procedure counters
+            // are exactly what the unbatched transport would produce.
+            let remaining = Rc::new(Cell::new(n));
+            let results: Rc<RefCell<Vec<Option<Rep>>>> =
+                Rc::new(RefCell::new((0..n).map(|_| None).collect()));
+            let all_done = Event::new();
+            for (i, e) in batch.iter().enumerate() {
+                let ep = b.endpoint.clone();
+                let from = b.from;
+                let (xid, parent, req) = (e.xid, e.parent, e.req.clone());
+                let remaining = Rc::clone(&remaining);
+                let results = Rc::clone(&results);
+                let all_done = all_done.clone();
+                b.sim.spawn(async move {
+                    let rep = ep.deliver(from, xid, parent, req).await;
+                    results.borrow_mut()[i] = Some(rep);
+                    remaining.set(remaining.get() - 1);
+                    if remaining.get() == 0 {
+                        all_done.set();
+                    }
+                });
+            }
+            all_done.wait().await;
+            let reps: Vec<Rep> = results
+                .borrow_mut()
+                .drain(..)
+                .map(|r| r.expect("every inner deliver completed"))
+                .collect();
+            let crep = Rep::compound(reps.clone());
+            if let Some(t) = b.tracer.borrow().as_ref() {
+                t.emit(
+                    0,
+                    EventKind::Batch {
+                        from: b.from,
+                        id,
+                        count: n as u64,
+                        reply: true,
+                    },
+                );
+            }
+            b.net.transmit_from(b.from.0, false, crep.wire_size()).await;
+            for (e, rep) in batch.into_iter().zip(reps) {
+                *e.slot.borrow_mut() = Some(rep);
+                e.done.set();
+            }
+            b.finish_flush();
+        });
+    }
+}
+
 /// A client-side RPC caller bound to one endpoint over one network.
 pub struct Caller<Req, Rep> {
     sim: Sim,
@@ -294,10 +493,17 @@ pub struct Caller<Req, Rep> {
     from: ClientId,
     cpu: Resource,
     params: CallerParams,
+    transport: Cell<TransportParams>,
     next_xid: Cell<u64>,
     retransmits: Cell<u64>,
     latency: RefCell<Option<LatencyStats>>,
     tracer: RefCell<Option<Tracer>>,
+    tstats: RefCell<Option<TransportStats>>,
+    batcher: RefCell<Option<Rc<Batcher<Req, Rep>>>>,
+    /// Deterministic per-caller stream for retransmission jitter; only
+    /// consumed when `backoff_jitter > 0`, so paper-mode runs draw
+    /// nothing from it.
+    rng: SimRng,
 }
 
 impl<Req, Rep> Clone for Caller<Req, Rep> {
@@ -309,18 +515,22 @@ impl<Req, Rep> Clone for Caller<Req, Rep> {
             from: self.from,
             cpu: self.cpu.clone(),
             params: self.params,
+            transport: Cell::new(self.transport.get()),
             next_xid: Cell::new(0),
             retransmits: Cell::new(0),
             latency: RefCell::new(self.latency.borrow().clone()),
             tracer: RefCell::new(self.tracer.borrow().clone()),
+            tstats: RefCell::new(self.tstats.borrow().clone()),
+            batcher: RefCell::new(self.batcher.borrow().clone()),
+            rng: self.rng.clone(),
         }
     }
 }
 
 impl<Req, Rep> Caller<Req, Rep>
 where
-    Req: Proc + Wire + Clone + 'static,
-    Rep: Wire + Clone + ReplyStatus + 'static,
+    Req: Proc + Wire + Clone + Compoundable + 'static,
+    Rep: Wire + Clone + ReplyStatus + Compoundable + 'static,
 {
     /// Creates a caller. `cpu` is the calling host's CPU; `from` identifies
     /// the calling host to the endpoint's dup cache and handler.
@@ -339,11 +549,52 @@ where
             from,
             cpu,
             params,
+            transport: Cell::new(TransportParams::paper()),
             next_xid: Cell::new(0),
             retransmits: Cell::new(0),
             latency: RefCell::new(None),
             tracer: RefCell::new(None),
+            tstats: RefCell::new(None),
+            batcher: RefCell::new(None),
+            rng: SimRng::new(0x7ab5_0000 ^ u64::from(from.0)),
         }
+    }
+
+    /// Configures the transport pipeline. With `max_batch > 1` a
+    /// batching queue is installed; the default is the paper transport
+    /// (no batching, fixed retransmit timeout).
+    pub fn set_transport(&self, t: TransportParams) {
+        self.transport.set(t);
+        *self.batcher.borrow_mut() = (t.max_batch > 1).then(|| {
+            Rc::new(Batcher {
+                sim: self.sim.clone(),
+                net: self.net.clone(),
+                endpoint: self.endpoint.clone(),
+                from: self.from,
+                max_batch: t.max_batch,
+                window: t.batch_window,
+                queue: RefCell::new(Vec::new()),
+                window_armed: Cell::new(false),
+                inflight: Cell::new(0),
+                next_id: Cell::new(0),
+                stats: RefCell::new(self.tstats.borrow().clone()),
+                tracer: RefCell::new(self.tracer.borrow().clone()),
+            })
+        });
+    }
+
+    /// The active transport configuration.
+    pub fn transport(&self) -> TransportParams {
+        self.transport.get()
+    }
+
+    /// Attaches shared transport observability (batch-size histogram +
+    /// saved-round-trip counter).
+    pub fn set_transport_stats(&self, stats: TransportStats) {
+        if let Some(b) = self.batcher.borrow().as_ref() {
+            *b.stats.borrow_mut() = Some(stats.clone());
+        }
+        *self.tstats.borrow_mut() = Some(stats);
     }
 
     /// Attaches a latency recorder; every subsequent call's end-to-end
@@ -354,8 +605,12 @@ where
     }
 
     /// Attaches a tracer: every call is recorded as an `rpc_call` /
-    /// `rpc_reply` pair keyed by xid.
+    /// `rpc_reply` pair keyed by xid (and every batch flush as a
+    /// `batch` pair when batching is on).
     pub fn set_tracer(&self, tracer: Tracer) {
+        if let Some(b) = self.batcher.borrow().as_ref() {
+            *b.tracer.borrow_mut() = Some(tracer.clone());
+        }
         *self.tracer.borrow_mut() = Some(tracer);
     }
 
@@ -369,16 +624,40 @@ where
         self.retransmits.get()
     }
 
+    /// Flushes any background requests parked in the batcher right now.
+    /// Clients call this when a foreground path is about to *wait* on
+    /// background work — a close draining write-behind, a read
+    /// coalescing with an in-flight read-ahead — so the waiter never
+    /// pays the Nagle window on top of the RPC itself. A no-op on the
+    /// paper transport.
+    pub fn kick(&self) {
+        if let Some(b) = self.batcher.borrow().as_ref() {
+            b.flush_now();
+        }
+    }
+
     /// Issues one RPC: marshal, transmit, await the reply, with timeout and
     /// retransmission. At-most-once execution is guaranteed by the
     /// endpoint's duplicate cache.
     pub async fn call(&self, req: Req) -> Result<Rep, RpcError> {
-        self.call_ctx(0, req).await
+        self.call_inner(0, req, false).await
     }
 
     /// Like [`Caller::call`], but parents the `rpc_call` trace event
     /// under `parent` (a client-operation span, usually).
     pub async fn call_ctx(&self, parent: u64, req: Req) -> Result<Rep, RpcError> {
+        self.call_inner(parent, req, false).await
+    }
+
+    /// Background variant of [`Caller::call_ctx`] for write-behind and
+    /// read-ahead traffic: the batcher may hold such a call briefly to
+    /// coalesce it with its peers, which it never does to a foreground
+    /// call. Identical to `call_ctx` on the paper transport.
+    pub async fn call_bg(&self, parent: u64, req: Req) -> Result<Rep, RpcError> {
+        self.call_inner(parent, req, true).await
+    }
+
+    async fn call_inner(&self, parent: u64, req: Req, bg: bool) -> Result<Rep, RpcError> {
         if !self.params.cpu_per_call.is_zero() {
             self.cpu.use_for(self.params.cpu_per_call).await;
         }
@@ -408,8 +687,8 @@ where
             if attempt > 0 {
                 self.retransmits.set(self.retransmits.get() + 1);
             }
-            let fut = self.attempt(xid, rpc_seq, req.clone());
-            match self.sim.timeout(self.params.timeout, fut).await {
+            let fut = self.attempt(xid, rpc_seq, req.clone(), bg);
+            match self.sim.timeout(self.attempt_timeout(attempt), fut).await {
                 Ok(rep) => {
                     if let Some(l) = self.latency.borrow().as_ref() {
                         l.record(proc, self.sim.now().duration_since(started));
@@ -433,14 +712,58 @@ where
         Err(RpcError::Timeout)
     }
 
-    async fn attempt(&self, xid: u64, parent: u64, req: Req) -> Rep {
-        self.net.transmit(req.wire_size()).await;
+    /// Per-attempt timeout: the paper's fixed value, or — when backoff
+    /// is configured — an exponentially growing one with deterministic
+    /// jitter so simultaneous retransmitters desynchronize instead of
+    /// storming the server in lockstep.
+    fn attempt_timeout(&self, attempt: u32) -> SimDuration {
+        let t = self.transport.get();
+        let mut d = self.params.timeout;
+        if t.backoff_factor > 1.0 {
+            for _ in 0..attempt {
+                d = d.mul_f64(t.backoff_factor);
+                if d >= t.backoff_max {
+                    d = t.backoff_max;
+                    break;
+                }
+            }
+        }
+        if t.backoff_jitter > 0.0 {
+            d = d.mul_f64(1.0 + t.backoff_jitter * (self.rng.f64() - 0.5));
+        }
+        d
+    }
+
+    async fn attempt(&self, xid: u64, parent: u64, req: Req, bg: bool) -> Rep {
+        if bg {
+            let batcher = self.batcher.borrow().clone();
+            if let Some(b) = batcher {
+                // Batched path: park the request; the flush task pays
+                // one wire exchange for the whole batch and fills the
+                // slot. Foreground calls never take this path — a
+                // compound's reply waits for its slowest member, and a
+                // latency-sensitive call must not wait behind a
+                // batched disk write.
+                let (slot, done) = b.enqueue(xid, parent, req);
+                done.wait().await;
+                let rep = slot
+                    .borrow_mut()
+                    .take()
+                    .expect("flush fills the slot before signalling");
+                return rep;
+            }
+        }
+        self.net
+            .transmit_from(self.from.0, true, req.wire_size())
+            .await;
         if !self.endpoint.is_alive() {
             // The request is lost; hang until the caller's timeout fires.
             std::future::pending::<()>().await;
         }
         let rep = self.endpoint.deliver(self.from, xid, parent, req).await;
-        self.net.transmit(rep.wire_size()).await;
+        self.net
+            .transmit_from(self.from.0, false, rep.wire_size())
+            .await;
         rep
     }
 }
@@ -461,6 +784,7 @@ mod tests {
             NetParams {
                 latency: SimDuration::from_micros(500),
                 bandwidth: 1_250_000,
+                switched: false,
             },
         );
         let s2 = sim.clone();
@@ -573,5 +897,151 @@ mod tests {
             caller.call(NfsRequest::Null).await.unwrap();
         });
         assert_eq!(ep.executions(), 2);
+    }
+
+    #[test]
+    fn batching_shares_the_wire_and_preserves_accounting() {
+        let (sim, caller) = setup(SimDuration::ZERO);
+        let mut t = TransportParams::pipelined();
+        t.max_batch = 4;
+        t.batch_window = SimDuration::from_millis(5);
+        t.switched = false;
+        caller.set_transport(t);
+        let stats = TransportStats::new();
+        caller.set_transport_stats(stats.clone());
+        let net = caller.net.clone();
+        let ep = caller.endpoint.clone();
+        let caller = Rc::new(caller);
+        for _ in 0..4 {
+            let c = Rc::clone(&caller);
+            sim.spawn(async move {
+                c.call_bg(0, NfsRequest::Null).await.unwrap();
+            });
+        }
+        sim.run_to_quiescence();
+        // Nagle: the first call goes out alone; the three that arrive
+        // while it is in flight coalesce into one ack-clocked compound.
+        assert_eq!(net.messages(), 4, "two compound exchanges, not eight");
+        assert_eq!(ep.executions(), 4);
+        assert_eq!(ep.counter().get(NfsProc::Null), 4);
+        assert_eq!(
+            ep.counter().get(NfsProc::Compound),
+            0,
+            "the compound wrapper is never counted as an executed procedure"
+        );
+        assert_eq!(stats.batch_sizes.count(), 2);
+        assert_eq!(stats.batch_sizes.max(), 3);
+        assert_eq!(stats.saved.get(NfsProc::Null), 2);
+    }
+
+    #[test]
+    fn underfull_batch_flushes_on_the_window_deadline() {
+        // A 10 ms handler holds the first batch's ack well past the 2 ms
+        // window: the two followers must not wait for the ack clock.
+        let (sim, caller) = setup(SimDuration::from_millis(10));
+        let mut t = TransportParams::pipelined();
+        t.max_batch = 8;
+        t.batch_window = SimDuration::from_millis(2);
+        t.switched = false;
+        caller.set_transport(t);
+        let net = caller.net.clone();
+        let ep = caller.endpoint.clone();
+        let caller = Rc::new(caller);
+        for _ in 0..3 {
+            let c = Rc::clone(&caller);
+            sim.spawn(async move {
+                c.call_bg(0, NfsRequest::Null).await.unwrap();
+            });
+        }
+        // By 5 ms the window (armed ~0.6 ms, 2 ms wide) has pushed the
+        // follower compound onto the wire even though the first ack is
+        // still 5 ms away — two requests sent, no replies yet.
+        let sim2 = sim.clone();
+        let h = sim.spawn(async move {
+            sim2.sleep(SimDuration::from_millis(5)).await;
+        });
+        sim.run_until(h);
+        assert_eq!(
+            net.messages(),
+            2,
+            "window deadline flushed the followers before the first ack"
+        );
+        sim.run_to_quiescence();
+        assert_eq!(net.messages(), 4, "immediate single + window-flushed pair");
+        assert_eq!(ep.executions(), 3);
+    }
+
+    #[test]
+    fn retransmitted_batch_executes_each_call_once() {
+        // Handler takes 150 ms against a 100 ms timeout: every call in the
+        // batch times out and re-enqueues with its original xid. The dup
+        // cache must absorb the retransmissions.
+        let (sim, caller) = setup(SimDuration::from_millis(150));
+        let mut t = TransportParams::paper();
+        t.max_batch = 4;
+        t.batch_window = SimDuration::from_millis(2);
+        caller.set_transport(t);
+        let ep = caller.endpoint.clone();
+        let caller = Rc::new(caller);
+        let ok = Rc::new(Cell::new(0u32));
+        for _ in 0..4 {
+            let c = Rc::clone(&caller);
+            let ok = Rc::clone(&ok);
+            sim.spawn(async move {
+                assert_eq!(c.call_bg(0, NfsRequest::Null).await, Ok(NfsReply::Ok));
+                ok.set(ok.get() + 1);
+            });
+        }
+        sim.run_to_quiescence();
+        assert_eq!(ok.get(), 4);
+        assert!(caller.retransmits() >= 1, "the slow batch must retransmit");
+        assert_eq!(
+            ep.executions(),
+            4,
+            "dup cache suppresses batch re-execution"
+        );
+        assert_eq!(ep.counter().get(NfsProc::Null), 4);
+    }
+
+    #[test]
+    fn exponential_backoff_shrinks_retransmit_storms() {
+        let run = |t: TransportParams| {
+            let (sim, caller) = setup(SimDuration::from_millis(350));
+            caller.set_transport(t);
+            sim.block_on(async move {
+                assert_eq!(caller.call(NfsRequest::Null).await, Ok(NfsReply::Ok));
+                caller.retransmits()
+            })
+        };
+        let fixed = run(TransportParams::paper());
+        let mut backed_off = TransportParams::paper();
+        backed_off.backoff_factor = 2.0;
+        backed_off.backoff_jitter = 0.25;
+        let backoff = run(backed_off);
+        assert!(fixed >= 3, "the fixed timeout retransmits in lockstep");
+        assert!(
+            backoff < fixed,
+            "backoff must shrink the storm ({backoff} vs {fixed})"
+        );
+    }
+
+    #[test]
+    fn paper_transport_is_rpc_for_rpc_identical() {
+        // Explicitly configuring the paper transport must leave the wire
+        // traffic and timing bit-identical to never touching it.
+        let run = |configure: bool| {
+            let (sim, caller) = setup(SimDuration::ZERO);
+            if configure {
+                caller.set_transport(TransportParams::paper());
+            }
+            let net = caller.net.clone();
+            sim.block_on(async move {
+                for _ in 0..5 {
+                    caller.call(NfsRequest::Null).await.unwrap();
+                }
+            });
+            (sim.now().as_micros(), net.messages(), net.bytes())
+        };
+        assert_eq!(run(false), run(true));
     }
 }

@@ -19,9 +19,11 @@
 
 mod endpoint;
 mod network;
+mod transport;
 
 pub use endpoint::{Caller, CallerParams, Endpoint, EndpointParams, RpcError};
 pub use network::{NetParams, Network};
+pub use transport::{Compoundable, TransportParams, TransportStats};
 
 use spritely_proto::{CallbackArg, CallbackReply, FileHandle, NfsProc, NfsReply, NfsRequest};
 
@@ -85,6 +87,7 @@ impl Proc for NfsRequest {
             | NfsRequest::Symlink { dir, .. } => Some(*dir),
             NfsRequest::Rename { from_dir, .. } => Some(*from_dir),
             NfsRequest::Link { from, .. } => Some(*from),
+            NfsRequest::Compound { .. } => None,
         }
     }
 
@@ -133,6 +136,61 @@ impl ReplyStatus for CallbackReply {
 
 impl Wire for CallbackReply {
     fn wire_size(&self) -> usize {
-        128
+        CallbackReply::wire_size(self)
+    }
+}
+
+impl Compoundable for NfsRequest {
+    fn compound(parts: Vec<Self>) -> Self {
+        NfsRequest::compound(parts)
+    }
+}
+
+impl Compoundable for NfsReply {
+    fn compound(parts: Vec<Self>) -> Self {
+        NfsReply::compound(parts)
+    }
+}
+
+// Callback RPCs are one-at-a-time by design (the server waits each one
+// out under the N−1 bound), so batching is never enabled on callback
+// callers; these impls only satisfy the caller's trait bound.
+impl Compoundable for CallbackArg {
+    fn compound(mut parts: Vec<Self>) -> Self {
+        assert_eq!(parts.len(), 1, "callback RPCs are never batched");
+        parts.pop().expect("length checked")
+    }
+}
+
+impl Compoundable for CallbackReply {
+    fn compound(mut parts: Vec<Self>) -> Self {
+        assert_eq!(parts.len(), 1, "callback RPCs are never batched");
+        parts.pop().expect("length checked")
+    }
+}
+
+#[cfg(test)]
+mod wire_tests {
+    use super::*;
+
+    #[test]
+    fn callback_reply_wire_size_comes_from_proto() {
+        // Regression: this was a hardcoded 128 that would silently
+        // diverge if the protocol's header size ever changed. It must
+        // track the shared header constant like every other message.
+        let rep = CallbackReply { ok: true };
+        assert_eq!(Wire::wire_size(&rep), CallbackReply::wire_size(&rep));
+        assert_eq!(
+            Wire::wire_size(&rep),
+            Wire::wire_size(&NfsReply::Ok),
+            "a bodyless callback reply weighs the same as any bodyless reply"
+        );
+        let arg = CallbackArg {
+            fh: FileHandle::new(1, 1, 0),
+            writeback: false,
+            invalidate: false,
+            relinquish: false,
+        };
+        assert_eq!(Wire::wire_size(&rep), Wire::wire_size(&arg));
     }
 }

@@ -1,6 +1,12 @@
-//! The shared-wire network model.
+//! The network model: a half-duplex shared wire (classic Ethernet) or,
+//! optionally, a switched fabric with a full-duplex link per host.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
 
 use spritely_sim::{Resource, Sim, SimDuration};
+use spritely_trace::{EventKind, Tracer};
 
 /// Network timing parameters.
 #[derive(Debug, Clone, Copy)]
@@ -8,8 +14,13 @@ pub struct NetParams {
     /// Fixed per-message latency (propagation + protocol stack), charged
     /// after the wire is released.
     pub latency: SimDuration,
-    /// Wire bandwidth in bytes per second.
+    /// Wire bandwidth in bytes per second (per link when `switched`).
     pub bandwidth: u64,
+    /// False models the paper's shared-bus Ethernet: every message in
+    /// either direction serializes on one medium. True models a switched
+    /// fabric: each host gets a full-duplex link (one lane per direction),
+    /// so only messages sharing a host *and* a direction serialize.
+    pub switched: bool,
 }
 
 impl NetParams {
@@ -18,6 +29,15 @@ impl NetParams {
         NetParams {
             latency: SimDuration::from_micros(700),
             bandwidth: 1_250_000,
+            switched: false,
+        }
+    }
+
+    /// The same link timing, but switched full-duplex per host.
+    pub fn switched_full_duplex(self) -> Self {
+        NetParams {
+            switched: true,
+            ..self
         }
     }
 
@@ -30,46 +50,140 @@ impl NetParams {
     }
 }
 
-/// A half-duplex shared wire (classic Ethernet): messages in either
-/// direction serialize on the medium; latency accrues off-wire.
+struct NetworkInner {
+    sim: Sim,
+    name: String,
+    /// The shared medium (used when `params.switched` is false).
+    wire: Resource,
+    /// Per-`(host, to_server)` lanes, created on first use (switched mode).
+    links: RefCell<HashMap<(u32, bool), Resource>>,
+    params: NetParams,
+    messages: Cell<u64>,
+    bytes: Cell<u64>,
+    tracer: RefCell<Option<Tracer>>,
+}
+
+/// A network segment. Messages pay a transfer time (size / bandwidth,
+/// serialized on the relevant wire resource) plus a fixed off-wire
+/// latency. Cheap to clone; clones share the wire and the counters.
 #[derive(Clone)]
 pub struct Network {
-    sim: Sim,
-    wire: Resource,
-    params: NetParams,
+    inner: Rc<NetworkInner>,
 }
 
 impl Network {
     /// Creates a network segment.
     pub fn new(sim: &Sim, name: impl Into<String>, params: NetParams) -> Self {
+        let name = name.into();
         Network {
-            sim: sim.clone(),
-            wire: Resource::new(sim, name, 1),
-            params,
+            inner: Rc::new(NetworkInner {
+                sim: sim.clone(),
+                wire: Resource::new(sim, name.clone(), 1),
+                name,
+                links: RefCell::new(HashMap::new()),
+                params,
+                messages: Cell::new(0),
+                bytes: Cell::new(0),
+                tracer: RefCell::new(None),
+            }),
         }
     }
 
     /// The configured parameters.
     pub fn params(&self) -> NetParams {
-        self.params
+        self.inner.params
     }
 
-    /// The wire resource (for utilization reporting).
+    /// The shared wire resource (for utilization reporting).
     pub fn wire(&self) -> &Resource {
-        &self.wire
+        &self.inner.wire
     }
 
-    /// Transmits one message of `bytes`: queues for the wire, occupies it
-    /// for the transfer time, then waits the fixed latency.
+    /// Attaches a tracer: every transmitted message is recorded as a
+    /// `net_xmit` event.
+    pub fn set_tracer(&self, tracer: Tracer) {
+        *self.inner.tracer.borrow_mut() = Some(tracer);
+    }
+
+    /// Messages transmitted so far (every request, reply, or compound
+    /// batch counts as one).
+    pub fn messages(&self) -> u64 {
+        self.inner.messages.get()
+    }
+
+    /// Bytes transmitted so far.
+    pub fn bytes(&self) -> u64 {
+        self.inner.bytes.get()
+    }
+
+    /// Total microseconds the medium has been busy transferring. On a
+    /// shared bus this is the busy time of the single wire; on a switched
+    /// fabric it is the aggregate across all lanes (and can exceed
+    /// elapsed time).
+    pub fn busy_micros(&self) -> u128 {
+        if self.inner.params.switched {
+            self.inner
+                .links
+                .borrow()
+                .values()
+                .map(|r| r.busy_permit_micros())
+                .sum()
+        } else {
+            self.inner.wire.busy_permit_micros()
+        }
+    }
+
+    fn lane(&self, host: u32, to_server: bool) -> Resource {
+        let mut links = self.inner.links.borrow_mut();
+        links
+            .entry((host, to_server))
+            .or_insert_with(|| {
+                let dir = if to_server { "up" } else { "down" };
+                Resource::new(
+                    &self.inner.sim,
+                    format!("{}-h{host}-{dir}", self.inner.name),
+                    1,
+                )
+            })
+            .clone()
+    }
+
+    /// Transmits one message of `bytes` on the shared medium (host 0,
+    /// client→server direction when switched).
     pub async fn transmit(&self, bytes: usize) {
-        let t = self.params.transfer_time(bytes);
+        self.transmit_from(0, true, bytes).await;
+    }
+
+    /// Transmits one message of `bytes`: queues for the wire (the shared
+    /// bus, or host `host`'s directional lane when switched), occupies it
+    /// for the transfer time, then waits the fixed latency.
+    pub async fn transmit_from(&self, host: u32, to_server: bool, bytes: usize) {
+        let inner = &self.inner;
+        inner.messages.set(inner.messages.get() + 1);
+        inner.bytes.set(inner.bytes.get() + bytes as u64);
+        if let Some(t) = inner.tracer.borrow().as_ref() {
+            t.emit(
+                0,
+                EventKind::NetXmit {
+                    host,
+                    to_server,
+                    bytes: bytes as u64,
+                },
+            );
+        }
+        let t = inner.params.transfer_time(bytes);
         if !t.is_zero() {
-            let guard = self.wire.acquire().await;
-            self.sim.sleep(t).await;
+            let wire = if inner.params.switched {
+                self.lane(host, to_server)
+            } else {
+                inner.wire.clone()
+            };
+            let guard = wire.acquire().await;
+            inner.sim.sleep(t).await;
             drop(guard);
         }
-        if !self.params.latency.is_zero() {
-            self.sim.sleep(self.params.latency).await;
+        if !inner.params.latency.is_zero() {
+            inner.sim.sleep(inner.params.latency).await;
         }
     }
 }
@@ -78,15 +192,16 @@ impl Network {
 mod tests {
     use super::*;
 
+    fn params() -> NetParams {
+        NetParams {
+            latency: SimDuration::from_micros(500),
+            bandwidth: 1_000_000,
+            switched: false,
+        }
+    }
+
     fn net(sim: &Sim) -> Network {
-        Network::new(
-            sim,
-            "eth0",
-            NetParams {
-                latency: SimDuration::from_micros(500),
-                bandwidth: 1_000_000,
-            },
-        )
+        Network::new(sim, "eth0", params())
     }
 
     #[test]
@@ -131,5 +246,62 @@ mod tests {
         // A 4 KB block takes ~3.3 ms on a 10 Mbit wire.
         let t = p.transfer_time(4096);
         assert!(t.as_micros() > 3_000 && t.as_micros() < 3_600, "{t}");
+    }
+
+    #[test]
+    fn switched_links_do_not_serialize_across_hosts() {
+        let sim = Sim::new();
+        let n = Network::new(&sim, "sw0", params().switched_full_duplex());
+        for host in 0..2 {
+            let n = n.clone();
+            sim.spawn(async move {
+                n.transmit_from(host, true, 1000).await;
+            });
+        }
+        sim.run_to_quiescence();
+        // Each host has its own lane: both transfers overlap fully.
+        assert_eq!(sim.now().as_micros(), 1_500);
+    }
+
+    #[test]
+    fn switched_same_lane_still_serializes() {
+        let sim = Sim::new();
+        let n = Network::new(&sim, "sw0", params().switched_full_duplex());
+        for _ in 0..2 {
+            let n = n.clone();
+            sim.spawn(async move {
+                n.transmit_from(1, true, 1000).await;
+            });
+        }
+        sim.run_to_quiescence();
+        assert_eq!(sim.now().as_micros(), 2_500);
+    }
+
+    #[test]
+    fn full_duplex_directions_overlap() {
+        let sim = Sim::new();
+        let n = Network::new(&sim, "sw0", params().switched_full_duplex());
+        for dir in [true, false] {
+            let n = n.clone();
+            sim.spawn(async move {
+                n.transmit_from(1, dir, 1000).await;
+            });
+        }
+        sim.run_to_quiescence();
+        assert_eq!(sim.now().as_micros(), 1_500);
+    }
+
+    #[test]
+    fn counters_track_messages_and_bytes() {
+        let sim = Sim::new();
+        let n = net(&sim);
+        let n2 = n.clone();
+        sim.block_on(async move {
+            n2.transmit(1000).await;
+            n2.transmit(24).await;
+        });
+        assert_eq!(n.messages(), 2);
+        assert_eq!(n.bytes(), 1024);
+        assert_eq!(n.busy_micros(), 1_024);
     }
 }

@@ -1,0 +1,121 @@
+//! Transport-pipeline configuration and observability.
+//!
+//! Everything new in the transport pipeline — compound-RPC batching,
+//! piggybacked post-op attributes, the switched network, exponential
+//! retransmission backoff — is gated behind [`TransportParams`]. The
+//! `paper()` default reproduces the paper's transport exactly (one
+//! message per RPC on a shared half-duplex Ethernet, fixed retransmit
+//! timeout), byte-identical to runs that predate this module.
+
+use spritely_metrics::{Histogram, OpCounter};
+use spritely_sim::SimDuration;
+
+/// Client/transport-level pipeline knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct TransportParams {
+    /// Most requests one compound batch may carry; 1 disables batching
+    /// entirely (the paper transport).
+    pub max_batch: usize,
+    /// Nagle-style deadline: an underfull batch is flushed this long
+    /// after its first request arrives.
+    pub batch_window: SimDuration,
+    /// Clients consume piggybacked post-op attributes instead of probing
+    /// with follow-up `getattr` RPCs.
+    pub piggyback: bool,
+    /// Use the switched full-duplex network instead of the shared bus.
+    pub switched: bool,
+    /// Per-attempt timeout multiplier applied on each retransmission;
+    /// 1.0 keeps the paper's fixed timeout.
+    pub backoff_factor: f64,
+    /// Ceiling for the backed-off per-attempt timeout.
+    pub backoff_max: SimDuration,
+    /// Fractional jitter applied to each attempt's timeout (0.25 means
+    /// ±12.5 %), drawn from the caller's own deterministic stream; 0
+    /// disables jitter (and consumes no randomness).
+    pub backoff_jitter: f64,
+}
+
+impl TransportParams {
+    /// The paper's transport: no batching, no piggyback consumption,
+    /// shared-bus Ethernet, fixed retransmission timeout.
+    pub fn paper() -> Self {
+        TransportParams {
+            max_batch: 1,
+            batch_window: SimDuration::ZERO,
+            piggyback: false,
+            switched: false,
+            backoff_factor: 1.0,
+            backoff_max: SimDuration::from_secs(8),
+            backoff_jitter: 0.0,
+        }
+    }
+
+    /// The pipelined transport: Nagle batching into compounds,
+    /// piggybacked attributes, switched full-duplex links, exponential
+    /// backoff with deterministic jitter.
+    pub fn pipelined() -> Self {
+        TransportParams {
+            max_batch: 8,
+            batch_window: SimDuration::from_micros(1200),
+            piggyback: true,
+            switched: true,
+            backoff_factor: 2.0,
+            backoff_max: SimDuration::from_secs(8),
+            backoff_jitter: 0.25,
+        }
+    }
+}
+
+impl Default for TransportParams {
+    fn default() -> Self {
+        TransportParams::paper()
+    }
+}
+
+/// Shared transport observability: how well batching is doing. Cheap to
+/// clone; clones share state, so one instance can aggregate every
+/// caller on a host (or in a whole run).
+#[derive(Clone, Default)]
+pub struct TransportStats {
+    /// One observation per flushed batch: the number of inner requests.
+    pub batch_sizes: Histogram,
+    /// Round trips saved, per procedure: every request after the first
+    /// in a batch rode along instead of paying its own wire exchange.
+    pub saved: OpCounter,
+}
+
+impl TransportStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Messages that can ride in a compound batch. `compound` wraps a batch
+/// into one wire message sharing a single header (a batch of one must
+/// stay the plain message, so unbatched traffic is unchanged).
+pub trait Compoundable: Sized {
+    fn compound(parts: Vec<Self>) -> Self;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_transport_is_inert() {
+        let p = TransportParams::paper();
+        assert_eq!(p.max_batch, 1);
+        assert!(!p.piggyback && !p.switched);
+        assert_eq!(p.backoff_factor, 1.0);
+        assert_eq!(p.backoff_jitter, 0.0);
+    }
+
+    #[test]
+    fn pipelined_transport_enables_every_stage() {
+        let p = TransportParams::pipelined();
+        assert!(p.max_batch > 1);
+        assert!(!p.batch_window.is_zero());
+        assert!(p.piggyback && p.switched);
+        assert!(p.backoff_factor > 1.0);
+    }
+}

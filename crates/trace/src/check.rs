@@ -19,8 +19,15 @@
 //!    queued request, and no queued request is bypassed more often than
 //!    the active scheduler allows (FIFO: never; C-LOOK: at most its
 //!    aging limit K, from the `disk_sched` meta event).
+//! 7. **Batch conservation** — a compound's reply carries exactly as
+//!    many inner replies as the request carried inner calls, per
+//!    `(from, batch id)`.
+//! 8. **At-most-once execution** — the endpoint's duplicate cache must
+//!    suppress re-execution: no two `handler_begin` events share a
+//!    `(from, xid)` pair (server-originated callbacks, `from` 0, are
+//!    exempt — each callback endpoint has its own xid space).
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
 
 use spritely_proto::{ClientId, FileHandle, NfsProc, BLOCK_SIZE};
@@ -140,6 +147,10 @@ struct CheckState {
     /// Queued-but-uncompleted disk requests per disk, in arrival order:
     /// (req id, times bypassed).
     disk_pending: HashMap<String, Vec<(u64, u64)>>,
+    /// Open compound batches: (from, batch id) -> inner request count.
+    batches: HashMap<(ClientId, u64), u64>,
+    /// `(from, xid)` pairs that already had a handler execution.
+    executed: HashSet<(ClientId, u64)>,
 }
 
 /// Replay `events` and return every invariant violation found (empty =
@@ -393,6 +404,50 @@ pub fn check_trace(events: &[TraceEvent]) -> Vec<Violation> {
                     }
                 }
             }
+            EventKind::HandlerBegin { from, xid, .. }
+                if from.0 != 0 && !st.executed.insert((*from, *xid)) =>
+            {
+                flag(
+                    "dup-execution",
+                    format!(
+                        "second handler execution for (c{}, xid {}) — the \
+                         duplicate cache must suppress re-execution",
+                        from.0, xid
+                    ),
+                    &mut out,
+                );
+            }
+            EventKind::Batch {
+                from,
+                id,
+                count,
+                reply,
+            } => {
+                if *reply {
+                    match st.batches.remove(&(*from, *id)) {
+                        None => flag(
+                            "batch-conservation",
+                            format!(
+                                "c{} batch {id} reply of {count} without a matching request",
+                                from.0
+                            ),
+                            &mut out,
+                        ),
+                        Some(sent) if sent != *count => flag(
+                            "batch-conservation",
+                            format!(
+                                "c{} batch {id} sent {sent} inner call(s) but the reply \
+                                 carries {count}",
+                                from.0
+                            ),
+                            &mut out,
+                        ),
+                        Some(_) => {}
+                    }
+                } else {
+                    st.batches.insert((*from, *id), *count);
+                }
+            }
             EventKind::ServerCrash => {
                 st.states.clear();
             }
@@ -440,6 +495,8 @@ pub fn kind_name(kind: &EventKind) -> &'static str {
         EventKind::DiskQueue { .. } => "disk_queue",
         EventKind::DiskDone { .. } => "disk_done",
         EventKind::SrvCacheRead { .. } => "srv_cache_read",
+        EventKind::NetXmit { .. } => "net_xmit",
+        EventKind::Batch { .. } => "batch",
     }
 }
 
@@ -791,6 +848,93 @@ mod tests {
         let v = check_trace(&events);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].invariant, "disk-complete");
+    }
+
+    #[test]
+    fn batch_conservation_checked_per_from_and_id() {
+        let c = ClientId(1);
+        let good = vec![
+            ev(
+                1,
+                EventKind::Batch {
+                    from: c,
+                    id: 0,
+                    count: 3,
+                    reply: false,
+                },
+            ),
+            ev(
+                2,
+                EventKind::Batch {
+                    from: c,
+                    id: 0,
+                    count: 3,
+                    reply: true,
+                },
+            ),
+        ];
+        assert!(check_trace(&good).is_empty());
+        let short = vec![
+            ev(
+                1,
+                EventKind::Batch {
+                    from: c,
+                    id: 0,
+                    count: 3,
+                    reply: false,
+                },
+            ),
+            ev(
+                2,
+                EventKind::Batch {
+                    from: c,
+                    id: 0,
+                    count: 2,
+                    reply: true,
+                },
+            ),
+        ];
+        let v = check_trace(&short);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "batch-conservation");
+        let orphan = vec![ev(
+            1,
+            EventKind::Batch {
+                from: c,
+                id: 7,
+                count: 1,
+                reply: true,
+            },
+        )];
+        let v = check_trace(&orphan);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].detail.contains("without a matching request"));
+    }
+
+    #[test]
+    fn duplicate_handler_execution_is_flagged() {
+        let begin = |seq, from: u32, xid| {
+            ev(
+                seq,
+                EventKind::HandlerBegin {
+                    from: ClientId(from),
+                    xid,
+                    proc: NfsProc::Read,
+                },
+            )
+        };
+        // Same (from, xid) twice: the dup cache failed.
+        let v = check_trace(&[begin(1, 1, 5), begin(2, 1, 5)]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "dup-execution");
+        // Distinct xids, and server-originated callbacks (from 0), pass.
+        let ok = check_trace(&[
+            begin(1, 1, 5),
+            begin(2, 1, 6),
+            begin(3, 0, 0),
+            begin(4, 0, 0),
+        ]);
+        assert!(ok.is_empty());
     }
 
     #[test]

@@ -257,6 +257,28 @@ fn write_event_json(out: &mut String, e: &TraceEvent) {
                 ",\"ev\":\"srv_cache_read\",\"ino\":{ino},\"blk\":{blk},\"hit\":{hit}"
             );
         }
+        EventKind::NetXmit {
+            host,
+            to_server,
+            bytes,
+        } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"net_xmit\",\"host\":{host},\"up\":{to_server},\"bytes\":{bytes}"
+            );
+        }
+        EventKind::Batch {
+            from,
+            id,
+            count,
+            reply,
+        } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"batch\",\"from\":{},\"id\":{id},\"count\":{count},\"reply\":{reply}",
+                from.0
+            );
+        }
     }
     out.push('}');
 }
@@ -453,6 +475,29 @@ fn chrome_event(e: &TraceEvent) -> Option<String> {
             &format!(
                 "srv cache {} {ino}#{blk}",
                 if *hit { "hit" } else { "miss" }
+            ),
+            t,
+            "",
+        ),
+        EventKind::NetXmit {
+            host,
+            to_server,
+            bytes,
+        } => instant(
+            *host,
+            6,
+            &format!("xmit {} {bytes}B", if *to_server { "up" } else { "down" }),
+            t,
+            "",
+        ),
+        EventKind::Batch {
+            from, id, count, reply,
+        } => instant(
+            from.0,
+            6,
+            &format!(
+                "batch {}#{id} x{count}",
+                if *reply { "reply" } else { "req" }
             ),
             t,
             "",

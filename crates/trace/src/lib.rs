@@ -239,6 +239,24 @@ pub enum EventKind {
     },
     /// A server-side block-cache lookup on the read path.
     SrvCacheRead { ino: u64, blk: u64, hit: bool },
+    /// One message hit the network: a request, a reply, or a compound
+    /// batch. `host` is the sending host id (0 = server-originated).
+    NetXmit {
+        host: u32,
+        to_server: bool,
+        bytes: u64,
+    },
+    /// A batching caller flushed a compound: `count` inner requests
+    /// shared one wire exchange. Emitted once for the request flush
+    /// (`reply: false`) and once when the combined reply comes back
+    /// (`reply: true`); the checker asserts the counts match per
+    /// `(from, id)`.
+    Batch {
+        from: ClientId,
+        id: u64,
+        count: u64,
+        reply: bool,
+    },
 }
 
 struct Inner {

@@ -19,6 +19,9 @@ cargo clippy -p spritely-trace --all-targets -- -D warnings
 echo "==> cargo clippy -p spritely-blockdev -- -D warnings"
 cargo clippy -p spritely-blockdev --all-targets -- -D warnings
 
+echo "==> cargo clippy -p spritely-proto -p spritely-rpcnet -- -D warnings"
+cargo clippy -p spritely-proto -p spritely-rpcnet --all-targets -- -D warnings
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -27,5 +30,8 @@ cargo run --release --quiet --example traced_andrew
 
 echo "==> server I/O pipeline smoke run (pipelined must beat paper)"
 cargo run --release --quiet --example server_io_smoke
+
+echo "==> transport pipeline smoke run (pipelined must beat paper)"
+cargo run --release --quiet --example transport_smoke
 
 echo "==> OK"

@@ -1,9 +1,13 @@
 //! Paper-mode regression gate: with the default `ServerIoParams::paper()`
 //! server (FIFO disk arm, 896-block cache, no single-flight coalescing,
-//! 4 service threads), every `table_5_*` artifact must stay byte-identical
-//! to the committed `baselines/` snapshot. This is what lets the server
-//! I/O pipeline (`ServerIoParams::pipelined`) land as a pure opt-in: the
-//! measured 1989 server is reproduced bit-for-bit unless it is asked for.
+//! 4 service threads) and the default `TransportParams::paper()` wire
+//! (one message per RPC, no piggybacked attributes, shared bus, fixed
+//! retransmit timeout), every `table_5_*` artifact must stay
+//! byte-identical to the committed `baselines/` snapshot. This is what
+//! lets the server I/O pipeline (`ServerIoParams::pipelined`) and the
+//! transport pipeline (`TransportParams::pipelined`) land as pure
+//! opt-ins: the measured 1989 system is reproduced bit-for-bit unless
+//! the pipelines are asked for.
 //!
 //! Each test re-runs the exact run set of the corresponding bench target
 //! (same protocols, sizes, and seed) and compares the rendered artifact —
@@ -34,6 +38,14 @@ fn paper_mode_andrew_tables_match_baselines() {
         run_andrew(Protocol::Snfs, false, 42),
         run_andrew(Protocol::Snfs, true, 42),
     ];
+    // The default transport is the paper's: the batcher, the piggyback
+    // consumer, and the compound machinery must all be inert.
+    for r in &runs {
+        let t = &r.stats.transport;
+        assert_eq!(t.batches, 0, "paper transport must never batch");
+        assert_eq!(t.saved_round_trips, 0);
+        assert_eq!(t.attr_elisions, 0, "paper clients must probe, not elide");
+    }
     assert_eq!(
         rendered(
             "Table 5-1: Andrew benchmark elapsed time (seconds)",
