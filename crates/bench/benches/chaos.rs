@@ -1,0 +1,40 @@
+//! Chaos: the Andrew benchmark and a two-client write-sharing workload
+//! under the seeded fault schedule (drops, duplicates, delays, reply
+//! losses, one partition/heal cycle). The artifact records the fault
+//! accounting and the convergence verdict; the bench times the faulted
+//! Andrew run. Converging here means the duplicate-request cache,
+//! retransmission ladder and callback retries absorbed every injected
+//! fault without corrupting the server's stable contents.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spritely_bench::{artifact, config};
+use spritely_harness::{chaos_andrew, chaos_write_sharing};
+
+fn bench(c: &mut Criterion) {
+    let andrew = chaos_andrew(7);
+    let sharing = chaos_write_sharing(11);
+    let mut body = String::new();
+    for v in [&andrew, &sharing] {
+        body.push_str(&v.report());
+        body.push_str(&format!(
+            "converged: {}\n\n",
+            if v.converged() { "yes" } else { "NO" }
+        ));
+    }
+    artifact("Chaos: fault injection convergence", &body);
+    assert!(andrew.converged(), "Andrew chaos run failed to converge");
+    assert!(
+        sharing.converged(),
+        "write-sharing chaos run failed to converge"
+    );
+    let mut g = c.benchmark_group("chaos");
+    g.bench_function("andrew_chaos", |b| b.iter(|| chaos_andrew(7).converged()));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

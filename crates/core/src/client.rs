@@ -210,7 +210,22 @@ struct Inner {
     /// write-shared-read, and close replies, with arrival time. Only
     /// recorded (and consulted) when the transport piggybacks attrs.
     piggy_attrs: RefCell<HashMap<FileHandle, (Fattr, SimTime)>>,
+    /// Callback sequence numbers already seen (server-assigned, stable
+    /// across the server's retransmissions): a duplicated delivery of an
+    /// invalidate/write-back callback must not run twice. `seq == 0`
+    /// (unsequenced) is never deduplicated.
+    cb_seen: RefCell<HashMap<u64, CbGuard>>,
+    /// Duplicate callback deliveries short-circuited by `cb_seen`.
+    cb_dupes: Cell<u64>,
     tracer: RefCell<Option<Tracer>>,
+}
+
+/// State of one callback sequence number in the client-side dedup guard.
+enum CbGuard {
+    /// First delivery is still executing; duplicates wait on the event
+    /// and then answer with the recorded reply.
+    InProgress(Event),
+    Done(CallbackReply),
 }
 
 /// A Spritely NFS client bound to one server.
@@ -255,6 +270,8 @@ impl SnfsClient {
                 eviction_errors: RefCell::new(HashMap::new()),
                 removed: RefCell::new(HashSet::new()),
                 piggy_attrs: RefCell::new(HashMap::new()),
+                cb_seen: RefCell::new(HashMap::new()),
+                cb_dupes: Cell::new(0),
                 tracer: RefCell::new(None),
             }),
         }
@@ -285,6 +302,12 @@ impl SnfsClient {
     /// Statistics so far.
     pub fn stats(&self) -> ClientStats {
         self.inner.stats.get()
+    }
+
+    /// Duplicate callback deliveries absorbed by the sequence guard
+    /// (each one would have double-invalidated without it).
+    pub fn callback_dupes(&self) -> u64 {
+        self.inner.cb_dupes.get()
     }
 
     /// Data cache `(hits, misses)`.
@@ -349,6 +372,31 @@ impl SnfsClient {
                     self.inner.sim.sleep(SimDuration::from_secs(2)).await;
                 }
                 Ok(rep) => return rep.into_result(),
+                Err(e) => return Err(status_of(e)),
+            }
+        }
+        Err(NfsStatus::Grace)
+    }
+
+    /// Like `call_ctx`, but also reports whether the reply arrived on a
+    /// retransmission (attempt > 0). Non-idempotent procedures need this:
+    /// if the server's duplicate cache has forgotten our first execution,
+    /// the retransmit re-executes and fails spuriously — the classic NFS
+    /// create-returns-EEXIST / remove-returns-ENOENT race. The error
+    /// reply itself is returned (not lifted to `Err`) so callers can map
+    /// those retransmit-only outcomes back to success.
+    async fn call_ctx_retx(&self, parent: u64, req: NfsRequest) -> Result<(NfsReply, bool)> {
+        for _ in 0..30 {
+            match self
+                .inner
+                .caller
+                .call_ctx_flagged(parent, req.clone())
+                .await
+            {
+                Ok((NfsReply::Err(NfsStatus::Grace), _)) => {
+                    self.inner.sim.sleep(SimDuration::from_secs(2)).await;
+                }
+                Ok((rep, retx)) => return Ok((rep, retx)),
                 Err(e) => return Err(status_of(e)),
             }
         }
@@ -1421,6 +1469,60 @@ impl SnfsClient {
     }
 
     async fn serve_callback_ctx(&self, ctx: u64, arg: CallbackArg) -> CallbackReply {
+        // Duplicate-delivery guard: a duplicated network delivery (or a
+        // server retransmission racing its own first attempt) of the same
+        // logical callback must not invalidate or write back twice. The
+        // server assigns one `seq` per logical callback, stable across
+        // its retransmissions; the first delivery runs the work (no
+        // added awaits), duplicates wait for it and echo its reply.
+        if arg.seq != 0 {
+            loop {
+                let wait = {
+                    let mut seen = self.inner.cb_seen.borrow_mut();
+                    match seen.get(&arg.seq) {
+                        Some(CbGuard::Done(rep)) => {
+                            let rep = *rep;
+                            drop(seen);
+                            self.inner.cb_dupes.set(self.inner.cb_dupes.get() + 1);
+                            return rep;
+                        }
+                        Some(CbGuard::InProgress(ev)) => {
+                            self.inner.cb_dupes.set(self.inner.cb_dupes.get() + 1);
+                            ev.clone()
+                        }
+                        None => {
+                            seen.insert(arg.seq, CbGuard::InProgress(Event::new()));
+                            break;
+                        }
+                    }
+                };
+                wait.wait().await;
+            }
+            let rep = self.serve_callback_work(ctx, arg).await;
+            let mut seen = self.inner.cb_seen.borrow_mut();
+            if let Some(CbGuard::InProgress(ev)) = seen.insert(arg.seq, CbGuard::Done(rep)) {
+                ev.set();
+            }
+            // Bound the memory: completed entries older than the last 128
+            // sequence numbers can no longer be retransmitted (the server
+            // moved on long ago).
+            while seen.len() > 128 {
+                let oldest_done = seen
+                    .iter()
+                    .filter(|(_, g)| matches!(g, CbGuard::Done(_)))
+                    .map(|(&s, _)| s)
+                    .min();
+                match oldest_done {
+                    Some(s) => seen.remove(&s),
+                    None => break,
+                };
+            }
+            return rep;
+        }
+        self.serve_callback_work(ctx, arg).await
+    }
+
+    async fn serve_callback_work(&self, ctx: u64, arg: CallbackArg) -> CallbackReply {
         self.bump_stats(|s| s.callbacks_served += 1);
         let fh = arg.fh;
         // Bypass the pool: a callback-induced write-back must not share
@@ -1566,12 +1668,27 @@ impl SnfsClient {
 
     /// Creates a regular file.
     pub async fn create(&self, dir: FileHandle, name: &str) -> Result<(FileHandle, Fattr)> {
-        let rep = self
-            .call(NfsRequest::Create {
-                dir,
-                name: name.to_string(),
-            })
+        let (rep, retx) = self
+            .call_ctx_retx(
+                0,
+                NfsRequest::Create {
+                    dir,
+                    name: name.to_string(),
+                },
+            )
             .await?;
+        let rep = match rep {
+            // Retransmit-outcome mapping: EEXIST on a retransmission
+            // usually means *our own* first transmission created the file
+            // and the server's duplicate cache forgot it. Treat it as
+            // success by looking the file up (Juszczak 1989).
+            NfsReply::Err(NfsStatus::Exist) if retx => {
+                let (fh, attr) = self.lookup(dir, name).await?;
+                NfsReply::Handle { fh, attr }
+            }
+            NfsReply::Err(s) => return Err(s),
+            other => other,
+        };
         match rep {
             NfsReply::Handle { fh, attr } => {
                 // A fresh handle can never be "removed" — guard against
@@ -1674,8 +1791,8 @@ impl SnfsClient {
             .names
             .borrow_mut()
             .remove(&(dir, name.to_string()));
-        let rep = self
-            .call_ctx(
+        let (rep, retx) = self
+            .call_ctx_retx(
                 op,
                 NfsRequest::Remove {
                     dir,
@@ -1685,6 +1802,10 @@ impl SnfsClient {
             .await?;
         match rep {
             NfsReply::Ok => Ok(()),
+            // Retransmit-outcome mapping: ENOENT on a retransmission means
+            // our first transmission already removed the name.
+            NfsReply::Err(NfsStatus::NoEnt) if retx => Ok(()),
+            NfsReply::Err(s) => Err(s),
             _ => Err(NfsStatus::Io),
         }
     }
@@ -1730,16 +1851,23 @@ impl SnfsClient {
             names.remove(&(from_dir, from_name.to_string()));
             names.remove(&(to_dir, to_name.to_string()));
         }
-        let rep = self
-            .call(NfsRequest::Rename {
-                from_dir,
-                from_name: from_name.to_string(),
-                to_dir,
-                to_name: to_name.to_string(),
-            })
+        let (rep, retx) = self
+            .call_ctx_retx(
+                0,
+                NfsRequest::Rename {
+                    from_dir,
+                    from_name: from_name.to_string(),
+                    to_dir,
+                    to_name: to_name.to_string(),
+                },
+            )
             .await?;
         match rep {
             NfsReply::Ok => Ok(()),
+            // Retransmit-outcome mapping: the source vanished because our
+            // first transmission already performed the rename.
+            NfsReply::Err(NfsStatus::NoEnt) if retx => Ok(()),
+            NfsReply::Err(s) => Err(s),
             _ => Err(NfsStatus::Io),
         }
     }

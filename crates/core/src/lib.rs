@@ -418,10 +418,24 @@ mod tests {
             a.close(fh, true).await.unwrap();
             // A "crashes": its callback channel stops answering.
             rig.kill_callbacks(&a);
-            // B's open must still succeed (§3.2: honor the open).
-            let attr = b.open(fh, false).await;
-            assert!(attr.is_ok(), "open honored despite dead client");
+            // B's open must still succeed (§3.2: honor the open). The
+            // server now retries the callback past the keepalive
+            // horizon before declaring A dead, so B's first attempts
+            // time out at the RPC layer and it re-opens — as a real
+            // hard-mounted client would.
+            let mut opened = false;
+            for _ in 0..20 {
+                if b.open(fh, false).await.is_ok() {
+                    opened = true;
+                    break;
+                }
+            }
+            assert!(opened, "open honored despite dead client");
             assert!(server.stats().callbacks_failed >= 1);
+            assert!(
+                server.callback_retries() >= 1,
+                "the dead channel was retried before A was declared crashed"
+            );
         });
     }
 

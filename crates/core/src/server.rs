@@ -50,6 +50,18 @@ pub struct SnfsServerParams {
     /// the other watchers *before* the change is acknowledged, so client
     /// name caches can never serve a stale translation.
     pub dir_callbacks: bool,
+    /// First retry delay after a timed-out callback. Doubles per retry
+    /// (capped at 8 s). A timed-out callback used to declare the client
+    /// crashed immediately, so one lossy exchange — or a transient
+    /// partition — destroyed a live client's write-back claim.
+    pub callback_retry_backoff: SimDuration,
+    /// How long callback retries continue before the client is declared
+    /// dead (its state discarded, §3.2's "dead client" case). Roughly
+    /// three keepalive intervals: a client silent that long has missed
+    /// its liveness horizon too. Zero restores the legacy
+    /// give-up-on-first-timeout behavior (used by regression tests to
+    /// pin the old bug).
+    pub callback_dead_after: SimDuration,
 }
 
 impl Default for SnfsServerParams {
@@ -60,6 +72,8 @@ impl Default for SnfsServerParams {
             hybrid_nfs: true,
             grace_period: SimDuration::from_secs(20),
             dir_callbacks: true,
+            callback_retry_backoff: SimDuration::from_secs(2),
+            callback_dead_after: SimDuration::from_secs(30),
         }
     }
 }
@@ -158,6 +172,12 @@ struct Inner {
     dir_watchers: RefCell<HashMap<FileHandle, Vec<ClientId>>>,
     /// Service-thread count (for the N−1 trace metadata).
     service_threads: usize,
+    /// Logical-callback sequence numbers (stable across retries of the
+    /// same callback, so clients can deduplicate duplicate deliveries).
+    cb_next_seq: Cell<u64>,
+    /// Timed-out callback attempts that were retried instead of
+    /// declaring the client dead.
+    callback_retries: Cell<u64>,
     tracer: RefCell<Option<Tracer>>,
 }
 
@@ -195,6 +215,8 @@ impl SnfsServer {
                 grace_until: Cell::new(None),
                 dir_watchers: RefCell::new(HashMap::new()),
                 service_threads,
+                cb_next_seq: Cell::new(0),
+                callback_retries: Cell::new(0),
                 tracer: RefCell::new(None),
             }),
         }
@@ -352,6 +374,12 @@ impl SnfsServer {
         self.inner.callback_inflight.clone()
     }
 
+    /// Timed-out callback attempts that were retried instead of
+    /// immediately declaring the client dead.
+    pub fn callback_retries(&self) -> u64 {
+        self.inner.callback_retries.get()
+    }
+
     /// Number of state-table entries (for tests; paper §4.3.1 limits).
     pub fn table_len(&self) -> usize {
         self.inner.table.borrow().len()
@@ -452,19 +480,51 @@ impl SnfsServer {
                 invalidate: cb.invalidate,
             },
         );
-        let res = caller
-            .call_ctx(
-                cb_seq,
-                CallbackArg {
-                    fh,
-                    writeback: cb.writeback,
-                    invalidate: cb.invalidate,
-                    relinquish,
-                },
-            )
-            .await;
+        // One sequence number per *logical* callback: retries are fresh
+        // RPCs with fresh xids (the RPC dup cache cannot pair them), so
+        // this is what lets the client recognize — and answer
+        // idempotently — a delivery it has already acted on.
+        let arg_seq = self.inner.cb_next_seq.get() + 1;
+        self.inner.cb_next_seq.set(arg_seq);
+        let arg = CallbackArg {
+            fh,
+            writeback: cb.writeback,
+            invalidate: cb.invalidate,
+            relinquish,
+            seq: arg_seq,
+        };
+        // A timeout is not a crash: a lossy network or a transient
+        // partition can eat a whole retransmission ladder while the
+        // client is alive and holding dirty data. Retry with doubling
+        // backoff (slot held — the N−1 rule bounds waiting callbacks,
+        // not just active ones) and only declare the client dead once
+        // it has been unreachable past the keepalive horizon. A reply
+        // with `ok == false` is different: the client answered and
+        // refused, and is treated as crashed immediately as before.
+        let started = self.inner.sim.now();
+        let mut backoff = self.inner.params.callback_retry_backoff;
+        const BACKOFF_CAP: SimDuration = SimDuration::from_secs(8);
+        let res = loop {
+            match caller.call_ctx(cb_seq, arg).await {
+                Ok(rep) => break Some(rep),
+                Err(_) => {
+                    let elapsed = self.inner.sim.now().saturating_duration_since(started);
+                    if elapsed >= self.inner.params.callback_dead_after {
+                        break None;
+                    }
+                    self.inner
+                        .callback_retries
+                        .set(self.inner.callback_retries.get() + 1);
+                    self.inner.sim.sleep(backoff).await;
+                    backoff = backoff.mul_f64(2.0);
+                    if backoff > BACKOFF_CAP {
+                        backoff = BACKOFF_CAP;
+                    }
+                }
+            }
+        };
         self.inner.callback_inflight.dec();
-        let ok = matches!(&res, Ok(rep) if rep.ok);
+        let ok = matches!(&res, Some(rep) if rep.ok);
         self.emit(
             cb_seq,
             EventKind::CallbackEnd {

@@ -31,6 +31,10 @@ pub struct AndrewRun {
     pub stats: crate::snapshot::StatsSnapshot,
     /// Checked event trace (present when `TestbedParams::trace` was on).
     pub trace: Option<crate::snapshot::TraceReport>,
+    /// Path-ordered digest of the server's stable contents after the
+    /// write-back tail drained (the chaos harness compares faulted runs
+    /// against fault-free ones with this).
+    pub server_digest: u64,
 }
 
 /// Column label like `"SNFS /tmp-remote"`.
@@ -155,5 +159,6 @@ pub fn run_andrew_with(params: TestbedParams, seed: u64) -> AndrewRun {
         latency: tb.latency.clone(),
         stats: tb.stats_snapshot(),
         trace: tb.finish_trace(),
+        server_digest: crate::chaosx::server_digest(&tb.server_fs),
     }
 }

@@ -1,0 +1,273 @@
+//! Chaos harness: paper workloads under a seeded network-fault schedule.
+//!
+//! The protocols in the paper were built for a mostly-reliable Ethernet;
+//! the interesting bugs only show up when the transport misbehaves. This
+//! module runs the Andrew benchmark and a two-client write-sharing
+//! workload with the [`FaultParams::chaos`] schedule (random drops,
+//! duplicates, delays, reply losses) plus a scripted partition/heal
+//! cycle, then checks that the system *converged*:
+//!
+//! * the run terminated (every workload op eventually succeeded),
+//! * the causal trace checker found no invariant violations,
+//! * the server's stable file contents are byte-identical to a
+//!   fault-free run of the same seed, and
+//! * every injected fault is accounted for in [`FaultSnapshot`]
+//!   (`killed_attempts == retransmit_absorbed + outstanding_kills`).
+
+use spritely_localfs::LocalFs;
+use spritely_proto::{FileHandle, FileType};
+use spritely_rpcnet::{FaultParams, PartitionDir};
+use spritely_sim::SimDuration;
+
+use crate::snapshot::FaultSnapshot;
+use crate::testbed::{Protocol, RemoteClient, Testbed, TestbedParams};
+use crate::{report, run_andrew_with};
+
+/// Outcome of one chaos run, with everything a gate needs to decide
+/// pass/fail and everything a human needs to see why.
+#[derive(Debug, Clone)]
+pub struct ChaosVerdict {
+    /// Which workload ran.
+    pub workload: &'static str,
+    /// Digest of the fault-free run's server stable contents.
+    pub digest_clean: u64,
+    /// Digest of the faulted run's server stable contents.
+    pub digest_faulted: u64,
+    /// Trace-checker violations in the faulted run.
+    pub trace_violations: usize,
+    /// Fault accounting of the faulted run.
+    pub faults: FaultSnapshot,
+}
+
+impl ChaosVerdict {
+    /// Total faults the schedule injected (the run is only interesting
+    /// if this is non-zero).
+    pub fn injected(&self) -> u64 {
+        let f = &self.faults;
+        f.drops + f.dups + f.delays + f.reply_losses + f.partition_drops
+    }
+
+    /// True when the faulted run converged to the fault-free outcome
+    /// and the fault accounting balances.
+    pub fn converged(&self) -> bool {
+        let f = &self.faults;
+        self.digest_clean == self.digest_faulted
+            && self.trace_violations == 0
+            && f.killed_attempts == f.retransmit_absorbed + f.outstanding_kills
+    }
+
+    /// Human-readable summary (includes the fault table).
+    pub fn report(&self) -> String {
+        format!(
+            "chaos[{}]: injected={} digest {}: clean={:016x} faulted={:016x} \
+             trace_violations={}\n{}",
+            self.workload,
+            self.injected(),
+            if self.digest_clean == self.digest_faulted {
+                "MATCH"
+            } else {
+                "MISMATCH"
+            },
+            self.digest_clean,
+            self.digest_faulted,
+            self.trace_violations,
+            report::fault_table(&[(self.workload, &self.faults)]),
+        )
+    }
+}
+
+/// Path-ordered FNV-1a digest of a file system's *stable* contents
+/// (what survives a crash): every path, object type, link target and
+/// file body, in sorted traversal order. Timestamps are excluded — a
+/// faulted run takes longer but must converge to the same bytes.
+pub fn server_digest(fs: &LocalFs) -> u64 {
+    let mut h = Fnv::new();
+    walk(fs, fs.root(), "", &mut h);
+    h.0
+}
+
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+fn walk(fs: &LocalFs, dir: FileHandle, path: &str, h: &mut Fnv) {
+    let mut entries = fs.readdir(dir).expect("readdir in digest walk");
+    entries.sort_by(|a, b| a.name.cmp(&b.name));
+    for e in entries {
+        let (fh, attr) = fs.lookup(dir, &e.name).expect("lookup in digest walk");
+        let p = format!("{path}/{}", e.name);
+        h.write(p.as_bytes());
+        match attr.ftype {
+            FileType::Directory => {
+                h.write(b"\0d");
+                walk(fs, fh, &p, h);
+            }
+            FileType::Regular => {
+                h.write(b"\0f");
+                h.write(&fs.stable_contents(fh).expect("contents in digest walk"));
+            }
+            FileType::Symlink => {
+                h.write(b"\0l");
+                h.write(fs.readlink(fh).expect("readlink in digest walk").as_bytes());
+            }
+        }
+    }
+}
+
+/// Runs the Andrew benchmark twice with the same seed — once fault-free,
+/// once under [`FaultParams::chaos`] — and compares outcomes.
+pub fn chaos_andrew(seed: u64) -> ChaosVerdict {
+    let clean = run_andrew_with(
+        TestbedParams {
+            protocol: Protocol::Snfs,
+            ..TestbedParams::default()
+        },
+        seed,
+    );
+    let faulted = run_andrew_with(
+        TestbedParams {
+            protocol: Protocol::Snfs,
+            trace: true,
+            faults: FaultParams::chaos(seed),
+            ..TestbedParams::default()
+        },
+        seed,
+    );
+    ChaosVerdict {
+        workload: "andrew",
+        digest_clean: clean.server_digest,
+        digest_faulted: faulted.server_digest,
+        trace_violations: faulted.trace.as_ref().map_or(0, |t| t.violations.len()),
+        faults: faulted.stats.faults.expect("faulted run has fault stats"),
+    }
+}
+
+/// Two-client write-sharing under chaos plus one partition/heal cycle.
+///
+/// Client B writes the shared file and holds the data dirty (30 s write
+/// delay), then B's host is partitioned. Client A opens the file while B
+/// is unreachable: the server must *retry* B's write-back callback past
+/// the partition instead of declaring B crashed — when the partition
+/// heals, B's dirty data reaches the server and A reads it. This is the
+/// end-to-end version of the callback-retry bugfix regression.
+pub fn chaos_write_sharing(seed: u64) -> ChaosVerdict {
+    let clean = run_write_sharing(seed, false);
+    let faulted = run_write_sharing(seed, true);
+    ChaosVerdict {
+        workload: "write-sharing",
+        digest_clean: clean.digest,
+        digest_faulted: faulted.digest,
+        trace_violations: faulted.violations,
+        faults: faulted.faults.expect("faulted run has fault stats"),
+    }
+}
+
+struct SharingRun {
+    digest: u64,
+    violations: usize,
+    faults: Option<FaultSnapshot>,
+}
+
+fn run_write_sharing(seed: u64, faulted: bool) -> SharingRun {
+    let tb = Testbed::build_with_clients(
+        TestbedParams {
+            protocol: Protocol::Snfs,
+            // Keep B's data dirty long enough for the partition to matter.
+            snfs_write_delay: SimDuration::from_secs(30),
+            trace: faulted,
+            faults: if faulted {
+                FaultParams::chaos(seed)
+            } else {
+                FaultParams::default()
+            },
+            ..TestbedParams::default()
+        },
+        2,
+    );
+    let a = match &tb.clients[0].remote {
+        RemoteClient::Snfs(c) => c.clone(),
+        _ => unreachable!("SNFS testbed"),
+    };
+    let b = match &tb.clients[1].remote {
+        RemoteClient::Snfs(c) => c.clone(),
+        _ => unreachable!("SNFS testbed"),
+    };
+    let root = tb.server_fs.root();
+    let sim = tb.sim.clone();
+    let net = tb.net.clone();
+    let h = sim.spawn({
+        let sim = sim.clone();
+        async move {
+            use spritely_proto::BLOCK_SIZE;
+            // Every op retries until it succeeds, as a hard-mounted 1989
+            // client would: under chaos an RPC ladder can exhaust, and
+            // during the partition B's (and some of A's) calls must fail.
+            macro_rules! insist {
+                ($e:expr) => {{
+                    loop {
+                        match $e.await {
+                            Ok(v) => break v,
+                            Err(_) => sim.sleep(SimDuration::from_millis(500)).await,
+                        }
+                    }
+                }};
+            }
+            // A publishes version 1 of the shared file.
+            let (fh, _) = insist!(a.create(root, "shared"));
+            insist!(a.open(fh, true));
+            insist!(a.write(fh, 0, &[1u8; 2 * BLOCK_SIZE]));
+            insist!(a.fsync(fh));
+            insist!(a.close(fh, true));
+            // B overwrites it and holds the data dirty (30 s delay).
+            insist!(b.open(fh, true));
+            insist!(b.write(fh, 0, &[2u8; 2 * BLOCK_SIZE]));
+            insist!(b.close(fh, true));
+            // Partition B's host for 12 s (faulted run only; scripted
+            // partitions consume no randomness).
+            if net.faults_active() {
+                net.partition(
+                    2,
+                    PartitionDir::Both,
+                    sim.now() + SimDuration::from_secs(12),
+                );
+            }
+            // A reopens while B is unreachable. The server must hold the
+            // open and retry B's write-back callback until the partition
+            // heals; A's own RPC ladder (≈5 s) is shorter than that, so
+            // A re-issues the open until it goes through.
+            let attr = insist!(a.open(fh, false));
+            assert_eq!(
+                attr.size,
+                (2 * BLOCK_SIZE) as u64,
+                "A sees B's version after the heal"
+            );
+            let (data, _) = insist!(a.read(fh, 0, (2 * BLOCK_SIZE) as u32));
+            assert!(
+                data.iter().all(|&x| x == 2),
+                "B's dirty data survived the partition"
+            );
+            insist!(a.close(fh, false));
+            // Let delayed writes and the server update daemon drain.
+            sim.sleep(SimDuration::from_secs(70)).await;
+        }
+    });
+    sim.run_until(h);
+    let snap = tb.stats_snapshot();
+    let violations = tb.finish_trace().map_or(0, |t| t.violations.len());
+    SharingRun {
+        digest: server_digest(&tb.server_fs),
+        violations,
+        faults: snap.faults,
+    }
+}

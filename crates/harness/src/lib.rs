@@ -18,6 +18,7 @@ pub mod report;
 pub mod snapshot;
 
 mod andrew;
+mod chaosx;
 mod flushx;
 mod microx;
 mod scaling;
@@ -25,15 +26,17 @@ mod sortx;
 mod testbed;
 
 pub use andrew::{run_andrew, run_andrew_with, AndrewRun};
+pub use chaosx::{chaos_andrew, chaos_write_sharing, server_digest, ChaosVerdict};
 pub use flushx::{run_flush, run_flush_with, FlushRun};
 pub use microx::{run_reopen, run_temp_lifetime, ReopenRun, TempLifetimeRun};
 pub use scaling::{run_scaling, run_scaling_with, ScalingRun};
 pub use snapshot::{
-    ClientSnapshot, ServerIoSnapshot, ServerSnapshot, StatsSnapshot, TraceReport, TransportSnapshot,
+    ClientSnapshot, FaultSnapshot, ServerIoSnapshot, ServerSnapshot, StatsSnapshot, TraceReport,
+    TransportSnapshot,
 };
 pub use sortx::{run_sort_experiment, run_sort_with, SortRun};
 pub use spritely_core::{ServerIoParams, SnfsServerParams, WriteBehindParams};
-pub use spritely_rpcnet::{TransportParams, TransportStats};
+pub use spritely_rpcnet::{FaultParams, PartitionDir, TransportParams, TransportStats};
 pub use testbed::{ClientHost, Protocol, RemoteClient, Testbed, TestbedParams};
 
 #[cfg(test)]

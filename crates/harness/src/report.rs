@@ -302,6 +302,46 @@ pub fn transport_table(rows: &[(&str, &crate::TransportSnapshot)]) -> String {
     out
 }
 
+/// Renders the chaos harness's fault accounting: every injected fault
+/// and where it was absorbed (retransmission or duplicate cache). The
+/// final column is the conservation residue `killed − absorbed −
+/// outstanding`, zero on any complete run.
+pub fn fault_table(rows: &[(&str, &crate::FaultSnapshot)]) -> String {
+    let mut t = TextTable::new(vec![
+        "Config",
+        "drops",
+        "dups",
+        "delays",
+        "reply loss",
+        "partition",
+        "killed",
+        "retx absorbed",
+        "outstanding",
+        "dup-cache hits",
+        "dup joins",
+        "cb retries",
+        "cb dupes",
+    ]);
+    for (label, f) in rows {
+        t.row(vec![
+            label.to_string(),
+            f.drops.to_string(),
+            f.dups.to_string(),
+            f.delays.to_string(),
+            f.reply_losses.to_string(),
+            f.partition_drops.to_string(),
+            f.killed_attempts.to_string(),
+            f.retransmit_absorbed.to_string(),
+            f.outstanding_kills.to_string(),
+            f.dup_cache_hits.to_string(),
+            f.dup_cache_joins.to_string(),
+            f.callback_retries.to_string(),
+            f.callback_dupes.to_string(),
+        ]);
+    }
+    t.render()
+}
+
 /// Human-readable summary of a checked trace: per-kind event counts
 /// followed by every invariant violation (normally none).
 pub fn trace_summary(report: &crate::snapshot::TraceReport) -> String {

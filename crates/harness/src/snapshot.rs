@@ -78,6 +78,44 @@ pub struct TransportSnapshot {
     pub saved_per_proc: spritely_metrics::OpCounts,
 }
 
+/// Fault-injection accounting (present only when the run configured the
+/// fault layer — a fault-free run's snapshot is byte-identical to one
+/// taken before the layer existed). The conservation law
+/// `killed_attempts == retransmit_absorbed + outstanding_kills` must
+/// hold at the end of any quiescent run, and `outstanding_kills == 0`
+/// means every injected fault was ridden out by a retransmission.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultSnapshot {
+    /// Request messages lost by the random drop stream.
+    pub drops: u64,
+    /// Request messages delivered twice.
+    pub dups: u64,
+    /// Messages given extra random delay.
+    pub delays: u64,
+    /// Replies lost after the server executed (random + scripted).
+    pub reply_losses: u64,
+    /// Messages lost to scripted partitions.
+    pub partition_drops: u64,
+    /// RPC attempts killed by any fault.
+    pub killed_attempts: u64,
+    /// Killed attempts absorbed because a later attempt of the same call
+    /// completed.
+    pub retransmit_absorbed: u64,
+    /// Killed attempts whose call never completed (caller gave up).
+    pub outstanding_kills: u64,
+    /// Retransmits answered from the server's duplicate-request cache
+    /// (completed executions replayed, not re-run).
+    pub dup_cache_hits: u64,
+    /// Retransmits that joined a still-executing first attempt.
+    pub dup_cache_joins: u64,
+    /// Callback attempts the server retried instead of declaring the
+    /// client crashed.
+    pub callback_retries: u64,
+    /// Duplicated callback deliveries absorbed by the clients' sequence
+    /// guards (summed across clients).
+    pub callback_dupes: u64,
+}
+
 /// The server's counters at the end of a run (SNFS protocols only).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServerSnapshot {
@@ -105,6 +143,9 @@ pub struct StatsSnapshot {
     pub server_io: ServerIoSnapshot,
     /// Transport-pipeline counters (all protocols).
     pub transport: TransportSnapshot,
+    /// Fault-injection accounting (None unless faults were configured;
+    /// a fault-free snapshot serializes without this field).
+    pub faults: Option<FaultSnapshot>,
 }
 
 impl StatsSnapshot {
@@ -194,6 +235,27 @@ impl StatsSnapshot {
             out.push_str(&format!("\"{}\":{}", p.name(), n));
         }
         out.push_str("}}");
+        if let Some(f) = &self.faults {
+            out.push_str(&format!(
+                ",\"faults\":{{\"drops\":{},\"dups\":{},\"delays\":{},\
+                 \"reply_losses\":{},\"partition_drops\":{},\"killed_attempts\":{},\
+                 \"retransmit_absorbed\":{},\"outstanding_kills\":{},\
+                 \"dup_cache_hits\":{},\"dup_cache_joins\":{},\
+                 \"callback_retries\":{},\"callback_dupes\":{}}}",
+                f.drops,
+                f.dups,
+                f.delays,
+                f.reply_losses,
+                f.partition_drops,
+                f.killed_attempts,
+                f.retransmit_absorbed,
+                f.outstanding_kills,
+                f.dup_cache_hits,
+                f.dup_cache_joins,
+                f.callback_retries,
+                f.callback_dupes
+            ));
+        }
         out.push('}');
         out
     }

@@ -9,7 +9,7 @@ use spritely_localfs::LocalFs;
 use spritely_metrics::{GaugeSeries, LatencyStats, OpCounter, RateSeries};
 use spritely_nfs::{nfs_server, NfsClient, NfsClientParams};
 use spritely_proto::{ClientId, FileHandle, NfsReply, NfsRequest};
-use spritely_rpcnet::{Caller, Endpoint, Network, TransportParams, TransportStats};
+use spritely_rpcnet::{Caller, Endpoint, FaultParams, Network, TransportParams, TransportStats};
 use spritely_sim::{Resource, Sim, SimDuration};
 use spritely_trace::Tracer;
 use spritely_vfs::{FsBackend, Mount, Proc, Vfs};
@@ -97,6 +97,12 @@ pub struct TestbedParams {
     /// never awaits or consumes randomness, so a traced run produces the
     /// same tables as an untraced one.
     pub trace: bool,
+    /// Network fault injection (drop/duplicate/delay/reply-loss). The
+    /// default is provably inert: no fault state is installed, no
+    /// randomness is drawn, and the run is byte-identical to one built
+    /// before the fault layer existed. Scripted partitions can still be
+    /// added at runtime via [`Network::partition`].
+    pub faults: FaultParams,
 }
 
 impl Default for TestbedParams {
@@ -116,6 +122,7 @@ impl Default for TestbedParams {
             client_cache_blocks: config::CLIENT_CACHE_BLOCKS,
             transport: TransportParams::paper(),
             trace: false,
+            faults: FaultParams::default(),
         }
     }
 }
@@ -225,6 +232,9 @@ impl Testbed {
             config::net_params()
         };
         let net = Network::new(&sim, "ether", netp);
+        if params.faults.any() {
+            net.set_faults(params.faults);
+        }
         let transport_stats = TransportStats::new();
         let tracer = params.trace.then(|| {
             let t = Tracer::new(&sim);
@@ -401,6 +411,11 @@ impl Testbed {
                         server_cpu.clone(),
                         config::caller_params(),
                     );
+                    // Callback callers carry ClientId(0) (they originate at
+                    // the server); their fault link is the *client* host in
+                    // the server→client direction, so a partition of the
+                    // client host severs both its request and callback legs.
+                    cb_caller.set_fault_link(cid.0, true);
                     if let Some(t) = &tracer {
                         cb_caller.set_tracer(t.clone());
                     }
@@ -559,6 +574,37 @@ impl Testbed {
                 attr_elisions,
                 saved_per_proc: ts.saved.snapshot(),
             },
+            faults: self.net.faults_active().then(|| {
+                let fs = self.net.fault_stats();
+                let (dup_cache_hits, dup_cache_joins) = self
+                    .endpoint
+                    .as_ref()
+                    .map_or((0, 0), |ep| (ep.dup_hits(), ep.dup_joins()));
+                crate::snapshot::FaultSnapshot {
+                    drops: fs.drops(),
+                    dups: fs.dups(),
+                    delays: fs.delays(),
+                    reply_losses: fs.reply_losses(),
+                    partition_drops: fs.partition_drops(),
+                    killed_attempts: fs.killed_attempts(),
+                    retransmit_absorbed: fs.retransmit_absorbed(),
+                    outstanding_kills: fs.outstanding_kills(),
+                    dup_cache_hits,
+                    dup_cache_joins,
+                    callback_retries: self
+                        .snfs_server
+                        .as_ref()
+                        .map_or(0, |srv| srv.callback_retries()),
+                    callback_dupes: self
+                        .clients
+                        .iter()
+                        .map(|host| match &host.remote {
+                            RemoteClient::Snfs(c) => c.callback_dupes(),
+                            _ => 0,
+                        })
+                        .sum(),
+                }
+            }),
         }
     }
 

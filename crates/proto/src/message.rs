@@ -340,6 +340,15 @@ pub struct CallbackArg {
     pub invalidate: bool,
     /// Relinquish a delayed-close file (§6.2 extension).
     pub relinquish: bool,
+    /// Server-assigned callback sequence number, stable across
+    /// server-level retries of the same logical callback (each retry is
+    /// a fresh RPC with a fresh xid, so the RPC dup cache cannot pair
+    /// them). Clients use it to make duplicate deliveries idempotent —
+    /// a second arrival must not double-invalidate or re-flush. Zero
+    /// means "unsequenced" (hand-built test callbacks) and is never
+    /// deduplicated. Rides in the existing header, so wire size is
+    /// unchanged.
+    pub seq: u64,
 }
 
 impl CallbackArg {
@@ -515,6 +524,7 @@ mod tests {
             writeback: true,
             invalidate: true,
             relinquish: false,
+            seq: 0,
         };
         let rep = CallbackReply { ok: true };
         assert_eq!(arg.wire_size(), HEADER_BYTES);

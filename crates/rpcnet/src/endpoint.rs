@@ -9,7 +9,7 @@ use std::rc::Rc;
 
 use spritely_metrics::{LatencyStats, OpCounter, RateSeries};
 use spritely_proto::{ClientId, NfsProc};
-use spritely_sim::{Event, Resource, Sim, SimDuration, SimRng, SimTime};
+use spritely_sim::{Event, Resource, Semaphore, Sim, SimDuration, SimRng, SimTime};
 use spritely_trace::{EventKind, Tracer};
 
 use crate::network::Network;
@@ -55,6 +55,12 @@ enum DupState<Rep> {
 struct EndpointInner<Req, Rep> {
     sim: Sim,
     threads: Resource,
+    /// Admission gate for requests that may block on a consistency
+    /// action ([`Proc::may_block`]): at most N−1 of the N threads, so a
+    /// callback-induced write-back always finds a free thread (paper
+    /// §3.2). Waiters queue here *before* taking a thread, so a stalled
+    /// open costs nothing but its own latency.
+    blocking: Semaphore,
     cpu: Resource,
     params: EndpointParams,
     handler: HandlerFn<Req, Rep>,
@@ -64,6 +70,13 @@ struct EndpointInner<Req, Rep> {
     tracer: RefCell<Option<Tracer>>,
     alive: Cell<bool>,
     executions: Cell<u64>,
+    /// Retransmissions answered from a completed dup-cache entry.
+    dup_hits: Cell<u64>,
+    /// Retransmissions that joined an in-progress execution.
+    dup_joins: Cell<u64>,
+    /// When the dup cache was last swept; sweeps run on a sim-time
+    /// cadence of one retention period.
+    last_purge: Cell<SimTime>,
 }
 
 /// A server-side RPC endpoint: thread pool + dup cache + accounting around
@@ -111,6 +124,7 @@ where
             inner: Rc::new(EndpointInner {
                 sim: sim.clone(),
                 threads: Resource::new(sim, name, params.threads),
+                blocking: Semaphore::new(params.threads.saturating_sub(1).max(1)),
                 cpu,
                 params,
                 handler,
@@ -120,6 +134,9 @@ where
                 tracer: RefCell::new(None),
                 alive: Cell::new(true),
                 executions: Cell::new(0),
+                dup_hits: Cell::new(0),
+                dup_joins: Cell::new(0),
+                last_purge: Cell::new(SimTime::ZERO),
             }),
         }
     }
@@ -151,6 +168,38 @@ where
         self.inner.executions.get()
     }
 
+    /// Retransmissions answered from a completed dup-cache entry.
+    pub fn dup_hits(&self) -> u64 {
+        self.inner.dup_hits.get()
+    }
+
+    /// Retransmissions that joined an in-progress execution.
+    pub fn dup_joins(&self) -> u64 {
+        self.inner.dup_joins.get()
+    }
+
+    /// Current duplicate-cache population (purge tests).
+    pub fn dup_entries(&self) -> usize {
+        self.inner.dup.borrow().len()
+    }
+
+    /// The configured dup-cache retention.
+    pub fn dup_retention(&self) -> SimDuration {
+        self.inner.params.dup_retention
+    }
+
+    /// Discards every completed dup-cache entry, modelling a server
+    /// whose in-memory dup cache did not survive (a reboot, or an
+    /// eviction storm). A retransmission arriving afterwards will
+    /// re-execute its procedure — exactly the hazard the clients'
+    /// retransmit-outcome mapping defends against.
+    pub fn clear_dup_cache(&self) {
+        self.inner
+            .dup
+            .borrow_mut()
+            .retain(|_, v| matches!(v, DupState::InProgress(_)));
+    }
+
     /// Marks the endpoint up or down. Calls to a down endpoint hang until
     /// the caller's timeout fires.
     pub fn set_alive(&self, alive: bool) {
@@ -170,8 +219,14 @@ where
         let ev = {
             let mut dup = self.inner.dup.borrow_mut();
             match dup.get(&key) {
-                Some(DupState::Done(rep, _)) => return rep.clone(),
-                Some(DupState::InProgress(ev)) => ev.clone(),
+                Some(DupState::Done(rep, _)) => {
+                    self.inner.dup_hits.set(self.inner.dup_hits.get() + 1);
+                    return rep.clone();
+                }
+                Some(DupState::InProgress(ev)) => {
+                    self.inner.dup_joins.set(self.inner.dup_joins.get() + 1);
+                    ev.clone()
+                }
                 None => {
                     let ev = Event::new();
                     dup.insert(key, DupState::InProgress(ev.clone()));
@@ -192,7 +247,17 @@ where
         let inner = Rc::clone(&self.inner);
         let proc = req.proc_id();
         let kb = req.wire_size() as f64 / 1024.0;
+        let gated = req.may_block();
         inner.sim.clone().spawn(async move {
+            // N−1 admission (§3.2): a request that may block on a
+            // consistency action queues for a blocking slot before it
+            // may occupy a thread. When uncontended the acquire
+            // completes synchronously, so ungated traffic is unaffected.
+            let _gate = if gated {
+                Some(inner.blocking.acquire().await)
+            } else {
+                None
+            };
             let thread = inner.threads.acquire().await;
             inner.counter.record(proc);
             if let Some(r) = inner.rates.borrow().as_ref() {
@@ -230,11 +295,14 @@ where
             let now = inner.sim.now();
             let mut dup = inner.dup.borrow_mut();
             let prev = dup.insert(key, DupState::Done(rep, now));
-            // Opportunistic pruning keeps the cache bounded on long runs.
-            if dup.len().is_multiple_of(1024) {
-                let horizon = now.saturating_duration_since(SimTime::ZERO);
-                let _ = horizon;
-                let retention = inner.params.dup_retention;
+            // Sweep expired entries once per retention period of sim
+            // time. (The old trigger — `len()` an exact multiple of
+            // 1024 — let a replace-heavy workload hop over the boundary
+            // and never purge.) The sweep is pure map maintenance: no
+            // awaits, no randomness, so it cannot perturb timing.
+            let retention = inner.params.dup_retention;
+            if now.saturating_duration_since(inner.last_purge.get()) >= retention {
+                inner.last_purge.set(now);
                 dup.retain(|_, v| match v {
                     DupState::InProgress(_) => true,
                     DupState::Done(_, t) => now.saturating_duration_since(*t) < retention,
@@ -426,13 +494,55 @@ where
                     },
                 );
             }
+            // A compound is one datagram: the fault layer drops,
+            // duplicates, or delays it as a unit, and a lost compound
+            // must retransmit as a unit (each member re-enqueues on its
+            // own timeout with its original xid).
+            let plan = b.net.plan_attempt(b.from.0, false);
+            if !plan.delay.is_zero() {
+                b.sim.sleep(plan.delay).await;
+            }
             let creq = Req::compound(batch.iter().map(|e| e.req.clone()).collect());
             b.net.transmit_from(b.from.0, true, creq.wire_size()).await;
+            if plan.drop {
+                // The whole compound is eaten: every member attempt is
+                // killed and will retransmit individually.
+                for e in &batch {
+                    b.net.note_kill(b.from.0, false, e.xid);
+                }
+                b.finish_flush();
+                return;
+            }
             if !b.endpoint.is_alive() {
                 // The whole batch is lost; each caller's timeout fires
                 // and the retransmissions re-enqueue.
                 b.finish_flush();
                 return;
+            }
+            if plan.duplicate {
+                // A second copy of the compound arrives: every member
+                // xid hits the dup cache, the combined reply is
+                // discarded.
+                let b2 = Rc::clone(&b);
+                let reqs: Vec<(u64, u64, Req)> = batch
+                    .iter()
+                    .map(|e| (e.xid, e.parent, e.req.clone()))
+                    .collect();
+                let csize = creq.wire_size();
+                b.sim.spawn(async move {
+                    b2.net.transmit_from(b2.from.0, true, csize).await;
+                    if !b2.endpoint.is_alive() {
+                        return;
+                    }
+                    let mut reps = Vec::with_capacity(reqs.len());
+                    for (xid, parent, req) in reqs {
+                        reps.push(b2.endpoint.deliver(b2.from, xid, parent, req).await);
+                    }
+                    let crep = Rep::compound(reps);
+                    b2.net
+                        .transmit_from(b2.from.0, false, crep.wire_size())
+                        .await;
+                });
             }
             // Deliver every inner request concurrently — each keeps its
             // own xid, so dup-cache entries and per-procedure counters
@@ -476,6 +586,18 @@ where
                 );
             }
             b.net.transmit_from(b.from.0, false, crep.wire_size()).await;
+            let first_xid = batch.first().map(|e| e.xid).unwrap_or(0);
+            if plan.reply_loss || b.net.reply_lost(b.from.0, false, first_xid) {
+                // The combined reply vanishes after every member
+                // executed: no slot is filled, so each member's timeout
+                // fires and its retransmission is absorbed by the dup
+                // cache.
+                for e in &batch {
+                    b.net.note_kill(b.from.0, false, e.xid);
+                }
+                b.finish_flush();
+                return;
+            }
             for (e, rep) in batch.into_iter().zip(reps) {
                 *e.slot.borrow_mut() = Some(rep);
                 e.done.set();
@@ -504,6 +626,11 @@ pub struct Caller<Req, Rep> {
     /// consumed when `backoff_jitter > 0`, so paper-mode runs draw
     /// nothing from it.
     rng: SimRng,
+    /// `(host, to_client)` key this caller's traffic presents to the
+    /// fault layer. Defaults to `(from.0, false)`; callback callers
+    /// (which all carry `ClientId(0)`) override it with their target
+    /// client's host so partitions cut the right legs.
+    fault_link: Cell<(u32, bool)>,
 }
 
 impl<Req, Rep> Clone for Caller<Req, Rep> {
@@ -523,6 +650,7 @@ impl<Req, Rep> Clone for Caller<Req, Rep> {
             tstats: RefCell::new(self.tstats.borrow().clone()),
             batcher: RefCell::new(self.batcher.borrow().clone()),
             rng: self.rng.clone(),
+            fault_link: Cell::new(self.fault_link.get()),
         }
     }
 }
@@ -542,7 +670,7 @@ where
         cpu: Resource,
         params: CallerParams,
     ) -> Self {
-        Caller {
+        let caller = Caller {
             sim: sim.clone(),
             net,
             endpoint,
@@ -557,7 +685,51 @@ where
             tstats: RefCell::new(None),
             batcher: RefCell::new(None),
             rng: SimRng::new(0x7ab5_0000 ^ u64::from(from.0)),
+            fault_link: Cell::new((from.0, false)),
+        };
+        caller.assert_retention_covers_ladder();
+        caller
+    }
+
+    /// Upper bound of the retransmission ladder: the sum of every
+    /// attempt's timeout at the current transport's backoff settings,
+    /// with jitter at its worst.
+    fn worst_case_ladder(&self) -> SimDuration {
+        let t = self.transport.get();
+        let mut total = SimDuration::ZERO;
+        for attempt in 0..=self.params.max_retries {
+            let mut a = self.params.timeout;
+            if t.backoff_factor > 1.0 {
+                for _ in 0..attempt {
+                    a = a.mul_f64(t.backoff_factor);
+                    if a >= t.backoff_max {
+                        a = t.backoff_max;
+                        break;
+                    }
+                }
+            }
+            if t.backoff_jitter > 0.0 {
+                a = a.mul_f64(1.0 + t.backoff_jitter * 0.5);
+            }
+            total += a;
         }
+        total
+    }
+
+    /// The dup cache is the only thing standing between a retransmitted
+    /// non-idempotent procedure and double execution, so completed
+    /// entries must outlive the longest possible retransmission ladder:
+    /// if an entry could expire while its call was still retrying, the
+    /// retransmission would re-execute (create → `EEXIST`, remove →
+    /// `ENOENT` to the application).
+    fn assert_retention_covers_ladder(&self) {
+        let ladder = self.worst_case_ladder();
+        let retention = self.endpoint.dup_retention();
+        assert!(
+            retention > ladder,
+            "dup_retention ({retention}) must exceed the worst-case \
+             retransmission ladder ({ladder})"
+        );
     }
 
     /// Configures the transport pipeline. With `max_batch > 1` a
@@ -565,6 +737,7 @@ where
     /// (no batching, fixed retransmit timeout).
     pub fn set_transport(&self, t: TransportParams) {
         self.transport.set(t);
+        self.assert_retention_covers_ladder();
         *self.batcher.borrow_mut() = (t.max_batch > 1).then(|| {
             Rc::new(Batcher {
                 sim: self.sim.clone(),
@@ -619,6 +792,15 @@ where
         self.from
     }
 
+    /// Re-keys this caller's traffic for the fault layer. Callback
+    /// callers all carry `ClientId(0)` (the server), so the testbed
+    /// points them at the *target client's* host with `to_client =
+    /// true`; a partition of that host then cuts callbacks to it, not
+    /// to everyone.
+    pub fn set_fault_link(&self, host: u32, to_client: bool) {
+        self.fault_link.set((host, to_client));
+    }
+
     /// Total retransmissions so far.
     pub fn retransmits(&self) -> u64 {
         self.retransmits.get()
@@ -640,12 +822,25 @@ where
     /// retransmission. At-most-once execution is guaranteed by the
     /// endpoint's duplicate cache.
     pub async fn call(&self, req: Req) -> Result<Rep, RpcError> {
-        self.call_inner(0, req, false).await
+        self.call_inner(0, req, false).await.map(|(rep, _)| rep)
     }
 
     /// Like [`Caller::call`], but parents the `rpc_call` trace event
     /// under `parent` (a client-operation span, usually).
     pub async fn call_ctx(&self, parent: u64, req: Req) -> Result<Rep, RpcError> {
+        self.call_inner(parent, req, false)
+            .await
+            .map(|(rep, _)| rep)
+    }
+
+    /// Like [`Caller::call_ctx`], but also reports whether the reply
+    /// arrived only after at least one retransmission. A retransmitted
+    /// non-idempotent procedure can have executed on an earlier attempt
+    /// whose reply was lost; if the dup-cache entry has meanwhile been
+    /// discarded, the re-execution reports a bogus error (`EEXIST` for
+    /// create, `ENOENT` for remove). Clients use the flag to map those
+    /// specific outcomes back to success.
+    pub async fn call_ctx_flagged(&self, parent: u64, req: Req) -> Result<(Rep, bool), RpcError> {
         self.call_inner(parent, req, false).await
     }
 
@@ -654,10 +849,10 @@ where
     /// coalesce it with its peers, which it never does to a foreground
     /// call. Identical to `call_ctx` on the paper transport.
     pub async fn call_bg(&self, parent: u64, req: Req) -> Result<Rep, RpcError> {
-        self.call_inner(parent, req, true).await
+        self.call_inner(parent, req, true).await.map(|(rep, _)| rep)
     }
 
-    async fn call_inner(&self, parent: u64, req: Req, bg: bool) -> Result<Rep, RpcError> {
+    async fn call_inner(&self, parent: u64, req: Req, bg: bool) -> Result<(Rep, bool), RpcError> {
         if !self.params.cpu_per_call.is_zero() {
             self.cpu.use_for(self.params.cpu_per_call).await;
         }
@@ -704,7 +899,11 @@ where
                             },
                         );
                     }
-                    return Ok(rep);
+                    // Any attempts the fault layer killed for this xid
+                    // were absorbed by retransmission.
+                    let (lh, lc) = self.fault_link.get();
+                    self.net.absorb_kills(lh, lc, xid);
+                    return Ok((rep, attempt > 0));
                 }
                 Err(_) => continue,
             }
@@ -753,14 +952,50 @@ where
                 return rep;
             }
         }
+        let (lh, lc) = self.fault_link.get();
+        let plan = self.net.plan_attempt(lh, lc);
+        if !plan.delay.is_zero() {
+            self.sim.sleep(plan.delay).await;
+        }
         self.net
             .transmit_from(self.from.0, true, req.wire_size())
             .await;
+        if plan.drop {
+            // The request is eaten by the network (or a partition);
+            // hang until the caller's timeout fires and retransmits.
+            self.net.note_kill(lh, lc, xid);
+            std::future::pending::<()>().await;
+        }
         if !self.endpoint.is_alive() {
             // The request is lost; hang until the caller's timeout fires.
             std::future::pending::<()>().await;
         }
+        if plan.duplicate {
+            // A second copy of the same datagram arrives: same xid, so
+            // the dup cache either joins the in-flight execution or
+            // answers from a completed entry. Its reply is discarded —
+            // the caller only waits on the primary copy.
+            let ep = self.endpoint.clone();
+            let net = self.net.clone();
+            let from = self.from;
+            let req2 = req.clone();
+            self.sim.spawn(async move {
+                net.transmit_from(from.0, true, req2.wire_size()).await;
+                if ep.is_alive() {
+                    let rep = ep.deliver(from, xid, parent, req2).await;
+                    net.transmit_from(from.0, false, rep.wire_size()).await;
+                }
+            });
+        }
         let rep = self.endpoint.deliver(self.from, xid, parent, req).await;
+        if plan.reply_loss || self.net.reply_lost(lh, lc, xid) {
+            // The server executed the call but its reply never makes it
+            // back: the retransmission must be absorbed by the dup
+            // cache (or, if that entry is gone, re-executed — the
+            // hazard the clients' outcome mapping covers).
+            self.net.note_kill(lh, lc, xid);
+            std::future::pending::<()>().await;
+        }
         self.net
             .transmit_from(self.from.0, false, rep.wire_size())
             .await;
@@ -1023,6 +1258,302 @@ mod tests {
             backoff < fixed,
             "backoff must shrink the storm ({backoff} vs {fixed})"
         );
+    }
+
+    #[test]
+    fn dup_cache_purges_on_time_cadence() {
+        // Regression: the old purge fired only when `dup.len()` was an
+        // exact multiple of 1024, which a workload could hop over
+        // forever. The purge now runs on a sim-time cadence.
+        let (sim, caller) = setup(SimDuration::ZERO);
+        let ep = caller.endpoint.clone();
+        sim.block_on(async move {
+            caller.call(NfsRequest::Null).await.unwrap();
+            assert_eq!(caller.endpoint.dup_entries(), 1);
+            // Well past the 60 s retention: the next completed call
+            // sweeps the stale entry and leaves only itself.
+            caller.sim.sleep(SimDuration::from_secs(61)).await;
+            caller.call(NfsRequest::Null).await.unwrap();
+            assert_eq!(caller.endpoint.dup_entries(), 1, "stale entry swept");
+        });
+        assert_eq!(ep.executions(), 2);
+    }
+
+    #[test]
+    fn clear_dup_cache_forgets_completed_entries() {
+        let (sim, caller) = setup(SimDuration::ZERO);
+        let ep = caller.endpoint.clone();
+        sim.block_on(async move {
+            caller.call(NfsRequest::Null).await.unwrap();
+        });
+        assert_eq!(ep.dup_entries(), 1);
+        ep.clear_dup_cache();
+        assert_eq!(ep.dup_entries(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dup_retention")]
+    fn retention_shorter_than_ladder_is_rejected() {
+        let sim = Sim::new();
+        let cpu = Resource::new(&sim, "cpu", 1);
+        let net = Network::new(
+            &sim,
+            "net",
+            NetParams {
+                latency: SimDuration::from_micros(500),
+                bandwidth: 1_250_000,
+                switched: false,
+            },
+        );
+        let handler: HandlerFn<NfsRequest, NfsReply> =
+            Rc::new(|_, _, _| Box::pin(async { NfsReply::Ok }));
+        let ep = Endpoint::new(
+            &sim,
+            "nfsd",
+            cpu.clone(),
+            EndpointParams {
+                // 4 s retention < the 5 s ladder (1 s × 5 attempts):
+                // a retransmission could outlive the dup-cache entry
+                // that protects it from double execution.
+                dup_retention: SimDuration::from_secs(4),
+                ..EndpointParams::default()
+            },
+            OpCounter::new(),
+            handler,
+        );
+        let _ = Caller::new(&sim, net, ep, ClientId(1), cpu, CallerParams::default());
+    }
+
+    #[test]
+    fn scripted_reply_loss_is_absorbed_by_the_dup_cache() {
+        let (sim, caller) = setup(SimDuration::ZERO);
+        caller.net.lose_next_reply(1, false);
+        let ep = caller.endpoint.clone();
+        let stats = caller.net.fault_stats();
+        let out = sim.block_on(async move {
+            let r = caller.call(NfsRequest::Null).await;
+            (r, caller.retransmits())
+        });
+        assert_eq!(out.0, Ok(NfsReply::Ok));
+        assert!(out.1 >= 1, "the lost reply forces a retransmission");
+        assert_eq!(ep.executions(), 1, "server executed exactly once");
+        assert_eq!(ep.dup_hits(), 1, "retransmit answered from the dup cache");
+        assert_eq!(stats.killed_attempts(), 1);
+        assert_eq!(stats.retransmit_absorbed(), 1);
+        assert_eq!(stats.outstanding_kills(), 0);
+    }
+
+    #[test]
+    fn random_drops_are_absorbed_by_retransmission() {
+        let (sim, caller) = setup(SimDuration::ZERO);
+        caller.net.set_faults(crate::FaultParams {
+            drop: 0.3,
+            seed: 7,
+            ..crate::FaultParams::default()
+        });
+        let ep = caller.endpoint.clone();
+        let stats = caller.net.fault_stats();
+        let caller = Rc::new(caller);
+        let c2 = Rc::clone(&caller);
+        sim.block_on(async move {
+            for _ in 0..50 {
+                // A call can exhaust its whole ladder against a 30%
+                // drop rate; the application retries with a fresh xid,
+                // exactly as a real NFS client's hard-mount loop would.
+                while c2.call(NfsRequest::Null).await.is_err() {}
+            }
+        });
+        assert_eq!(
+            ep.executions(),
+            50,
+            "each completed call executed exactly once (drops kill the \
+             request before delivery, so abandoned xids never executed)"
+        );
+        assert!(stats.drops() > 0, "a 30% drop rate must fire in 50 calls");
+        assert_eq!(
+            stats.killed_attempts(),
+            stats.retransmit_absorbed() + stats.outstanding_kills(),
+            "kill conservation"
+        );
+    }
+
+    #[test]
+    fn duplicated_requests_hit_the_dup_cache_not_the_handler() {
+        let (sim, caller) = setup(SimDuration::ZERO);
+        caller.net.set_faults(crate::FaultParams {
+            duplicate: 1.0,
+            seed: 3,
+            ..crate::FaultParams::default()
+        });
+        let ep = caller.endpoint.clone();
+        let stats = caller.net.fault_stats();
+        sim.block_on(async move {
+            for _ in 0..10 {
+                assert_eq!(caller.call(NfsRequest::Null).await, Ok(NfsReply::Ok));
+            }
+        });
+        sim.run_to_quiescence();
+        assert_eq!(ep.executions(), 10, "duplicates never re-execute");
+        assert_eq!(stats.dups(), 10);
+        assert_eq!(
+            ep.dup_hits() + ep.dup_joins(),
+            10,
+            "every duplicate was answered by the dup cache"
+        );
+    }
+
+    #[test]
+    fn default_fault_params_are_wire_inert() {
+        // Installing the all-zero fault layer must leave traffic and
+        // timing bit-identical to never installing it.
+        let run = |configure: bool| {
+            let (sim, caller) = setup(SimDuration::ZERO);
+            if configure {
+                caller.net.set_faults(crate::FaultParams::default());
+            }
+            let net = caller.net.clone();
+            sim.block_on(async move {
+                for _ in 0..5 {
+                    caller.call(NfsRequest::Null).await.unwrap();
+                }
+            });
+            (sim.now().as_micros(), net.messages(), net.bytes())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn partitioned_host_times_out_until_heal() {
+        let (sim, caller) = setup(SimDuration::ZERO);
+        caller.net.partition(
+            1,
+            crate::PartitionDir::Both,
+            SimTime::ZERO + SimDuration::from_secs(3600),
+        );
+        let net = caller.net.clone();
+        let out = sim.block_on(async move {
+            let r1 = caller.call(NfsRequest::Null).await;
+            net.heal(1);
+            let r2 = caller.call(NfsRequest::Null).await;
+            (r1, r2)
+        });
+        assert_eq!(out.0, Err(RpcError::Timeout));
+        assert_eq!(out.1, Ok(NfsReply::Ok));
+    }
+
+    #[test]
+    fn dropped_compound_retransmits_as_a_unit() {
+        // The batcher sends one datagram per flush; a drop kills every
+        // member, and each re-enqueues on its own timeout with its
+        // original xid, so nothing double-executes.
+        let (sim, caller) = setup(SimDuration::ZERO);
+        let mut t = TransportParams::paper();
+        t.max_batch = 4;
+        t.batch_window = SimDuration::from_millis(2);
+        caller.set_transport(t);
+        // Drop everything briefly, then let retransmissions through.
+        caller.net.set_faults(crate::FaultParams {
+            drop: 1.0,
+            seed: 11,
+            ..crate::FaultParams::default()
+        });
+        let net = caller.net.clone();
+        let stats = net.fault_stats();
+        let ep = caller.endpoint.clone();
+        let caller = Rc::new(caller);
+        let ok = Rc::new(Cell::new(0u32));
+        for _ in 0..4 {
+            let c = Rc::clone(&caller);
+            let ok = Rc::clone(&ok);
+            sim.spawn(async move {
+                assert_eq!(c.call_bg(0, NfsRequest::Null).await, Ok(NfsReply::Ok));
+                ok.set(ok.get() + 1);
+            });
+        }
+        let sim2 = sim.clone();
+        let net2 = net.clone();
+        let h = sim.spawn(async move {
+            sim2.sleep(SimDuration::from_millis(50)).await;
+            net2.set_faults(crate::FaultParams::default());
+        });
+        sim.run_until(h);
+        sim.run_to_quiescence();
+        assert_eq!(ok.get(), 4, "every batched call eventually completed");
+        assert_eq!(ep.executions(), 4, "each member executed exactly once");
+        assert!(stats.drops() >= 1, "the first flush was dropped");
+        assert_eq!(stats.outstanding_kills(), 0);
+    }
+
+    #[test]
+    fn blocking_requests_never_occupy_the_last_thread() {
+        // §3.2 reserved thread: opens stacking behind a dirty file's
+        // lock must not starve the callback-induced write-back that
+        // would release them. Model the stall with a handler that parks
+        // every Open on an event; a Write delivered while *three* opens
+        // are stalled (against 2 threads) must still execute.
+        let sim = Sim::new();
+        let cpu = Resource::new(&sim, "cpu", 1);
+        let gate = Event::new();
+        let g2 = gate.clone();
+        let handler: HandlerFn<NfsRequest, NfsReply> = Rc::new(move |_from, _ctx, req| {
+            let gate = g2.clone();
+            Box::pin(async move {
+                if matches!(req, NfsRequest::Open { .. }) {
+                    gate.wait().await;
+                }
+                NfsReply::Ok
+            })
+        });
+        let ep = Endpoint::new(
+            &sim,
+            "nfsd",
+            cpu,
+            EndpointParams {
+                threads: 2,
+                cpu_per_call: SimDuration::ZERO,
+                cpu_per_kb: SimDuration::ZERO,
+                dup_retention: SimDuration::from_secs(60),
+            },
+            OpCounter::new(),
+            handler,
+        );
+        let fh = spritely_proto::FileHandle::new(1, 1, 0);
+        let from = ClientId(1);
+        let mut opens = Vec::new();
+        for xid in 0..3 {
+            let ep = ep.clone();
+            opens.push(sim.spawn(async move {
+                ep.deliver(
+                    from,
+                    xid,
+                    0,
+                    NfsRequest::Open {
+                        fh,
+                        write: false,
+                        client: from,
+                    },
+                )
+                .await
+            }));
+        }
+        let ep2 = ep.clone();
+        let write =
+            sim.spawn(async move { ep2.deliver(from, 100, 0, NfsRequest::GetAttr { fh }).await });
+        sim.run_to_quiescence();
+        assert_eq!(
+            write.try_take().expect("write-back class traffic served"),
+            NfsReply::Ok,
+            "the reserved thread served the non-blocking request"
+        );
+        assert!(
+            opens.iter().all(|h| h.try_take().is_none()),
+            "opens are still parked"
+        );
+        gate.set();
+        sim.run_to_quiescence();
+        for h in opens {
+            assert_eq!(h.try_take().expect("open completed"), NfsReply::Ok);
+        }
     }
 
     #[test]

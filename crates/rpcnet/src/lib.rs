@@ -18,10 +18,12 @@
 //! the existing NFS server code").
 
 mod endpoint;
+mod fault;
 mod network;
 mod transport;
 
 pub use endpoint::{Caller, CallerParams, Endpoint, EndpointParams, RpcError};
+pub use fault::{FaultParams, FaultPlan, FaultStats, PartitionDir};
 pub use network::{NetParams, Network};
 pub use transport::{Compoundable, TransportParams, TransportStats};
 
@@ -37,6 +39,16 @@ pub trait Wire {
 pub trait Proc {
     /// The procedure this message invokes.
     fn proc_id(&self) -> NfsProc;
+
+    /// True for procedures whose handler may block on a consistency
+    /// action (a per-file lock or a callback to another client). The
+    /// endpoint admits such requests to at most N−1 of its N threads
+    /// (paper §3.2): a callback-induced write-back must always find a
+    /// free thread, or the very operation waiting on the callback
+    /// starves the traffic that would unblock it.
+    fn may_block(&self) -> bool {
+        false
+    }
 
     /// The file this request concerns, if any (for tracing).
     fn trace_fh(&self) -> Option<FileHandle> {
@@ -97,6 +109,16 @@ impl Proc for NfsRequest {
             NfsRequest::Write { offset, data, .. } => (*offset, data.len() as u64),
             _ => (0, 0),
         }
+    }
+
+    /// Open and close serialize on the server's per-file lock, and an
+    /// open can additionally wait out a callback round; both can stack
+    /// behind a file whose write-back is still in flight. (The hybrid-NFS
+    /// read/write bracket also takes the lock, but classifying all reads
+    /// and writes as blocking would starve the very write-backs the
+    /// reserved thread exists for.)
+    fn may_block(&self) -> bool {
+        matches!(self, NfsRequest::Open { .. } | NfsRequest::Close { .. })
     }
 }
 
@@ -190,6 +212,7 @@ mod wire_tests {
             writeback: false,
             invalidate: false,
             relinquish: false,
+            seq: 0,
         };
         assert_eq!(Wire::wire_size(&rep), Wire::wire_size(&arg));
     }

@@ -5,8 +5,10 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use spritely_sim::{Resource, Sim, SimDuration};
+use spritely_sim::{Resource, Sim, SimDuration, SimTime};
 use spritely_trace::{EventKind, Tracer};
+
+use crate::fault::{FaultParams, FaultPlan, FaultState, FaultStats, PartitionDir};
 
 /// Network timing parameters.
 #[derive(Debug, Clone, Copy)]
@@ -61,6 +63,9 @@ struct NetworkInner {
     messages: Cell<u64>,
     bytes: Cell<u64>,
     tracer: RefCell<Option<Tracer>>,
+    /// Fault-injection state. `None` until faults or partitions are
+    /// configured, so paper-mode runs never touch it.
+    faults: RefCell<Option<FaultState>>,
 }
 
 /// A network segment. Messages pay a transfer time (size / bandwidth,
@@ -85,6 +90,7 @@ impl Network {
                 messages: Cell::new(0),
                 bytes: Cell::new(0),
                 tracer: RefCell::new(None),
+                faults: RefCell::new(None),
             }),
         }
     }
@@ -130,6 +136,137 @@ impl Network {
                 .sum()
         } else {
             self.inner.wire.busy_permit_micros()
+        }
+    }
+
+    /// Installs (or re-seeds) the fault-injection layer. The all-zero
+    /// default is inert; callers consult the layer per RPC attempt via
+    /// [`plan_attempt`](Self::plan_attempt).
+    pub fn set_faults(&self, params: FaultParams) {
+        let mut f = self.inner.faults.borrow_mut();
+        match f.as_mut() {
+            Some(st) => st.set_params(params),
+            None => *f = Some(FaultState::new(params)),
+        }
+    }
+
+    /// True once faults or partitions have been configured.
+    pub fn faults_active(&self) -> bool {
+        self.inner.faults.borrow().is_some()
+    }
+
+    /// The shared fault counters (installing inert fault state on first
+    /// use if none exists yet).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.inner
+            .faults
+            .borrow_mut()
+            .get_or_insert_with(|| FaultState::new(FaultParams::default()))
+            .stats
+            .clone()
+    }
+
+    /// Scripts a partition of `host` in direction `dir` lasting until
+    /// the simulation clock reaches `until` (half-open). Scripted
+    /// partitions consume no randomness, so they never perturb the
+    /// random fault stream.
+    pub fn partition(&self, host: u32, dir: PartitionDir, until: SimTime) {
+        self.inner
+            .faults
+            .borrow_mut()
+            .get_or_insert_with(|| FaultState::new(FaultParams::default()))
+            .add_partition(host, dir, until);
+        self.emit_fault(host, false, 0, "partition_begin");
+    }
+
+    /// Heals every partition window of `host` immediately.
+    pub fn heal(&self, host: u32) {
+        if let Some(st) = self.inner.faults.borrow_mut().as_mut() {
+            st.heal(host);
+        }
+    }
+
+    /// Scripts the loss of the *next* reply on the `(host, to_client)`
+    /// fault link: the server executes, the response vanishes. One-shot;
+    /// used by regression tests that need exactly one lost reply.
+    pub fn lose_next_reply(&self, host: u32, to_client: bool) {
+        self.inner
+            .faults
+            .borrow_mut()
+            .get_or_insert_with(|| FaultState::new(FaultParams::default()))
+            .script_reply_loss(host, to_client);
+    }
+
+    /// Draws the fault verdict for one RPC attempt on the `(host,
+    /// to_client)` fault link. Inert (no draws, no allocation) until
+    /// [`set_faults`](Self::set_faults) or a partition installs state.
+    pub fn plan_attempt(&self, host: u32, to_client: bool) -> FaultPlan {
+        let mut f = self.inner.faults.borrow_mut();
+        let Some(st) = f.as_mut() else {
+            return FaultPlan::default();
+        };
+        let plan = st.plan_attempt(host, to_client, self.inner.sim.now());
+        drop(f);
+        if plan.drop {
+            let kind = if plan.partition { "partition" } else { "drop" };
+            self.emit_fault(host, to_client, 0, kind);
+        }
+        if plan.duplicate {
+            self.emit_fault(host, to_client, 0, "dup");
+        }
+        if !plan.delay.is_zero() {
+            self.emit_fault(host, to_client, 0, "delay");
+        }
+        if plan.reply_loss {
+            self.emit_fault(host, to_client, 0, "reply_loss");
+        }
+        plan
+    }
+
+    /// Reply-time fault check for `xid`'s reply on the `(host,
+    /// to_client)` link: a partition may have started since the request
+    /// was planned, and scripted one-shot reply losses are consumed
+    /// here. Returns true if the reply is lost after execution.
+    pub fn reply_lost(&self, host: u32, to_client: bool, xid: u64) -> bool {
+        let mut f = self.inner.faults.borrow_mut();
+        let Some(st) = f.as_mut() else {
+            return false;
+        };
+        let lost = st.reply_lost(host, to_client, self.inner.sim.now());
+        drop(f);
+        if lost {
+            self.emit_fault(host, to_client, xid, "reply_loss");
+        }
+        lost
+    }
+
+    /// Records that a fault killed `xid`'s attempt on the given link
+    /// (feeds the [`FaultStats`] kill-conservation accounting).
+    pub fn note_kill(&self, host: u32, to_client: bool, xid: u64) {
+        if let Some(st) = self.inner.faults.borrow().as_ref() {
+            st.stats.kill(host, to_client, xid);
+        }
+    }
+
+    /// Marks `xid`'s call complete: any kills charged against it were
+    /// absorbed by retransmission and move to the absorbed counter.
+    pub fn absorb_kills(&self, host: u32, to_client: bool, xid: u64) {
+        if let Some(st) = self.inner.faults.borrow().as_ref() {
+            st.stats.absorb(host, to_client, xid);
+        }
+    }
+
+    fn emit_fault(&self, host: u32, to_client: bool, xid: u64, kind: &'static str) {
+        if let Some(t) = self.inner.tracer.borrow().as_ref() {
+            t.emit(
+                0,
+                EventKind::Fault {
+                    host,
+                    to_client,
+                    xid,
+                    kind,
+                },
+            );
         }
     }
 

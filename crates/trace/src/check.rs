@@ -497,6 +497,7 @@ pub fn kind_name(kind: &EventKind) -> &'static str {
         EventKind::SrvCacheRead { .. } => "srv_cache_read",
         EventKind::NetXmit { .. } => "net_xmit",
         EventKind::Batch { .. } => "batch",
+        EventKind::Fault { .. } => "fault",
     }
 }
 

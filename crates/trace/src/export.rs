@@ -279,6 +279,17 @@ fn write_event_json(out: &mut String, e: &TraceEvent) {
                 from.0
             );
         }
+        EventKind::Fault {
+            host,
+            to_client,
+            xid,
+            kind,
+        } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"fault\",\"host\":{host},\"to_client\":{to_client},\"xid\":{xid},\"kind\":\"{kind}\""
+            );
+        }
     }
     out.push('}');
 }
@@ -498,6 +509,21 @@ fn chrome_event(e: &TraceEvent) -> Option<String> {
             &format!(
                 "batch {}#{id} x{count}",
                 if *reply { "reply" } else { "req" }
+            ),
+            t,
+            "",
+        ),
+        EventKind::Fault {
+            host,
+            to_client,
+            kind,
+            ..
+        } => instant(
+            *host,
+            6,
+            &format!(
+                "fault {kind} {}",
+                if *to_client { "to-client" } else { "to-server" }
             ),
             t,
             "",

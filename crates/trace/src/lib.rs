@@ -257,6 +257,16 @@ pub enum EventKind {
         count: u64,
         reply: bool,
     },
+    /// The fault-injection layer acted on the `(host, to_client)` RPC
+    /// link: `kind` is one of `drop`, `dup`, `delay`, `reply_loss`,
+    /// `partition`, or `partition_begin`. `xid` is the affected call's
+    /// xid when known (0 otherwise). Never emitted when faults are off.
+    Fault {
+        host: u32,
+        to_client: bool,
+        xid: u64,
+        kind: &'static str,
+    },
 }
 
 struct Inner {

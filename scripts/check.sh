@@ -34,4 +34,7 @@ cargo run --release --quiet --example server_io_smoke
 echo "==> transport pipeline smoke run (pipelined must beat paper)"
 cargo run --release --quiet --example transport_smoke
 
+echo "==> chaos smoke run (faulted runs must converge to fault-free contents)"
+cargo run --release --quiet --example chaos_smoke
+
 echo "==> OK"

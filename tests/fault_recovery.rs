@@ -1,0 +1,295 @@
+//! Regression tests for the lossy-network bugs the fault-injection layer
+//! exposed: callback retries across partitions (a partitioned client is
+//! not a crashed client), retransmit-outcome mapping for non-idempotent
+//! procedures after dup-cache loss, and idempotent handling of
+//! duplicated server→client callbacks.
+
+use spritely::harness::{
+    PartitionDir, Protocol, RemoteClient, SnfsServerParams, Testbed, TestbedParams,
+};
+use spritely::proto::BLOCK_SIZE;
+use spritely::sim::SimDuration;
+
+fn two_client_snfs(server: SnfsServerParams) -> Testbed {
+    Testbed::build_with_clients(
+        TestbedParams {
+            protocol: Protocol::Snfs,
+            // Keep dirty data un-flushed long enough for partitions to
+            // matter (the default delay would race the scenarios below).
+            snfs_write_delay: SimDuration::from_secs(120),
+            snfs_server: server,
+            ..TestbedParams::default()
+        },
+        2,
+    )
+}
+
+/// A partitioned-then-healed client's dirty data survives: the server
+/// retries the write-back callback past the partition instead of
+/// declaring the client crashed on the first timeout.
+#[test]
+fn partitioned_client_dirty_data_survives_heal() {
+    let tb = two_client_snfs(SnfsServerParams::default());
+    let a = match &tb.clients[0].remote {
+        RemoteClient::Snfs(c) => c.clone(),
+        _ => panic!("expected SNFS"),
+    };
+    let b = match &tb.clients[1].remote {
+        RemoteClient::Snfs(c) => c.clone(),
+        _ => panic!("expected SNFS"),
+    };
+    let root = tb.server_fs.root();
+    let server = tb.snfs_server.clone().expect("snfs server");
+    let net = tb.net.clone();
+    let sim = tb.sim.clone();
+    let h = sim.spawn({
+        let sim = sim.clone();
+        async move {
+            // B writes and holds the data dirty.
+            let (fh, _) = a.create(root, "f").await.unwrap();
+            b.open(fh, true).await.unwrap();
+            b.write(fh, 0, &[2u8; BLOCK_SIZE]).await.unwrap();
+            b.close(fh, true).await.unwrap();
+            // B's host drops off the network for 12 s.
+            net.partition(
+                2,
+                PartitionDir::Both,
+                sim.now() + SimDuration::from_secs(12),
+            );
+            // A opens while B is unreachable. The server's write-back
+            // callback to B fails until the heal; A's own RPC ladder
+            // (~5 s) is shorter than the server's retry horizon, so A
+            // re-issues the open as a hard-mounted client would.
+            let mut got = None;
+            for _ in 0..20 {
+                if let Ok(attr) = a.open(fh, false).await {
+                    got = Some(attr);
+                    break;
+                }
+            }
+            let attr = got.expect("open succeeded after the heal");
+            assert_eq!(attr.size, BLOCK_SIZE as u64);
+            let (data, _) = a.read(fh, 0, BLOCK_SIZE as u32).await.unwrap();
+            assert!(
+                data.iter().all(|&x| x == 2),
+                "B's dirty data survived the partition"
+            );
+            a.close(fh, false).await.unwrap();
+        }
+    });
+    sim.run_until(h);
+    assert!(
+        server.callback_retries() >= 1,
+        "the server retried the callback across the partition"
+    );
+    assert_eq!(
+        server.stats().callbacks_failed,
+        0,
+        "B was never declared crashed"
+    );
+}
+
+/// Pins the *old* bug: with a zero keepalive horizon the server gives up
+/// on the first failed callback, declares the partitioned client
+/// crashed, and its dirty data is discarded.
+#[test]
+fn zero_horizon_reproduces_the_lost_data_bug() {
+    let tb = two_client_snfs(SnfsServerParams {
+        callback_dead_after: SimDuration::ZERO,
+        ..SnfsServerParams::default()
+    });
+    let a = match &tb.clients[0].remote {
+        RemoteClient::Snfs(c) => c.clone(),
+        _ => panic!("expected SNFS"),
+    };
+    let b = match &tb.clients[1].remote {
+        RemoteClient::Snfs(c) => c.clone(),
+        _ => panic!("expected SNFS"),
+    };
+    let root = tb.server_fs.root();
+    let server = tb.snfs_server.clone().expect("snfs server");
+    let net = tb.net.clone();
+    let sim = tb.sim.clone();
+    let h = sim.spawn({
+        let sim = sim.clone();
+        async move {
+            let (fh, _) = a.create(root, "f").await.unwrap();
+            b.open(fh, true).await.unwrap();
+            b.write(fh, 0, &[2u8; BLOCK_SIZE]).await.unwrap();
+            b.close(fh, true).await.unwrap();
+            net.partition(
+                2,
+                PartitionDir::Both,
+                sim.now() + SimDuration::from_secs(12),
+            );
+            let mut opened = false;
+            for _ in 0..20 {
+                if a.open(fh, false).await.is_ok() {
+                    opened = true;
+                    break;
+                }
+            }
+            assert!(opened);
+            // B's data never reached the server: the legacy behaviour
+            // treats one lost callback as a client crash.
+            let (data, _) = a.read(fh, 0, BLOCK_SIZE as u32).await.unwrap();
+            assert!(
+                data.is_empty() || data.iter().all(|&x| x == 0),
+                "legacy server discarded B's dirty data"
+            );
+            a.close(fh, false).await.unwrap();
+        }
+    });
+    sim.run_until(h);
+    assert!(server.stats().callbacks_failed >= 1, "B declared crashed");
+}
+
+/// The create-returns-EEXIST retransmission race: reply lost after the
+/// server executed, dup cache lost before the retransmit arrived. The
+/// client must recognize the spurious EEXIST on a retransmitted create
+/// and map it to success via lookup.
+#[test]
+fn retransmitted_create_after_dup_cache_loss_succeeds() {
+    let tb = Testbed::build(TestbedParams {
+        protocol: Protocol::Snfs,
+        ..TestbedParams::default()
+    });
+    let c = match &tb.clients[0].remote {
+        RemoteClient::Snfs(c) => c.clone(),
+        _ => panic!("expected SNFS"),
+    };
+    let root = tb.server_fs.root();
+    let net = tb.net.clone();
+    let ep = tb.endpoint.clone().expect("server endpoint");
+    let sim = tb.sim.clone();
+    // Model a server that executed the create, lost the reply, and then
+    // lost its duplicate cache (e.g. rebooted its RPC layer) before the
+    // retransmit arrived.
+    {
+        let sim2 = sim.clone();
+        let ep = ep.clone();
+        sim.spawn(async move {
+            // The first attempt executes within milliseconds; the caller
+            // retransmits after its 1 s timeout. Wipe the cache between.
+            sim2.sleep(SimDuration::from_millis(500)).await;
+            ep.clear_dup_cache();
+        });
+    }
+    let h = sim.spawn(async move {
+        net.lose_next_reply(1, false);
+        let (fh, _) = c
+            .create(root, "victim")
+            .await
+            .expect("retransmitted create maps EEXIST to success");
+        // The handle is the one the first execution created.
+        let (looked, _) = c.lookup(root, "victim").await.unwrap();
+        assert_eq!(fh, looked);
+    });
+    sim.run_until(h);
+}
+
+/// The remove-returns-ENOENT twin: the retransmitted remove finds the
+/// name already gone (its own first transmission removed it) and must
+/// report success, not ENOENT.
+#[test]
+fn retransmitted_remove_after_dup_cache_loss_succeeds() {
+    let tb = Testbed::build(TestbedParams {
+        protocol: Protocol::Snfs,
+        ..TestbedParams::default()
+    });
+    let c = match &tb.clients[0].remote {
+        RemoteClient::Snfs(c) => c.clone(),
+        _ => panic!("expected SNFS"),
+    };
+    let root = tb.server_fs.root();
+    let net = tb.net.clone();
+    let ep = tb.endpoint.clone().expect("server endpoint");
+    let sim = tb.sim.clone();
+    let h = sim.spawn({
+        let sim = sim.clone();
+        async move {
+            let (fh, _) = c.create(root, "doomed").await.unwrap();
+            {
+                let sim2 = sim.clone();
+                let ep = ep.clone();
+                sim.spawn(async move {
+                    sim2.sleep(SimDuration::from_millis(500)).await;
+                    ep.clear_dup_cache();
+                });
+            }
+            net.lose_next_reply(1, false);
+            c.remove(root, "doomed", Some(fh))
+                .await
+                .expect("retransmitted remove maps ENOENT to success");
+            assert!(c.lookup(root, "doomed").await.is_err(), "name is gone");
+        }
+    });
+    sim.run_until(h);
+}
+
+/// A duplicated delivery of a server→client callback must be idempotent
+/// at the client. The duplicate here comes from the server's own retry
+/// (a fresh xid, so the client endpoint's dup cache cannot catch it):
+/// the callback executes, its reply is lost in an outbound-only
+/// partition, and the retry must not invalidate twice.
+#[test]
+fn duplicated_callback_invalidates_once() {
+    let tb = two_client_snfs(SnfsServerParams::default());
+    let a = match &tb.clients[0].remote {
+        RemoteClient::Snfs(c) => c.clone(),
+        _ => panic!("expected SNFS"),
+    };
+    let b = match &tb.clients[1].remote {
+        RemoteClient::Snfs(c) => c.clone(),
+        _ => panic!("expected SNFS"),
+    };
+    let root = tb.server_fs.root();
+    let server = tb.snfs_server.clone().expect("snfs server");
+    let net = tb.net.clone();
+    let sim = tb.sim.clone();
+    let h = sim.spawn({
+        let sim = sim.clone();
+        let a = a.clone();
+        async move {
+            // A caches the file as a reader.
+            let (fh, _) = a.create(root, "shared").await.unwrap();
+            a.open(fh, true).await.unwrap();
+            a.write(fh, 0, &[1u8; BLOCK_SIZE]).await.unwrap();
+            a.fsync(fh).await.unwrap();
+            a.close(fh, true).await.unwrap();
+            a.open(fh, false).await.unwrap();
+            let _ = a.read(fh, 0, BLOCK_SIZE as u32).await.unwrap();
+            // A can receive callbacks but its replies are lost: the
+            // server's first callback executes at A, the reply vanishes,
+            // the RPC ladder exhausts, and the server's retry re-delivers
+            // the same logical callback under a fresh xid.
+            net.partition(
+                1,
+                PartitionDir::Outbound,
+                sim.now() + SimDuration::from_secs(7),
+            );
+            // B opening for write forces the invalidate callback to A.
+            let mut opened = false;
+            for _ in 0..20 {
+                if b.open(fh, true).await.is_ok() {
+                    opened = true;
+                    break;
+                }
+            }
+            assert!(opened, "B's open succeeded after the heal");
+            b.close(fh, true).await.unwrap();
+            a.close(fh, false).await.unwrap();
+        }
+    });
+    sim.run_until(h);
+    assert_eq!(
+        a.stats().invalidations,
+        1,
+        "the duplicated callback invalidated exactly once"
+    );
+    assert!(
+        a.callback_dupes() >= 1,
+        "the client-side sequence guard absorbed the retry"
+    );
+    assert_eq!(server.stats().callbacks_failed, 0);
+}
