@@ -20,6 +20,7 @@ pub mod snapshot;
 mod andrew;
 mod chaosx;
 mod flushx;
+mod matrix;
 mod microx;
 mod scaling;
 mod sortx;
@@ -28,11 +29,12 @@ mod testbed;
 pub use andrew::{run_andrew, run_andrew_with, AndrewRun};
 pub use chaosx::{chaos_andrew, chaos_write_sharing, server_digest, ChaosVerdict};
 pub use flushx::{run_flush, run_flush_with, FlushRun};
+pub use matrix::{render_matrix, run_matrix, Experiment, MatrixResult};
 pub use microx::{run_reopen, run_temp_lifetime, ReopenRun, TempLifetimeRun};
 pub use scaling::{run_scaling, run_scaling_with, ScalingRun};
 pub use snapshot::{
-    ClientSnapshot, FaultSnapshot, ServerIoSnapshot, ServerSnapshot, StatsSnapshot, TraceReport,
-    TransportSnapshot,
+    ClientSnapshot, FaultSnapshot, ServerIoSnapshot, ServerSnapshot, SimSnapshot, StatsSnapshot,
+    TraceReport, TransportSnapshot,
 };
 pub use sortx::{run_sort_experiment, run_sort_with, SortRun};
 pub use spritely_core::{ServerIoParams, SnfsServerParams, WriteBehindParams};

@@ -116,6 +116,54 @@ pub struct FaultSnapshot {
     pub callback_dupes: u64,
 }
 
+/// Executor counters for the run: what the discrete-event scheduler
+/// itself did. `events_retired = polls + timer_fires` is the numerator
+/// of the `sim_speed` events/sec figure, and the `peak_*` fields are a
+/// memory-footprint proxy (slab / heap / queue high-water marks).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimSnapshot {
+    /// Scheduler events retired: task polls + timer firings.
+    pub events_retired: u64,
+    /// Task polls performed.
+    pub polls: u64,
+    /// Tasks spawned.
+    pub tasks_spawned: u64,
+    /// Ready-queue pops for already-finished tasks.
+    pub stale_wakes: u64,
+    /// Timers registered.
+    pub timers_registered: u64,
+    /// Timers that fired.
+    pub timer_fires: u64,
+    /// Timers cancelled before firing (dropped `Sleep`s).
+    pub timer_cancels: u64,
+    /// Distinct instants the virtual clock visited.
+    pub clock_advances: u64,
+    /// High-water mark of the ready queue.
+    pub peak_ready_depth: u64,
+    /// High-water mark of live tasks.
+    pub peak_live_tasks: u64,
+    /// High-water mark of live timers.
+    pub peak_live_timers: u64,
+}
+
+impl From<spritely_sim::SimStats> for SimSnapshot {
+    fn from(s: spritely_sim::SimStats) -> Self {
+        SimSnapshot {
+            events_retired: s.events_retired(),
+            polls: s.polls,
+            tasks_spawned: s.tasks_spawned,
+            stale_wakes: s.stale_wakes,
+            timers_registered: s.timers_registered,
+            timer_fires: s.timer_fires,
+            timer_cancels: s.timer_cancels,
+            clock_advances: s.clock_advances,
+            peak_ready_depth: s.peak_ready_depth,
+            peak_live_tasks: s.peak_live_tasks,
+            peak_live_timers: s.peak_live_timers,
+        }
+    }
+}
+
 /// The server's counters at the end of a run (SNFS protocols only).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServerSnapshot {
@@ -143,6 +191,8 @@ pub struct StatsSnapshot {
     pub server_io: ServerIoSnapshot,
     /// Transport-pipeline counters (all protocols).
     pub transport: TransportSnapshot,
+    /// Executor counters (all protocols).
+    pub sim: SimSnapshot,
     /// Fault-injection accounting (None unless faults were configured;
     /// a fault-free snapshot serializes without this field).
     pub faults: Option<FaultSnapshot>,
@@ -235,6 +285,24 @@ impl StatsSnapshot {
             out.push_str(&format!("\"{}\":{}", p.name(), n));
         }
         out.push_str("}}");
+        let s = &self.sim;
+        out.push_str(&format!(
+            ",\"sim\":{{\"events_retired\":{},\"polls\":{},\"tasks_spawned\":{},\
+             \"stale_wakes\":{},\"timers_registered\":{},\"timer_fires\":{},\
+             \"timer_cancels\":{},\"clock_advances\":{},\"peak_ready_depth\":{},\
+             \"peak_live_tasks\":{},\"peak_live_timers\":{}}}",
+            s.events_retired,
+            s.polls,
+            s.tasks_spawned,
+            s.stale_wakes,
+            s.timers_registered,
+            s.timer_fires,
+            s.timer_cancels,
+            s.clock_advances,
+            s.peak_ready_depth,
+            s.peak_live_tasks,
+            s.peak_live_timers
+        ));
         if let Some(f) = &self.faults {
             out.push_str(&format!(
                 ",\"faults\":{{\"drops\":{},\"dups\":{},\"delays\":{},\

@@ -574,6 +574,7 @@ impl Testbed {
                 attr_elisions,
                 saved_per_proc: ts.saved.snapshot(),
             },
+            sim: self.sim.stats().into(),
             faults: self.net.faults_active().then(|| {
                 let fs = self.net.fault_stats();
                 let (dup_cache_hits, dup_cache_joins) = self

@@ -98,23 +98,19 @@ impl<K: Eq + Hash + Copy> BlockCache<K> {
         (self.hits, self.misses)
     }
 
-    fn bump(&mut self, k: &K) {
-        let lru = self.next_lru;
-        self.next_lru += 1;
-        if let Some(e) = self.map.get_mut(k) {
-            e.lru = lru;
-        }
-    }
-
     /// Looks a block up, bumping its recency and counting hit/miss.
     pub fn get(&mut self, k: &K) -> Option<Vec<u8>> {
-        if self.map.contains_key(k) {
-            self.hits += 1;
-            self.bump(k);
-            Some(self.map[k].data.clone())
-        } else {
-            self.misses += 1;
-            None
+        match self.map.get_mut(k) {
+            Some(e) => {
+                self.hits += 1;
+                e.lru = self.next_lru;
+                self.next_lru += 1;
+                Some(e.data.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
         }
     }
 
@@ -135,23 +131,24 @@ impl<K: Eq + Hash + Copy> BlockCache<K> {
         if self.map.len() <= self.capacity {
             return None;
         }
-        // Prefer the LRU clean block.
-        let victim_clean = self
-            .map
-            .iter()
-            .filter(|(_, e)| e.dirty_since.is_none())
-            .min_by_key(|(_, e)| e.lru)
-            .map(|(k, _)| *k);
-        if let Some(k) = victim_clean {
+        // One pass over the residents: the LRU clean block (preferred
+        // victim) and the LRU block overall. `lru` stamps are unique, so
+        // the choice is deterministic whatever the map's iteration order.
+        let mut lru_clean: Option<(u64, K)> = None;
+        let mut lru_any: Option<(u64, K)> = None;
+        for (k, e) in &self.map {
+            if lru_any.is_none_or(|(l, _)| e.lru < l) {
+                lru_any = Some((e.lru, *k));
+            }
+            if e.dirty_since.is_none() && lru_clean.is_none_or(|(l, _)| e.lru < l) {
+                lru_clean = Some((e.lru, *k));
+            }
+        }
+        if let Some((_, k)) = lru_clean {
             self.map.remove(&k);
             return None;
         }
-        let victim = self
-            .map
-            .iter()
-            .min_by_key(|(_, e)| e.lru)
-            .map(|(k, _)| *k)
-            .expect("over capacity implies nonempty");
+        let (_, victim) = lru_any.expect("over capacity implies nonempty");
         let e = self.map.remove(&victim).expect("victim resident");
         Some(DirtyVictim {
             key: victim,

@@ -10,10 +10,29 @@
 //! Tasks are not `Send`; the whole simulation lives on one OS thread. Wakers
 //! only touch a mutex-protected ready queue, which keeps the `Waker`
 //! contract (`Send + Sync`) satisfied without making tasks thread-safe.
+//!
+//! # Hot-path layout
+//!
+//! The executor retires hundreds of millions of events per experiment
+//! matrix, so the inner loop is flat:
+//!
+//! * **Tasks live in a slab** (`Vec<Option<TaskSlot>>` + free-index stack)
+//!   addressed by generational [`TaskId`]s. Spawn, wake and poll are index
+//!   operations; no hashing. Each slot caches its `Waker`, created once at
+//!   spawn — polling does not allocate. A wake that races task completion
+//!   (the id's generation no longer matches) is counted as a *stale wake*
+//!   and skipped.
+//! * **Timers live in a cancel-aware indexed heap** ([`crate::timer`]):
+//!   dropping a [`Sleep`] before its deadline removes its entry in
+//!   O(log n). The previous `BinaryHeap` accumulated the abandoned guard
+//!   timers of every timeout that lost its race, then paid to pop and
+//!   spuriously fire each one.
+//! * **[`SimStats`]** counts what the loop actually did (polls, timer
+//!   fires/cancels, stale wakes, high-water marks), so events/sec in perf
+//!   benches is measured, not inferred.
 
 use std::cell::RefCell;
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
@@ -21,10 +40,15 @@ use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll, Wake, Waker};
 
 use crate::time::{SimDuration, SimTime};
+use crate::timer::{TimerId, TimerQueue};
 
-/// Identifier of a spawned task, unique within one [`Sim`].
+/// Identifier of a spawned task: a slab index plus a generation that
+/// detects reuse, unique within one [`Sim`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct TaskId(u64);
+pub struct TaskId {
+    index: u32,
+    gen: u32,
+}
 
 /// The queue of tasks made runnable by wakers.
 ///
@@ -32,19 +56,34 @@ pub struct TaskId(u64);
 /// the only piece that needs synchronization.
 #[derive(Default)]
 struct ReadyQueue {
-    queue: Mutex<VecDeque<TaskId>>,
+    state: Mutex<ReadyState>,
+}
+
+#[derive(Default)]
+struct ReadyState {
+    queue: VecDeque<TaskId>,
+    peak_depth: usize,
 }
 
 impl ReadyQueue {
     fn push(&self, id: TaskId) {
-        self.queue
-            .lock()
-            .expect("ready queue poisoned")
-            .push_back(id);
+        let mut s = self.state.lock().expect("ready queue poisoned");
+        s.queue.push_back(id);
+        if s.queue.len() > s.peak_depth {
+            s.peak_depth = s.queue.len();
+        }
     }
 
     fn pop(&self) -> Option<TaskId> {
-        self.queue.lock().expect("ready queue poisoned").pop_front()
+        self.state
+            .lock()
+            .expect("ready queue poisoned")
+            .queue
+            .pop_front()
+    }
+
+    fn peak_depth(&self) -> usize {
+        self.state.lock().expect("ready queue poisoned").peak_depth
     }
 }
 
@@ -63,42 +102,79 @@ impl Wake for TaskWaker {
     }
 }
 
-/// A timer waiting in the heap. Ordered by `(deadline, seq)` so that ties
-/// fire in registration order (determinism).
-struct TimerEntry {
-    deadline: SimTime,
-    seq: u64,
+/// One occupied task slot: the future plus its cached waker.
+struct TaskSlot {
+    gen: u32,
+    /// Taken out while the task is being polled (user code re-enters the
+    /// core), put back on `Pending`.
+    fut: Option<Pin<Box<dyn Future<Output = ()>>>>,
+    /// Created once at spawn; polling clones the `Waker` (an `Arc` bump),
+    /// never allocates.
     waker: Waker,
 }
 
-impl PartialEq for TimerEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.deadline == other.deadline && self.seq == other.seq
-    }
+/// Executor counters: everything the scheduling loop did during a run.
+///
+/// All counts are deterministic for a deterministic program — two
+/// identical runs produce identical `SimStats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Task polls performed.
+    pub polls: u64,
+    /// Tasks spawned.
+    pub tasks_spawned: u64,
+    /// Tasks that ran to completion.
+    pub tasks_completed: u64,
+    /// Ready-queue pops that found the task already finished (or its slot
+    /// reused): wakes that arrived too late to matter.
+    pub stale_wakes: u64,
+    /// Timers registered.
+    pub timers_registered: u64,
+    /// Timers that fired (clock advanced to their deadline).
+    pub timer_fires: u64,
+    /// Timers removed before firing (a `Sleep` dropped mid-wait).
+    pub timer_cancels: u64,
+    /// Clock advances (distinct instants the simulation visited).
+    pub clock_advances: u64,
+    /// High-water mark of the ready queue.
+    pub peak_ready_depth: u64,
+    /// High-water mark of live tasks (slab occupancy; memory proxy).
+    pub peak_live_tasks: u64,
+    /// High-water mark of live timers (heap occupancy; memory proxy).
+    pub peak_live_timers: u64,
 }
 
-impl Eq for TimerEntry {}
-
-impl PartialOrd for TimerEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for TimerEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want the earliest deadline
-        // on top.
-        (other.deadline, other.seq).cmp(&(self.deadline, self.seq))
+impl SimStats {
+    /// Total scheduler events retired: polls plus timer firings. This is
+    /// the numerator of the `sim_speed` events/sec figure.
+    pub fn events_retired(&self) -> u64 {
+        self.polls + self.timer_fires
     }
 }
 
 struct Core {
     now: SimTime,
-    timers: BinaryHeap<TimerEntry>,
-    tasks: HashMap<TaskId, Pin<Box<dyn Future<Output = ()>>>>,
-    next_task: u64,
-    next_seq: u64,
+    timers: TimerQueue,
+    tasks: Vec<Option<TaskSlot>>,
+    /// Free slab indices, reused LIFO.
+    free: Vec<u32>,
+    /// Generation counters per slot, persisting across reuse.
+    gens: Vec<u32>,
+    live_tasks: usize,
+    peak_live_tasks: usize,
+    /// Scratch buffer for due-timer wakers (reused across advances).
+    due: Vec<Waker>,
+    stats: SimStats,
+}
+
+impl Core {
+    fn free_slot(&mut self, index: u32) {
+        self.tasks[index as usize] = None;
+        self.gens[index as usize] = self.gens[index as usize].wrapping_add(1);
+        self.free.push(index);
+        self.live_tasks -= 1;
+        self.stats.tasks_completed += 1;
+    }
 }
 
 /// Handle to a simulation. Cheap to clone; all clones refer to the same
@@ -121,10 +197,14 @@ impl Sim {
         Sim {
             core: Rc::new(RefCell::new(Core {
                 now: SimTime::ZERO,
-                timers: BinaryHeap::new(),
-                tasks: HashMap::new(),
-                next_task: 0,
-                next_seq: 0,
+                timers: TimerQueue::default(),
+                tasks: Vec::new(),
+                free: Vec::new(),
+                gens: Vec::new(),
+                live_tasks: 0,
+                peak_live_tasks: 0,
+                due: Vec::new(),
+                stats: SimStats::default(),
             })),
             ready: Arc::new(ReadyQueue::default()),
         }
@@ -159,9 +239,31 @@ impl Sim {
         };
         let id = {
             let mut core = self.core.borrow_mut();
-            let id = TaskId(core.next_task);
-            core.next_task += 1;
-            core.tasks.insert(id, Box::pin(wrapped));
+            let index = match core.free.pop() {
+                Some(i) => i,
+                None => {
+                    let i = core.tasks.len() as u32;
+                    core.tasks.push(None);
+                    core.gens.push(0);
+                    i
+                }
+            };
+            let id = TaskId {
+                index,
+                gen: core.gens[index as usize],
+            };
+            let waker = Waker::from(Arc::new(TaskWaker {
+                id,
+                ready: Arc::clone(&self.ready),
+            }));
+            core.tasks[index as usize] = Some(TaskSlot {
+                gen: id.gen,
+                fut: Some(Box::pin(wrapped)),
+                waker,
+            });
+            core.live_tasks += 1;
+            core.peak_live_tasks = core.peak_live_tasks.max(core.live_tasks);
+            core.stats.tasks_spawned += 1;
             id
         };
         self.ready.push(id);
@@ -173,6 +275,7 @@ impl Sim {
         Sleep {
             sim: self.clone(),
             deadline: self.now() + d,
+            timer: None,
             registered: false,
         }
     }
@@ -183,6 +286,7 @@ impl Sim {
         Sleep {
             sim: self.clone(),
             deadline: at,
+            timer: None,
             registered: false,
         }
     }
@@ -199,38 +303,57 @@ impl Sim {
         }
     }
 
-    fn register_timer(&self, deadline: SimTime, waker: Waker) {
+    fn register_timer(&self, deadline: SimTime, waker: Waker) -> TimerId {
         let mut core = self.core.borrow_mut();
-        let seq = core.next_seq;
-        core.next_seq += 1;
-        core.timers.push(TimerEntry {
-            deadline,
-            seq,
-            waker,
-        });
+        core.stats.timers_registered += 1;
+        core.timers.register(deadline, waker)
+    }
+
+    fn cancel_timer(&self, id: TimerId) {
+        self.core.borrow_mut().timers.cancel(id);
     }
 
     /// Polls every runnable task once; returns how many polls were made.
     fn drain_ready(&self) -> usize {
         let mut polled = 0;
         while let Some(id) = self.ready.pop() {
-            // Take the future out of the map so the core is not borrowed
+            // Take the future out of its slot so the core is not borrowed
             // while user code runs (user code re-enters the Sim).
-            let fut = self.core.borrow_mut().tasks.remove(&id);
-            let Some(mut fut) = fut else {
-                // Stale wake for a finished task; ignore.
-                continue;
+            let (mut fut, waker) = {
+                let mut core = self.core.borrow_mut();
+                let fut = match core.tasks.get_mut(id.index as usize) {
+                    Some(Some(slot)) if slot.gen == id.gen => slot.fut.take(),
+                    _ => None,
+                };
+                let Some(fut) = fut else {
+                    // Wake for a finished task (or one mid-poll via a
+                    // nested executor entry); ignore.
+                    core.stats.stale_wakes += 1;
+                    continue;
+                };
+                core.stats.polls += 1;
+                let waker = core.tasks[id.index as usize]
+                    .as_ref()
+                    .expect("slot occupied")
+                    .waker
+                    .clone();
+                (fut, waker)
             };
             polled += 1;
-            let waker = Waker::from(Arc::new(TaskWaker {
-                id,
-                ready: Arc::clone(&self.ready),
-            }));
             let mut cx = Context::from_waker(&waker);
             match fut.as_mut().poll(&mut cx) {
-                Poll::Ready(()) => {}
+                Poll::Ready(()) => {
+                    // Drop the future *before* re-borrowing the core: its
+                    // destructor may cancel timers (Sleep::drop).
+                    drop(fut);
+                    self.core.borrow_mut().free_slot(id.index);
+                }
                 Poll::Pending => {
-                    self.core.borrow_mut().tasks.insert(id, fut);
+                    let mut core = self.core.borrow_mut();
+                    core.tasks[id.index as usize]
+                        .as_mut()
+                        .expect("slot occupied")
+                        .fut = Some(fut);
                 }
             }
         }
@@ -240,21 +363,26 @@ impl Sim {
     /// Advances the clock to the earliest pending timer and fires every
     /// timer due at that instant. Returns false if there are no timers.
     fn advance_time(&self) -> bool {
-        let mut core = self.core.borrow_mut();
-        let Some(first) = core.timers.peek() else {
-            return false;
+        let mut due = {
+            let mut core = self.core.borrow_mut();
+            let Some(t) = core.timers.peek_deadline() else {
+                return false;
+            };
+            assert!(t >= core.now, "timer in the past: executor bug");
+            core.now = t;
+            core.stats.clock_advances += 1;
+            let mut due = std::mem::take(&mut core.due);
+            while let Some(w) = core.timers.pop_due(t) {
+                due.push(w);
+            }
+            core.stats.timer_fires += due.len() as u64;
+            due
         };
-        let t = first.deadline;
-        assert!(t >= core.now, "timer in the past: executor bug");
-        core.now = t;
-        let mut due = Vec::new();
-        while core.timers.peek().is_some_and(|e| e.deadline == t) {
-            due.push(core.timers.pop().expect("peeked timer vanished"));
+        for w in due.drain(..) {
+            w.wake();
         }
-        drop(core);
-        for e in due {
-            e.waker.wake();
-        }
+        // Hand the (empty) scratch buffer back for the next advance.
+        self.core.borrow_mut().due = due;
         true
     }
 
@@ -308,7 +436,23 @@ impl Sim {
 
     /// Number of live (spawned, not yet finished) tasks.
     pub fn live_tasks(&self) -> usize {
-        self.core.borrow().tasks.len()
+        self.core.borrow().live_tasks
+    }
+
+    /// Number of live (registered, not yet fired or cancelled) timers.
+    pub fn live_timers(&self) -> usize {
+        self.core.borrow().timers.len()
+    }
+
+    /// Executor counters up to now (see [`SimStats`]).
+    pub fn stats(&self) -> SimStats {
+        let core = self.core.borrow();
+        let mut s = core.stats;
+        s.timer_cancels = core.timers.cancels();
+        s.peak_live_tasks = core.peak_live_tasks as u64;
+        s.peak_live_timers = core.timers.peak_live() as u64;
+        s.peak_ready_depth = self.ready.peak_depth() as u64;
+        s
     }
 }
 
@@ -361,9 +505,16 @@ impl<T> Future for JoinHandle<T> {
 }
 
 /// Future returned by [`Sim::sleep`] / [`Sim::sleep_until`].
+///
+/// Registration is single-shot (the deadline never moves and the heap
+/// entry wakes the owning task by id, which stays valid across re-polls),
+/// and the entry is *cancelled on drop*: abandoning a `Sleep` mid-wait —
+/// a timeout that lost its race, a dropped retransmission guard — leaves
+/// no live timer behind.
 pub struct Sleep {
     sim: Sim,
     deadline: SimTime,
+    timer: Option<TimerId>,
     registered: bool,
 }
 
@@ -372,19 +523,26 @@ impl Future for Sleep {
 
     fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
         if self.sim.now() >= self.deadline {
+            // The entry (if any) fired to get us here; a stale cancel is a
+            // generation-checked no-op, so take() keeps Drop cheap.
+            self.timer.take();
             return Poll::Ready(());
         }
-        // Register exactly once: the heap entry's waker targets the owning
-        // task by id, which stays valid across re-polls, and the deadline
-        // never moves. Re-registering on every poll would let spurious
-        // wakeups multiply timer entries (each stale firing re-polls the
-        // task, which would enqueue yet another entry — quadratic blowup).
         if !self.registered {
             let deadline = self.deadline;
-            self.sim.register_timer(deadline, cx.waker().clone());
+            let timer = self.sim.register_timer(deadline, cx.waker().clone());
+            self.timer = Some(timer);
             self.registered = true;
         }
         Poll::Pending
+    }
+}
+
+impl Drop for Sleep {
+    fn drop(&mut self) {
+        if let Some(id) = self.timer.take() {
+            self.sim.cancel_timer(id);
+        }
     }
 }
 
@@ -633,5 +791,105 @@ mod tests {
             s.sleep_until(SimTime::from_micros(1)).await;
             assert_eq!(s.now().as_secs_f64(), 5.0);
         });
+    }
+
+    #[test]
+    fn cancelled_sleep_leaves_no_live_timer() {
+        // The stale-timer regression: a timeout whose inner future wins
+        // must remove its guard entry, not leave it to fire spuriously.
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.block_on(async move {
+            let r = s
+                .timeout(
+                    SimDuration::from_secs(100),
+                    s.sleep(SimDuration::from_millis(1)),
+                )
+                .await;
+            assert!(r.is_ok());
+            assert_eq!(s.live_timers(), 0, "abandoned guard timer left behind");
+        });
+        // Quiescence is reached at the inner deadline, not the guard's.
+        sim.run_to_quiescence();
+        assert_eq!(sim.now().as_micros(), 1_000);
+        let st = sim.stats();
+        assert_eq!(st.timer_cancels, 1);
+        assert_eq!(st.stale_wakes, 0);
+    }
+
+    #[test]
+    fn explicitly_dropped_sleep_cancels_its_timer() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.block_on(async move {
+            let mut sl = s.sleep(SimDuration::from_secs(50));
+            // Poll it once so it registers, then drop it.
+            futures_poll_once(&mut sl);
+            assert_eq!(s.live_timers(), 1);
+            drop(sl);
+            assert_eq!(s.live_timers(), 0);
+        });
+    }
+
+    /// Polls a future once with a no-op waker (test helper).
+    fn futures_poll_once<F: Future + Unpin>(f: &mut F) {
+        struct Noop;
+        impl Wake for Noop {
+            fn wake(self: Arc<Self>) {}
+        }
+        let waker = Waker::from(Arc::new(Noop));
+        let mut cx = Context::from_waker(&waker);
+        let _ = Pin::new(f).poll(&mut cx);
+    }
+
+    #[test]
+    fn slab_reuses_slots_without_cross_waking() {
+        let sim = Sim::new();
+        let hits: Rc<RefCell<Vec<u32>>> = Rc::default();
+        // Wave 1: tasks finish quickly, freeing their slots.
+        for i in 0..4u32 {
+            let s = sim.clone();
+            let hits = Rc::clone(&hits);
+            sim.spawn(async move {
+                s.sleep(SimDuration::from_micros(u64::from(i))).await;
+                hits.borrow_mut().push(i);
+            });
+        }
+        sim.run_to_quiescence();
+        // Wave 2 reuses the slots; stale wakes from wave 1 (none should
+        // exist, but generations guard it) must not touch wave 2.
+        for i in 10..14u32 {
+            let s = sim.clone();
+            let hits = Rc::clone(&hits);
+            sim.spawn(async move {
+                s.sleep(SimDuration::from_micros(u64::from(i))).await;
+                hits.borrow_mut().push(i);
+            });
+        }
+        sim.run_to_quiescence();
+        assert_eq!(*hits.borrow(), vec![0, 1, 2, 3, 10, 11, 12, 13]);
+        let st = sim.stats();
+        assert_eq!(st.tasks_spawned, 8);
+        assert_eq!(st.tasks_completed, 8);
+        assert!(st.peak_live_tasks <= 4, "slots were not reused");
+    }
+
+    #[test]
+    fn stats_count_polls_and_fires() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.block_on(async move {
+            for _ in 0..10 {
+                s.sleep(SimDuration::from_millis(1)).await;
+            }
+        });
+        let st = sim.stats();
+        assert_eq!(st.timer_fires, 10);
+        assert_eq!(st.timers_registered, 10);
+        assert!(st.polls >= 11);
+        assert_eq!(st.tasks_spawned, 1);
+        assert_eq!(st.tasks_completed, 1);
+        assert!(st.events_retired() >= 21);
+        assert_eq!(st.clock_advances, 10);
     }
 }

@@ -38,8 +38,11 @@ mod resource;
 mod rng;
 mod sync;
 mod time;
+mod timer;
 
-pub use executor::{yield_now, JoinHandle, Sim, Sleep, TaskId, TimedOut, Timeout, YieldNow};
+pub use executor::{
+    yield_now, JoinHandle, Sim, SimStats, Sleep, TaskId, TimedOut, Timeout, YieldNow,
+};
 pub use resource::{Resource, ResourceGuard};
 pub use rng::SimRng;
 pub use sync::{channel, Acquire, Event, EventWait, Permit, Receiver, Recv, Semaphore, Sender};

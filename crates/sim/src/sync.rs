@@ -6,7 +6,7 @@
 //! [`Sim`]: crate::Sim
 
 use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
@@ -45,12 +45,12 @@ pub struct Semaphore {
 struct SemInner {
     /// Free permits not reserved for any waiter.
     permits: usize,
-    /// Tickets waiting for a permit, in FIFO order.
-    queue: VecDeque<u64>,
+    /// Tickets waiting for a permit, in FIFO order, each carrying its
+    /// waker inline — a grant is a pop plus a wake, no keyed lookup.
+    queue: VecDeque<(u64, Waker)>,
     /// Tickets that have been handed a permit but whose future has not
     /// observed it yet.
     granted: Vec<u64>,
-    wakers: HashMap<u64, Waker>,
     next_ticket: u64,
     capacity: usize,
 }
@@ -59,11 +59,9 @@ impl SemInner {
     /// Returns one permit to the pool, preferring a direct handoff to the
     /// queue head.
     fn release_one(&mut self) {
-        if let Some(t) = self.queue.pop_front() {
+        if let Some((t, w)) = self.queue.pop_front() {
             self.granted.push(t);
-            if let Some(w) = self.wakers.remove(&t) {
-                w.wake();
-            }
+            w.wake();
         } else {
             self.permits += 1;
             debug_assert!(self.permits <= self.capacity, "semaphore over-released");
@@ -79,7 +77,6 @@ impl Semaphore {
                 permits: capacity,
                 queue: VecDeque::new(),
                 granted: Vec::new(),
-                wakers: HashMap::new(),
                 next_ticket: 0,
                 capacity,
             })),
@@ -157,8 +154,7 @@ impl Future for Acquire {
                 }
                 let t = s.next_ticket;
                 s.next_ticket += 1;
-                s.queue.push_back(t);
-                s.wakers.insert(t, cx.waker().clone());
+                s.queue.push_back((t, cx.waker().clone()));
                 self.ticket = Some(t);
                 Poll::Pending
             }
@@ -170,7 +166,12 @@ impl Future for Acquire {
                     self.ticket = Some(u64::MAX);
                     Poll::Ready(Permit { sem: inner })
                 } else {
-                    s.wakers.insert(t, cx.waker().clone());
+                    // Spurious poll while still queued (e.g. a sibling
+                    // branch of a combinator woke the task): refresh the
+                    // stored waker. Rare, so the scan is fine.
+                    if let Some(entry) = s.queue.iter_mut().find(|(q, _)| *q == t) {
+                        entry.1 = cx.waker().clone();
+                    }
                     Poll::Pending
                 }
             }
@@ -186,8 +187,7 @@ impl Drop for Acquire {
             return;
         }
         let mut s = self.sem.inner.borrow_mut();
-        s.wakers.remove(&t);
-        if let Some(pos) = s.queue.iter().position(|&q| q == t) {
+        if let Some(pos) = s.queue.iter().position(|(q, _)| *q == t) {
             // Still waiting: just leave the queue.
             s.queue.remove(pos);
         } else if let Some(pos) = s.granted.iter().position(|&g| g == t) {

@@ -113,4 +113,91 @@ proptest! {
         prop_assert!(out.0);
         prop_assert_eq!(out.1, ms);
     }
+
+    /// Arbitrary interleavings of timer registration and cancellation
+    /// (every task races a sleep against a timeout guard; whichever has
+    /// the later deadline gets cancelled mid-heap) still fire survivors
+    /// in deadline-then-registration order, and leave nothing behind.
+    #[test]
+    fn interleaved_register_cancel_fires_in_deadline_seq_order(
+        pairs in proptest::collection::vec((1u64..500, 1u64..500), 1..24)
+    ) {
+        let sim = Sim::new();
+        let log: Rc<RefCell<Vec<(u64, usize)>>> = Rc::default();
+        for (i, (d, g)) in pairs.iter().copied().enumerate() {
+            let s = sim.clone();
+            let log = Rc::clone(&log);
+            sim.spawn(async move {
+                // Inner sleep (deadline d) vs guard (deadline g). The
+                // loser's timer is cancelled when the Timeout drops it.
+                let r = s
+                    .timeout(SimDuration::from_micros(g), s.sleep(SimDuration::from_micros(d)))
+                    .await;
+                if r.is_ok() {
+                    log.borrow_mut().push((s.now().as_micros(), i));
+                }
+            });
+        }
+        sim.run_to_quiescence();
+        // Tasks register their timers at t=0 in spawn order, so the
+        // expected completion order of the survivors (d <= g: the inner
+        // sleep polls, and therefore registers, before its guard) is
+        // deadline-then-spawn-index.
+        let mut want: Vec<(u64, usize)> = pairs
+            .iter()
+            .enumerate()
+            .filter(|(_, &(d, g))| d <= g)
+            .map(|(i, &(d, _))| (d, i))
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(log.borrow().clone(), want);
+        // Every loser was cancelled, not left to fire at quiescence.
+        prop_assert_eq!(sim.live_timers(), 0);
+        let last = want.last().map_or(0, |&(d, _)| d);
+        prop_assert_eq!(sim.now().as_micros(),
+            pairs.iter().map(|&(d, g)| d.min(g)).max().unwrap_or(0).max(last));
+    }
+
+    /// Task slots are recycled across waves; a recycled slot must never
+    /// deliver a wake to the task now occupying it on behalf of the task
+    /// that used to (generational ids make such wakes stale no-ops).
+    #[test]
+    fn slab_reuse_never_wakes_wrong_generation(
+        waves in proptest::collection::vec(
+            proptest::collection::vec(0u64..200, 1..12), 2..5)
+    ) {
+        let sim = Sim::new();
+        let log: Rc<RefCell<Vec<(usize, usize)>>> = Rc::default();
+        let mut biggest = 0usize;
+        for (w, delays) in waves.iter().enumerate() {
+            biggest = biggest.max(delays.len());
+            for (i, d) in delays.iter().copied().enumerate() {
+                let s = sim.clone();
+                let log = Rc::clone(&log);
+                sim.spawn(async move {
+                    s.sleep(SimDuration::from_micros(d)).await;
+                    log.borrow_mut().push((w, i));
+                });
+            }
+            // Quiescence between waves: every slot is freed and eligible
+            // for reuse by the next wave.
+            sim.run_to_quiescence();
+            prop_assert_eq!(sim.live_tasks(), 0);
+        }
+        // Each task completed exactly once, attributed to its own wave.
+        let mut got = log.borrow().clone();
+        got.sort_unstable();
+        let mut want = Vec::new();
+        for (w, delays) in waves.iter().enumerate() {
+            for i in 0..delays.len() {
+                want.push((w, i));
+            }
+        }
+        prop_assert_eq!(got, want);
+        let stats = sim.stats();
+        prop_assert_eq!(stats.tasks_completed, want.len() as u64);
+        // Slot recycling actually happened: occupancy never exceeded the
+        // biggest single wave even though every wave allocated tasks.
+        prop_assert!(stats.peak_live_tasks <= biggest as u64);
+    }
 }

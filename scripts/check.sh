@@ -22,6 +22,9 @@ cargo clippy -p spritely-blockdev --all-targets -- -D warnings
 echo "==> cargo clippy -p spritely-proto -p spritely-rpcnet -- -D warnings"
 cargo clippy -p spritely-proto -p spritely-rpcnet --all-targets -- -D warnings
 
+echo "==> cargo clippy -p spritely-sim -- -D warnings"
+cargo clippy -p spritely-sim --all-targets -- -D warnings
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -36,5 +39,8 @@ cargo run --release --quiet --example transport_smoke
 
 echo "==> chaos smoke run (faulted runs must converge to fault-free contents)"
 cargo run --release --quiet --example chaos_smoke
+
+echo "==> sim-core smoke run (>= 1.5x pre-PR events/sec, cancelled sleeps leave no timers)"
+cargo run --release --quiet --example sim_speed_smoke
 
 echo "==> OK"

@@ -9,13 +9,15 @@
 //! spritely micro                    # §5.3 write-close-reopen-read
 //! spritely lifetime                 # temp-file lifetime sweep
 //! spritely scaling                  # §2.3 multi-client capacity
+//! spritely matrix [--threads N]     # experiment matrix, fanned across threads
 //! spritely all                      # everything above
 //! ```
 
 use std::process::ExitCode;
 
 use spritely::harness::{
-    report, run_andrew, run_reopen, run_scaling, run_sort_experiment, run_temp_lifetime, Protocol,
+    render_matrix, report, run_andrew, run_matrix, run_reopen, run_scaling, run_sort_experiment,
+    run_temp_lifetime, Experiment, Protocol,
 };
 use spritely::metrics::TextTable;
 use spritely::proto::NfsProc;
@@ -30,6 +32,7 @@ fn usage() -> ExitCode {
            micro        (§5.3 write-close-reopen-read)\n\
            lifetime     (temp-file lifetime sweep)\n\
            scaling      (§2.3 multi-client capacity)\n\
+           matrix       (experiment matrix fanned across --threads N workers)\n\
            all"
     );
     ExitCode::from(2)
@@ -171,6 +174,43 @@ fn scaling(seed: u64) {
     let _ = NfsProc::Null; // keep the import obviously used
 }
 
+fn matrix(seed: u64, threads: usize) {
+    let mut jobs = Vec::new();
+    for p in [Protocol::Nfs, Protocol::Snfs] {
+        for tmp_remote in [false, true] {
+            jobs.push(Experiment::Andrew {
+                protocol: p,
+                tmp_remote,
+                seed,
+            });
+        }
+        jobs.push(Experiment::Sort {
+            protocol: p,
+            input_bytes: 1408 * 1024,
+            update: true,
+        });
+        jobs.push(Experiment::Scaling {
+            protocol: p,
+            clients: 4,
+            seed,
+        });
+    }
+    let results = run_matrix(&jobs, threads);
+    println!(
+        "Experiment matrix: {} runs on {} worker thread(s)\n",
+        jobs.len(),
+        threads.max(1)
+    );
+    println!("{}", render_matrix(&results));
+}
+
+fn parse_threads(args: &[String]) -> usize {
+    args.windows(2)
+        .find(|w| w[0] == "--threads")
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let seed = parse_seed(&args);
@@ -193,6 +233,7 @@ fn main() -> ExitCode {
         ("micro", None) => micro(),
         ("lifetime", None) => lifetime(),
         ("scaling", None) => scaling(seed),
+        ("matrix", None) => matrix(seed, parse_threads(&args)),
         ("all", None) => {
             table_5_1(seed);
             table_5_2(seed);

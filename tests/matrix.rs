@@ -1,0 +1,69 @@
+//! The parallel experiment-matrix determinism contract: for any matrix
+//! of experiments and any worker-thread count, `run_matrix` returns
+//! results byte-identical to serial execution, in job order. Each run
+//! is an isolated single-threaded simulation, so parallelism can only
+//! change wall-clock time, never a result — this test pins that.
+
+use proptest::prelude::*;
+use spritely::harness::{run_matrix, Experiment, Protocol};
+
+/// A small pool of cheap experiments the random matrices draw from.
+fn job_pool() -> Vec<Experiment> {
+    vec![
+        Experiment::Sort {
+            protocol: Protocol::Nfs,
+            input_bytes: 281 * 1024,
+            update: true,
+        },
+        Experiment::Sort {
+            protocol: Protocol::Snfs,
+            input_bytes: 281 * 1024,
+            update: false,
+        },
+        Experiment::Scaling {
+            protocol: Protocol::Snfs,
+            clients: 2,
+            seed: 11,
+        },
+        Experiment::Scaling {
+            protocol: Protocol::Nfs,
+            clients: 2,
+            seed: 12,
+        },
+        Experiment::Andrew {
+            protocol: Protocol::Snfs,
+            tmp_remote: true,
+            seed: 13,
+        },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random matrices (with repeats — the same job twice must produce
+    /// the same bytes twice) run on random thread counts match serial.
+    #[test]
+    fn parallel_matrix_is_byte_identical_to_serial(
+        picks in proptest::collection::vec(0usize..5, 1..5),
+        threads in 2usize..6,
+    ) {
+        let pool = job_pool();
+        let jobs: Vec<Experiment> = picks.iter().map(|&i| pool[i]).collect();
+        let serial = run_matrix(&jobs, 1);
+        let parallel = run_matrix(&jobs, threads);
+        prop_assert_eq!(&serial, &parallel);
+        // Results come back in job order under both schedules.
+        for (job, res) in jobs.iter().zip(&serial) {
+            prop_assert_eq!(&job.label(), &res.label);
+        }
+        // Repeated jobs reproduce their bytes exactly.
+        for (i, a) in picks.iter().enumerate() {
+            for (j, b) in picks.iter().enumerate().skip(i + 1) {
+                if a == b {
+                    prop_assert_eq!(&serial[i].stats_json, &serial[j].stats_json);
+                }
+            }
+        }
+    }
+}
