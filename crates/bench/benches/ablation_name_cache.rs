@@ -8,13 +8,14 @@
 //! them too, but with a stale-name window.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use spritely_bench::{artifact, config};
+use spritely_bench::{artifact, bench_ledger, config, slug_of};
 use spritely_harness::{run_andrew_with, Protocol, TestbedParams};
 use spritely_metrics::TextTable;
 use spritely_proto::NfsProc;
 
 fn bench(c: &mut Criterion) {
     let mut t = TextTable::new(vec!["variant", "total s", "lookups", "total ops"]);
+    let mut ledger = Vec::new();
     for (label, protocol, name_cache) in [
         ("NFS", Protocol::Nfs, false),
         ("NFS + dnlc", Protocol::Nfs, true),
@@ -36,8 +37,13 @@ fn bench(c: &mut Criterion) {
             r.ops_with_tail.get(NfsProc::Lookup).to_string(),
             r.ops_with_tail.total().to_string(),
         ]);
+        ledger.push((
+            format!("{}_lookups", slug_of(label)),
+            r.ops_with_tail.get(NfsProc::Lookup).to_string(),
+        ));
     }
     artifact("Ablation: name caching (Andrew, /tmp remote)", &t.render());
+    bench_ledger("ablation_name_cache", &ledger);
     let mut g = c.benchmark_group("ablation_name_cache");
     g.bench_function("andrew_snfs_name_cache", |b| {
         b.iter(|| {

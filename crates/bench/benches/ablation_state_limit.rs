@@ -4,7 +4,7 @@
 //! the paper sized it) never reclaims on this workload.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use spritely_bench::{artifact, config};
+use spritely_bench::{artifact, bench_ledger, config};
 use spritely_harness::{Protocol, RemoteClient, SnfsServerParams, Testbed, TestbedParams};
 use spritely_metrics::TextTable;
 use spritely_sim::SimDuration;
@@ -59,6 +59,7 @@ fn bench(c: &mut Criterion) {
         "callbacks",
         "early write RPCs",
     ]);
+    let mut ledger = Vec::new();
     for limit in [16usize, 64, 1000] {
         let (len, passes, callbacks, writes) = churn(limit);
         t.row(vec![
@@ -68,11 +69,14 @@ fn bench(c: &mut Criterion) {
             callbacks.to_string(),
             writes.to_string(),
         ]);
+        ledger.push((format!("limit_{limit}_reclaims"), passes.to_string()));
+        ledger.push((format!("limit_{limit}_callbacks"), callbacks.to_string()));
     }
     artifact(
         "Ablation: state-table limit under 256-file churn",
         &t.render(),
     );
+    bench_ledger("ablation_state_limit", &ledger);
     let mut g = c.benchmark_group("ablation_state_limit");
     for limit in [16usize, 1000] {
         g.bench_function(format!("churn_limit_{limit}"), |b| {

@@ -4,7 +4,7 @@
 //! benchmark responds directly.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use spritely_bench::{artifact, config};
+use spritely_bench::{artifact, bench_ledger, config, slug_of};
 use spritely_harness::{run_sort_with, Protocol, TestbedParams};
 use spritely_metrics::TextTable;
 use spritely_proto::NfsProc;
@@ -41,6 +41,7 @@ fn bench(c: &mut Criterion) {
         ),
     ];
     let mut t = TextTable::new(vec!["policy", "elapsed s", "write RPCs"]);
+    let mut ledger = Vec::new();
     for (name, params) in &variants {
         let r = run_sort_with(*params, 2816 * 1024);
         t.row(vec![
@@ -48,11 +49,16 @@ fn bench(c: &mut Criterion) {
             format!("{:.1}", r.elapsed.as_secs_f64()),
             r.ops.get(NfsProc::Write).to_string(),
         ]);
+        ledger.push((
+            format!("{}_write_rpcs", slug_of(name)),
+            r.ops.get(NfsProc::Write).to_string(),
+        ));
     }
     artifact(
         "Ablation: SNFS write-delay policy (sort 2816 KB)",
         &t.render(),
     );
+    bench_ledger("ablation_write_delay", &ledger);
     let mut g = c.benchmark_group("ablation_write_delay");
     g.bench_function("sort_sprite_age_policy", |b| {
         b.iter(|| run_sort_with(variants[1].1, 1408 * 1024).elapsed)

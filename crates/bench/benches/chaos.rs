@@ -7,7 +7,7 @@
 //! fault without corrupting the server's stable contents.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use spritely_bench::{artifact, config};
+use spritely_bench::{artifact, bench_ledger, config};
 use spritely_harness::{chaos_andrew, chaos_write_sharing};
 
 fn bench(c: &mut Criterion) {
@@ -22,6 +22,15 @@ fn bench(c: &mut Criterion) {
         ));
     }
     artifact("Chaos: fault injection convergence", &body);
+    bench_ledger(
+        "chaos",
+        &[
+            ("andrew_injected".into(), andrew.injected().to_string()),
+            ("andrew_converged".into(), andrew.converged().to_string()),
+            ("sharing_injected".into(), sharing.injected().to_string()),
+            ("sharing_converged".into(), sharing.converged().to_string()),
+        ],
+    );
     assert!(andrew.converged(), "Andrew chaos run failed to converge");
     assert!(
         sharing.converged(),

@@ -2,7 +2,7 @@
 //! during the Andrew benchmark (/tmp remote).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use spritely_bench::{artifact, config};
+use spritely_bench::{artifact, bench_ledger, config};
 use spritely_harness::{report, run_andrew, Protocol};
 
 fn bench(c: &mut Criterion) {
@@ -10,6 +10,17 @@ fn bench(c: &mut Criterion) {
     artifact(
         "Figure 5-1: server utilization and call rates for NFS (CSV)",
         &report::figure_series(&run),
+    );
+    let total_calls: u64 = run.rate_buckets.iter().map(|b| b.total).sum();
+    let peak_rate = run.rate_buckets.iter().map(|b| b.total).max().unwrap_or(0);
+    let peak_util = run.util_samples.iter().map(|(_, u)| *u).fold(0.0, f64::max);
+    bench_ledger(
+        "figure_5_1",
+        &[
+            ("total_calls".into(), total_calls.to_string()),
+            ("peak_bucket_calls".into(), peak_rate.to_string()),
+            ("peak_util".into(), format!("{peak_util:.4}")),
+        ],
     );
     let mut g = c.benchmark_group("figure_5_1");
     g.bench_function("series_render", |b| {

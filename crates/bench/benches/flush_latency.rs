@@ -3,7 +3,7 @@
 //! pipelined write-behind pool (perf mode).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use spritely_bench::{artifact, artifact_file, config};
+use spritely_bench::{artifact, artifact_file, bench_ledger, config};
 use spritely_harness::{
     report, run_flush, run_flush_with, Protocol, TestbedParams, WriteBehindParams,
 };
@@ -46,6 +46,35 @@ fn bench(c: &mut Criterion) {
     assert!(
         speedup >= 2.0,
         "write gathering + pipelining must at least halve flush latency, got {speedup:.2}x"
+    );
+    // Sim-time metrics only, under names the compare ignore-list does
+    // not match ("serial_ms"/"speedup" are reserved for wall clock).
+    bench_ledger(
+        "flush_latency",
+        &[
+            (
+                "flush_paper_ms".into(),
+                format!("{:.2}", serial.as_secs_f64() * 1e3),
+            ),
+            (
+                "flush_pipelined_ms".into(),
+                format!("{:.2}", piped.as_secs_f64() * 1e3),
+            ),
+            ("flush_gain_x".into(), format!("{speedup:.2}")),
+            ("paper_write_rpcs".into(), runs[0].write_rpcs.to_string()),
+            (
+                "pipelined_write_rpcs".into(),
+                runs[1].write_rpcs.to_string(),
+            ),
+            (
+                "pipelined_mean_batch".into(),
+                format!("{:.2}", runs[1].mean_batch),
+            ),
+            (
+                "pipelined_peak_inflight".into(),
+                runs[1].peak_inflight.to_string(),
+            ),
+        ],
     );
     let mut g = c.benchmark_group("flush_latency");
     g.bench_function("flush_64blk_paper", |b| {

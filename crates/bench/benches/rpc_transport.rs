@@ -18,7 +18,7 @@
 //! `TransportParams` varies.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use spritely_bench::{artifact, artifact_file, config};
+use spritely_bench::{artifact, artifact_file, bench_ledger, config};
 use spritely_harness::{
     report, run_andrew_with, Protocol, RemoteClient, ServerIoParams, Testbed, TestbedParams,
     TransportParams, TransportSnapshot, WriteBehindParams,
@@ -178,6 +178,24 @@ fn bench(c: &mut Criterion) {
     artifact_file(
         "stats_rpc_transport.json",
         &s_pipe_tb.stats_snapshot().to_json(),
+    );
+    bench_ledger(
+        "rpc_transport",
+        &[
+            (
+                "andrew_paper_msgs".into(),
+                at_paper.net_messages.to_string(),
+            ),
+            ("andrew_pipe_msgs".into(), at_pipe.net_messages.to_string()),
+            ("scale8_paper_msgs".into(), s_paper_msgs.to_string()),
+            ("scale8_pipe_msgs".into(), s_pipe_msgs.to_string()),
+            (
+                "total_reduction_pct".into(),
+                format!("{total_reduction:.1}"),
+            ),
+            ("andrew_gain_x".into(), format!("{andrew_speedup:.2}")),
+            ("scale8_gain_x".into(), format!("{scaling_speedup:.2}")),
+        ],
     );
 
     // Acceptance gates (PR 4): >= 25% fewer RPC messages overall and

@@ -2,7 +2,7 @@
 //! identical diskless-workstation clients are added.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use spritely_bench::{artifact, config};
+use spritely_bench::{artifact, bench_ledger, config, slug_of};
 use spritely_harness::{run_scaling, Protocol};
 use spritely_metrics::TextTable;
 
@@ -14,6 +14,7 @@ fn bench(c: &mut Criterion) {
         "NFS disk wr",
         "SNFS disk wr",
     ]);
+    let mut ledger = Vec::new();
     for &n in &[1usize, 2, 4, 8] {
         let nfs = run_scaling(Protocol::Nfs, n, 42);
         let snfs = run_scaling(Protocol::Snfs, n, 42);
@@ -24,8 +25,19 @@ fn bench(c: &mut Criterion) {
             nfs.disk_writes.to_string(),
             snfs.disk_writes.to_string(),
         ]);
+        for r in [&nfs, &snfs] {
+            ledger.push((
+                format!("{}_{n}_makespan_s", slug_of(r.protocol.label())),
+                format!("{:.1}", r.makespan.as_secs_f64()),
+            ));
+            ledger.push((
+                format!("{}_{n}_disk_wr", slug_of(r.protocol.label())),
+                r.disk_writes.to_string(),
+            ));
+        }
     }
     artifact("Server scaling (paper §2.3)", &t.render());
+    bench_ledger("scaling", &ledger);
     let mut g = c.benchmark_group("scaling");
     for p in [Protocol::Nfs, Protocol::Snfs] {
         g.bench_function(format!("four_clients_{}", p.label()), |b| {

@@ -7,7 +7,7 @@
 //! synchronous, so consistency results are untouched.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use spritely_bench::{artifact, artifact_file, config};
+use spritely_bench::{artifact, artifact_file, bench_ledger, config, slug_of};
 use spritely_harness::{
     report, run_scaling_with, Protocol, ScalingRun, ServerIoParams, TestbedParams,
 };
@@ -66,6 +66,17 @@ fn bench(c: &mut Criterion) {
     // Snapshot of the 8-client pipelined run for offline diffing.
     let pipe8 = &runs.last().expect("runs recorded").1;
     artifact_file("stats_server_scaling.json", &pipe8.stats.to_json());
+    let mut ledger: Vec<(String, String)> = runs
+        .iter()
+        .map(|(label, r)| {
+            (
+                format!("{}_makespan_s", slug_of(label)),
+                format!("{:.1}", r.makespan.as_secs_f64()),
+            )
+        })
+        .collect();
+    ledger.push(("gain_at_8_x".into(), format!("{speedup_at_8:.2}")));
+    bench_ledger("server_scaling", &ledger);
     // Acceptance gate: the pipeline must buy ≥ 1.3x makespan at 8 clients.
     assert!(
         speedup_at_8 >= 1.3,

@@ -15,7 +15,7 @@ use std::rc::Rc;
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use spritely_bench::{artifact, artifact_file, config};
+use spritely_bench::{artifact, bench_ledger, config};
 use spritely_harness::{render_matrix, run_andrew, run_matrix, Experiment, Protocol};
 use spritely_metrics::{OpCounter, TextTable};
 use spritely_proto::{ClientId, NfsReply, NfsRequest};
@@ -276,29 +276,31 @@ fn bench(c: &mut Criterion) {
     );
     artifact("Sim-core speed: events/sec and matrix fan-out", &body);
 
-    let json = format!(
-        "{{\"schema\":1,\"benches\":[{},{},{}],\
-         \"matrix\":{{\"jobs\":{},\"threads\":4,\"serial_ms\":{:.1},\
-         \"parallel_ms\":{:.1},\"speedup\":{:.2},\"cores\":{},\
-         \"byte_identical\":true}},\
-         \"timer_storm_units_per_sec\":{:.0},\
-         \"pre_pr_units_per_sec\":{:.0},\"speedup_vs_pre_pr\":{:.2}}}\n",
-        storm.json(),
-        echo.json(),
-        mix.json(),
-        jobs.len(),
-        serial_ms,
-        parallel_ms,
-        matrix_speedup,
-        cores,
-        units_per_sec,
-        reference,
-        vs_pre_pr,
-    );
     // The committed perf-trajectory point, plus a copy under artifacts/.
-    let root = format!("{}/../..", env!("CARGO_MANIFEST_DIR"));
-    std::fs::write(format!("{root}/BENCH_simcore.json"), &json).expect("write BENCH_simcore.json");
-    artifact_file("BENCH_simcore.json", &json);
+    bench_ledger(
+        "simcore",
+        &[
+            (
+                "benches".into(),
+                format!("[{},{},{}]", storm.json(), echo.json(), mix.json()),
+            ),
+            (
+                "matrix".into(),
+                format!(
+                    "{{\"jobs\":{},\"threads\":4,\"serial_ms\":{serial_ms:.1},\
+                     \"parallel_ms\":{parallel_ms:.1},\"speedup\":{matrix_speedup:.2},\
+                     \"cores\":{cores},\"byte_identical\":true}}",
+                    jobs.len(),
+                ),
+            ),
+            (
+                "timer_storm_units_per_sec".into(),
+                format!("{units_per_sec:.0}"),
+            ),
+            ("pre_pr_units_per_sec".into(), format!("{reference:.0}")),
+            ("speedup_vs_pre_pr".into(), format!("{vs_pre_pr:.2}")),
+        ],
+    );
     println!("{}", render_matrix(&serial));
 
     // Gates.

@@ -2,7 +2,7 @@
 //! {local, NFS, SNFS} x {/tmp local, /tmp remote}.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use spritely_bench::{artifact, config};
+use spritely_bench::{artifact, bench_ledger, config, slug_of};
 use spritely_harness::{report, run_andrew, Protocol};
 
 fn bench(c: &mut Criterion) {
@@ -17,6 +17,16 @@ fn bench(c: &mut Criterion) {
         "Table 5-1: Andrew benchmark elapsed time (seconds)",
         &report::table_5_1(&runs),
     );
+    let ledger: Vec<(String, String)> = runs
+        .iter()
+        .map(|r| {
+            (
+                format!("{}_total_s", slug_of(&r.label())),
+                format!("{:.1}", r.times.total().as_secs_f64()),
+            )
+        })
+        .collect();
+    bench_ledger("table_5_1", &ledger);
     let mut g = c.benchmark_group("table_5_1");
     g.bench_function("andrew_snfs_tmp_remote", |b| {
         b.iter(|| run_andrew(Protocol::Snfs, true, 42).times.total())

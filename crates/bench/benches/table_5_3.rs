@@ -2,7 +2,7 @@
 //! /usr/tmp on local disk, NFS, and SNFS.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use spritely_bench::{artifact, config};
+use spritely_bench::{artifact, bench_ledger, config, slug_of};
 use spritely_harness::{report, run_sort_experiment, Protocol};
 
 fn bench(c: &mut Criterion) {
@@ -16,6 +16,20 @@ fn bench(c: &mut Criterion) {
         "Table 5-3: results of sort benchmark",
         &report::sort_table(&runs),
     );
+    let ledger: Vec<(String, String)> = runs
+        .iter()
+        .map(|r| {
+            (
+                format!(
+                    "sort_{}k_{}_s",
+                    r.input_bytes / 1024,
+                    slug_of(r.protocol.label())
+                ),
+                format!("{:.1}", r.elapsed.as_secs_f64()),
+            )
+        })
+        .collect();
+    bench_ledger("table_5_3", &ledger);
     let mut g = c.benchmark_group("table_5_3");
     for p in [Protocol::Local, Protocol::Nfs, Protocol::Snfs] {
         g.bench_function(format!("sort_1408k_{}", p.label()), |b| {

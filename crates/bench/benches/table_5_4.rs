@@ -1,7 +1,7 @@
 //! Table 5-4: RPC calls for the sort benchmark.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use spritely_bench::{artifact, config};
+use spritely_bench::{artifact, bench_ledger, config, slug_of};
 use spritely_harness::{report, run_sort_experiment, Protocol};
 
 fn bench(c: &mut Criterion) {
@@ -13,6 +13,16 @@ fn bench(c: &mut Criterion) {
         "Table 5-4: RPC calls for sort benchmark",
         &report::sort_rpc_table(&runs),
     );
+    let ledger: Vec<(String, String)> = runs
+        .iter()
+        .map(|r| {
+            (
+                format!("sort_2816k_{}_rpcs", slug_of(r.protocol.label())),
+                r.ops.total().to_string(),
+            )
+        })
+        .collect();
+    bench_ledger("table_5_4", &ledger);
     let mut g = c.benchmark_group("table_5_4");
     g.bench_function("sort_nfs_1408k_ops", |b| {
         b.iter(|| {

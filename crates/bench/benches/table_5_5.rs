@@ -2,7 +2,7 @@
 //! daemons disabled): SNFS matches or beats local-disk time.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use spritely_bench::{artifact, config};
+use spritely_bench::{artifact, bench_ledger, config, slug_of};
 use spritely_harness::{report, run_sort_experiment, Protocol};
 
 fn bench(c: &mut Criterion) {
@@ -16,6 +16,20 @@ fn bench(c: &mut Criterion) {
         "Table 5-5: sort benchmark, infinite write-delay",
         &report::sort_table(&runs),
     );
+    let ledger: Vec<(String, String)> = runs
+        .iter()
+        .map(|r| {
+            (
+                format!(
+                    "sort_{}k_{}_s",
+                    r.input_bytes / 1024,
+                    slug_of(r.protocol.label())
+                ),
+                format!("{:.1}", r.elapsed.as_secs_f64()),
+            )
+        })
+        .collect();
+    bench_ledger("table_5_5", &ledger);
     let mut g = c.benchmark_group("table_5_5");
     g.bench_function("sort_snfs_1408k_no_update", |b| {
         b.iter(|| run_sort_experiment(Protocol::Snfs, 1408 * 1024, false).elapsed)

@@ -2,7 +2,7 @@
 //! update daemon enabled vs. disabled.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use spritely_bench::{artifact, config};
+use spritely_bench::{artifact, bench_ledger, config, slug_of};
 use spritely_harness::{report, run_sort_experiment, Protocol};
 
 fn bench(c: &mut Criterion) {
@@ -16,6 +16,20 @@ fn bench(c: &mut Criterion) {
         "Table 5-6: RPC calls for sort, update on/off (2816 KB)",
         &report::sort_rpc_table(&runs),
     );
+    let ledger: Vec<(String, String)> = runs
+        .iter()
+        .map(|r| {
+            (
+                format!(
+                    "sort_2816k_{}_{}_rpcs",
+                    slug_of(r.protocol.label()),
+                    if r.update_enabled { "upd" } else { "noupd" }
+                ),
+                r.ops.total().to_string(),
+            )
+        })
+        .collect();
+    bench_ledger("table_5_6", &ledger);
     let mut g = c.benchmark_group("table_5_6");
     g.bench_function("sort_snfs_2816k_update_off", |b| {
         b.iter(|| {

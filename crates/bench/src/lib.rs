@@ -27,8 +27,9 @@ pub fn artifact_dir() -> PathBuf {
 }
 
 /// Filename slug: the part of the title before any ':', lowercased,
-/// runs of non-alphanumerics collapsed to single '_'.
-fn slug_of(title: &str) -> String {
+/// runs of non-alphanumerics collapsed to single '_'. Also the
+/// convention for ledger keys built from run labels.
+pub fn slug_of(title: &str) -> String {
     let head = title.split(':').next().unwrap_or(title);
     let mut out = String::new();
     for c in head.chars() {
@@ -61,9 +62,52 @@ pub fn artifact_file(name: &str, contents: &str) {
     }
 }
 
+/// Writes the perf-trajectory ledger `BENCH_<name>.json` at the
+/// workspace root (committed, so `spritely compare` can diff it across
+/// revisions) and mirrors it under `artifacts/`.
+///
+/// `fields` are `(key, raw JSON value)` pairs — values are spliced in
+/// verbatim, so callers can pass numbers, strings (pre-quoted), arrays
+/// or objects. Every bench target records its headline metrics here;
+/// keep wall-clock-derived values under the conventional nondeterministic
+/// key names (`wall_ms`, `events_per_sec`, `serial_ms`, `parallel_ms`,
+/// `speedup`, `cores`) so the compare ignore-list skips them.
+pub fn bench_ledger(name: &str, fields: &[(String, String)]) {
+    let mut json = String::from("{\"schema\":1");
+    for (k, v) in fields {
+        json.push_str(&format!(",\"{k}\":{v}"));
+    }
+    json.push_str("}\n");
+    let file = format!("BENCH_{name}.json");
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let _ = fs::write(root.join(&file), &json);
+    artifact_file(&file, &json);
+}
+
+/// Quotes a string for use as a [`bench_ledger`] JSON value.
+pub fn jstr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::slug_of;
+
+    #[test]
+    fn jstr_escapes_quotes_and_backslashes() {
+        assert_eq!(super::jstr(r#"a"b\c"#), r#""a\"b\\c""#);
+    }
 
     #[test]
     fn slugs_are_stable() {

@@ -1,0 +1,572 @@
+//! Cross-run regression diffing for JSON metric artifacts.
+//!
+//! `spritely compare a.json b.json` turns the committed `baselines/`
+//! snapshots and the repo-root `BENCH_*.json` perf ledgers into an
+//! enforced gate: parse both documents (a tiny hand-rolled parser — no
+//! serde in this workspace), flatten every leaf to a dotted path
+//! (`server_io.disk_writes`, `procs.3.p95_us`, …), and flag any numeric
+//! leaf whose relative change exceeds its threshold, plus any key that
+//! appeared or disappeared.
+//!
+//! The simulation is deterministic, so two runs of the same code are
+//! byte-identical and the gate cannot flake; wall-clock fields
+//! (`wall_ms`, `events_per_sec`, …) are the one nondeterministic class
+//! and sit on the default ignore list.
+
+use std::fmt::Write as _;
+
+/// Minimal JSON value (only what the artifacts need).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+/// Parses a JSON document. Object key order is preserved.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        s.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number {s:?} at byte {start}: {e}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("short \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("bad escape \\{}", other as char)),
+                    }
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 is copied through verbatim.
+                    let start = self.pos;
+                    while self.peek().is_some_and(|b| b != b'"' && b != b'\\') {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|e| e.to_string())?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let v = self.value()?;
+            fields.push((key, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|c| c as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|c| c as char)
+                    ))
+                }
+            }
+        }
+    }
+}
+
+/// One flattened leaf: dotted path plus its scalar value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Leaf {
+    Num(f64),
+    Str(String),
+}
+
+/// Flattens a parsed document to `(dotted path, leaf)` pairs in
+/// document order. Array elements use their index as a path segment;
+/// arrays of objects with a recognizable name key (`proc`, `op`) use
+/// that name instead, so reordering-insensitive rows still line up.
+pub fn flatten(v: &Json) -> Vec<(String, Leaf)> {
+    let mut out = Vec::new();
+    walk("", v, &mut out);
+    out
+}
+
+fn walk(prefix: &str, v: &Json, out: &mut Vec<(String, Leaf)>) {
+    let join = |key: &str| {
+        if prefix.is_empty() {
+            key.to_string()
+        } else {
+            format!("{prefix}.{key}")
+        }
+    };
+    match v {
+        Json::Null => {}
+        Json::Bool(b) => out.push((prefix.to_string(), Leaf::Num(*b as u8 as f64))),
+        Json::Num(n) => out.push((prefix.to_string(), Leaf::Num(*n))),
+        Json::Str(s) => out.push((prefix.to_string(), Leaf::Str(s.clone()))),
+        Json::Obj(fields) => {
+            for (k, v) in fields {
+                walk(&join(k), v, out);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                let seg = row_name(item).unwrap_or_else(|| i.to_string());
+                walk(&join(&seg), item, out);
+            }
+        }
+    }
+}
+
+/// A stable row label for arrays of named records.
+fn row_name(v: &Json) -> Option<String> {
+    if let Json::Obj(fields) = v {
+        for name_key in ["proc", "op", "name", "id"] {
+            if let Some((_, Json::Str(s))) = fields.iter().find(|(k, _)| k == name_key) {
+                return Some(s.clone());
+            }
+            if let Some((_, Json::Num(n))) = fields.iter().find(|(k, _)| k == name_key) {
+                return Some(format!("{n}"));
+            }
+        }
+    }
+    None
+}
+
+/// One flagged difference between the two documents.
+#[derive(Debug, Clone)]
+pub struct Diff {
+    /// Dotted path of the leaf.
+    pub path: String,
+    /// Rendered old value (`-` when the key is new).
+    pub a: String,
+    /// Rendered new value (`-` when the key disappeared).
+    pub b: String,
+    /// Relative change for numeric leaves (`|b-a| / max(|a|,|b|)`).
+    pub rel: Option<f64>,
+}
+
+/// Comparison configuration: the default relative threshold, per-path
+/// overrides, and paths to ignore entirely.
+pub struct CompareOptions {
+    /// Numeric leaves whose relative change exceeds this are flagged.
+    pub rel_threshold: f64,
+    /// `(path substring, threshold)` overrides; the first match wins.
+    pub thresholds: Vec<(String, f64)>,
+    /// Path substrings to skip entirely (wall-clock metrics).
+    pub ignore: Vec<String>,
+}
+
+impl Default for CompareOptions {
+    fn default() -> Self {
+        CompareOptions {
+            rel_threshold: 0.10,
+            thresholds: Vec::new(),
+            // Host wall-clock measurements: the only nondeterministic
+            // fields any artifact carries.
+            ignore: [
+                "wall_ms",
+                "events_per_sec",
+                "units_per_sec",
+                "serial_ms",
+                "parallel_ms",
+                "speedup",
+                "cores",
+                "elapsed_s",
+            ]
+            .map(String::from)
+            .to_vec(),
+        }
+    }
+}
+
+impl CompareOptions {
+    fn ignored(&self, path: &str) -> bool {
+        self.ignore.iter().any(|pat| path.contains(pat.as_str()))
+    }
+
+    fn threshold_for(&self, path: &str) -> f64 {
+        self.thresholds
+            .iter()
+            .find(|(pat, _)| path.contains(pat.as_str()))
+            .map_or(self.rel_threshold, |&(_, t)| t)
+    }
+}
+
+/// Result of diffing two artifacts.
+pub struct CompareReport {
+    /// Flagged regressions/changes, in document order of `a`.
+    pub diffs: Vec<Diff>,
+    /// Leaves compared (after the ignore list).
+    pub compared: usize,
+}
+
+impl CompareReport {
+    /// True when nothing was flagged.
+    pub fn ok(&self) -> bool {
+        self.diffs.is_empty()
+    }
+
+    /// Human-readable rendering, one line per flagged leaf.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.ok() {
+            let _ = writeln!(
+                out,
+                "compare: OK ({} leaves within threshold)",
+                self.compared
+            );
+            return out;
+        }
+        let _ = writeln!(
+            out,
+            "compare: {} of {} leaves out of threshold",
+            self.diffs.len(),
+            self.compared
+        );
+        for d in &self.diffs {
+            match d.rel {
+                Some(rel) => {
+                    let _ = writeln!(
+                        out,
+                        "  {:<48} {} -> {}  ({:+.1}%)",
+                        d.path,
+                        d.a,
+                        d.b,
+                        rel * 100.0
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "  {:<48} {} -> {}", d.path, d.a, d.b);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Diffs two JSON artifact texts under `opts`.
+pub fn compare_json(
+    a_text: &str,
+    b_text: &str,
+    opts: &CompareOptions,
+) -> Result<CompareReport, String> {
+    let a = flatten(&parse_json(a_text).map_err(|e| format!("first document: {e}"))?);
+    let b = flatten(&parse_json(b_text).map_err(|e| format!("second document: {e}"))?);
+    let b_map: std::collections::HashMap<&str, &Leaf> =
+        b.iter().map(|(k, v)| (k.as_str(), v)).collect();
+    let a_keys: std::collections::HashSet<&str> = a.iter().map(|(k, _)| k.as_str()).collect();
+    let mut diffs = Vec::new();
+    let mut compared = 0usize;
+    for (path, va) in &a {
+        if opts.ignored(path) {
+            continue;
+        }
+        compared += 1;
+        match b_map.get(path.as_str()) {
+            None => diffs.push(Diff {
+                path: path.clone(),
+                a: render_leaf(va),
+                b: "-".to_string(),
+                rel: None,
+            }),
+            Some(vb) => match (va, vb) {
+                (Leaf::Num(x), Leaf::Num(y)) => {
+                    let denom = x.abs().max(y.abs());
+                    let rel = if denom == 0.0 {
+                        0.0
+                    } else {
+                        (y - x).abs() / denom
+                    };
+                    if rel > opts.threshold_for(path) {
+                        diffs.push(Diff {
+                            path: path.clone(),
+                            a: render_leaf(va),
+                            b: render_leaf(vb),
+                            rel: Some(if y >= x { rel } else { -rel }),
+                        });
+                    }
+                }
+                (va, vb) => {
+                    if va != *vb {
+                        diffs.push(Diff {
+                            path: path.clone(),
+                            a: render_leaf(va),
+                            b: render_leaf(vb),
+                            rel: None,
+                        });
+                    }
+                }
+            },
+        }
+    }
+    for (path, vb) in &b {
+        if opts.ignored(path) || a_keys.contains(path.as_str()) {
+            continue;
+        }
+        diffs.push(Diff {
+            path: path.clone(),
+            a: "-".to_string(),
+            b: render_leaf(vb),
+            rel: None,
+        });
+    }
+    Ok(CompareReport { diffs, compared })
+}
+
+fn render_leaf(l: &Leaf) -> String {
+    match l {
+        Leaf::Num(n) => format!("{n}"),
+        Leaf::Str(s) => format!("{s:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_documents_compare_clean() {
+        let doc = r#"{"a": 1, "b": {"c": [1, 2, 3]}, "s": "x"}"#;
+        let r = compare_json(doc, doc, &CompareOptions::default()).unwrap();
+        assert!(r.ok(), "{}", r.render());
+        assert_eq!(r.compared, 5);
+    }
+
+    #[test]
+    fn small_jitter_passes_large_regression_fails() {
+        let a = r#"{"latency_us": 1000, "count": 50}"#;
+        let ok = r#"{"latency_us": 1050, "count": 50}"#;
+        let bad = r#"{"latency_us": 1200, "count": 50}"#;
+        let opts = CompareOptions::default();
+        assert!(compare_json(a, ok, &opts).unwrap().ok());
+        let r = compare_json(a, bad, &opts).unwrap();
+        assert!(!r.ok());
+        assert_eq!(r.diffs[0].path, "latency_us");
+        assert!(r.diffs[0].rel.unwrap() > 0.10);
+    }
+
+    #[test]
+    fn per_path_threshold_overrides_default() {
+        let a = r#"{"hot": 100, "cold": 100}"#;
+        let b = r#"{"hot": 104, "cold": 104}"#;
+        let opts = CompareOptions {
+            rel_threshold: 0.10,
+            thresholds: vec![("hot".to_string(), 0.01)],
+            ignore: Vec::new(),
+        };
+        let r = compare_json(a, b, &opts).unwrap();
+        assert_eq!(r.diffs.len(), 1);
+        assert_eq!(r.diffs[0].path, "hot");
+    }
+
+    #[test]
+    fn ignore_list_skips_wall_clock_fields() {
+        let a = r#"{"wall_ms": 100, "rpc_total": 7}"#;
+        let b = r#"{"wall_ms": 900, "rpc_total": 7}"#;
+        let r = compare_json(a, b, &CompareOptions::default()).unwrap();
+        assert!(r.ok(), "{}", r.render());
+        assert_eq!(r.compared, 1);
+    }
+
+    #[test]
+    fn added_and_missing_keys_are_flagged() {
+        let a = r#"{"x": 1, "gone": 2}"#;
+        let b = r#"{"x": 1, "new": 3}"#;
+        let r = compare_json(a, b, &CompareOptions::default()).unwrap();
+        assert_eq!(r.diffs.len(), 2);
+        assert!(r.diffs.iter().any(|d| d.path == "gone" && d.b == "-"));
+        assert!(r.diffs.iter().any(|d| d.path == "new" && d.a == "-"));
+    }
+
+    #[test]
+    fn named_array_rows_line_up_by_name() {
+        let a = r#"{"procs": [{"proc": "read", "n": 10}, {"proc": "write", "n": 5}]}"#;
+        let b = r#"{"procs": [{"proc": "write", "n": 5}, {"proc": "read", "n": 10}]}"#;
+        let r = compare_json(a, b, &CompareOptions::default()).unwrap();
+        assert!(r.ok(), "{}", r.render());
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_nesting() {
+        let doc = r#"{"s": "a\"b\\c\nd", "neg": -1.5e3, "deep": [[{"k": null}]]}"#;
+        let v = parse_json(doc).unwrap();
+        let flat = flatten(&v);
+        assert!(flat
+            .iter()
+            .any(|(k, v)| k == "s" && *v == Leaf::Str("a\"b\\c\nd".to_string())));
+        assert!(flat
+            .iter()
+            .any(|(k, v)| k == "neg" && *v == Leaf::Num(-1500.0)));
+    }
+
+    #[test]
+    fn real_snapshot_roundtrips() {
+        // A StatsSnapshot-shaped document parses and flattens.
+        let doc = r#"{"protocol":"SNFS","rpc_total":123,"clients":[{"id":1,"cache_hits":10,"cache_misses":2,"dirty_blocks":0}],"server":null,"server_io":{"cache_hits":5,"cache_misses":1}}"#;
+        let flat = flatten(&parse_json(doc).unwrap());
+        assert!(flat.iter().any(|(k, _)| k == "clients.1.cache_hits"));
+        assert!(flat.iter().any(|(k, _)| k == "server_io.cache_misses"));
+    }
+}

@@ -31,6 +31,8 @@ pub struct FlushRun {
     pub peak_inflight: u64,
     /// Write-back RPCs that failed (should be 0 here).
     pub writeback_failures: u64,
+    /// End-to-end RPC latency per procedure during the run.
+    pub latency: spritely_metrics::LatencyStats,
     /// Unified end-of-run statistics snapshot (serializable).
     pub stats: crate::snapshot::StatsSnapshot,
     /// Checked event trace (present when `TestbedParams::trace` was on).
@@ -91,6 +93,7 @@ pub fn run_flush_with(label: &'static str, params: TestbedParams, blocks: usize)
         mean_batch: client.gather_histogram().mean(),
         peak_inflight: client.inflight_gauge().peak(),
         writeback_failures: client.stats().writeback_failures,
+        latency: tb.latency.clone(),
         stats: tb.stats_snapshot(),
         trace: tb.finish_trace(),
     }

@@ -156,15 +156,17 @@ pub fn sort_rpc_table(runs: &[SortRun]) -> String {
     t.render()
 }
 
-/// Latency table: per-procedure count / mean / p95 / max.
+/// Latency table: per-procedure count / mean / p50 / p95 / p99 / max.
 pub fn latency_table(l: &spritely_metrics::LatencyStats) -> String {
-    let mut t = TextTable::new(vec!["RPC", "count", "mean", "p95", "max"]);
+    let mut t = TextTable::new(vec!["RPC", "count", "mean", "p50", "p95", "p99", "max"]);
     for p in l.observed() {
         t.row(vec![
             p.name().to_string(),
             l.count(p).to_string(),
             format!("{:.1} ms", l.mean(p).as_secs_f64() * 1e3),
+            format!("{:.1} ms", l.percentile(p, 0.50).as_secs_f64() * 1e3),
             format!("{:.1} ms", l.percentile(p, 0.95).as_secs_f64() * 1e3),
+            format!("{:.1} ms", l.percentile(p, 0.99).as_secs_f64() * 1e3),
             format!("{:.1} ms", l.max(p).as_secs_f64() * 1e3),
         ]);
     }
@@ -172,7 +174,8 @@ pub fn latency_table(l: &spritely_metrics::LatencyStats) -> String {
 }
 
 /// Write-behind flush microbenchmark report: one row per pool
-/// configuration, including the write-back failure count (normally 0).
+/// configuration, including the write-back failure count (normally 0)
+/// and the `write` RPC latency distribution.
 pub fn flush_table(runs: &[FlushRun]) -> String {
     let mut t = TextTable::new(vec![
         "Mode",
@@ -182,8 +185,17 @@ pub fn flush_table(runs: &[FlushRun]) -> String {
         "blk/RPC",
         "inflight",
         "failures",
+        "w p50 ms",
+        "w p95 ms",
+        "w p99 ms",
     ]);
     for r in runs {
+        let pct = |q| {
+            format!(
+                "{:.1}",
+                r.latency.percentile(NfsProc::Write, q).as_secs_f64() * 1e3
+            )
+        };
         t.row(vec![
             r.label.to_string(),
             r.dirty_blocks.to_string(),
@@ -192,6 +204,9 @@ pub fn flush_table(runs: &[FlushRun]) -> String {
             format!("{:.1}", r.mean_batch),
             r.peak_inflight.to_string(),
             r.writeback_failures.to_string(),
+            pct(0.50),
+            pct(0.95),
+            pct(0.99),
         ]);
     }
     t.render()
@@ -224,6 +239,9 @@ pub fn server_io_table(runs: &[(&str, &crate::ScalingRun)]) -> String {
         "disk q peak",
         "wait ms",
         "pos ms",
+        "rpc p50 ms",
+        "rpc p95 ms",
+        "rpc p99 ms",
     ]);
     for (label, r) in runs {
         let (h, m) = r.server_cache;
@@ -232,6 +250,7 @@ pub fn server_io_table(runs: &[(&str, &crate::ScalingRun)]) -> String {
         } else {
             0.0
         };
+        let pct = |q| format!("{:.1}", r.latency.total_percentile(q).as_secs_f64() * 1e3);
         t.row(vec![
             label.to_string(),
             r.clients.to_string(),
@@ -240,6 +259,9 @@ pub fn server_io_table(runs: &[(&str, &crate::ScalingRun)]) -> String {
             r.disk_queue_peak.to_string(),
             format!("{:.1}", r.disk_wait_ms_mean),
             format!("{:.1}", r.disk_pos_ms_mean),
+            pct(0.50),
+            pct(0.95),
+            pct(0.99),
         ]);
     }
     t.render()
@@ -378,6 +400,70 @@ pub fn fault_table(rows: &[(&str, &crate::FaultSnapshot)]) -> String {
         ]);
     }
     t.render()
+}
+
+/// "Where does the time go" report for a profiled trace (DESIGN.md §16):
+/// the run-wide phase breakdown, then the per-op-kind breakdown (count,
+/// mean latency, dominant phases), then per-procedure RPC latency
+/// percentiles reconstructed from the trace.
+pub fn profile_table(p: &spritely_trace::Profile) -> String {
+    use spritely_trace::Phase;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "profile: {} spans, {} RPCs (op {}, callback {}, background {}, incomplete {}), {:.2}% attributed\n",
+        p.ops.len(),
+        p.total_rpcs,
+        p.claims.op,
+        p.claims.callback,
+        p.claims.background,
+        p.claims.incomplete,
+        p.attributed_fraction() * 100.0,
+    ));
+    let mut t = TextTable::new(vec!["Phase", "total s", "% of op time"]);
+    for ph in Phase::ALL {
+        let us = p.phase_total(ph);
+        if us == 0 {
+            continue;
+        }
+        t.row(vec![
+            ph.name().to_string(),
+            format!("{:.3}", us as f64 / 1e6),
+            format!("{:.1}", 100.0 * us as f64 / p.total_us.max(1) as f64),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+    let mut t = TextTable::new(vec![
+        "Op", "count", "mean ms", "local%", "queue%", "net%", "admit%", "dup%", "cpu%", "diskq%",
+        "disk%", "cb%",
+    ]);
+    for k in &p.op_kinds {
+        let pct = |ph: Phase| {
+            let i = Phase::ALL.iter().position(|&q| q == ph).unwrap();
+            format!(
+                "{:.1}",
+                100.0 * k.phase_us[i] as f64 / k.total_us.max(1) as f64
+            )
+        };
+        t.row(vec![
+            k.op.to_string(),
+            k.count.to_string(),
+            format!("{:.2}", k.total_us as f64 / k.count.max(1) as f64 / 1e3),
+            pct(Phase::CacheLocal),
+            pct(Phase::ClientQueue),
+            pct(Phase::Net),
+            pct(Phase::Admission),
+            pct(Phase::DupCache),
+            pct(Phase::ServerCpu),
+            pct(Phase::DiskQueue),
+            pct(Phase::DiskService),
+            pct(Phase::Callback),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+    out.push_str(&latency_table(&p.rpc_latency));
+    out
 }
 
 /// Human-readable summary of a checked trace: per-kind event counts

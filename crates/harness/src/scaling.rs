@@ -35,6 +35,9 @@ pub struct ScalingRun {
     pub disk_wait_ms_mean: f64,
     /// Mean per-request arm positioning time during the run, in ms.
     pub disk_pos_ms_mean: f64,
+    /// End-to-end RPC latency per procedure (whole run, setup included —
+    /// the recorder has no reset).
+    pub latency: spritely_metrics::LatencyStats,
     /// Unified end-of-run statistics snapshot (serializable).
     pub stats: crate::snapshot::StatsSnapshot,
     /// Checked event trace (present when `TestbedParams::trace` was on).
@@ -171,6 +174,7 @@ pub fn run_scaling_with(params: TestbedParams, n_clients: usize, seed: u64) -> S
         disk_queue_peak: disk.queue_depth().peak(),
         disk_wait_ms_mean: disk.wait_ms().mean_since(wait_mark),
         disk_pos_ms_mean: disk.pos_ms().mean_since(pos_mark),
+        latency: tb.latency.clone(),
         stats: tb.stats_snapshot(),
         trace: tb.finish_trace(),
     }

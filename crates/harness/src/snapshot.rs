@@ -164,6 +164,53 @@ impl From<spritely_sim::SimStats> for SimSnapshot {
     }
 }
 
+/// Compact summary of a trace-replay latency profile (DESIGN.md §16):
+/// span/claim counts and the run-wide phase breakdown. Present only
+/// when the run was traced — an unprofiled snapshot serializes
+/// byte-identically to one taken before the profiler existed. The full
+/// per-op-kind and occupancy detail lives in
+/// [`spritely_trace::Profile::to_json`] (`artifacts/profile_*.json`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileSnapshot {
+    /// Reconstructed spans (client-visible ops + synthetic spans).
+    pub spans: u64,
+    /// `rpc_call` events in the trace.
+    pub rpcs: u64,
+    /// RPCs claimed by a client op span.
+    pub claimed_op: u64,
+    /// Server-originated callback RPCs claimed inside handlers.
+    pub claimed_callback: u64,
+    /// Background RPCs (each its own synthetic span).
+    pub claimed_background: u64,
+    /// RPCs with no reply in the trace.
+    pub claimed_incomplete: u64,
+    /// Sum of span wall-clock latencies, µs.
+    pub total_op_us: u64,
+    /// Portion of `total_op_us` attributed to named phases, µs.
+    pub attributed_us: u64,
+    /// `(phase name, attributed µs)` in `Phase::ALL` order.
+    pub phase_us: Vec<(&'static str, u64)>,
+}
+
+impl From<&spritely_trace::Profile> for ProfileSnapshot {
+    fn from(p: &spritely_trace::Profile) -> Self {
+        ProfileSnapshot {
+            spans: p.ops.len() as u64,
+            rpcs: p.total_rpcs,
+            claimed_op: p.claims.op,
+            claimed_callback: p.claims.callback,
+            claimed_background: p.claims.background,
+            claimed_incomplete: p.claims.incomplete,
+            total_op_us: p.total_us,
+            attributed_us: p.total_us - p.phase_total(spritely_trace::Phase::Unattributed),
+            phase_us: spritely_trace::Phase::ALL
+                .iter()
+                .map(|&ph| (ph.name(), p.phase_total(ph)))
+                .collect(),
+        }
+    }
+}
+
 /// The server's counters at the end of a run (SNFS protocols only).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServerSnapshot {
@@ -196,6 +243,9 @@ pub struct StatsSnapshot {
     /// Fault-injection accounting (None unless faults were configured;
     /// a fault-free snapshot serializes without this field).
     pub faults: Option<FaultSnapshot>,
+    /// Latency-profile summary (None unless the run was traced; an
+    /// unprofiled snapshot serializes without this field).
+    pub profile: Option<ProfileSnapshot>,
 }
 
 impl StatsSnapshot {
@@ -323,6 +373,29 @@ impl StatsSnapshot {
                 f.callback_retries,
                 f.callback_dupes
             ));
+        }
+        if let Some(p) = &self.profile {
+            out.push_str(&format!(
+                ",\"profile\":{{\"spans\":{},\"rpcs\":{},\
+                 \"claimed\":{{\"op\":{},\"callback\":{},\"background\":{},\
+                 \"incomplete\":{}}},\"total_op_us\":{},\"attributed_us\":{},\
+                 \"phase_us\":{{",
+                p.spans,
+                p.rpcs,
+                p.claimed_op,
+                p.claimed_callback,
+                p.claimed_background,
+                p.claimed_incomplete,
+                p.total_op_us,
+                p.attributed_us
+            ));
+            for (i, (name, us)) in p.phase_us.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{name}\":{us}"));
+            }
+            out.push_str("}}");
         }
         out.push('}');
         out

@@ -606,6 +606,10 @@ impl Testbed {
                         .sum(),
                 }
             }),
+            profile: self
+                .tracer
+                .as_ref()
+                .map(|t| (&spritely_trace::profile_trace(&t.finish())).into()),
         }
     }
 

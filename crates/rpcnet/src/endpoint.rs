@@ -218,6 +218,19 @@ where
         let key = (from, xid);
         let ev = {
             let mut dup = self.inner.dup.borrow_mut();
+            // Arrival boundary for the latency profiler: the gap from a
+            // fresh arrival to its handler_begin is admission wait. Pure
+            // observation — no await, no randomness.
+            if let Some(t) = self.inner.tracer.borrow().as_ref() {
+                t.emit(
+                    parent,
+                    EventKind::RpcArrive {
+                        from,
+                        xid,
+                        dup: dup.contains_key(&key),
+                    },
+                );
+            }
             match dup.get(&key) {
                 Some(DupState::Done(rep, _)) => {
                     self.inner.dup_hits.set(self.inner.dup_hits.get() + 1);
@@ -503,6 +516,20 @@ where
                 b.sim.sleep(plan.delay).await;
             }
             let creq = Req::compound(batch.iter().map(|e| e.req.clone()).collect());
+            if let Some(t) = b.tracer.borrow().as_ref() {
+                // Every member leaves the wire at the compound's flush
+                // instant; each gets its own xmit boundary so the
+                // profiler can split batcher hold from transit.
+                for e in &batch {
+                    t.emit(
+                        e.parent,
+                        EventKind::RpcXmit {
+                            from: b.from,
+                            xid: e.xid,
+                        },
+                    );
+                }
+            }
             b.net.transmit_from(b.from.0, true, creq.wire_size()).await;
             if plan.drop {
                 // The whole compound is eaten: every member attempt is
@@ -956,6 +983,15 @@ where
         let plan = self.net.plan_attempt(lh, lc);
         if !plan.delay.is_zero() {
             self.sim.sleep(plan.delay).await;
+        }
+        if let Some(t) = self.tracer.borrow().as_ref() {
+            t.emit(
+                parent,
+                EventKind::RpcXmit {
+                    from: self.from,
+                    xid,
+                },
+            );
         }
         self.net
             .transmit_from(self.from.0, true, req.wire_size())

@@ -478,6 +478,8 @@ pub fn kind_name(kind: &EventKind) -> &'static str {
         EventKind::OpEnd { .. } => "op_end",
         EventKind::RpcCall { .. } => "rpc_call",
         EventKind::RpcReply { .. } => "rpc_reply",
+        EventKind::RpcXmit { .. } => "rpc_xmit",
+        EventKind::RpcArrive { .. } => "rpc_arrive",
         EventKind::HandlerBegin { .. } => "handler_begin",
         EventKind::HandlerEnd { .. } => "handler_end",
         EventKind::Transition { .. } => "transition",

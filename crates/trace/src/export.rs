@@ -80,6 +80,20 @@ fn write_event_json(out: &mut String, e: &TraceEvent) {
                 ok
             );
         }
+        EventKind::RpcXmit { from, xid } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"rpc_xmit\",\"from\":{},\"xid\":{}",
+                from.0, xid
+            );
+        }
+        EventKind::RpcArrive { from, xid, dup } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"rpc_arrive\",\"from\":{},\"xid\":{},\"dup\":{}",
+                from.0, xid, dup
+            );
+        }
         EventKind::HandlerBegin { from, xid, proc } => {
             let _ = write!(
                 out,
@@ -349,7 +363,10 @@ fn chrome_pid(kind: &EventKind) -> Option<u32> {
         | EventKind::WriteCancel { client, .. }
         | EventKind::FsyncOk { client, .. }
         | EventKind::OpenGrant { client, .. } => Some(client.0),
-        EventKind::RpcCall { from, .. } | EventKind::RpcReply { from, .. } => Some(from.0),
+        EventKind::RpcCall { from, .. }
+        | EventKind::RpcReply { from, .. }
+        | EventKind::RpcXmit { from, .. }
+        | EventKind::RpcArrive { from, .. } => Some(from.0),
         _ => None,
     }
 }
@@ -391,6 +408,20 @@ fn chrome_event(e: &TraceEvent) -> Option<String> {
             "{{\"ph\":\"e\",\"pid\":{},\"tid\":2,\"ts\":{t},\"id\":{xid},\"name\":\"{}\",\"cat\":\"rpc\"}}",
             from.0,
             proc.name()
+        ),
+        EventKind::RpcXmit { from, xid } => {
+            instant(from.0, 2, &format!("xmit xid {xid}"), t, "")
+        }
+        EventKind::RpcArrive { from, xid, dup } => instant(
+            SERVER_PID,
+            2,
+            &format!(
+                "arrive c{} xid {xid}{}",
+                from.0,
+                if *dup { " (dup)" } else { "" }
+            ),
+            t,
+            "",
         ),
         EventKind::HandlerBegin { from, proc, .. } => span(
             'B',

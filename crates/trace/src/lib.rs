@@ -21,9 +21,14 @@ use spritely_sim::Sim;
 
 pub mod check;
 pub mod export;
+pub mod profile;
 
 pub use check::{check_trace, Violation};
 pub use export::{to_chrome_json, to_jsonl};
+pub use profile::{
+    profile_trace, profile_trace_bucketed, OpKindProfile, OpProfile, Phase, Profile, RpcClaims,
+    NUM_PHASES,
+};
 
 /// The seven server cache-state values (paper §4.3.4, Figure 4-2),
 /// mirrored here so the trace crate does not depend on `core`.
@@ -139,6 +144,19 @@ pub enum EventKind {
         proc: NfsProc,
         ok: bool,
     },
+    /// One attempt's request datagram left the caller for the wire
+    /// (members of a compound batch share their flush instant). Parented
+    /// under the `rpc_call` event; the gap from `rpc_call` to the first
+    /// `rpc_xmit` is client-side hold time (marshalling, batcher queue,
+    /// injected fault delay).
+    RpcXmit { from: ClientId, xid: u64 },
+    /// The request datagram reached the server endpoint. `dup` is true
+    /// when the duplicate cache answered (or joined an execution already
+    /// in flight) instead of spawning a new handler. Parented under the
+    /// `rpc_call` event; the gap from a non-dup `rpc_arrive` to its
+    /// `handler_begin` is admission wait (blocking gate + service
+    /// thread).
+    RpcArrive { from: ClientId, xid: u64, dup: bool },
     /// Server-side execution of one RPC (after dup-cache / thread gate).
     HandlerBegin {
         from: ClientId,

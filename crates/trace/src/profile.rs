@@ -1,0 +1,1322 @@
+//! Causal latency profiling: where did every microsecond of each
+//! client-visible operation go?
+//!
+//! [`profile_trace`] replays a recorded trace and rebuilds one span tree
+//! per client-visible op (`op_begin` → `rpc_call` → `rpc_xmit` →
+//! `rpc_arrive` → `handler_begin`/`end` → `disk_queue`/`disk_done` →
+//! `callback_begin`/`end` → `rpc_reply` → `op_end`, linked by `parent`),
+//! then attributes the op's entire wall-clock interval to a fixed set of
+//! [`Phase`]s. Attribution is *exact by construction*: every op is
+//! partitioned into non-overlapping intervals whose durations sum to the
+//! op's latency, so "where does the time go" tables always add up.
+//!
+//! The profiler is pure post-processing — it runs after the simulation
+//! finishes, on the event log alone, so profiling can never perturb a
+//! traced run (the determinism tests pin this).
+//!
+//! ## Attribution model
+//!
+//! Each op owns the interval `[op_begin.t, op_end.t]`. Instants where no
+//! child RPC is outstanding are [`Phase::CacheLocal`] — client CPU,
+//! cache hits, block shuffling. While one or more child RPCs are
+//! outstanding, each instant is charged to the *earliest-issued* RPC
+//! still in flight (ties broken by sequence number), and that RPC's own
+//! timeline decides the phase:
+//!
+//! * `rpc_call` → first `rpc_xmit`: [`Phase::ClientQueue`] (marshalling,
+//!   batcher hold, injected fault delay);
+//! * `rpc_xmit` → `rpc_arrive`: [`Phase::Net`] (request transit), and
+//!   likewise `handler_end` → `rpc_reply` for the reply leg;
+//! * fresh `rpc_arrive` → `handler_begin`: [`Phase::Admission`]
+//!   (blocking gate + service-thread wait);
+//! * duplicate `rpc_arrive` → next boundary: [`Phase::DupCache`] (the
+//!   dup cache answered or joined an execution already in flight);
+//! * inside `handler_begin..handler_end`: [`Phase::ServerCpu`], except
+//!   intervals covered by a consistency callback
+//!   ([`Phase::Callback`]) or by a disk request's queue wait
+//!   ([`Phase::DiskQueue`]) / service time ([`Phase::DiskService`]).
+//!
+//! RPCs recorded before the `rpc_xmit`/`rpc_arrive` boundary events
+//! existed (older traces) fall back to [`Phase::Unattributed`]; the
+//! acceptance gate keeps that under 1% on current traces.
+//!
+//! Disk events carry no causal parent (the block layer predates the
+//! span model), so each server-disk request is assigned to the
+//! innermost handler open at its enqueue instant — a deterministic
+//! seq-containment heuristic, documented as such in DESIGN.md §16.
+//! Misassignment can shift time between server-side phases of
+//! concurrent handlers but never breaks the exact-sum property.
+
+use std::collections::HashMap;
+
+use spritely_metrics::{GaugeSeries, LatencyStats};
+use spritely_proto::NfsProc;
+use spritely_sim::{SimDuration, SimTime};
+
+use crate::{EventKind, TraceEvent};
+
+/// Default occupancy bucket width: one sim-second.
+pub const DEFAULT_BUCKET_US: u64 = 1_000_000;
+
+/// The phases every microsecond of a client-visible op is attributed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// Client-side time with no RPC outstanding: cache hits, block
+    /// copies, think time inside the op.
+    CacheLocal,
+    /// An RPC was issued but has not left the client yet: marshalling,
+    /// batcher hold, injected send delay.
+    ClientQueue,
+    /// Wire transit, either direction.
+    Net,
+    /// Request arrived at the server but no handler is running yet:
+    /// blocking gate plus service-thread wait.
+    Admission,
+    /// The duplicate cache answered (or joined an in-flight execution)
+    /// instead of spawning a handler.
+    DupCache,
+    /// Handler execution not covered by disk or callback intervals.
+    ServerCpu,
+    /// A disk request sat in the scheduler queue during the handler.
+    DiskQueue,
+    /// A disk request was in service (positioning + transfer).
+    DiskService,
+    /// The handler was blocked on a consistency callback to a client.
+    Callback,
+    /// Op time the replay could not attribute (RPCs recorded without
+    /// transmit boundaries); should be ~0 on current traces.
+    Unattributed,
+}
+
+/// Number of phases; array-index domain for per-phase accumulators.
+pub const NUM_PHASES: usize = 10;
+
+impl Phase {
+    /// Every phase, in display order.
+    pub const ALL: [Phase; NUM_PHASES] = [
+        Phase::CacheLocal,
+        Phase::ClientQueue,
+        Phase::Net,
+        Phase::Admission,
+        Phase::DupCache,
+        Phase::ServerCpu,
+        Phase::DiskQueue,
+        Phase::DiskService,
+        Phase::Callback,
+        Phase::Unattributed,
+    ];
+
+    /// Stable snake_case name (used in JSON artifacts and tables).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::CacheLocal => "cache_local",
+            Phase::ClientQueue => "client_queue",
+            Phase::Net => "net",
+            Phase::Admission => "admission",
+            Phase::DupCache => "dup_cache",
+            Phase::ServerCpu => "server_cpu",
+            Phase::DiskQueue => "disk_queue",
+            Phase::DiskService => "disk_service",
+            Phase::Callback => "callback",
+            Phase::Unattributed => "unattributed",
+        }
+    }
+
+    fn index(self) -> usize {
+        Phase::ALL
+            .iter()
+            .position(|&p| p == self)
+            .expect("Phase::ALL covers every phase")
+    }
+}
+
+/// One reconstructed client-visible operation and its phase breakdown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpProfile {
+    /// Op name (`open`, `close`, `fsync`, …); synthetic spans built for
+    /// RPCs outside any op carry the procedure name instead.
+    pub op: &'static str,
+    /// Issuing client (0 for server-originated synthetic spans).
+    pub client: u32,
+    /// `true` for synthetic spans: RPCs whose parent chain reaches no
+    /// `op_begin` (background flushes, bare NFS client calls).
+    pub synthetic: bool,
+    /// Op interval, microseconds of sim time.
+    pub begin_us: u64,
+    /// End of the op interval.
+    pub end_us: u64,
+    /// Child RPCs claimed by this span.
+    pub rpcs: u64,
+    /// Exact partition of `[begin_us, end_us]`, indexed by
+    /// [`Phase::ALL`] order; sums to `end_us - begin_us`.
+    pub phase_us: [u64; NUM_PHASES],
+}
+
+impl OpProfile {
+    /// Op wall-clock latency in microseconds.
+    pub fn total_us(&self) -> u64 {
+        self.end_us - self.begin_us
+    }
+
+    /// Microseconds attributed to a named (non-unattributed) phase.
+    pub fn attributed_us(&self) -> u64 {
+        self.total_us() - self.phase_us[Phase::Unattributed.index()]
+    }
+}
+
+/// Aggregate phase breakdown for one op name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpKindProfile {
+    pub op: &'static str,
+    pub count: u64,
+    pub total_us: u64,
+    pub max_us: u64,
+    pub phase_us: [u64; NUM_PHASES],
+}
+
+/// How each `rpc_call` in the trace was claimed; the four counts sum to
+/// the total number of `rpc_call` events, and every RPC is counted in
+/// exactly one bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RpcClaims {
+    /// Client RPCs whose parent chain reaches an `op_begin`.
+    pub op: u64,
+    /// Server-originated callback RPCs issued inside a handler.
+    pub callback: u64,
+    /// RPCs outside any op (background flush daemons, bare NFS client
+    /// calls): each becomes its own synthetic span.
+    pub background: u64,
+    /// RPCs with no `rpc_reply` in the trace (in flight at trace end or
+    /// permanently lost); claimed but not profiled as spans.
+    pub incomplete: u64,
+}
+
+impl RpcClaims {
+    pub fn total(&self) -> u64 {
+        self.op + self.callback + self.background + self.incomplete
+    }
+}
+
+/// The full profile of one traced run.
+pub struct Profile {
+    /// Every reconstructed span (real ops first, then synthetic, in
+    /// trace order within each group).
+    pub ops: Vec<OpProfile>,
+    /// Per-op-name aggregates, in first-appearance order.
+    pub op_kinds: Vec<OpKindProfile>,
+    /// Phase totals across all spans, indexed by [`Phase::ALL`] order.
+    pub phase_us: [u64; NUM_PHASES],
+    /// Sum of span wall-clock latencies.
+    pub total_us: u64,
+    /// How every `rpc_call` was claimed.
+    pub claims: RpcClaims,
+    /// `rpc_call` events in the trace (== `claims.total()`).
+    pub total_rpcs: u64,
+    /// Per-procedure end-to-end RPC latency (`rpc_call` → `rpc_reply`).
+    pub rpc_latency: LatencyStats,
+    /// Occupancy bucket width, microseconds.
+    pub bucket_us: u64,
+    /// Attributed microseconds per `[bucket][phase]`; bucket `i` covers
+    /// sim time `[i*bucket_us, (i+1)*bucket_us)`.
+    pub occupancy: Vec<[u64; NUM_PHASES]>,
+}
+
+impl Profile {
+    /// Microseconds attributed to `phase` across all spans.
+    pub fn phase_total(&self, phase: Phase) -> u64 {
+        self.phase_us[phase.index()]
+    }
+
+    /// Fraction of all span time attributed to named phases (1.0 means
+    /// nothing fell in [`Phase::Unattributed`]).
+    pub fn attributed_fraction(&self) -> f64 {
+        if self.total_us == 0 {
+            return 1.0;
+        }
+        let un = self.phase_us[Phase::Unattributed.index()];
+        (self.total_us - un) as f64 / self.total_us as f64
+    }
+
+    /// Worst per-span attributed fraction across spans with nonzero
+    /// latency (the acceptance gate bounds this, not just the mean).
+    pub fn min_op_attributed_fraction(&self) -> f64 {
+        self.ops
+            .iter()
+            .filter(|o| o.total_us() > 0)
+            .map(|o| o.attributed_us() as f64 / o.total_us() as f64)
+            .fold(1.0, f64::min)
+    }
+
+    /// Sim-time series of each phase's occupancy (attributed seconds per
+    /// second of sim time), one [`GaugeSeries`] per phase in
+    /// [`Phase::ALL`] order. A value above 1.0 means several spans were
+    /// concurrently in that phase.
+    pub fn phase_gauges(&self) -> Vec<(Phase, GaugeSeries)> {
+        Phase::ALL
+            .iter()
+            .map(|&p| {
+                let g = GaugeSeries::new();
+                for (i, bucket) in self.occupancy.iter().enumerate() {
+                    let t = SimTime::from_micros((i as u64 + 1) * self.bucket_us);
+                    g.push(t, bucket[p.index()] as f64 / self.bucket_us as f64);
+                }
+                (p, g)
+            })
+            .collect()
+    }
+
+    /// Byte-stable JSON rendering (deterministic runs produce identical
+    /// bytes; committed under `artifacts/` and diffed by
+    /// `spritely compare`).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = write!(
+            s,
+            "  \"ops\": {},\n  \"rpcs\": {},\n",
+            self.ops.len(),
+            self.total_rpcs
+        );
+        let _ = write!(
+            s,
+            "  \"claims\": {{\"op\": {}, \"callback\": {}, \"background\": {}, \"incomplete\": {}}},",
+            self.claims.op, self.claims.callback, self.claims.background, self.claims.incomplete
+        );
+        s.push('\n');
+        let _ = write!(
+            s,
+            "  \"total_op_us\": {},\n  \"attributed_us\": {},\n",
+            self.total_us,
+            self.total_us - self.phase_us[Phase::Unattributed.index()]
+        );
+        s.push_str("  \"phase_us\": {");
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "\"{}\": {}", p.name(), self.phase_us[p.index()]);
+        }
+        s.push_str("},\n  \"op_kinds\": [\n");
+        for (i, k) in self.op_kinds.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"op\": \"{}\", \"count\": {}, \"total_us\": {}, \"max_us\": {}, \"phase_us\": {{",
+                crate::json_escape(k.op),
+                k.count,
+                k.total_us,
+                k.max_us
+            );
+            for (j, p) in Phase::ALL.iter().enumerate() {
+                if j > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(s, "\"{}\": {}", p.name(), k.phase_us[p.index()]);
+            }
+            s.push_str("}}");
+            if i + 1 < self.op_kinds.len() {
+                s.push(',');
+            }
+            s.push('\n');
+        }
+        s.push_str("  ],\n  \"procs\": [\n");
+        let observed = self.rpc_latency.observed();
+        for (i, &p) in observed.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"proc\": \"{}\", \"count\": {}, \"mean_us\": {}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"max_us\": {}}}",
+                p.name(),
+                self.rpc_latency.count(p),
+                self.rpc_latency.mean(p).as_micros(),
+                self.rpc_latency.percentile(p, 0.50).as_micros(),
+                self.rpc_latency.percentile(p, 0.95).as_micros(),
+                self.rpc_latency.percentile(p, 0.99).as_micros(),
+                self.rpc_latency.max(p).as_micros()
+            );
+            if i + 1 < observed.len() {
+                s.push(',');
+            }
+            s.push('\n');
+        }
+        let _ = write!(
+            s,
+            "  ],\n  \"occupancy\": {{\"bucket_us\": {}, \"buckets\": {}, \"phases\": {{",
+            self.bucket_us,
+            self.occupancy.len()
+        );
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "\"{}\": [", p.name());
+            for (j, b) in self.occupancy.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "{}", b[p.index()]);
+            }
+            s.push(']');
+        }
+        s.push_str("}}\n}\n");
+        s
+    }
+}
+
+/// One RPC's reconstructed timeline.
+struct Rpc {
+    seq: u64,
+    from: u32,
+    proc: NfsProc,
+    t_call: u64,
+    t_reply: Option<u64>,
+    /// Owning `op_begin` seq, if the parent chain reaches one.
+    owner: Option<u64>,
+    /// Phase boundaries in emission (= time) order.
+    bounds: Vec<(u64, Bound)>,
+}
+
+enum Bound {
+    Xmit,
+    Arrive { dup: bool },
+    HandlerBegin { h: u64 },
+    HandlerEnd,
+}
+
+/// One server handler execution's sub-interval overlay: painted
+/// `(start, end, phase)` intervals. Priority when probing is encoded in
+/// [`subdivide_handler`].
+struct Handler {
+    subs: Vec<(u64, u64, Phase)>,
+}
+
+/// A contiguous slice of one RPC's timeline, already resolved to a
+/// phase (handler intervals are resolved via the handler overlay).
+struct Segment {
+    start: u64,
+    end: u64,
+    phase: Phase,
+}
+
+/// Replay `events` and build the full phase-attribution profile, with
+/// occupancy bucketed at `bucket` width.
+pub fn profile_trace_bucketed(events: &[TraceEvent], bucket: SimDuration) -> Profile {
+    Profiler::new(events).run(bucket.as_micros().max(1))
+}
+
+/// Replay `events` with the default one-second occupancy bucket.
+pub fn profile_trace(events: &[TraceEvent]) -> Profile {
+    profile_trace_bucketed(events, SimDuration::from_micros(DEFAULT_BUCKET_US))
+}
+
+struct Profiler<'a> {
+    events: &'a [TraceEvent],
+    /// Owning `op_begin` seq per event (by index), via the parent chain.
+    owner: Vec<Option<u64>>,
+    /// Nearest ancestor `handler_begin` seq per event (by index).
+    handler_of: Vec<Option<u64>>,
+}
+
+impl<'a> Profiler<'a> {
+    fn new(events: &'a [TraceEvent]) -> Self {
+        let mut idx_of = HashMap::with_capacity(events.len());
+        for (i, e) in events.iter().enumerate() {
+            idx_of.insert(e.seq, i);
+        }
+        // Parents are always emitted before children (sequence numbers
+        // are assigned in emission order), so one forward pass resolves
+        // both ancestor maps.
+        let mut owner: Vec<Option<u64>> = vec![None; events.len()];
+        let mut handler_of: Vec<Option<u64>> = vec![None; events.len()];
+        for i in 0..events.len() {
+            let e = &events[i];
+            let parent_idx = if e.parent == 0 {
+                None
+            } else {
+                idx_of.get(&e.parent).copied()
+            };
+            owner[i] = match e.kind {
+                EventKind::OpBegin { .. } => Some(e.seq),
+                _ => parent_idx.and_then(|pi| owner[pi]),
+            };
+            handler_of[i] = match e.kind {
+                EventKind::HandlerBegin { .. } => Some(e.seq),
+                _ => parent_idx.and_then(|pi| handler_of[pi]),
+            };
+        }
+        Profiler {
+            events,
+            owner,
+            handler_of,
+        }
+    }
+
+    fn run(&self, bucket_us: u64) -> Profile {
+        // ---- Pass 1: collect ops, RPCs, handlers, callbacks, disk. ----
+        let mut op_meta: Vec<(u64, u64, u32, &'static str)> = Vec::new(); // (seq, t0, client, op)
+        let mut op_end: HashMap<u64, u64> = HashMap::new(); // op seq -> t1
+        let mut rpcs: Vec<Rpc> = Vec::new();
+        let mut rpc_idx: HashMap<u64, usize> = HashMap::new(); // rpc seq -> rpcs index
+        let mut handlers: HashMap<u64, Handler> = HashMap::new();
+        let mut handler_rpc: HashMap<u64, usize> = HashMap::new(); // handler seq -> rpcs index
+                                                                   // Server handlers open at the current scan point, in begin order
+                                                                   // (for the disk seq-containment heuristic).
+        let mut open_server_handlers: Vec<u64> = Vec::new();
+        // (disk name, req id) -> (enqueue t, assigned handler)
+        let mut disk_pending: HashMap<(&str, u64), (u64, Option<u64>)> = HashMap::new();
+        let mut cb_begin: Vec<(u64, u64, usize)> = Vec::new(); // (cb seq, t, event idx)
+        let mut cb_end: HashMap<u64, u64> = HashMap::new(); // cb seq -> t
+
+        for (i, e) in self.events.iter().enumerate() {
+            match &e.kind {
+                EventKind::OpBegin { client, op, .. } => {
+                    op_meta.push((e.seq, e.t_us, client.0, op));
+                }
+                EventKind::OpEnd { .. } => {
+                    op_end.insert(e.parent, e.t_us);
+                }
+                EventKind::RpcCall { from, proc, .. } => {
+                    rpc_idx.insert(e.seq, rpcs.len());
+                    rpcs.push(Rpc {
+                        seq: e.seq,
+                        from: from.0,
+                        proc: *proc,
+                        t_call: e.t_us,
+                        t_reply: None,
+                        owner: self.owner[i],
+                        bounds: Vec::new(),
+                    });
+                }
+                EventKind::RpcReply { .. } => {
+                    if let Some(&ri) = rpc_idx.get(&e.parent) {
+                        rpcs[ri].t_reply = Some(e.t_us);
+                    }
+                }
+                EventKind::RpcXmit { .. } => {
+                    if let Some(&ri) = rpc_idx.get(&e.parent) {
+                        rpcs[ri].bounds.push((e.t_us, Bound::Xmit));
+                    }
+                }
+                EventKind::RpcArrive { dup, .. } => {
+                    if let Some(&ri) = rpc_idx.get(&e.parent) {
+                        rpcs[ri].bounds.push((e.t_us, Bound::Arrive { dup: *dup }));
+                    }
+                }
+                EventKind::HandlerBegin { from, .. } => {
+                    handlers.insert(e.seq, Handler { subs: Vec::new() });
+                    if let Some(&ri) = rpc_idx.get(&e.parent) {
+                        handler_rpc.insert(e.seq, ri);
+                        rpcs[ri]
+                            .bounds
+                            .push((e.t_us, Bound::HandlerBegin { h: e.seq }));
+                    }
+                    if from.0 != 0 {
+                        open_server_handlers.push(e.seq);
+                    }
+                }
+                // `handler_end` is parented under its `handler_begin`,
+                // not the RPC — route it back via the handler map.
+                EventKind::HandlerEnd { .. } => {
+                    if let Some(&ri) = handler_rpc.get(&e.parent) {
+                        rpcs[ri].bounds.push((e.t_us, Bound::HandlerEnd));
+                    }
+                    open_server_handlers.retain(|&h| h != e.parent);
+                }
+                EventKind::DiskQueue { disk, req, .. } => {
+                    // Seq-containment heuristic: charge the disk request
+                    // to the most recently begun server handler still
+                    // open at enqueue time. Only server-originated
+                    // executions count; callback handlers running on
+                    // client hosts never issue server-disk I/O.
+                    let h = open_server_handlers.last().copied();
+                    disk_pending.insert((disk.as_str(), *req), (e.t_us, h));
+                }
+                EventKind::DiskDone {
+                    disk, req, wait_us, ..
+                } => {
+                    if let Some((t_q, Some(h))) = disk_pending.remove(&(disk.as_str(), *req)) {
+                        if let Some(handler) = handlers.get_mut(&h) {
+                            let dispatch = (t_q + wait_us).min(e.t_us);
+                            if dispatch > t_q {
+                                handler.subs.push((t_q, dispatch, Phase::DiskQueue));
+                            }
+                            if e.t_us > dispatch {
+                                handler.subs.push((dispatch, e.t_us, Phase::DiskService));
+                            }
+                        }
+                    }
+                }
+                EventKind::CallbackBegin { .. } => {
+                    cb_begin.push((e.seq, e.t_us, i));
+                }
+                EventKind::CallbackEnd { .. } => {
+                    cb_end.insert(e.parent, e.t_us);
+                }
+                _ => {}
+            }
+        }
+
+        // Paint callback intervals onto their owning handlers.
+        for &(cb_seq, t_b, idx) in &cb_begin {
+            let Some(h) = self.handler_of[idx] else {
+                continue;
+            };
+            let Some(&t_e) = cb_end.get(&cb_seq) else {
+                continue;
+            };
+            if let Some(handler) = handlers.get_mut(&h) {
+                if t_e > t_b {
+                    handler.subs.push((t_b, t_e, Phase::Callback));
+                }
+            }
+        }
+
+        // ---- Pass 2: resolve each RPC to plain phase segments. ----
+        let rpc_segments: Vec<Vec<Segment>> =
+            rpcs.iter().map(|r| resolve_rpc(r, &handlers)).collect();
+
+        // ---- Pass 3: overlay RPC segments onto op intervals. ----
+        let mut claims = RpcClaims::default();
+        let mut ops: Vec<OpProfile> = Vec::new();
+        // op seq -> indices into `rpcs` of its client-side children.
+        let mut op_children: HashMap<u64, Vec<usize>> = HashMap::new();
+        for (ri, r) in rpcs.iter().enumerate() {
+            match (r.owner, r.from, r.t_reply) {
+                (_, _, None) => claims.incomplete += 1,
+                (Some(op), from, Some(_)) if from != 0 => {
+                    claims.op += 1;
+                    op_children.entry(op).or_default().push(ri);
+                }
+                (Some(_), _, Some(_)) => claims.callback += 1,
+                (None, _, Some(_)) => claims.background += 1,
+            }
+        }
+
+        let mut occupancy: Vec<[u64; NUM_PHASES]> = Vec::new();
+        for &(op_seq, t0, client, name) in &op_meta {
+            let Some(&t1) = op_end.get(&op_seq) else {
+                continue;
+            };
+            let children = op_children.remove(&op_seq).unwrap_or_default();
+            let rpc_count = children.len() as u64;
+            let phase_us = overlay_op(
+                t0,
+                t1,
+                &children,
+                &rpcs,
+                &rpc_segments,
+                bucket_us,
+                &mut occupancy,
+            );
+            ops.push(OpProfile {
+                op: name,
+                client,
+                synthetic: false,
+                begin_us: t0,
+                end_us: t1,
+                rpcs: rpc_count,
+                phase_us,
+            });
+        }
+
+        // Synthetic spans: background / bare-client RPCs, one span each.
+        for (ri, r) in rpcs.iter().enumerate() {
+            if r.owner.is_some() || r.from == 0 {
+                continue;
+            }
+            let Some(t_reply) = r.t_reply else { continue };
+            let phase_us = overlay_op(
+                r.t_call,
+                t_reply,
+                &[ri],
+                &rpcs,
+                &rpc_segments,
+                bucket_us,
+                &mut occupancy,
+            );
+            ops.push(OpProfile {
+                op: r.proc.name(),
+                client: r.from,
+                synthetic: true,
+                begin_us: r.t_call,
+                end_us: t_reply,
+                rpcs: 1,
+                phase_us,
+            });
+        }
+
+        // ---- Aggregates. ----
+        let mut phase_us = [0u64; NUM_PHASES];
+        let mut total_us = 0u64;
+        let mut op_kinds: Vec<OpKindProfile> = Vec::new();
+        for o in &ops {
+            total_us += o.total_us();
+            for (acc, v) in phase_us.iter_mut().zip(o.phase_us.iter()) {
+                *acc += v;
+            }
+            match op_kinds.iter_mut().find(|k| k.op == o.op) {
+                Some(k) => {
+                    k.count += 1;
+                    k.total_us += o.total_us();
+                    k.max_us = k.max_us.max(o.total_us());
+                    for i in 0..NUM_PHASES {
+                        k.phase_us[i] += o.phase_us[i];
+                    }
+                }
+                None => op_kinds.push(OpKindProfile {
+                    op: o.op,
+                    count: 1,
+                    total_us: o.total_us(),
+                    max_us: o.total_us(),
+                    phase_us: o.phase_us,
+                }),
+            }
+        }
+
+        let rpc_latency = LatencyStats::new();
+        for r in &rpcs {
+            if let Some(t_reply) = r.t_reply {
+                rpc_latency.record(r.proc, SimDuration::from_micros(t_reply - r.t_call));
+            }
+        }
+
+        Profile {
+            ops,
+            op_kinds,
+            phase_us,
+            total_us,
+            total_rpcs: rpcs.len() as u64,
+            claims,
+            rpc_latency,
+            bucket_us,
+            occupancy,
+        }
+    }
+}
+
+/// Turn one RPC's boundary list into contiguous phase segments covering
+/// `[t_call, t_reply]` exactly. Handler intervals are subdivided by the
+/// handler's painted overlay (disk service > disk queue > callback >
+/// server CPU).
+fn resolve_rpc(r: &Rpc, handlers: &HashMap<u64, Handler>) -> Vec<Segment> {
+    let Some(t_reply) = r.t_reply else {
+        return Vec::new();
+    };
+    let has_xmit = r.bounds.iter().any(|(_, b)| matches!(b, Bound::Xmit));
+    let mut segs: Vec<Segment> = Vec::new();
+    let mut cur_t = r.t_call;
+    // State carried between boundaries: either a plain phase or an open
+    // handler whose overlay subdivides the interval.
+    enum State {
+        Plain(Phase),
+        InHandler(u64),
+    }
+    let mut state = State::Plain(if has_xmit {
+        Phase::ClientQueue
+    } else {
+        Phase::Unattributed
+    });
+    let close = |segs: &mut Vec<Segment>, state: &State, a: u64, b: u64| {
+        if b <= a {
+            return;
+        }
+        match state {
+            State::Plain(p) => segs.push(Segment {
+                start: a,
+                end: b,
+                phase: *p,
+            }),
+            State::InHandler(h) => subdivide_handler(segs, handlers.get(h), a, b),
+        }
+    };
+    for (t, b) in &r.bounds {
+        let t = (*t).min(t_reply);
+        close(&mut segs, &state, cur_t, t);
+        cur_t = cur_t.max(t);
+        state = match b {
+            Bound::Xmit => State::Plain(Phase::Net),
+            Bound::Arrive { dup: false } => State::Plain(Phase::Admission),
+            Bound::Arrive { dup: true } => State::Plain(Phase::DupCache),
+            Bound::HandlerBegin { h } => State::InHandler(*h),
+            Bound::HandlerEnd => State::Plain(Phase::Net),
+        };
+    }
+    close(&mut segs, &state, cur_t, t_reply);
+    segs
+}
+
+/// Split `[a, b]` of a handler execution into phase segments using the
+/// handler's painted sub-intervals. Priority when intervals overlap:
+/// disk service, then disk queue, then callback, then server CPU.
+fn subdivide_handler(segs: &mut Vec<Segment>, handler: Option<&Handler>, a: u64, b: u64) {
+    let Some(h) = handler else {
+        segs.push(Segment {
+            start: a,
+            end: b,
+            phase: Phase::ServerCpu,
+        });
+        return;
+    };
+    // Breakpoints: interval ends plus every painted edge inside it.
+    let mut cuts: Vec<u64> = vec![a, b];
+    for &(s, e, _) in &h.subs {
+        for t in [s, e] {
+            if t > a && t < b {
+                cuts.push(t);
+            }
+        }
+    }
+    cuts.sort_unstable();
+    cuts.dedup();
+    for w in cuts.windows(2) {
+        let (lo, hi) = (w[0], w[1]);
+        let mid = lo; // phases are constant on [lo, hi); probe the start
+        let covered = |p: Phase| {
+            h.subs
+                .iter()
+                .any(|&(s, e, q)| q == p && s <= mid && e > mid)
+        };
+        let phase = if covered(Phase::DiskService) {
+            Phase::DiskService
+        } else if covered(Phase::DiskQueue) {
+            Phase::DiskQueue
+        } else if covered(Phase::Callback) {
+            Phase::Callback
+        } else {
+            Phase::ServerCpu
+        };
+        // Coalesce with the previous segment when the phase repeats.
+        match segs.last_mut() {
+            Some(last) if last.end == lo && last.phase == phase => last.end = hi,
+            _ => segs.push(Segment {
+                start: lo,
+                end: hi,
+                phase,
+            }),
+        }
+    }
+}
+
+/// Partition the span `[t0, t1]` across phases given its child RPCs'
+/// resolved segments, accumulating into `occupancy` buckets as well.
+/// Returns the exact per-phase breakdown (sums to `t1 - t0`).
+fn overlay_op(
+    t0: u64,
+    t1: u64,
+    children: &[usize],
+    rpcs: &[Rpc],
+    rpc_segments: &[Vec<Segment>],
+    bucket_us: u64,
+    occupancy: &mut Vec<[u64; NUM_PHASES]>,
+) -> [u64; NUM_PHASES] {
+    let mut phase_us = [0u64; NUM_PHASES];
+    if t1 <= t0 {
+        return phase_us;
+    }
+    // Instants where the attribution can change: span ends plus every
+    // child segment edge (clipped to the span).
+    let mut cuts: Vec<u64> = vec![t0, t1];
+    for &ri in children {
+        for s in &rpc_segments[ri] {
+            for t in [s.start, s.end] {
+                if t > t0 && t < t1 {
+                    cuts.push(t);
+                }
+            }
+        }
+    }
+    cuts.sort_unstable();
+    cuts.dedup();
+    for w in cuts.windows(2) {
+        let (lo, hi) = (w[0], w[1]);
+        // Charge [lo, hi) to the earliest-issued RPC active at `lo`
+        // (ties by sequence number), or cache-local when none is.
+        let mut chosen: Option<(u64, u64, Phase)> = None; // (t_call, seq, phase)
+        for &ri in children {
+            let r = &rpcs[ri];
+            let Some(seg) = rpc_segments[ri]
+                .iter()
+                .find(|s| s.start <= lo && s.end > lo)
+            else {
+                continue;
+            };
+            let key = (r.t_call, r.seq);
+            if chosen.is_none_or(|(tc, sq, _)| key < (tc, sq)) {
+                chosen = Some((r.t_call, r.seq, seg.phase));
+            }
+        }
+        let phase = chosen.map_or(Phase::CacheLocal, |(_, _, p)| p);
+        phase_us[phase.index()] += hi - lo;
+        add_occupancy(occupancy, bucket_us, lo, hi, phase);
+    }
+    phase_us
+}
+
+/// Spread `[lo, hi)` attributed to `phase` across fixed-width buckets.
+fn add_occupancy(
+    occupancy: &mut Vec<[u64; NUM_PHASES]>,
+    bucket_us: u64,
+    lo: u64,
+    hi: u64,
+    phase: Phase,
+) {
+    let mut t = lo;
+    while t < hi {
+        let b = (t / bucket_us) as usize;
+        let edge = ((b as u64) + 1) * bucket_us;
+        let end = hi.min(edge);
+        if occupancy.len() <= b {
+            occupancy.resize(b + 1, [0u64; NUM_PHASES]);
+        }
+        occupancy[b][phase.index()] += end - t;
+        t = end;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spritely_proto::{ClientId, FileHandle};
+
+    fn ev(seq: u64, t_us: u64, parent: u64, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            seq,
+            t_us,
+            parent,
+            kind,
+        }
+    }
+
+    fn fh() -> FileHandle {
+        FileHandle::new(1, 7, 1)
+    }
+
+    /// One op with one fully-boundary-annotated RPC: every phase lands
+    /// where the timeline says, and the partition is exact.
+    #[test]
+    fn single_rpc_attribution_is_exact() {
+        let c = ClientId(1);
+        let events = vec![
+            ev(
+                1,
+                0,
+                0,
+                EventKind::OpBegin {
+                    client: c,
+                    op: "open",
+                    fh: fh(),
+                },
+            ),
+            ev(
+                2,
+                100,
+                1,
+                EventKind::RpcCall {
+                    from: c,
+                    xid: 1,
+                    proc: NfsProc::Open,
+                    fh: Some(fh()),
+                    offset: 0,
+                    len: 0,
+                },
+            ),
+            ev(3, 150, 2, EventKind::RpcXmit { from: c, xid: 1 }),
+            ev(
+                4,
+                250,
+                2,
+                EventKind::RpcArrive {
+                    from: c,
+                    xid: 1,
+                    dup: false,
+                },
+            ),
+            ev(
+                5,
+                300,
+                2,
+                EventKind::HandlerBegin {
+                    from: c,
+                    xid: 1,
+                    proc: NfsProc::Open,
+                },
+            ),
+            ev(
+                6,
+                700,
+                5,
+                EventKind::HandlerEnd {
+                    from: c,
+                    xid: 1,
+                    proc: NfsProc::Open,
+                    ok: true,
+                },
+            ),
+            ev(
+                7,
+                800,
+                2,
+                EventKind::RpcReply {
+                    from: c,
+                    xid: 1,
+                    proc: NfsProc::Open,
+                    ok: true,
+                },
+            ),
+            ev(
+                8,
+                900,
+                1,
+                EventKind::OpEnd {
+                    client: c,
+                    op: "open",
+                    ok: true,
+                },
+            ),
+        ];
+        let p = profile_trace(&events);
+        assert_eq!(p.ops.len(), 1);
+        let o = &p.ops[0];
+        assert_eq!(o.total_us(), 900);
+        assert_eq!(o.phase_us.iter().sum::<u64>(), 900);
+        assert_eq!(o.phase_us[Phase::CacheLocal.index()], 200); // 0-100, 800-900
+        assert_eq!(o.phase_us[Phase::ClientQueue.index()], 50); // 100-150
+        assert_eq!(o.phase_us[Phase::Net.index()], 200); // 150-250, 700-800
+        assert_eq!(o.phase_us[Phase::Admission.index()], 50); // 250-300
+        assert_eq!(o.phase_us[Phase::ServerCpu.index()], 400); // 300-700
+        assert_eq!(o.phase_us[Phase::Unattributed.index()], 0);
+        assert_eq!(p.claims.op, 1);
+        assert_eq!(p.claims.total(), 1);
+        assert!((p.attributed_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    /// Disk and callback intervals subdivide handler time.
+    #[test]
+    fn handler_overlay_splits_disk_and_callback() {
+        let c = ClientId(1);
+        let events = vec![
+            ev(
+                1,
+                0,
+                0,
+                EventKind::OpBegin {
+                    client: c,
+                    op: "close",
+                    fh: fh(),
+                },
+            ),
+            ev(
+                2,
+                0,
+                1,
+                EventKind::RpcCall {
+                    from: c,
+                    xid: 1,
+                    proc: NfsProc::Close,
+                    fh: Some(fh()),
+                    offset: 0,
+                    len: 0,
+                },
+            ),
+            ev(3, 10, 2, EventKind::RpcXmit { from: c, xid: 1 }),
+            ev(
+                4,
+                20,
+                2,
+                EventKind::RpcArrive {
+                    from: c,
+                    xid: 1,
+                    dup: false,
+                },
+            ),
+            ev(
+                5,
+                30,
+                2,
+                EventKind::HandlerBegin {
+                    from: c,
+                    xid: 1,
+                    proc: NfsProc::Close,
+                },
+            ),
+            // Disk request: queued at 40, waits 20 (dispatch 60), done 100.
+            ev(
+                6,
+                40,
+                0,
+                EventKind::DiskQueue {
+                    disk: "srv".into(),
+                    req: 1,
+                    block: 5,
+                    write: true,
+                },
+            ),
+            ev(
+                7,
+                100,
+                0,
+                EventKind::DiskDone {
+                    disk: "srv".into(),
+                    req: 1,
+                    block: 5,
+                    write: true,
+                    wait_us: 20,
+                    pos_us: 10,
+                },
+            ),
+            // Callback from 120 to 180 inside the handler.
+            ev(
+                8,
+                120,
+                5,
+                EventKind::CallbackBegin {
+                    target: ClientId(2),
+                    fh: fh(),
+                    writeback: true,
+                    invalidate: false,
+                },
+            ),
+            ev(
+                9,
+                180,
+                8,
+                EventKind::CallbackEnd {
+                    target: ClientId(2),
+                    fh: fh(),
+                    ok: true,
+                },
+            ),
+            ev(
+                10,
+                200,
+                5,
+                EventKind::HandlerEnd {
+                    from: c,
+                    xid: 1,
+                    proc: NfsProc::Close,
+                    ok: true,
+                },
+            ),
+            ev(
+                11,
+                210,
+                2,
+                EventKind::RpcReply {
+                    from: c,
+                    xid: 1,
+                    proc: NfsProc::Close,
+                    ok: true,
+                },
+            ),
+            ev(
+                12,
+                210,
+                1,
+                EventKind::OpEnd {
+                    client: c,
+                    op: "close",
+                    ok: true,
+                },
+            ),
+        ];
+        let p = profile_trace(&events);
+        let o = &p.ops[0];
+        assert_eq!(o.phase_us.iter().sum::<u64>(), 210);
+        assert_eq!(o.phase_us[Phase::DiskQueue.index()], 20); // 40-60
+        assert_eq!(o.phase_us[Phase::DiskService.index()], 40); // 60-100
+        assert_eq!(o.phase_us[Phase::Callback.index()], 60); // 120-180
+                                                             // Handler CPU: 30-40 + 100-120 + 180-200 = 50.
+        assert_eq!(o.phase_us[Phase::ServerCpu.index()], 50);
+        assert_eq!(o.phase_us[Phase::Unattributed.index()], 0);
+    }
+
+    /// An RPC without transmit boundaries (old trace) degrades to
+    /// unattributed, not to a panic or a silent misattribution.
+    #[test]
+    fn boundary_free_rpc_is_unattributed() {
+        let c = ClientId(3);
+        let events = vec![
+            ev(
+                1,
+                0,
+                0,
+                EventKind::RpcCall {
+                    from: c,
+                    xid: 9,
+                    proc: NfsProc::Read,
+                    fh: None,
+                    offset: 0,
+                    len: 0,
+                },
+            ),
+            ev(
+                2,
+                500,
+                1,
+                EventKind::RpcReply {
+                    from: c,
+                    xid: 9,
+                    proc: NfsProc::Read,
+                    ok: true,
+                },
+            ),
+        ];
+        let p = profile_trace(&events);
+        assert_eq!(p.ops.len(), 1);
+        assert!(p.ops[0].synthetic);
+        assert_eq!(p.ops[0].op, "read");
+        assert_eq!(p.ops[0].phase_us[Phase::Unattributed.index()], 500);
+        assert_eq!(p.claims.background, 1);
+    }
+
+    /// Overlapping child RPCs: each instant goes to the earliest-issued
+    /// active RPC, and the op partition still sums exactly.
+    #[test]
+    fn concurrent_rpcs_partition_exactly() {
+        let c = ClientId(1);
+        let mut events = vec![ev(
+            1,
+            0,
+            0,
+            EventKind::OpBegin {
+                client: c,
+                op: "open",
+                fh: fh(),
+            },
+        )];
+        // Two RPCs: A spans 10..200, B spans 50..300 (overlap 50..200).
+        for (seq, xid, t_call, t_reply) in [(2u64, 1u64, 10u64, 200u64), (6, 2, 50, 300)] {
+            events.push(ev(
+                seq,
+                t_call,
+                1,
+                EventKind::RpcCall {
+                    from: c,
+                    xid,
+                    proc: NfsProc::Read,
+                    fh: None,
+                    offset: 0,
+                    len: 0,
+                },
+            ));
+            events.push(ev(
+                seq + 1,
+                t_call + 5,
+                seq,
+                EventKind::RpcXmit { from: c, xid },
+            ));
+            events.push(ev(
+                seq + 2,
+                t_call + 10,
+                seq,
+                EventKind::RpcArrive {
+                    from: c,
+                    xid,
+                    dup: false,
+                },
+            ));
+            events.push(ev(
+                seq + 3,
+                t_reply,
+                seq,
+                EventKind::RpcReply {
+                    from: c,
+                    xid,
+                    proc: NfsProc::Read,
+                    ok: true,
+                },
+            ));
+        }
+        events.push(ev(
+            10,
+            400,
+            1,
+            EventKind::OpEnd {
+                client: c,
+                op: "open",
+                ok: true,
+            },
+        ));
+        // Fix seqs to be strictly increasing in time order.
+        events.sort_by_key(|e| (e.t_us, e.seq));
+        let p = profile_trace(&events);
+        let o = &p.ops[0];
+        assert_eq!(o.rpcs, 2);
+        assert_eq!(o.phase_us.iter().sum::<u64>(), 400);
+        // 0-10 and 300-400 have no RPC outstanding.
+        assert_eq!(o.phase_us[Phase::CacheLocal.index()], 110);
+        assert_eq!(p.claims.op, 2);
+    }
+
+    #[test]
+    fn occupancy_buckets_cover_attributed_time() {
+        let c = ClientId(1);
+        let events = vec![
+            ev(
+                1,
+                0,
+                0,
+                EventKind::OpBegin {
+                    client: c,
+                    op: "open",
+                    fh: fh(),
+                },
+            ),
+            ev(
+                2,
+                2_500_000,
+                1,
+                EventKind::OpEnd {
+                    client: c,
+                    op: "open",
+                    ok: true,
+                },
+            ),
+        ];
+        let p = profile_trace(&events);
+        assert_eq!(p.occupancy.len(), 3);
+        let total: u64 = p
+            .occupancy
+            .iter()
+            .map(|b| b[Phase::CacheLocal.index()])
+            .sum();
+        assert_eq!(total, 2_500_000);
+        assert_eq!(p.occupancy[0][Phase::CacheLocal.index()], 1_000_000);
+        assert_eq!(p.occupancy[2][Phase::CacheLocal.index()], 500_000);
+        let gauges = p.phase_gauges();
+        let (_, cache) = &gauges[Phase::CacheLocal.index()];
+        assert_eq!(cache.samples().len(), 3);
+        assert!((cache.samples()[0].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_is_stable_and_self_consistent() {
+        let c = ClientId(1);
+        let events = vec![
+            ev(
+                1,
+                0,
+                0,
+                EventKind::OpBegin {
+                    client: c,
+                    op: "open",
+                    fh: fh(),
+                },
+            ),
+            ev(
+                2,
+                100,
+                1,
+                EventKind::OpEnd {
+                    client: c,
+                    op: "open",
+                    ok: true,
+                },
+            ),
+        ];
+        let a = profile_trace(&events).to_json();
+        let b = profile_trace(&events).to_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"cache_local\": 100"));
+        assert!(a.contains("\"ops\": 1"));
+    }
+}

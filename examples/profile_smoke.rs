@@ -1,0 +1,71 @@
+//! Profiles a traced SNFS Andrew run and asserts the attribution
+//! invariants the profiler promises: every span's phase durations sum
+//! exactly to its wall-clock latency, at least 99% of all op time lands
+//! in a named phase, and the disk and network phases are nonzero (a
+//! remote-mount run that shows no wire or disk time means the span
+//! reconstruction broke). `scripts/check.sh` runs this as a gate.
+//!
+//! Run with: `cargo run --release --example profile_smoke`
+
+use std::process::ExitCode;
+
+use spritely::harness::{report, run_andrew_with, Protocol, TestbedParams};
+use spritely::trace::{profile_trace, Phase};
+
+fn main() -> ExitCode {
+    println!("Profiling a traced Andrew run (SNFS, /usr/tmp remote)...\n");
+    let run = run_andrew_with(
+        TestbedParams {
+            protocol: Protocol::Snfs,
+            tmp_remote: true,
+            trace: true,
+            ..TestbedParams::default()
+        },
+        42,
+    );
+    let trace = run.trace.expect("tracing was enabled");
+    let profile = profile_trace(&trace.events);
+    println!("{}", report::profile_table(&profile));
+
+    let mut ok = true;
+    let mut check = |label: &str, pass: bool| {
+        println!("{} {}", if pass { "ok  " } else { "FAIL" }, label);
+        ok &= pass;
+    };
+
+    let mut exact = true;
+    for o in &profile.ops {
+        exact &= o.phase_us.iter().sum::<u64>() == o.total_us();
+    }
+    check("every span's phase durations sum to its latency", exact);
+    check(
+        "every rpc_call claimed exactly once",
+        profile.claims.total() == profile.total_rpcs,
+    );
+    check(
+        &format!(
+            ">=99% of op time attributed (got {:.3}%)",
+            profile.attributed_fraction() * 100.0
+        ),
+        profile.attributed_fraction() >= 0.99,
+    );
+    check(
+        "network transit phase is nonzero",
+        profile.phase_total(Phase::Net) > 0,
+    );
+    check(
+        "disk phases are nonzero",
+        profile.phase_total(Phase::DiskQueue) + profile.phase_total(Phase::DiskService) > 0,
+    );
+    check(
+        "cache-local phase is nonzero",
+        profile.phase_total(Phase::CacheLocal) > 0,
+    );
+
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("\nprofile smoke checks failed");
+        ExitCode::FAILURE
+    }
+}

@@ -25,6 +25,9 @@ cargo clippy -p spritely-proto -p spritely-rpcnet --all-targets -- -D warnings
 echo "==> cargo clippy -p spritely-sim -- -D warnings"
 cargo clippy -p spritely-sim --all-targets -- -D warnings
 
+echo "==> cargo clippy -p spritely-metrics -- -D warnings"
+cargo clippy -p spritely-metrics --all-targets -- -D warnings
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -42,5 +45,13 @@ cargo run --release --quiet --example chaos_smoke
 
 echo "==> sim-core smoke run (>= 1.5x pre-PR events/sec, cancelled sleeps leave no timers)"
 cargo run --release --quiet --example sim_speed_smoke
+
+echo "==> latency profiler smoke run (phase accounting must be exact, >= 99% attributed)"
+cargo run --release --quiet --example profile_smoke
+
+echo "==> snapshot regression gate (fresh Andrew profile vs baselines/)"
+cargo run --release --quiet --bin spritely -- profile andrew > /dev/null
+cargo run --release --quiet --bin spritely -- compare \
+    baselines/profile_andrew_snfs.json artifacts/profile_andrew_snfs.json
 
 echo "==> OK"

@@ -10,18 +10,22 @@
 //! spritely lifetime                 # temp-file lifetime sweep
 //! spritely scaling                  # §2.3 multi-client capacity
 //! spritely matrix [--threads N]     # experiment matrix, fanned across threads
+//! spritely profile <workload>       # traced run + phase-attributed latency profile
+//! spritely compare <a.json> <b.json>  # diff two snapshot/ledger JSONs
 //! spritely all                      # everything above
 //! ```
 
 use std::process::ExitCode;
 
 use spritely::harness::{
-    render_matrix, report, run_andrew, run_matrix, run_reopen, run_scaling, run_sort_experiment,
-    run_temp_lifetime, Experiment, Protocol,
+    compare_json, render_matrix, report, run_andrew, run_andrew_with, run_flush_with, run_matrix,
+    run_reopen, run_scaling, run_scaling_with, run_sort_experiment, run_temp_lifetime,
+    CompareOptions, Experiment, Protocol, ServerIoParams, TestbedParams, WriteBehindParams,
 };
 use spritely::metrics::TextTable;
 use spritely::proto::NfsProc;
 use spritely::sim::SimDuration;
+use spritely::trace::profile_trace;
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -32,10 +36,42 @@ fn usage() -> ExitCode {
            micro        (§5.3 write-close-reopen-read)\n\
            lifetime     (temp-file lifetime sweep)\n\
            scaling      (§2.3 multi-client capacity)\n\
-           matrix       (experiment matrix fanned across --threads N workers)\n\
+           matrix       (experiment matrix fanned across --threads N workers;\n\
+                         per-cell snapshots land in artifacts/matrix/)\n\
+           profile andrew | andrew-pipelined | scaling | flush\n\
+                        (traced run; prints the phase-attribution tables and\n\
+                         writes artifacts/profile_<slug>.json)\n\
+           compare <a.json> <b.json> [--threshold PCT]\n\
+                        (diff two snapshot/ledger JSONs; exit 1 on regression)\n\
            all"
     );
     ExitCode::from(2)
+}
+
+/// Ledger/filename slug for a free-form run label.
+fn slug(label: &str) -> String {
+    let mut out = String::new();
+    for c in label.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+        } else if !out.ends_with('_') {
+            out.push('_');
+        }
+    }
+    out.trim_matches('_').to_string()
+}
+
+/// Best-effort write under `artifacts/` (created on demand), relative
+/// to the current directory.
+fn write_artifact(rel: &str, contents: &str) {
+    let path = std::path::Path::new("artifacts").join(rel);
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&path, contents) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
 }
 
 fn parse_seed(args: &[String]) -> u64 {
@@ -202,6 +238,110 @@ fn matrix(seed: u64, threads: usize) {
         threads.max(1)
     );
     println!("{}", render_matrix(&results));
+    for r in &results {
+        write_artifact(&format!("matrix/{}.json", slug(&r.label)), &r.stats_json);
+    }
+}
+
+fn profile(which: &str, seed: u64) -> ExitCode {
+    let (name, trace) = match which {
+        "andrew" => {
+            // The paper's headline configuration: SNFS with /tmp remote.
+            let run = run_andrew_with(
+                TestbedParams {
+                    protocol: Protocol::Snfs,
+                    tmp_remote: true,
+                    trace: true,
+                    ..TestbedParams::default()
+                },
+                seed,
+            );
+            ("andrew_snfs", run.trace)
+        }
+        "andrew-pipelined" => {
+            // Same workload with every perf-mode pipeline enabled.
+            let run = run_andrew_with(
+                TestbedParams {
+                    protocol: Protocol::Snfs,
+                    tmp_remote: true,
+                    server_io: ServerIoParams::pipelined(),
+                    write_behind: WriteBehindParams::pipelined(),
+                    trace: true,
+                    ..TestbedParams::default()
+                },
+                seed,
+            );
+            ("andrew_snfs_pipelined", run.trace)
+        }
+        "scaling" => {
+            let run = run_scaling_with(
+                TestbedParams {
+                    protocol: Protocol::Snfs,
+                    tmp_remote: true,
+                    server_io: ServerIoParams::pipelined(),
+                    trace: true,
+                    ..TestbedParams::default()
+                },
+                4,
+                seed,
+            );
+            ("scaling_pipelined_4", run.trace)
+        }
+        "flush" => {
+            let run = run_flush_with(
+                "pipelined",
+                TestbedParams {
+                    protocol: Protocol::Snfs,
+                    update_enabled: false,
+                    write_behind: WriteBehindParams::pipelined(),
+                    trace: true,
+                    ..TestbedParams::default()
+                },
+                64,
+            );
+            ("flush_pipelined", run.trace)
+        }
+        _ => return usage(),
+    };
+    let trace = trace.expect("tracing was requested");
+    let p = profile_trace(&trace.events);
+    println!("Latency profile: {which} (seed {seed})\n");
+    println!("{}", report::profile_table(&p));
+    write_artifact(&format!("profile_{name}.json"), &p.to_json());
+    ExitCode::SUCCESS
+}
+
+fn compare(a: &str, b: &str, args: &[String]) -> ExitCode {
+    let mut opts = CompareOptions::default();
+    if let Some(pct) = args
+        .windows(2)
+        .find(|w| w[0] == "--threshold")
+        .and_then(|w| w[1].parse::<f64>().ok())
+    {
+        opts.rel_threshold = pct / 100.0;
+    }
+    let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("read {p}: {e}"));
+    let (ta, tb) = match (read(a), read(b)) {
+        (Ok(x), Ok(y)) => (x, y),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match compare_json(&ta, &tb, &opts) {
+        Ok(r) => {
+            print!("{}", r.render());
+            if r.ok() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
 }
 
 fn parse_threads(args: &[String]) -> usize {
@@ -234,6 +374,13 @@ fn main() -> ExitCode {
         ("lifetime", None) => lifetime(),
         ("scaling", None) => scaling(seed),
         ("matrix", None) => matrix(seed, parse_threads(&args)),
+        ("profile", Some(w)) => return profile(w, seed),
+        ("compare", Some(a)) => {
+            let Some(b) = words.next().map(String::as_str) else {
+                return usage();
+            };
+            return compare(a, b, &args);
+        }
         ("all", None) => {
             table_5_1(seed);
             table_5_2(seed);
