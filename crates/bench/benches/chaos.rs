@@ -8,13 +8,14 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use spritely_bench::{artifact, bench_ledger, config};
-use spritely_harness::{chaos_andrew, chaos_write_sharing};
+use spritely_harness::{chaos_andrew, chaos_delegation, chaos_write_sharing};
 
 fn bench(c: &mut Criterion) {
     let andrew = chaos_andrew(7);
     let sharing = chaos_write_sharing(11);
+    let delegation = chaos_delegation(13);
     let mut body = String::new();
-    for v in [&andrew, &sharing] {
+    for v in [&andrew, &sharing, &delegation] {
         body.push_str(&v.report());
         body.push_str(&format!(
             "converged: {}\n\n",
@@ -29,12 +30,24 @@ fn bench(c: &mut Criterion) {
             ("andrew_converged".into(), andrew.converged().to_string()),
             ("sharing_injected".into(), sharing.injected().to_string()),
             ("sharing_converged".into(), sharing.converged().to_string()),
+            (
+                "delegation_injected".into(),
+                delegation.injected().to_string(),
+            ),
+            (
+                "delegation_converged".into(),
+                delegation.converged().to_string(),
+            ),
         ],
     );
     assert!(andrew.converged(), "Andrew chaos run failed to converge");
     assert!(
         sharing.converged(),
         "write-sharing chaos run failed to converge"
+    );
+    assert!(
+        delegation.converged(),
+        "delegation chaos run failed to converge"
     );
     let mut g = c.benchmark_group("chaos");
     g.bench_function("andrew_chaos", |b| b.iter(|| chaos_andrew(7).converged()));

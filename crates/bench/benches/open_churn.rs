@@ -1,0 +1,257 @@
+//! Open delegations (DESIGN.md §17) vs the callback-only protocol, on
+//! the open-heavy mix the delegation fast path targets.
+//!
+//! Two workloads:
+//!
+//! * **open churn** — six clients each re-open/read/close a private
+//!   working-set file 30 times, then all of them read a hot shared
+//!   docroot three times over. Every one of those opens and closes is an
+//!   RPC round trip under the paper protocol; a delegation holder serves
+//!   them locally with zero RPCs.
+//! * **Andrew** — the paper's general-purpose benchmark, as a
+//!   non-regression guard: delegations must not slow down a workload
+//!   that creates and writes files once instead of re-opening them.
+//!
+//! Both sides run the full PR-4 pipelined stack (server I/O pipeline,
+//! write-behind pool, compound transport) so the open/close RPCs
+//! themselves are the bottleneck under comparison; only
+//! `DelegationParams` varies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spritely_bench::{artifact, artifact_file, bench_ledger, config};
+use spritely_harness::{
+    report, run_andrew_with, DelegationParams, Protocol, ServerIoParams, Testbed, TestbedParams,
+    TransportParams, WriteBehindParams,
+};
+use spritely_metrics::TextTable;
+use spritely_sim::SimDuration;
+use spritely_vfs::OpenFlags;
+
+const CLIENTS: usize = 6;
+const CHURN_ROUNDS: usize = 30;
+const DOC_FILES: usize = 8;
+const DOC_ROUNDS: usize = 3;
+const FILE_BLOCKS: usize = 4;
+
+fn churn_params(d: DelegationParams, trace: bool) -> TestbedParams {
+    TestbedParams {
+        protocol: Protocol::Snfs,
+        server_io: ServerIoParams::pipelined(),
+        write_behind: WriteBehindParams::pipelined(),
+        transport: TransportParams::pipelined(),
+        name_cache: true,
+        delegation: d,
+        trace,
+        ..TestbedParams::default()
+    }
+}
+
+fn andrew_params(d: DelegationParams) -> TestbedParams {
+    TestbedParams {
+        protocol: Protocol::Snfs,
+        tmp_remote: true,
+        server_io: ServerIoParams::pipelined(),
+        write_behind: WriteBehindParams::pipelined(),
+        transport: TransportParams::pipelined(),
+        delegation: d,
+        ..TestbedParams::default()
+    }
+}
+
+/// Seeds each client's private file and the shared docroot (untimed),
+/// then runs the measured open-heavy mix concurrently on every client:
+/// `CHURN_ROUNDS` open/read/close cycles on the private file, then
+/// `DOC_ROUNDS` passes over the `DOC_FILES`-file docroot. Returns the
+/// testbed plus the measured makespan and wire message count.
+fn run_open_churn(d: DelegationParams, n: usize, trace: bool) -> (Testbed, f64, u64) {
+    let tb = Testbed::build_with_clients(churn_params(d, trace), n);
+    {
+        let sim = tb.sim.clone();
+        let mut handles = Vec::new();
+        for (i, host) in tb.clients.iter().enumerate() {
+            let p = host.proc(&tb.sim);
+            handles.push(tb.sim.spawn(async move {
+                let path = format!("/remote/src/own{i}");
+                let fd = p.open(&path, OpenFlags::create_write()).await.unwrap();
+                p.write(fd, &[5u8; FILE_BLOCKS * 4096]).await.unwrap();
+                p.close(fd).await.unwrap();
+                if i == 0 {
+                    for f in 0..DOC_FILES {
+                        let path = format!("/remote/src/doc{f}");
+                        let fd = p.open(&path, OpenFlags::create_write()).await.unwrap();
+                        p.write(fd, &[6u8; FILE_BLOCKS * 4096]).await.unwrap();
+                        p.close(fd).await.unwrap();
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            tb.sim.run_until(h);
+        }
+        // Drain the delayed write-backs so the measured phase is clean.
+        let h = tb.sim.spawn(async move {
+            sim.sleep(SimDuration::from_secs(65)).await;
+        });
+        tb.sim.run_until(h);
+    }
+    let t0 = tb.sim.now();
+    let m0 = tb.net.messages();
+    let mut handles = Vec::new();
+    for (i, host) in tb.clients.iter().enumerate() {
+        let p = host.proc(&tb.sim);
+        handles.push(tb.sim.spawn(async move {
+            let own = format!("/remote/src/own{i}");
+            for _ in 0..CHURN_ROUNDS {
+                let fd = p.open(&own, OpenFlags::read()).await.unwrap();
+                while !p.read(fd, 4096).await.unwrap().is_empty() {}
+                p.close(fd).await.unwrap();
+            }
+            for _ in 0..DOC_ROUNDS {
+                for f in 0..DOC_FILES {
+                    let path = format!("/remote/src/doc{f}");
+                    let fd = p.open(&path, OpenFlags::read()).await.unwrap();
+                    while !p.read(fd, 4096).await.unwrap().is_empty() {}
+                    p.close(fd).await.unwrap();
+                }
+            }
+        }));
+    }
+    for h in handles {
+        tb.sim.run_until(h);
+    }
+    let makespan = tb.sim.now().duration_since(t0).as_secs_f64();
+    let messages = tb.net.messages() - m0;
+    (tb, makespan, messages)
+}
+
+fn reduction(paper: u64, pipe: u64) -> f64 {
+    100.0 * (1.0 - pipe as f64 / paper as f64)
+}
+
+fn bench(c: &mut Criterion) {
+    let (_off_tb, off_mk, off_msgs) = run_open_churn(DelegationParams::paper(), CLIENTS, false);
+    let (on_tb, on_mk, on_msgs) = run_open_churn(DelegationParams::pipelined(), CLIENTS, false);
+    let a_off = run_andrew_with(andrew_params(DelegationParams::paper()), 42);
+    let a_on = run_andrew_with(andrew_params(DelegationParams::pipelined()), 42);
+
+    let churn_reduction = reduction(off_msgs, on_msgs);
+    let churn_speedup = off_mk / on_mk;
+    let andrew_ratio = a_off.times.total().as_secs_f64() / a_on.times.total().as_secs_f64();
+    let a_off_msgs = a_off.stats.transport.net_messages;
+    let a_on_msgs = a_on.stats.transport.net_messages;
+    let total_reduction = reduction(off_msgs + a_off_msgs, on_msgs + a_on_msgs);
+
+    let snap = on_tb.stats_snapshot();
+    let deleg = snap.delegation.expect("delegations were enabled");
+
+    let mut t = TextTable::new(vec![
+        "Workload",
+        "no-deleg msgs",
+        "deleg msgs",
+        "reduction",
+        "no-deleg s",
+        "deleg s",
+        "speedup",
+    ]);
+    t.row(vec![
+        format!("{CLIENTS}-client open churn"),
+        off_msgs.to_string(),
+        on_msgs.to_string(),
+        format!("{churn_reduction:.0}%"),
+        format!("{off_mk:.2}"),
+        format!("{on_mk:.2}"),
+        format!("{churn_speedup:.2}x"),
+    ]);
+    t.row(vec![
+        "Andrew/SNFS".to_string(),
+        a_off_msgs.to_string(),
+        a_on_msgs.to_string(),
+        format!("{:.0}%", reduction(a_off_msgs, a_on_msgs)),
+        format!("{:.0}", a_off.times.total().as_secs_f64()),
+        format!("{:.0}", a_on.times.total().as_secs_f64()),
+        format!("{andrew_ratio:.2}x"),
+    ]);
+    let body = format!(
+        "{}\ntotal messages: {} -> {} ({total_reduction:.0}% reduction)\n\
+         delegation accounting (churn, whole run):\n{}",
+        t.render(),
+        off_msgs + a_off_msgs,
+        on_msgs + a_on_msgs,
+        report::delegation_table(&[("churn/deleg", &deleg)])
+    );
+    artifact(
+        "Open churn: open delegations vs callback-only protocol (6-client churn + Andrew, seed 42)",
+        &body,
+    );
+    artifact_file("stats_open_churn.json", &snap.to_json());
+    bench_ledger(
+        "open_churn",
+        &[
+            ("churn_paper_msgs".into(), off_msgs.to_string()),
+            ("churn_deleg_msgs".into(), on_msgs.to_string()),
+            (
+                "churn_reduction_pct".into(),
+                format!("{churn_reduction:.1}"),
+            ),
+            ("churn_gain_x".into(), format!("{churn_speedup:.2}")),
+            ("andrew_paper_msgs".into(), a_off_msgs.to_string()),
+            ("andrew_deleg_msgs".into(), a_on_msgs.to_string()),
+            ("andrew_gain_x".into(), format!("{andrew_ratio:.2}")),
+            (
+                "total_reduction_pct".into(),
+                format!("{total_reduction:.1}"),
+            ),
+            (
+                "deleg_grants".into(),
+                (deleg.stats.grants_read + deleg.stats.grants_write).to_string(),
+            ),
+            (
+                "deleg_local_opens".into(),
+                deleg.stats.local_opens.to_string(),
+            ),
+            ("deleg_recalls".into(), deleg.stats.recalls.to_string()),
+            ("deleg_revokes".into(), deleg.stats.revokes.to_string()),
+        ],
+    );
+
+    // Acceptance gates (PR 8): >= 30% fewer wire messages on the
+    // open-heavy mix, no Andrew regression, and a healthy delegation
+    // economy (grants serving many local opens, nothing revoked).
+    assert!(
+        churn_reduction >= 30.0,
+        "delegations must cut the open-churn messages by >= 30%, got {churn_reduction:.1}%"
+    );
+    assert!(
+        andrew_ratio >= 0.98,
+        "delegations must not slow the Andrew run, got {andrew_ratio:.2}x"
+    );
+    assert!(
+        deleg.stats.local_opens > deleg.stats.grants_read + deleg.stats.grants_write,
+        "each grant must amortize over several local opens: {:?}",
+        deleg.stats
+    );
+    assert_eq!(deleg.stats.revokes, 0, "healthy run must not revoke");
+
+    // A traced run feeds the delegation-safety checker a real
+    // grant/recall/return schedule.
+    let (traced_tb, _, _) = run_open_churn(DelegationParams::pipelined(), 2, true);
+    let trace = traced_tb.finish_trace().expect("tracing was on");
+    assert!(
+        trace.ok(),
+        "trace checker found violations:\n{}",
+        report::trace_summary(&trace)
+    );
+
+    let mut g = c.benchmark_group("open_churn");
+    g.bench_function("six_clients_delegated", |b| {
+        b.iter(|| run_open_churn(DelegationParams::pipelined(), CLIENTS, false).1)
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -32,6 +32,8 @@ use spritely_rpcnet::{Caller, Endpoint, EndpointParams, RpcError};
 use spritely_sim::{Event, Resource, Semaphore, Sim, SimDuration, SimTime};
 use spritely_trace::{EventKind, Tracer};
 
+use crate::delegation::{DelegationParams, DelegationStats};
+
 /// Configuration of the client's write-behind pool (the Ultrix biod
 /// analogue): how dirty blocks travel back to the server.
 ///
@@ -104,6 +106,9 @@ pub struct SnfsClientParams {
     /// of all RPCs in the paper's Table 5-2; this removes most of them
     /// without giving up the consistency guarantee.
     pub name_cache: bool,
+    /// Open-delegation knobs (DESIGN.md §17). Must match the server's;
+    /// off (the default) keeps the client byte-identical to the paper.
+    pub delegation: DelegationParams,
 }
 
 impl Default for SnfsClientParams {
@@ -122,6 +127,7 @@ impl Default for SnfsClientParams {
             delayed_close: false,
             delayed_close_timeout: SimDuration::from_secs(180),
             name_cache: false,
+            delegation: DelegationParams::paper(),
         }
     }
 }
@@ -166,6 +172,20 @@ struct FileInfo {
     /// §6.2: a close we have not reported yet: (readers, writers) counts
     /// awaiting a close RPC.
     pending_close: Option<(u32, u32)>,
+}
+
+/// A delegation this client holds on one file (DESIGN.md §17). While it
+/// is live (and the lease fresh), opens and closes are served from
+/// `FileInfo` with zero RPCs; the counts there double as the queued
+/// state the lazy batch return reports.
+struct DelegRecord {
+    /// Write delegation (covers read and write opens) vs read-only.
+    write: bool,
+    /// The file was modified under the delegation; the return must bump
+    /// the server's version so other clients revalidate.
+    wrote: bool,
+    /// A recall arrived: stop serving locally, a return is under way.
+    recalled: bool,
 }
 
 struct Inner {
@@ -217,6 +237,20 @@ struct Inner {
     cb_seen: RefCell<HashMap<u64, CbGuard>>,
     /// Duplicate callback deliveries short-circuited by `cb_seen`.
     cb_dupes: Cell<u64>,
+    /// Delegations held (DESIGN.md §17); empty unless
+    /// `params.delegation.enabled`.
+    delegs: RefCell<HashMap<FileHandle, DelegRecord>>,
+    /// Per-file gate while a delegation return is in flight: opens and
+    /// closes of that file wait for the return to land, so the batched
+    /// counts the return reports cannot be invalidated mid-flight.
+    deleg_returning: RefCell<HashMap<FileHandle, Event>>,
+    /// When the last keepalive (or recover) reply arrived — the
+    /// delegation lease anchor. Renewed *only* by those replies: they
+    /// travel the same host-to-host direction as recall callbacks, so a
+    /// fresh lease proves recalls could have reached us (§17.3).
+    last_contact: Cell<SimTime>,
+    /// Client-side delegation counters (local opens/closes).
+    deleg_stats: Cell<DelegationStats>,
     tracer: RefCell<Option<Tracer>>,
 }
 
@@ -272,6 +306,10 @@ impl SnfsClient {
                 piggy_attrs: RefCell::new(HashMap::new()),
                 cb_seen: RefCell::new(HashMap::new()),
                 cb_dupes: Cell::new(0),
+                delegs: RefCell::new(HashMap::new()),
+                deleg_returning: RefCell::new(HashMap::new()),
+                last_contact: Cell::new(sim.now()),
+                deleg_stats: Cell::new(DelegationStats::default()),
                 tracer: RefCell::new(None),
             }),
         }
@@ -308,6 +346,59 @@ impl SnfsClient {
     /// (each one would have double-invalidated without it).
     pub fn callback_dupes(&self) -> u64 {
         self.inner.cb_dupes.get()
+    }
+
+    /// Client-side delegation counters (local opens and closes).
+    pub fn delegation_stats(&self) -> DelegationStats {
+        self.inner.deleg_stats.get()
+    }
+
+    /// Delegations currently held (test hook).
+    pub fn delegations_held(&self) -> usize {
+        self.inner.delegs.borrow().len()
+    }
+
+    fn bump_deleg(&self, f: impl FnOnce(&mut DelegationStats)) {
+        let mut s = self.inner.deleg_stats.get();
+        f(&mut s);
+        self.inner.deleg_stats.set(s);
+    }
+
+    /// True while the delegation lease is fresh: the server answered a
+    /// keepalive/recover recently enough that, had it recalled anything
+    /// we hold, the recall could have reached us too (DESIGN.md §17.3).
+    fn lease_fresh(&self) -> bool {
+        let age = self
+            .inner
+            .sim
+            .now()
+            .saturating_duration_since(self.inner.last_contact.get());
+        age < self.inner.params.delegation.lease
+    }
+
+    /// True when a live delegation on `fh` may serve local state: it has
+    /// not been recalled and the lease is fresh.
+    fn deleg_serves(&self, fh: FileHandle) -> bool {
+        self.inner
+            .delegs
+            .borrow()
+            .get(&fh)
+            .is_some_and(|d| !d.recalled)
+            && self.lease_fresh()
+    }
+
+    /// Waits out any in-flight delegation return for `fh` (no-op when
+    /// none is). Opens and closes pass through here so they cannot
+    /// change the open counts between the return's snapshot and its
+    /// application at the server.
+    async fn wait_deleg_return(&self, fh: FileHandle) {
+        loop {
+            let gate = self.inner.deleg_returning.borrow().get(&fh).cloned();
+            match gate {
+                Some(ev) => ev.wait().await,
+                None => return,
+            }
+        }
     }
 
     /// Data cache `(hits, misses)`.
@@ -429,6 +520,12 @@ impl SnfsClient {
     }
 
     async fn open_inner(&self, fh: FileHandle, write: bool, op: u64) -> Result<Fattr> {
+        if self.inner.params.delegation.enabled {
+            self.wait_deleg_return(fh).await;
+            if let Some(attr) = self.try_local_open(fh, write, op) {
+                return Ok(attr);
+            }
+        }
         // §6.2 delayed close: if the file is "closed but not reported",
         // and the pending modes cover the new open, reopen locally.
         if self.inner.params.delayed_close {
@@ -478,6 +575,20 @@ impl SnfsClient {
             NfsReply::Open(o) => o,
             _ => return Err(NfsStatus::Io),
         };
+        if let Some(g) = open.delegation {
+            // The server chose us as (sole writer / one of the readers);
+            // record the grant — the server already emitted DelegGrant.
+            // An upgrade (read → write) replaces the old record; the
+            // queued open counts live in FileInfo and survive.
+            self.inner.delegs.borrow_mut().insert(
+                fh,
+                DelegRecord {
+                    write: g.is_write(),
+                    wrote: false,
+                    recalled: false,
+                },
+            );
+        }
         self.inner.removed.borrow_mut().remove(&fh);
         let (attr, flush_first, drop_blocks) = {
             let mut files = self.inner.files.borrow_mut();
@@ -559,6 +670,45 @@ impl SnfsClient {
         Ok(attr)
     }
 
+    /// Serves an open from a held delegation with zero RPCs (DESIGN.md
+    /// §17.1): the delegation must cover the mode, no recall may be in
+    /// progress, and the lease must be fresh. Falls back to the RPC path
+    /// (returning `None`) otherwise — the delegation record is kept, and
+    /// the replace-semantics of the eventual return reconcile the mix.
+    fn try_local_open(&self, fh: FileHandle, write: bool, op: u64) -> Option<Fattr> {
+        {
+            let mut delegs = self.inner.delegs.borrow_mut();
+            let d = delegs.get_mut(&fh)?;
+            if d.recalled || (write && !d.write) || !self.lease_fresh() {
+                return None;
+            }
+            if write {
+                // The normal protocol bumps the version per write open;
+                // under a delegation the bump is deferred to the return.
+                d.wrote = true;
+            }
+        }
+        let mut files = self.inner.files.borrow_mut();
+        let info = files.get_mut(&fh)?;
+        if write {
+            info.writers += 1;
+        } else {
+            info.readers += 1;
+        }
+        let attr = info.attr;
+        drop(files);
+        self.bump_deleg(|s| s.local_opens += 1);
+        self.emit(
+            op,
+            EventKind::DelegLocalOpen {
+                client: self.inner.id,
+                fh,
+                write,
+            },
+        );
+        Some(attr)
+    }
+
     /// Closes a file. No data is flushed (delayed write-back survives the
     /// close — the whole point, §2.3). Sends the `close` RPC, or defers it
     /// under §6.2.
@@ -584,6 +734,36 @@ impl SnfsClient {
     }
 
     async fn close_inner(&self, fh: FileHandle, write: bool, op: u64) -> Result<()> {
+        if self.inner.params.delegation.enabled {
+            self.wait_deleg_return(fh).await;
+            // While we hold the delegation record — even one being
+            // recalled was handled by the gate above — the close is
+            // absorbed locally: the server never saw some of these opens,
+            // and the batch return reports the net counts.
+            let absorb = {
+                let mut delegs = self.inner.delegs.borrow_mut();
+                match delegs.get_mut(&fh) {
+                    Some(d) => {
+                        d.wrote |= write;
+                        true
+                    }
+                    None => false,
+                }
+            };
+            if absorb {
+                let mut files = self.inner.files.borrow_mut();
+                if let Some(info) = files.get_mut(&fh) {
+                    if write {
+                        info.writers = info.writers.saturating_sub(1);
+                    } else {
+                        info.readers = info.readers.saturating_sub(1);
+                    }
+                }
+                drop(files);
+                self.bump_deleg(|s| s.local_closes += 1);
+                return Ok(());
+            }
+        }
         {
             let mut files = self.inner.files.borrow_mut();
             if let Some(info) = files.get_mut(&fh) {
@@ -1316,6 +1496,16 @@ impl SnfsClient {
     /// block is written back, then all cached state — data, versions,
     /// attributes — is dropped, as if the machine had power-cycled.
     pub async fn cold_boot(&self) -> Result<()> {
+        // An orderly shutdown returns its delegations (with their queued
+        // open counts) instead of leaving the server to time them out.
+        if self.inner.params.delegation.enabled {
+            let mut held: Vec<FileHandle> = self.inner.delegs.borrow().keys().copied().collect();
+            held.sort_unstable();
+            for fh in held {
+                let _ = self.do_deleg_return(0, fh).await;
+                self.inner.delegs.borrow_mut().remove(&fh);
+            }
+        }
         let files: Vec<FileHandle> = {
             let mut v: Vec<FileHandle> = self
                 .inner
@@ -1379,9 +1569,56 @@ impl SnfsClient {
         report
     }
 
+    /// Discards every held delegation: either the server rebooted (its
+    /// delegation state is gone and ours is void, DESIGN.md §17.4) or
+    /// our lease lapsed (the server may have fenced us, §17.3). Each
+    /// discard is announced as a revoked return, which is what tells the
+    /// trace checker this client's authority ended here.
+    ///
+    /// `purge` additionally drops each file's cached blocks and version:
+    /// a lease-lapse discard must assume other clients have written
+    /// since we were fenced, so nothing cached under the delegation can
+    /// be trusted. Reboot recovery passes `false` — the recovery report
+    /// re-registers the cache (dirty claims included) and the server
+    /// restores it (§2.4).
+    fn discard_delegations(&self, purge: bool) {
+        let mut fhs: Vec<FileHandle> = {
+            let mut delegs = self.inner.delegs.borrow_mut();
+            let fhs = delegs.keys().copied().collect();
+            delegs.clear();
+            fhs
+        };
+        fhs.sort_unstable();
+        for fh in fhs {
+            if purge {
+                self.inner.cache.borrow_mut().drop_matching(|k| k.0 == fh);
+                if let Some(info) = self.inner.files.borrow_mut().get_mut(&fh) {
+                    info.cached_version = None;
+                }
+                self.bump_stats(|s| s.invalidations += 1);
+                self.emit(
+                    0,
+                    EventKind::Invalidate {
+                        client: self.inner.id,
+                        fh,
+                    },
+                );
+            }
+            self.emit(
+                0,
+                EventKind::DelegReturn {
+                    client: self.inner.id,
+                    fh,
+                    revoked: true,
+                },
+            );
+        }
+    }
+
     /// Re-registers this client's state with a rebooted server. Returns
     /// the server epoch acknowledged.
     pub async fn recover(&self) -> Result<u64> {
+        self.discard_delegations(false);
         let files = self.recovery_report();
         let rep = self
             .call(NfsRequest::Recover {
@@ -1392,6 +1629,7 @@ impl SnfsClient {
         match rep {
             NfsReply::Epoch(e) => {
                 self.inner.known_epoch.set(e);
+                self.inner.last_contact.set(self.inner.sim.now());
                 self.bump_stats(|s| s.recoveries += 1);
                 Ok(e)
             }
@@ -1416,6 +1654,21 @@ impl SnfsClient {
             NfsReply::Epoch(e) => e,
             _ => return Err(NfsStatus::Io),
         };
+        // A lapsed lease cannot be resurrected (DESIGN.md §17.3): while
+        // we were out of contact the server may have recalled, timed out
+        // and fenced anything we hold, so the records — and the cache
+        // under them — are untrustworthy. Purge before renewing the
+        // anchor; later opens re-earn delegations over RPC.
+        if self.inner.params.delegation.enabled
+            && !self.lease_fresh()
+            && !self.inner.delegs.borrow().is_empty()
+        {
+            self.discard_delegations(true);
+        }
+        // Lease anchor (DESIGN.md §17.3): this reply crossed the same
+        // server→client path a recall callback would, so as of now no
+        // recall can have been lost to a partition we haven't noticed.
+        self.inner.last_contact.set(self.inner.sim.now());
         let known = self.inner.known_epoch.get();
         if known == 0 {
             // First contact: just remember it.
@@ -1524,6 +1777,9 @@ impl SnfsClient {
 
     async fn serve_callback_work(&self, ctx: u64, arg: CallbackArg) -> CallbackReply {
         self.bump_stats(|s| s.callbacks_served += 1);
+        if arg.recall {
+            return self.serve_recall(ctx, arg.fh).await;
+        }
         let fh = arg.fh;
         // Bypass the pool: a callback-induced write-back must not share
         // slots or in-flight permits with unrelated background flushes
@@ -1565,11 +1821,130 @@ impl SnfsClient {
         CallbackReply { ok: true }
     }
 
+    /// Services a delegation recall (DESIGN.md §17.2): stop serving
+    /// locally, flush dirty data, send the batch `DelegReturn` RPC, and
+    /// only then acknowledge the callback — so an `ok` reply proves the
+    /// server has the returned state. Idempotent: a delivery for a
+    /// delegation already returned (or never held) just acks.
+    async fn serve_recall(&self, ctx: u64, fh: FileHandle) -> CallbackReply {
+        let first = {
+            let mut delegs = self.inner.delegs.borrow_mut();
+            match delegs.get_mut(&fh) {
+                None => None,
+                Some(d) if d.recalled => Some(false),
+                Some(d) => {
+                    d.recalled = true;
+                    Some(true)
+                }
+            }
+        };
+        match first {
+            // Nothing held: a late or duplicated delivery. Ack.
+            None => CallbackReply { ok: true },
+            // A return is already under way (a second conflicting open
+            // recalled concurrently): wait for it, then ack.
+            Some(false) => {
+                self.wait_deleg_return(fh).await;
+                CallbackReply { ok: true }
+            }
+            Some(true) => {
+                // Gate opens/closes *before* the first await, so the
+                // counts the return reports stay the file's truth until
+                // the server applies them.
+                let done = Event::new();
+                self.inner
+                    .deleg_returning
+                    .borrow_mut()
+                    .insert(fh, done.clone());
+                self.emit(
+                    ctx,
+                    EventKind::DelegRecall {
+                        client: self.inner.id,
+                        fh,
+                    },
+                );
+                let res = self.do_deleg_return(ctx, fh).await;
+                self.inner.delegs.borrow_mut().remove(&fh);
+                self.inner.deleg_returning.borrow_mut().remove(&fh);
+                done.set();
+                CallbackReply { ok: res.is_ok() }
+            }
+        }
+    }
+
+    /// Flushes dirty data and returns the delegation's batched state to
+    /// the server. Uses the direct (pool-bypassing) flush path for the
+    /// same reason write-back callbacks do: the conflicting opener is
+    /// blocked on us, and our flush must not queue behind unrelated
+    /// background traffic.
+    async fn do_deleg_return(&self, ctx: u64, fh: FileHandle) -> Result<()> {
+        self.writeback_file_via(fh, false, ctx).await?;
+        let (readers, writers, wrote) = {
+            let files = self.inner.files.borrow();
+            let (r, w) = files.get(&fh).map_or((0, 0), |i| (i.readers, i.writers));
+            let wrote = self.inner.delegs.borrow().get(&fh).is_some_and(|d| d.wrote);
+            (r, w, wrote)
+        };
+        let rep = self
+            .call_ctx(
+                ctx,
+                NfsRequest::DelegReturn {
+                    fh,
+                    client: self.inner.id,
+                    readers,
+                    writers,
+                    wrote,
+                },
+            )
+            .await?;
+        match rep {
+            NfsReply::DelegReturned { version, fenced } => {
+                let mut files = self.inner.files.borrow_mut();
+                if let Some(info) = files.get_mut(&fh) {
+                    if fenced {
+                        // We were revoked: the server discarded our
+                        // batched state and may have marked the file
+                        // inconsistent. Purge and revalidate on the next
+                        // open.
+                        info.cached_version = None;
+                    } else if info.cached_version.is_some() {
+                        // Our own return bumped the version (if we
+                        // wrote); the cache is that version's content.
+                        info.cached_version = Some(version);
+                    }
+                }
+                drop(files);
+                if fenced {
+                    self.bump_stats(|s| s.invalidations += 1);
+                    self.emit(
+                        ctx,
+                        EventKind::Invalidate {
+                            client: self.inner.id,
+                            fh,
+                        },
+                    );
+                    self.inner.cache.borrow_mut().drop_matching(|k| k.0 == fh);
+                }
+                Ok(())
+            }
+            _ => Err(NfsStatus::Io),
+        }
+    }
+
     // ---- attributes and namespace ---------------------------------------------
 
     /// Attributes: served locally for cachable files (no refresh needed,
     /// §4.2.1); fetched from the server for write-shared files.
     pub async fn getattr(&self, fh: FileHandle) -> Result<Fattr> {
+        // A held delegation is attribute authority (DESIGN.md §17.1):
+        // nobody can change the file without a recall reaching us first,
+        // so the cached attributes are the truth even for a file that
+        // write-sharing once marked uncacheable.
+        if self.inner.params.delegation.enabled && self.deleg_serves(fh) {
+            if let Some(a) = self.local_attr(fh) {
+                return Ok(a);
+            }
+        }
         if self.is_cacheable(fh) {
             if let Some(a) = self.local_attr(fh) {
                 return Ok(a);
@@ -1782,6 +2157,9 @@ impl SnfsClient {
                 // and any eviction write-back still queued must be
                 // cancelled too (see write_back_victim).
                 self.inner.eviction_errors.borrow_mut().remove(&fh);
+                // A delegation on a deleted file has nothing left to
+                // protect; the server drops its side with the entry.
+                self.inner.delegs.borrow_mut().remove(&fh);
                 self.inner.removed.borrow_mut().insert(fh);
             } else if let Some(info) = self.inner.files.borrow_mut().get_mut(&fh) {
                 info.attr.nlink = nlink - 1;

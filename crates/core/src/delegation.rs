@@ -1,0 +1,144 @@
+//! Open delegations: client-side open/close authority (DESIGN.md §17).
+//!
+//! An AFS/NFSv4-style extension of the paper's consistency protocol: when
+//! the state table says a file has no conflicting users, the server
+//! piggybacks a *delegation* on the open reply. The holder then serves
+//! further opens, closes and attribute reads locally — zero RPCs — queuing
+//! the close-time state updates it would have sent, until a conflicting
+//! open triggers a recall callback (or a server reboot discards the
+//! delegation wholesale).
+//!
+//! This module holds the shared knobs and counters; the mechanism lives in
+//! the state table (grant/recall/return/revoke bookkeeping), the server
+//! (recall protocol and fencing) and the client (local fast path).
+
+use spritely_sim::SimDuration;
+
+/// Configuration for the delegation subsystem. Shared by the server (which
+/// grants, recalls and revokes) and the client (which serves opens locally
+/// while its lease is fresh).
+///
+/// `paper()` disables the subsystem entirely and is provably inert: no
+/// grants, no new RPCs, byte-identical traces and tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DelegationParams {
+    /// Master switch. Off reproduces the paper exactly.
+    pub enabled: bool,
+    /// How long the server waits for a recalled delegation to come back
+    /// before revoking it and fencing the holder (DESIGN.md §17.3).
+    pub recall_timeout: SimDuration,
+    /// Client-side lease: a delegation serves local opens only while the
+    /// client has heard from the server (any successful RPC, including the
+    /// keepalive probe) within this window. Must be shorter than
+    /// `recall_timeout` so an unreachable holder stops using its
+    /// delegation *before* the server revokes it.
+    pub lease: SimDuration,
+}
+
+impl DelegationParams {
+    /// Delegations off: the configuration the paper measured.
+    pub fn paper() -> Self {
+        DelegationParams {
+            enabled: false,
+            recall_timeout: SimDuration::from_secs(20),
+            lease: SimDuration::from_secs(15),
+        }
+    }
+
+    /// Delegations on, with a lease that tolerates one lost keepalive
+    /// (10 s interval) and a recall timeout safely above the lease.
+    pub fn pipelined() -> Self {
+        DelegationParams {
+            enabled: true,
+            ..DelegationParams::paper()
+        }
+    }
+}
+
+impl Default for DelegationParams {
+    fn default() -> Self {
+        DelegationParams::paper()
+    }
+}
+
+/// Fixed-bucket latency histogram for recall round-trips. Buckets:
+/// `<1ms, <10ms, <100ms, <1s, ≥1s` of virtual time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecallHistogram {
+    /// Counts per bucket (see [`RecallHistogram::BOUNDS_US`]).
+    pub buckets: [u64; 5],
+}
+
+impl RecallHistogram {
+    /// Upper bounds (exclusive) of the first four buckets, in virtual
+    /// microseconds; the fifth bucket is unbounded.
+    pub const BOUNDS_US: [u64; 4] = [1_000, 10_000, 100_000, 1_000_000];
+
+    /// Records one recall that took `us` virtual microseconds.
+    pub fn record(&mut self, us: u64) {
+        let i = Self::BOUNDS_US
+            .iter()
+            .position(|&b| us < b)
+            .unwrap_or(Self::BOUNDS_US.len());
+        self.buckets[i] += 1;
+    }
+
+    /// Total recalls recorded.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+}
+
+/// Counters for the delegation subsystem, aggregated across server and
+/// clients into the stats snapshot (`report::delegation_table`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DelegationStats {
+    /// Read delegations granted (server).
+    pub grants_read: u64,
+    /// Write delegations granted (server).
+    pub grants_write: u64,
+    /// Opens served locally from a delegation, no RPC (clients).
+    pub local_opens: u64,
+    /// Closes absorbed locally into the queued return state (clients).
+    pub local_closes: u64,
+    /// Recall callbacks issued (server).
+    pub recalls: u64,
+    /// Delegations returned and applied (server).
+    pub returns: u64,
+    /// Delegations revoked after a recall timeout (server).
+    pub revokes: u64,
+    /// Round-trip latency of completed recalls (server).
+    pub recall_latency: RecallHistogram,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_mode_is_disabled() {
+        assert!(!DelegationParams::paper().enabled);
+        assert!(DelegationParams::pipelined().enabled);
+        assert_eq!(DelegationParams::default(), DelegationParams::paper());
+    }
+
+    #[test]
+    fn lease_is_shorter_than_recall_timeout() {
+        // The fencing argument (DESIGN.md §17.3) needs an unreachable
+        // holder to stop serving local opens before the server revokes.
+        let p = DelegationParams::pipelined();
+        assert!(p.lease < p.recall_timeout);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut h = RecallHistogram::default();
+        h.record(0);
+        h.record(999);
+        h.record(1_000);
+        h.record(99_999);
+        h.record(5_000_000);
+        assert_eq!(h.buckets, [2, 1, 1, 0, 1]);
+        assert_eq!(h.total(), 5);
+    }
+}

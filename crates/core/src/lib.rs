@@ -28,13 +28,15 @@
 //!   write-back, callback service, write cancellation, delayed close.
 
 mod client;
+pub mod delegation;
 mod server;
 pub mod state_table;
 
 pub use client::{ClientStats, SnfsClient, SnfsClientParams, WriteBehindParams};
+pub use delegation::{DelegationParams, DelegationStats, RecallHistogram};
 pub use server::{ServerIoParams, ServerStats, SnfsServer, SnfsServerParams};
 pub use state_table::{
-    CallbackNeeded, ClientOpens, FileState, OpenOutcome, ReclaimOutcome, StateTable,
+    CallbackNeeded, ClientOpens, Deleg, FileState, OpenOutcome, ReclaimOutcome, StateTable,
 };
 
 #[cfg(test)]

@@ -20,13 +20,15 @@ use spritely_blockdev::DiskSched;
 use spritely_localfs::LocalFs;
 use spritely_metrics::{InflightGauge, OpCounter};
 use spritely_proto::{
-    CallbackArg, CallbackReply, ClientId, FileHandle, NfsReply, NfsRequest, NfsStatus, OpenReply,
+    CallbackArg, CallbackReply, ClientId, FileHandle, FileVersion, NfsReply, NfsRequest, NfsStatus,
+    OpenReply,
 };
 use spritely_rpcnet::{Caller, Endpoint, EndpointParams};
 use spritely_sim::{Resource, Semaphore, Sim, SimDuration};
 use spritely_trace::{Cause, EventKind, Tracer};
 
-use crate::state_table::{CallbackNeeded, FileState, StateTable};
+use crate::delegation::{DelegationParams, DelegationStats};
+use crate::state_table::{CallbackNeeded, Deleg, FileState, StateTable};
 
 /// SNFS server configuration.
 #[derive(Debug, Clone, Copy)]
@@ -62,6 +64,10 @@ pub struct SnfsServerParams {
     /// give-up-on-first-timeout behavior (used by regression tests to
     /// pin the old bug).
     pub callback_dead_after: SimDuration,
+    /// Open-delegation knobs (DESIGN.md §17). Off by default; when off
+    /// the server grants nothing, recalls nothing, and its replies are
+    /// byte-identical to the paper configuration.
+    pub delegation: DelegationParams,
 }
 
 impl Default for SnfsServerParams {
@@ -74,6 +80,7 @@ impl Default for SnfsServerParams {
             dir_callbacks: true,
             callback_retry_backoff: SimDuration::from_secs(2),
             callback_dead_after: SimDuration::from_secs(30),
+            delegation: DelegationParams::paper(),
         }
     }
 }
@@ -162,6 +169,8 @@ struct Inner {
     callback_inflight: InflightGauge,
     params: SnfsServerParams,
     stats: Cell<ServerStats>,
+    /// Delegation counters (server-side half of [`DelegationStats`]).
+    deleg_stats: Cell<DelegationStats>,
     /// Reboot generation; bumped by [`SnfsServer::reboot`]. Clients learn
     /// it from `keepalive` replies and re-register on a change.
     epoch: Cell<u64>,
@@ -178,6 +187,12 @@ struct Inner {
     /// Timed-out callback attempts that were retried instead of
     /// declaring the client dead.
     callback_retries: Cell<u64>,
+    /// Unresolved recalls per holder. While non-zero the holder's
+    /// keepalives are answered `Grace` instead of renewing its lease
+    /// (DESIGN.md §17.3): the recall timeout (20 s) only proves a dead
+    /// holder's lease (15 s) lapsed if no renewal crossed the wire
+    /// after the recall started.
+    recalls_pending: RefCell<HashMap<ClientId, u32>>,
     tracer: RefCell<Option<Tracer>>,
 }
 
@@ -211,12 +226,14 @@ impl SnfsServer {
                 callback_inflight: InflightGauge::new(),
                 params,
                 stats: Cell::new(ServerStats::default()),
+                deleg_stats: Cell::new(DelegationStats::default()),
                 epoch: Cell::new(1),
                 grace_until: Cell::new(None),
                 dir_watchers: RefCell::new(HashMap::new()),
                 service_threads,
                 cb_next_seq: Cell::new(0),
                 callback_retries: Cell::new(0),
+                recalls_pending: RefCell::new(HashMap::new()),
                 tracer: RefCell::new(None),
             }),
         }
@@ -368,6 +385,18 @@ impl SnfsServer {
         self.inner.stats.get()
     }
 
+    /// The server-side delegation counters (grants, recalls, returns,
+    /// revokes, recall latency). Client-side counters (local opens and
+    /// closes) live in [`crate::client::ClientStats`].
+    pub fn delegation_stats(&self) -> DelegationStats {
+        self.inner.deleg_stats.get()
+    }
+
+    /// Live delegations in the state table (test hook).
+    pub fn delegation_count(&self) -> usize {
+        self.inner.table.borrow().delegation_count()
+    }
+
     /// Gauge of concurrent callbacks (its peak must stay ≤ N−1, the
     /// §3.2 thread-pool rule — asserted in tests).
     pub fn callback_gauge(&self) -> InflightGauge {
@@ -441,6 +470,12 @@ impl SnfsServer {
         self.inner.stats.set(s);
     }
 
+    fn bump_deleg(&self, f: impl FnOnce(&mut DelegationStats)) {
+        let mut s = self.inner.deleg_stats.get();
+        f(&mut s);
+        self.inner.deleg_stats.set(s);
+    }
+
     /// Performs one callback; on failure, treats the client as crashed.
     /// Returns true on success.
     async fn do_callback(
@@ -492,6 +527,7 @@ impl SnfsServer {
             invalidate: cb.invalidate,
             relinquish,
             seq: arg_seq,
+            recall: false,
         };
         // A timeout is not a crash: a lossy network or a transient
         // partition can eat a whole retransmission ladder while the
@@ -587,6 +623,222 @@ impl SnfsServer {
         }
     }
 
+    /// Revokes a delegation whose holder did not answer the recall in
+    /// time: the holder is fenced, its open state discarded (DESIGN.md
+    /// §17.3). Safe because the client-side lease (shorter than the
+    /// recall timeout, and renewed only by replies that travel the same
+    /// host-to-host direction as recall callbacks) has already expired
+    /// on any holder the recall could not reach.
+    fn revoke(&self, parent: u64, fh: FileHandle, holder: ClientId) {
+        let mut table = self.inner.table.borrow_mut();
+        let st0 = table.state_of(fh);
+        if table.revoke_delegation(fh, holder) {
+            let st1 = table.state_of(fh);
+            drop(table);
+            self.emit(
+                parent,
+                EventKind::DelegReturn {
+                    client: holder,
+                    fh,
+                    revoked: true,
+                },
+            );
+            self.emit_transition(parent, fh, Cause::DelegReturn, holder, st0, st1);
+            self.bump_deleg(|s| s.revokes += 1);
+        }
+    }
+
+    /// Recalls one delegation over the callback channel and waits —
+    /// bounded by `delegation.recall_timeout` — for the holder to flush
+    /// and return it. On timeout the delegation is revoked and the
+    /// holder fenced. Called with the file lock held; the holder's
+    /// return travels as a `DelegReturn` RPC, whose handler takes no
+    /// file lock (same discipline that lets write-backs run inside a
+    /// callback).
+    async fn recall_one(&self, parent: u64, fh: FileHandle, d: Deleg) {
+        self.bump_deleg(|s| s.recalls += 1);
+        let caller = self.inner.callback_clients.borrow().get(&d.holder).cloned();
+        let Some(caller) = caller else {
+            // No callback channel: the holder is unreachable by
+            // construction. Revoke immediately.
+            self.revoke(parent, fh, d.holder);
+            return;
+        };
+        // From here until the recall resolves, the holder's keepalives
+        // are refused so its lease cannot outlive a revoke (§17.3).
+        *self
+            .inner
+            .recalls_pending
+            .borrow_mut()
+            .entry(d.holder)
+            .or_insert(0) += 1;
+        // Recalls ride the callback channel, so they obey the N−1 slot
+        // budget and appear in the trace's callback concurrency count.
+        let slot = self.inner.callback_slots.acquire().await;
+        self.bump_stats(|s| s.callbacks_sent += 1);
+        self.inner.callback_inflight.inc();
+        let cb_seq = self.emit(
+            parent,
+            EventKind::CallbackBegin {
+                target: d.holder,
+                fh,
+                writeback: d.write,
+                invalidate: false,
+            },
+        );
+        let arg_seq = self.inner.cb_next_seq.get() + 1;
+        self.inner.cb_next_seq.set(arg_seq);
+        let arg = CallbackArg {
+            fh,
+            writeback: false,
+            invalidate: false,
+            relinquish: false,
+            seq: arg_seq,
+            recall: true,
+        };
+        let started = self.inner.sim.now();
+        let mut backoff = self.inner.params.callback_retry_backoff;
+        const BACKOFF_CAP: SimDuration = SimDuration::from_secs(8);
+        let res = loop {
+            // The return may land through a duplicate delivery while a
+            // retry is still in flight; stop as soon as it does.
+            if self
+                .inner
+                .table
+                .borrow()
+                .delegation_of(fh, d.holder)
+                .is_none()
+            {
+                break Some(true);
+            }
+            match caller.call_ctx(cb_seq, arg).await {
+                Ok(rep) => break Some(rep.ok),
+                Err(_) => {
+                    let elapsed = self.inner.sim.now().saturating_duration_since(started);
+                    if elapsed >= self.inner.params.delegation.recall_timeout {
+                        break None;
+                    }
+                    self.inner
+                        .callback_retries
+                        .set(self.inner.callback_retries.get() + 1);
+                    self.inner.sim.sleep(backoff).await;
+                    backoff = backoff.mul_f64(2.0);
+                    if backoff > BACKOFF_CAP {
+                        backoff = BACKOFF_CAP;
+                    }
+                }
+            }
+        };
+        self.inner.callback_inflight.dec();
+        let answered = matches!(res, Some(true));
+        self.emit(
+            cb_seq,
+            EventKind::CallbackEnd {
+                target: d.holder,
+                fh,
+                ok: answered,
+            },
+        );
+        drop(slot);
+        if answered
+            && self
+                .inner
+                .table
+                .borrow()
+                .delegation_of(fh, d.holder)
+                .is_none()
+        {
+            // The holder acked after its DelegReturn RPC was applied.
+            let us = self
+                .inner
+                .sim
+                .now()
+                .saturating_duration_since(started)
+                .as_micros();
+            self.bump_deleg(|s| s.recall_latency.record(us));
+        } else {
+            // Timed out, refused, or acked without returning: fence.
+            self.revoke(cb_seq, fh, d.holder);
+        }
+        let mut pending = self.inner.recalls_pending.borrow_mut();
+        if let Some(n) = pending.get_mut(&d.holder) {
+            *n -= 1;
+            if *n == 0 {
+                pending.remove(&d.holder);
+            }
+        }
+    }
+
+    /// Recalls every delegation on `fh` that conflicts with `opener`
+    /// opening it (`write` mode), then returns. Concurrent recalls fan
+    /// out like callbacks, bounded by the N−1 slots.
+    async fn recall_conflicting(&self, parent: u64, fh: FileHandle, opener: ClientId, write: bool) {
+        if !self.inner.params.delegation.enabled {
+            return;
+        }
+        let conflicts = self
+            .inner
+            .table
+            .borrow()
+            .conflicting_delegations(fh, opener, write);
+        match conflicts.as_slice() {
+            [] => {}
+            [d] => self.recall_one(parent, fh, *d).await,
+            many => {
+                let mut tasks = Vec::with_capacity(many.len());
+                for &d in many {
+                    let this = self.clone();
+                    tasks.push(self.inner.sim.spawn(async move {
+                        this.recall_one(parent, fh, d).await;
+                    }));
+                }
+                for t in tasks {
+                    t.await;
+                }
+            }
+        }
+    }
+
+    /// Decides whether the open that just completed earns a delegation;
+    /// if so, records the grant and returns it for piggybacking on the
+    /// open reply.
+    fn maybe_grant(
+        &self,
+        parent: u64,
+        fh: FileHandle,
+        client: ClientId,
+        write: bool,
+    ) -> Option<spritely_proto::Delegation> {
+        if !self.inner.params.delegation.enabled {
+            return None;
+        }
+        let grant = self
+            .inner
+            .table
+            .borrow()
+            .grantable_delegation(fh, client, write)?;
+        self.inner
+            .table
+            .borrow_mut()
+            .grant_delegation(fh, client, grant.is_write());
+        self.emit(
+            parent,
+            EventKind::DelegGrant {
+                client,
+                fh,
+                write: grant.is_write(),
+            },
+        );
+        self.bump_deleg(|s| {
+            if grant.is_write() {
+                s.grants_write += 1;
+            } else {
+                s.grants_read += 1;
+            }
+        });
+        Some(grant)
+    }
+
     /// Reclaims state-table entries when over the limit (paper §4.3.1).
     async fn maybe_reclaim(&self) {
         if !self.inner.table.borrow().over_limit() {
@@ -666,7 +918,23 @@ impl SnfsServer {
         match req {
             NfsRequest::Keepalive { client } => {
                 debug_assert_eq!(from, client);
-                NfsReply::Epoch(self.inner.epoch.get())
+                // A keepalive reply renews the client's delegation
+                // lease, so while a recall against it is unresolved the
+                // answer is `Grace` — "try again later" — instead
+                // (DESIGN.md §17.3). The client's keepalive daemon
+                // tolerates the failure and re-probes.
+                if self.inner.params.delegation.enabled
+                    && self
+                        .inner
+                        .recalls_pending
+                        .borrow()
+                        .get(&client)
+                        .is_some_and(|&n| n > 0)
+                {
+                    NfsReply::Err(NfsStatus::Grace)
+                } else {
+                    NfsReply::Epoch(self.inner.epoch.get())
+                }
             }
             NfsRequest::Recover { client, ref files } => {
                 debug_assert_eq!(from, client);
@@ -696,6 +964,11 @@ impl SnfsServer {
                     Err(e) => return NfsReply::Err(e),
                 };
                 let _lock = self.file_lock(fh).acquire().await;
+                // Conflicting delegations come back (or are revoked)
+                // *before* the open transition runs, so the holder's
+                // batched open/close state is folded into the table the
+                // transition computation sees.
+                self.recall_conflicting(ctx, fh, client, write).await;
                 let st0 = self.inner.table.borrow().state_of(fh);
                 let outcome = self.inner.table.borrow_mut().open(fh, client, write);
                 let st1 = self.inner.table.borrow().state_of(fh);
@@ -707,6 +980,7 @@ impl SnfsServer {
                 let t_seq = self.emit_transition(ctx, fh, cause, client, st0, st1);
                 self.fan_out_callbacks(t_seq, fh, &outcome.callbacks, false)
                     .await;
+                let delegation = self.maybe_grant(t_seq, fh, client, write);
                 // Attributes may have changed if a write-back just landed.
                 let attr = self.inner.fs.getattr(fh).unwrap_or(attr0);
                 let reply = NfsReply::Open(OpenReply {
@@ -715,6 +989,7 @@ impl SnfsServer {
                     prev_version: outcome.prev_version,
                     attr,
                     inconsistent: outcome.inconsistent,
+                    delegation,
                 });
                 // Reclaim pressure is handled out of line so the opener
                 // does not wait for it.
@@ -747,6 +1022,68 @@ impl SnfsServer {
                     Err(_) => NfsReply::Ok,
                 }
             }
+            NfsRequest::DelegReturn {
+                fh,
+                client,
+                readers,
+                writers,
+                wrote,
+            } => {
+                debug_assert_eq!(from, client, "deleg_return must carry the caller's id");
+                // Deliberately lock-free: the conflicting opener holds
+                // the file lock while it awaits this very return (same
+                // discipline that lets Write RPCs land during a
+                // write-back callback).
+                let (applied, st0, st1) = {
+                    let mut table = self.inner.table.borrow_mut();
+                    let st0 = table.state_of(fh);
+                    let applied = table.return_delegation(fh, client, readers, writers, wrote);
+                    (applied, st0, table.state_of(fh))
+                };
+                match applied {
+                    Some(version) => {
+                        self.emit(
+                            ctx,
+                            EventKind::DelegReturn {
+                                client,
+                                fh,
+                                revoked: false,
+                            },
+                        );
+                        self.emit_transition(ctx, fh, Cause::DelegReturn, client, st0, st1);
+                        self.bump_deleg(|s| s.returns += 1);
+                        NfsReply::DelegReturned {
+                            version,
+                            fenced: false,
+                        }
+                    }
+                    None => {
+                        // The holder was fenced (or the entry is gone):
+                        // its batched state was discarded at revoke
+                        // time. Re-emit the revoked return so a late
+                        // arrival still closes the holder's outstanding
+                        // recall, and tell the client to purge.
+                        self.emit(
+                            ctx,
+                            EventKind::DelegReturn {
+                                client,
+                                fh,
+                                revoked: true,
+                            },
+                        );
+                        let version = self
+                            .inner
+                            .table
+                            .borrow()
+                            .version_of(fh)
+                            .unwrap_or(FileVersion(0));
+                        NfsReply::DelegReturned {
+                            version,
+                            fenced: true,
+                        }
+                    }
+                }
+            }
             NfsRequest::Read { fh, .. } | NfsRequest::Write { fh, .. }
                 if self.inner.params.hybrid_nfs
                     && self.inner.table.borrow().is_foreign_access(fh, from) =>
@@ -758,6 +1095,9 @@ impl SnfsServer {
                 // through synchronously).
                 let write = matches!(req, NfsRequest::Write { .. });
                 let lock = self.file_lock(fh).acquire().await;
+                // A plain-NFS access conflicts with delegations the same
+                // way an SNFS open does.
+                self.recall_conflicting(ctx, fh, from, write).await;
                 let st0 = self.inner.table.borrow().state_of(fh);
                 let outcome = self.inner.table.borrow_mut().open(fh, from, write);
                 let st1 = self.inner.table.borrow().state_of(fh);

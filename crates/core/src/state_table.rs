@@ -14,7 +14,7 @@
 
 use std::collections::HashMap;
 
-use spritely_proto::{ClientId, FileHandle, FileVersion};
+use spritely_proto::{ClientId, Delegation, FileHandle, FileVersion};
 
 /// The seven file states of paper §4.3.4.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -99,6 +99,15 @@ pub struct OpenOutcome {
     pub callbacks: Vec<CallbackNeeded>,
 }
 
+/// One live delegation recorded against an entry (DESIGN.md §17).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deleg {
+    /// The client holding the delegation.
+    pub holder: ClientId,
+    /// True for a write (exclusive) delegation.
+    pub write: bool,
+}
+
 #[derive(Debug)]
 struct Entry {
     version: FileVersion,
@@ -112,6 +121,12 @@ struct Entry {
     uncached: bool,
     /// Set when a client holding dirty blocks crashed.
     inconsistent: bool,
+    /// Live delegations: any number of read delegations, or exactly one
+    /// write delegation (DESIGN.md §17).
+    delegs: Vec<Deleg>,
+    /// Holders whose delegation was revoked after a recall timeout. A late
+    /// return from a fenced holder must be discarded, not applied.
+    fenced: Vec<ClientId>,
 }
 
 impl Entry {
@@ -288,6 +303,8 @@ impl StateTable {
                     dirty: None,
                     uncached: false,
                     inconsistent: false,
+                    delegs: Vec::new(),
+                    fenced: Vec::new(),
                 },
             );
         }
@@ -485,6 +502,212 @@ impl StateTable {
         }
     }
 
+    /// Decides whether the open just recorded for `client` can carry a
+    /// delegation (DESIGN.md §17). Call *after* [`open`](Self::open), once
+    /// its callbacks have completed.
+    ///
+    /// A write delegation requires the opener to be the file's only user
+    /// (`OneWriter`); read delegations may be held by any number of
+    /// clients as long as nobody writes. Uncachable or inconsistent files
+    /// never carry delegations, and foreign dirty data (a different
+    /// client's unflushed blocks) blocks a grant.
+    pub fn grantable_delegation(
+        &self,
+        fh: FileHandle,
+        client: ClientId,
+        write: bool,
+    ) -> Option<Delegation> {
+        let e = self.entries.get(&fh)?;
+        if e.uncached || e.inconsistent {
+            return None;
+        }
+        if e.dirty.is_some_and(|d| d != client) {
+            return None;
+        }
+        let held = e.delegs.iter().find(|d| d.holder == client).copied();
+        if write {
+            let sole = e.clients.len() == 1 && e.clients[0].client == client;
+            let foreign_deleg = e.delegs.iter().any(|d| d.holder != client);
+            if sole && !foreign_deleg {
+                Some(Delegation::Write)
+            } else {
+                None
+            }
+        } else {
+            let any_writer = e.clients.iter().any(|c| c.writers > 0);
+            let foreign_write_deleg = e.delegs.iter().any(|d| d.write && d.holder != client);
+            if any_writer || foreign_write_deleg {
+                return None;
+            }
+            // Already holding a covering delegation: nothing new to grant.
+            if held.is_some() {
+                return None;
+            }
+            Some(Delegation::Read)
+        }
+    }
+
+    /// Records a delegation grant for `client` (replacing any delegation
+    /// it already holds on the file) and lifts its fence, if any.
+    pub fn grant_delegation(&mut self, fh: FileHandle, client: ClientId, write: bool) {
+        if let Some(e) = self.entries.get_mut(&fh) {
+            e.delegs.retain(|d| d.holder != client);
+            e.delegs.push(Deleg {
+                holder: client,
+                write,
+            });
+            e.fenced.retain(|&c| c != client);
+        }
+    }
+
+    /// The delegation `client` holds on `fh`, if any.
+    pub fn delegation_of(&self, fh: FileHandle, client: ClientId) -> Option<Deleg> {
+        self.entries
+            .get(&fh)?
+            .delegs
+            .iter()
+            .find(|d| d.holder == client)
+            .copied()
+    }
+
+    /// All live delegations on `fh` (for tests and debugging).
+    pub fn delegations_of(&self, fh: FileHandle) -> Vec<Deleg> {
+        self.entries
+            .get(&fh)
+            .map(|e| e.delegs.clone())
+            .unwrap_or_default()
+    }
+
+    /// Delegations held by *other* clients that conflict with `client`
+    /// opening in the given mode and must be recalled first: a write open
+    /// conflicts with every foreign delegation, a read open only with a
+    /// foreign write delegation. Sorted by holder for determinism.
+    pub fn conflicting_delegations(
+        &self,
+        fh: FileHandle,
+        client: ClientId,
+        write: bool,
+    ) -> Vec<Deleg> {
+        let Some(e) = self.entries.get(&fh) else {
+            return Vec::new();
+        };
+        let mut out: Vec<Deleg> = e
+            .delegs
+            .iter()
+            .filter(|d| d.holder != client && (write || d.write))
+            .copied()
+            .collect();
+        out.sort_unstable_by_key(|d| d.holder);
+        out
+    }
+
+    /// Applies a returned delegation: replaces the holder's recorded open
+    /// counts with the state it accumulated while serving opens locally,
+    /// and bumps the file version if it wrote (so other clients' cached
+    /// copies stop validating). Returns the resulting version, or `None`
+    /// if the holder was fenced (revoked after a recall timeout) or the
+    /// entry is gone — in both cases the reported state is discarded.
+    pub fn return_delegation(
+        &mut self,
+        fh: FileHandle,
+        client: ClientId,
+        readers: u32,
+        writers: u32,
+        wrote: bool,
+    ) -> Option<FileVersion> {
+        let fenced = self
+            .entries
+            .get(&fh)
+            .is_some_and(|e| e.fenced.contains(&client));
+        if fenced {
+            let e = self.entries.get_mut(&fh).expect("checked above");
+            e.fenced.retain(|&c| c != client);
+            return None;
+        }
+        self.entries.get(&fh)?;
+        let v = if wrote {
+            Some(self.fresh_version())
+        } else {
+            None
+        };
+        let e = self.entries.get_mut(&fh).expect("checked above");
+        let had = e.delegs.iter().any(|d| d.holder == client);
+        e.delegs.retain(|d| d.holder != client);
+        if !had {
+            return Some(e.version);
+        }
+        if let Some(v) = v {
+            e.prev_version = e.version;
+            e.version = v;
+            // The holder's (flushed) data supersedes whatever a crashed
+            // writer may have lost.
+            e.inconsistent = false;
+        }
+        if let Some(i) = e.clients.iter().position(|c| c.client == client) {
+            if readers == 0 && writers == 0 {
+                e.clients.remove(i);
+            } else {
+                e.clients[i].readers = readers;
+                e.clients[i].writers = writers;
+            }
+        } else if readers > 0 || writers > 0 {
+            e.clients.push(ClientOpens {
+                client,
+                readers,
+                writers,
+            });
+        }
+        if e.clients.is_empty() {
+            e.uncached = false;
+        }
+        Some(e.version)
+    }
+
+    /// Revokes `client`'s delegation after a recall timed out: the holder
+    /// is treated as crashed *for this file* — its delegation, open counts
+    /// and dirty claim are dropped, and it is fenced so a late return is
+    /// discarded. A revoked write delegation may have lost locally-buffered
+    /// writes, so the file is flagged inconsistent (paper §3.2 semantics).
+    ///
+    /// Returns true if a delegation was actually revoked.
+    pub fn revoke_delegation(&mut self, fh: FileHandle, client: ClientId) -> bool {
+        let Some(e) = self.entries.get_mut(&fh) else {
+            return false;
+        };
+        let Some(i) = e.delegs.iter().position(|d| d.holder == client) else {
+            return false;
+        };
+        let was_write = e.delegs[i].write;
+        e.delegs.remove(i);
+        if !e.fenced.contains(&client) {
+            e.fenced.push(client);
+        }
+        e.clients.retain(|c| c.client != client);
+        if e.dirty == Some(client) {
+            e.dirty = None;
+            e.inconsistent = true;
+        }
+        if was_write {
+            e.inconsistent = true;
+        }
+        if e.clients.is_empty() {
+            e.uncached = false;
+        }
+        true
+    }
+
+    /// True if `client` was fenced on `fh` (revoked, return pending).
+    pub fn is_fenced(&self, fh: FileHandle, client: ClientId) -> bool {
+        self.entries
+            .get(&fh)
+            .is_some_and(|e| e.fenced.contains(&client))
+    }
+
+    /// Number of live delegations across all entries.
+    pub fn delegation_count(&self) -> usize {
+        self.entries.values().map(|e| e.delegs.len()).sum()
+    }
+
     /// A file was removed: its state is no longer meaningful.
     pub fn file_removed(&mut self, fh: FileHandle) {
         self.entries.remove(&fh);
@@ -507,6 +730,16 @@ impl StateTable {
                 e.inconsistent = true;
                 touched = true;
             }
+            // A crashed write-delegation holder may have lost local writes
+            // it never reported; a crashed read holder just disappears.
+            if let Some(i) = e.delegs.iter().position(|d| d.holder == client) {
+                if e.delegs[i].write {
+                    e.inconsistent = true;
+                }
+                e.delegs.remove(i);
+                touched = true;
+            }
+            e.fenced.retain(|&c| c != client);
             if e.clients.is_empty() {
                 e.uncached = false;
             }
@@ -528,7 +761,7 @@ impl StateTable {
         let mut to_drop: Vec<FileHandle> = self
             .entries
             .iter()
-            .filter(|(_, e)| e.state() == FileState::Closed)
+            .filter(|(_, e)| e.state() == FileState::Closed && e.delegs.is_empty())
             .map(|(&fh, _)| fh)
             .collect();
         to_drop.sort_unstable(); // deterministic order
@@ -594,6 +827,8 @@ impl StateTable {
                 dirty: None,
                 uncached: false,
                 inconsistent: false,
+                delegs: Vec::new(),
+                fenced: Vec::new(),
             });
             if e.version < version {
                 e.prev_version = e.version;
@@ -623,7 +858,7 @@ impl StateTable {
         if self
             .entries
             .get(&fh)
-            .is_some_and(|e| e.state() == FileState::Closed)
+            .is_some_and(|e| e.state() == FileState::Closed && e.delegs.is_empty())
         {
             self.entries.remove(&fh);
             self.stats.reclaimed_closed += 1;
@@ -995,6 +1230,118 @@ mod tests {
         t.open(fh(1), C2, false);
         t.close(fh(1), C1, false);
         assert_eq!(t.state_of(fh(1)), FileState::OneReader);
+    }
+
+    #[test]
+    fn write_delegation_only_for_sole_writer() {
+        let mut t = table();
+        t.open(fh(1), C1, true);
+        assert_eq!(
+            t.grantable_delegation(fh(1), C1, true),
+            Some(Delegation::Write)
+        );
+        t.grant_delegation(fh(1), C1, true);
+        assert_eq!(
+            t.delegation_of(fh(1), C1),
+            Some(Deleg {
+                holder: C1,
+                write: true
+            })
+        );
+        // A second host's open must first recall C1's delegation.
+        assert_eq!(
+            t.conflicting_delegations(fh(1), C2, false),
+            vec![Deleg {
+                holder: C1,
+                write: true
+            }]
+        );
+    }
+
+    #[test]
+    fn many_read_delegations_coexist() {
+        let mut t = table();
+        t.open(fh(1), C1, false);
+        t.grant_delegation(fh(1), C1, false);
+        t.open(fh(1), C2, false);
+        assert_eq!(
+            t.grantable_delegation(fh(1), C2, false),
+            Some(Delegation::Read)
+        );
+        t.grant_delegation(fh(1), C2, false);
+        assert_eq!(t.delegation_count(), 2);
+        // Read opens don't conflict with read delegations...
+        assert!(t.conflicting_delegations(fh(1), C3, false).is_empty());
+        // ...but a write open recalls all of them, in holder order.
+        let conflicts = t.conflicting_delegations(fh(1), C3, true);
+        assert_eq!(conflicts.len(), 2);
+        assert_eq!(conflicts[0].holder, C1);
+        assert_eq!(conflicts[1].holder, C2);
+    }
+
+    #[test]
+    fn no_read_delegation_while_a_writer_is_open() {
+        let mut t = table();
+        t.open(fh(1), C1, true);
+        t.open(fh(1), C2, false); // write-shared
+        assert_eq!(t.grantable_delegation(fh(1), C2, false), None);
+        assert_eq!(t.grantable_delegation(fh(1), C1, true), None, "uncached");
+    }
+
+    #[test]
+    fn return_applies_batched_state_and_bumps_version_on_write() {
+        let mut t = table();
+        let o = t.open(fh(1), C1, true);
+        t.grant_delegation(fh(1), C1, true);
+        // The holder locally closed its writer and opened two readers.
+        let v = t.return_delegation(fh(1), C1, 2, 0, true).expect("applied");
+        assert!(v > o.version, "local writes bump the version");
+        assert_eq!(t.clients_of(fh(1))[0].readers, 2);
+        assert_eq!(t.clients_of(fh(1))[0].writers, 0);
+        assert_eq!(t.delegation_count(), 0);
+    }
+
+    #[test]
+    fn return_with_no_opens_leaves_entry_closed_and_reclaimable() {
+        let mut t = table();
+        t.open(fh(1), C1, false);
+        t.grant_delegation(fh(1), C1, false);
+        // While delegated the entry must survive reclaim even though the
+        // server-side counts could look stale.
+        assert!(!t.drop_if_closed(fh(1)));
+        t.return_delegation(fh(1), C1, 0, 0, false);
+        assert_eq!(t.state_of(fh(1)), FileState::Closed);
+        assert!(t.drop_if_closed(fh(1)));
+    }
+
+    #[test]
+    fn revoke_fences_holder_and_discards_late_return() {
+        let mut t = table();
+        let o = t.open(fh(1), C1, true);
+        t.grant_delegation(fh(1), C1, true);
+        assert!(t.revoke_delegation(fh(1), C1));
+        assert!(t.is_fenced(fh(1), C1));
+        assert_eq!(t.delegation_count(), 0);
+        // Revoked write delegation may have lost buffered writes.
+        let o2 = t.open(fh(1), C2, false);
+        assert!(o2.inconsistent);
+        assert_eq!(o2.version, o.version, "no bump from the dead holder");
+        // The late return is discarded and lifts the fence.
+        assert_eq!(t.return_delegation(fh(1), C1, 1, 1, true), None);
+        assert!(!t.is_fenced(fh(1), C1));
+        assert_eq!(t.clients_of(fh(1)).len(), 1, "only C2's open survives");
+    }
+
+    #[test]
+    fn crashed_client_loses_delegations() {
+        let mut t = table();
+        t.open(fh(1), C1, true);
+        t.grant_delegation(fh(1), C1, true);
+        let affected = t.client_crashed(C1);
+        assert_eq!(affected.len(), 1);
+        assert_eq!(t.delegation_count(), 0);
+        let o = t.open(fh(1), C2, false);
+        assert!(o.inconsistent, "write-delegated holder crashed");
     }
 }
 

@@ -173,10 +173,158 @@ pub fn chaos_write_sharing(seed: u64) -> ChaosVerdict {
     }
 }
 
+/// Recall-heavy two-client workload under chaos (DESIGN.md §17.2).
+///
+/// Client A creates a working set of files — earning write delegations
+/// — flushes them, and churns them locally; client B then sweeps every
+/// file for read, forcing a recall per file over the lossy wire. In the
+/// faulted run A's host is additionally partitioned outbound for 7 s at
+/// the start of B's first sweep, so recall acks and delegation returns
+/// are lost and the server's recall retry loop re-delivers (duplicated
+/// recalls hit the client's sequence guard; a holder that cannot return
+/// in time is revoked and fenced). After the heal A rewrites one file
+/// and B re-reads it, exercising the re-grant path. Convergence means
+/// the faulted run still reaches the fault-free server bytes with zero
+/// delegation-invariant violations.
+pub fn chaos_delegation(seed: u64) -> ChaosVerdict {
+    let clean = run_delegation(seed, false);
+    let faulted = run_delegation(seed, true);
+    assert!(
+        faulted.recalls >= 1,
+        "the sweep must force at least one recall"
+    );
+    ChaosVerdict {
+        workload: "delegation",
+        digest_clean: clean.digest,
+        digest_faulted: faulted.digest,
+        trace_violations: faulted.violations,
+        faults: faulted.faults.expect("faulted run has fault stats"),
+    }
+}
+
+fn run_delegation(seed: u64, faulted: bool) -> SharingRun {
+    use spritely_core::DelegationParams;
+    const FILES: u64 = 4;
+    let tb = Testbed::build_with_clients(
+        TestbedParams {
+            protocol: Protocol::Snfs,
+            delegation: DelegationParams::pipelined(),
+            trace: faulted,
+            faults: if faulted {
+                FaultParams::chaos(seed)
+            } else {
+                FaultParams::default()
+            },
+            ..TestbedParams::default()
+        },
+        2,
+    );
+    let a = match &tb.clients[0].remote {
+        RemoteClient::Snfs(c) => c.clone(),
+        _ => unreachable!("SNFS testbed"),
+    };
+    let b = match &tb.clients[1].remote {
+        RemoteClient::Snfs(c) => c.clone(),
+        _ => unreachable!("SNFS testbed"),
+    };
+    let root = tb.server_fs.root();
+    let sim = tb.sim.clone();
+    let net = tb.net.clone();
+    let h = sim.spawn({
+        let sim = sim.clone();
+        async move {
+            use spritely_proto::BLOCK_SIZE;
+            // Hard-mount retry, as in the write-sharing workload: under
+            // chaos an RPC ladder can exhaust, and during the partition
+            // (or a recall that ends in a revoke) calls must fail for a
+            // while before succeeding.
+            macro_rules! insist {
+                ($e:expr) => {{
+                    loop {
+                        match $e.await {
+                            Ok(v) => break v,
+                            Err(_) => sim.sleep(SimDuration::from_millis(500)).await,
+                        }
+                    }
+                }};
+            }
+            // A builds its delegated working set. Everything is fsynced:
+            // the interesting chaos target is the recall protocol, not
+            // dirty-data recovery, and a revoked holder's unflushed
+            // writes are legitimately fenced away (§17.3) — which would
+            // make the digests diverge by design.
+            let mut fhs = Vec::new();
+            for i in 0..FILES {
+                let (fh, _) = insist!(a.create(root, &format!("deleg{i}")));
+                insist!(a.open(fh, true));
+                insist!(a.write(fh, 0, &[i as u8 + 1; BLOCK_SIZE]));
+                insist!(a.fsync(fh));
+                insist!(a.close(fh, true));
+                fhs.push(fh);
+            }
+            // Local churn: re-open/read/close under the delegations.
+            for _ in 0..3 {
+                for &fh in &fhs {
+                    insist!(a.open(fh, false));
+                    let _ = insist!(a.read(fh, 0, BLOCK_SIZE as u32));
+                    insist!(a.close(fh, false));
+                }
+            }
+            // A goes mute for 7 s just as B's sweep starts: recall
+            // callbacks still reach A, but its acks and returns are
+            // lost until the heal (scripted, consumes no randomness).
+            if net.faults_active() {
+                net.partition(
+                    1,
+                    PartitionDir::Outbound,
+                    sim.now() + SimDuration::from_secs(7),
+                );
+            }
+            // B sweeps the working set: one recall per file.
+            for &fh in &fhs {
+                insist!(b.open(fh, false));
+                let _ = insist!(b.read(fh, 0, BLOCK_SIZE as u32));
+                insist!(b.close(fh, false));
+            }
+            // After the heal: A rewrites one file (re-earning authority
+            // or falling back to RPC if it was fenced), B re-reads it.
+            let fh = fhs[0];
+            insist!(a.open(fh, true));
+            insist!(a.write(fh, 0, &[0xAA; BLOCK_SIZE]));
+            insist!(a.fsync(fh));
+            insist!(a.close(fh, true));
+            insist!(b.open(fh, false));
+            let (data, _) = insist!(b.read(fh, 0, BLOCK_SIZE as u32));
+            assert!(
+                data.iter().all(|&x| x == 0xAA),
+                "B sees A's post-heal version"
+            );
+            insist!(b.close(fh, false));
+            // Let delayed writes, lazy returns and keepalives drain.
+            sim.sleep(SimDuration::from_secs(70)).await;
+        }
+    });
+    sim.run_until(h);
+    let recalls = tb
+        .snfs_server
+        .as_ref()
+        .map_or(0, |s| s.delegation_stats().recalls);
+    let snap = tb.stats_snapshot();
+    let violations = tb.finish_trace().map_or(0, |t| t.violations.len());
+    SharingRun {
+        digest: server_digest(&tb.server_fs),
+        violations,
+        faults: snap.faults,
+        recalls,
+    }
+}
+
 struct SharingRun {
     digest: u64,
     violations: usize,
     faults: Option<FaultSnapshot>,
+    /// Recalls the server issued (0 for workloads without delegations).
+    recalls: u64,
 }
 
 fn run_write_sharing(seed: u64, faulted: bool) -> SharingRun {
@@ -269,5 +417,6 @@ fn run_write_sharing(seed: u64, faulted: bool) -> SharingRun {
         digest: server_digest(&tb.server_fs),
         violations,
         faults: snap.faults,
+        recalls: 0,
     }
 }

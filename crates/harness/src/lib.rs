@@ -28,18 +28,22 @@ mod sortx;
 mod testbed;
 
 pub use andrew::{run_andrew, run_andrew_with, AndrewRun};
-pub use chaosx::{chaos_andrew, chaos_write_sharing, server_digest, ChaosVerdict};
+pub use chaosx::{
+    chaos_andrew, chaos_delegation, chaos_write_sharing, server_digest, ChaosVerdict,
+};
 pub use compare::{compare_json, CompareOptions, CompareReport};
 pub use flushx::{run_flush, run_flush_with, FlushRun};
 pub use matrix::{render_matrix, run_matrix, Experiment, MatrixResult};
 pub use microx::{run_reopen, run_temp_lifetime, ReopenRun, TempLifetimeRun};
 pub use scaling::{run_scaling, run_scaling_with, ScalingRun};
 pub use snapshot::{
-    ClientSnapshot, FaultSnapshot, ProfileSnapshot, ServerIoSnapshot, ServerSnapshot, SimSnapshot,
-    StatsSnapshot, TraceReport, TransportSnapshot,
+    ClientSnapshot, DelegationSnapshot, FaultSnapshot, ProfileSnapshot, ServerIoSnapshot,
+    ServerSnapshot, SimSnapshot, StatsSnapshot, TraceReport, TransportSnapshot,
 };
 pub use sortx::{run_sort_experiment, run_sort_with, SortRun};
-pub use spritely_core::{ServerIoParams, SnfsServerParams, WriteBehindParams};
+pub use spritely_core::{
+    DelegationParams, DelegationStats, ServerIoParams, SnfsServerParams, WriteBehindParams,
+};
 pub use spritely_rpcnet::{FaultParams, PartitionDir, TransportParams, TransportStats};
 pub use testbed::{ClientHost, Protocol, RemoteClient, Testbed, TestbedParams};
 

@@ -324,6 +324,43 @@ pub fn transport_table(rows: &[(&str, &crate::TransportSnapshot)]) -> String {
     out
 }
 
+/// Delegation-subsystem comparison (DESIGN.md §17): per configuration,
+/// the grant/recall/return/revoke accounting, the RPC-free fast-path
+/// counters, and the recall round-trip latency histogram (bucket
+/// upper bounds 1 ms / 10 ms / 100 ms / 1 s / ∞ of virtual time).
+///
+/// Each row is `(label, end-of-run delegation snapshot)` — see
+/// [`crate::DelegationSnapshot`].
+pub fn delegation_table(rows: &[(&str, &crate::DelegationSnapshot)]) -> String {
+    let mut t = TextTable::new(vec![
+        "Config",
+        "grants r/w",
+        "local opens",
+        "local closes",
+        "recalls",
+        "returns",
+        "revokes",
+        "held",
+        "recall <1ms/<10ms/<100ms/<1s/1s+",
+    ]);
+    for (label, d) in rows {
+        let s = &d.stats;
+        let b = s.recall_latency.buckets;
+        t.row(vec![
+            label.to_string(),
+            format!("{}/{}", s.grants_read, s.grants_write),
+            s.local_opens.to_string(),
+            s.local_closes.to_string(),
+            s.recalls.to_string(),
+            s.returns.to_string(),
+            s.revokes.to_string(),
+            d.held.to_string(),
+            format!("{}/{}/{}/{}/{}", b[0], b[1], b[2], b[3], b[4]),
+        ]);
+    }
+    t.render()
+}
+
 /// Executor-counter comparison: what the discrete-event scheduler did
 /// during each run — events retired, polls, timer traffic, and the
 /// slab/heap/queue high-water marks that proxy memory footprint.

@@ -6,7 +6,7 @@
 //! dumping those counters at the end of a run, in a form other tools
 //! can consume.
 
-use spritely_core::{ClientStats, ServerStats};
+use spritely_core::{ClientStats, DelegationStats, ServerStats};
 use spritely_trace::{check_trace, to_chrome_json, to_jsonl, TraceEvent, Violation};
 
 /// One client host's counters at the end of a run.
@@ -211,6 +211,20 @@ impl From<&spritely_trace::Profile> for ProfileSnapshot {
     }
 }
 
+/// Delegation-subsystem accounting (present only when the run enabled
+/// delegations — a paper-mode snapshot serializes byte-identically to
+/// one taken before the subsystem existed). Server-side counters
+/// (grants, recalls, returns, revokes, recall latency) come from the
+/// SNFS server; the local fast-path counters are summed across clients.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DelegationSnapshot {
+    /// Merged counters: server grant/recall/return/revoke side plus the
+    /// clients' local_opens/local_closes.
+    pub stats: DelegationStats,
+    /// Delegations still held by clients at snapshot time.
+    pub held: u64,
+}
+
 /// The server's counters at the end of a run (SNFS protocols only).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServerSnapshot {
@@ -246,6 +260,9 @@ pub struct StatsSnapshot {
     /// Latency-profile summary (None unless the run was traced; an
     /// unprofiled snapshot serializes without this field).
     pub profile: Option<ProfileSnapshot>,
+    /// Delegation accounting (None unless delegations were enabled; a
+    /// paper-mode snapshot serializes without this field).
+    pub delegation: Option<DelegationSnapshot>,
 }
 
 impl StatsSnapshot {
@@ -396,6 +413,28 @@ impl StatsSnapshot {
                 out.push_str(&format!("\"{name}\":{us}"));
             }
             out.push_str("}}");
+        }
+        if let Some(d) = &self.delegation {
+            let s = &d.stats;
+            out.push_str(&format!(
+                ",\"delegation\":{{\"grants_read\":{},\"grants_write\":{},\
+                 \"local_opens\":{},\"local_closes\":{},\"recalls\":{},\
+                 \"returns\":{},\"revokes\":{},\"held\":{},\
+                 \"recall_latency_buckets\":[{},{},{},{},{}]}}",
+                s.grants_read,
+                s.grants_write,
+                s.local_opens,
+                s.local_closes,
+                s.recalls,
+                s.returns,
+                s.revokes,
+                d.held,
+                s.recall_latency.buckets[0],
+                s.recall_latency.buckets[1],
+                s.recall_latency.buckets[2],
+                s.recall_latency.buckets[3],
+                s.recall_latency.buckets[4]
+            ));
         }
         out.push('}');
         out

@@ -3,7 +3,8 @@
 
 use spritely_blockdev::Disk;
 use spritely_core::{
-    ServerIoParams, SnfsClient, SnfsClientParams, SnfsServer, SnfsServerParams, WriteBehindParams,
+    DelegationParams, DelegationStats, ServerIoParams, SnfsClient, SnfsClientParams, SnfsServer,
+    SnfsServerParams, WriteBehindParams,
 };
 use spritely_localfs::LocalFs;
 use spritely_metrics::{GaugeSeries, LatencyStats, OpCounter, RateSeries};
@@ -103,6 +104,11 @@ pub struct TestbedParams {
     /// before the fault layer existed. Scripted partitions can still be
     /// added at runtime via [`Network::partition`].
     pub faults: FaultParams,
+    /// Open delegations (DESIGN.md §17): RPC-free open/close fast path
+    /// with recall-on-conflict. Applied to both the SNFS server and its
+    /// clients. The default ([`DelegationParams::paper`]) is provably
+    /// inert — no grants, no new RPCs, byte-identical artifacts.
+    pub delegation: DelegationParams,
 }
 
 impl Default for TestbedParams {
@@ -123,6 +129,7 @@ impl Default for TestbedParams {
             transport: TransportParams::paper(),
             trace: false,
             faults: FaultParams::default(),
+            delegation: DelegationParams::paper(),
         }
     }
 }
@@ -193,6 +200,11 @@ pub struct Testbed {
     pub tracer: Option<Tracer>,
     /// The NFS/SNFS endpoint (absent for `Protocol::Local`).
     pub endpoint: Option<Endpoint<NfsRequest, NfsReply>>,
+    /// The per-client callback-service endpoints (SNFS only): the
+    /// server's callbacks — write-back, invalidate, delegation recall —
+    /// land here, so their duplicate-request caches are where a
+    /// retransmitted callback is replayed from.
+    pub cb_endpoints: Vec<Endpoint<spritely_proto::CallbackArg, spritely_proto::CallbackReply>>,
     /// Client hosts (at least one).
     pub clients: Vec<ClientHost>,
     /// Well-known directories on the server: (src, target, tmp).
@@ -281,11 +293,13 @@ impl Testbed {
                 Some(ep)
             }
             Protocol::Snfs | Protocol::SnfsDelayedClose => {
+                let mut sp = params.snfs_server;
+                sp.delegation = params.delegation;
                 let srv = SnfsServer::new(
                     &sim,
                     server_fs.clone(),
                     params.server_io.service_threads,
-                    params.snfs_server,
+                    sp,
                 );
                 if let Some(t) = &tracer {
                     srv.set_tracer(t.clone());
@@ -301,6 +315,7 @@ impl Testbed {
         };
         // ---- clients -------------------------------------------------------
         let mut clients = Vec::new();
+        let mut cb_endpoints = Vec::new();
         for i in 0..n_clients {
             let cid = ClientId(i as u32 + 1);
             let cpu = Resource::new(&sim, format!("client{}-cpu", cid.0), 1);
@@ -384,6 +399,7 @@ impl Testbed {
                             write_behind: params.write_behind,
                             delayed_close: params.protocol == Protocol::SnfsDelayedClose,
                             name_cache: params.name_cache,
+                            delegation: params.delegation,
                             ..SnfsClientParams::default()
                         },
                     );
@@ -403,6 +419,7 @@ impl Testbed {
                     if let Some(t) = &tracer {
                         cb_ep.set_tracer(t.clone());
                     }
+                    cb_endpoints.push(cb_ep.clone());
                     let cb_caller = Caller::new(
                         &sim,
                         net.clone(),
@@ -475,6 +492,7 @@ impl Testbed {
             transport_stats,
             tracer,
             endpoint,
+            cb_endpoints,
             clients,
             server_dirs: (src_dir, target_dir, tmp_dir),
         }
@@ -577,10 +595,17 @@ impl Testbed {
             sim: self.sim.stats().into(),
             faults: self.net.faults_active().then(|| {
                 let fs = self.net.fault_stats();
-                let (dup_cache_hits, dup_cache_joins) = self
+                let (mut dup_cache_hits, mut dup_cache_joins) = self
                     .endpoint
                     .as_ref()
                     .map_or((0, 0), |ep| (ep.dup_hits(), ep.dup_joins()));
+                // Retransmitted callbacks (write-back, invalidate,
+                // recall) are replayed from the *clients'* endpoint
+                // caches; count them too.
+                for ep in &self.cb_endpoints {
+                    dup_cache_hits += ep.dup_hits();
+                    dup_cache_joins += ep.dup_joins();
+                }
                 crate::snapshot::FaultSnapshot {
                     drops: fs.drops(),
                     dups: fs.dups(),
@@ -610,6 +635,26 @@ impl Testbed {
                 .tracer
                 .as_ref()
                 .map(|t| (&spritely_trace::profile_trace(&t.finish())).into()),
+            delegation: self.params.delegation.enabled.then(|| {
+                // Server side carries grants/recalls/returns/revokes and
+                // the latency histogram; the clients contribute the local
+                // fast-path counters. Merge into one DelegationStats.
+                let mut stats: DelegationStats = self
+                    .snfs_server
+                    .as_ref()
+                    .map(|srv| srv.delegation_stats())
+                    .unwrap_or_default();
+                let mut held = 0u64;
+                for host in &self.clients {
+                    if let RemoteClient::Snfs(c) = &host.remote {
+                        let cs = c.delegation_stats();
+                        stats.local_opens += cs.local_opens;
+                        stats.local_closes += cs.local_closes;
+                        held += c.delegations_held() as u64;
+                    }
+                }
+                crate::snapshot::DelegationSnapshot { stats, held }
+            }),
         }
     }
 

@@ -132,6 +132,7 @@ pub async fn handle(fs: &LocalFs, req: NfsRequest) -> NfsReply {
         | NfsRequest::Close { .. }
         | NfsRequest::Keepalive { .. }
         | NfsRequest::Recover { .. }
+        | NfsRequest::DelegReturn { .. }
         | NfsRequest::Compound { .. } => NfsReply::Err(NfsStatus::Inval),
     }
 }

@@ -22,7 +22,7 @@ mod status;
 pub use attr::{Fattr, FileType};
 pub use handle::{ClientId, FileHandle, FileVersion};
 pub use message::{
-    CallbackArg, CallbackReply, DirEntry, NfsReply, NfsRequest, OpenReply, ReadReply,
+    CallbackArg, CallbackReply, Delegation, DirEntry, NfsReply, NfsRequest, OpenReply, ReadReply,
     RecoveredFile, COMPOUND_OP_BYTES,
 };
 pub use procs::{NfsProc, ProcClass};

@@ -106,6 +106,21 @@ pub enum NfsRequest {
     },
     /// Read a symbolic link's target.
     Readlink { fh: FileHandle },
+    /// SNFS delegation: the client returns a delegation it holds on `fh`,
+    /// reporting the net open state it accumulated while serving opens and
+    /// closes locally (the lazy batch of queued close-time updates). Sent
+    /// in response to a recall callback; `wrote` is true if any local open
+    /// was for writing, so the server can bump the file version.
+    DelegReturn {
+        fh: FileHandle,
+        client: ClientId,
+        /// Processes at the client currently holding the file open to read.
+        readers: u32,
+        /// Processes at the client currently holding the file open to write.
+        writers: u32,
+        /// True if any locally-served open was a write open.
+        wrote: bool,
+    },
     /// Transport-level batch: several requests sharing one RPC exchange
     /// (one header + slim per-op framing on the wire). Built by the
     /// batching `Caller`; each inner call keeps its own xid and counters,
@@ -152,6 +167,7 @@ impl NfsRequest {
             NfsRequest::Link { .. } => NfsProc::Link,
             NfsRequest::Symlink { .. } => NfsProc::Symlink,
             NfsRequest::Readlink { .. } => NfsProc::Readlink,
+            NfsRequest::DelegReturn { .. } => NfsProc::DelegReturn,
             NfsRequest::Compound { .. } => NfsProc::Compound,
         }
     }
@@ -222,6 +238,34 @@ pub struct ReadReply {
     pub attr: Fattr,
 }
 
+/// A delegation the server may piggyback on an open reply when the state
+/// table says the file has no conflicting users (NFSv4-style extension of
+/// the paper's consistency protocol). While a client holds one, it serves
+/// further opens, closes and attribute reads locally with zero RPCs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delegation {
+    /// Many clients may hold read delegations concurrently; each may serve
+    /// read opens locally.
+    Read,
+    /// Exclusive: the holder may serve read *and* write opens locally and
+    /// is the attribute authority for the file.
+    Write,
+}
+
+impl Delegation {
+    /// True for a write (exclusive) delegation.
+    pub fn is_write(self) -> bool {
+        matches!(self, Delegation::Write)
+    }
+
+    /// True if this delegation lets the holder serve an open in the given
+    /// mode locally: a write delegation covers both modes, a read
+    /// delegation covers read opens only.
+    pub fn covers(self, write_open: bool) -> bool {
+        self.is_write() || !write_open
+    }
+}
+
 /// Body of a successful SNFS `open` (paper §3.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OpenReply {
@@ -237,6 +281,9 @@ pub struct OpenReply {
     /// True if the file may be inconsistent because a client that held
     /// dirty blocks crashed before writing them back (paper §3.2).
     pub inconsistent: bool,
+    /// Delegation granted with this open, if any. Rides in the existing
+    /// header (a two-bit flag on the wire), so wire size is unchanged.
+    pub delegation: Option<Delegation>,
 }
 
 /// A server→client reply body.
@@ -256,6 +303,12 @@ pub enum NfsReply {
     Open(OpenReply),
     /// Reply to `keepalive`: the server's current epoch.
     Epoch(u64),
+    /// Reply to `deleg_return`: the file version after applying the
+    /// returned state (bumped if the holder wrote), plus `fenced` — true
+    /// when the server had already revoked this delegation after a recall
+    /// timeout, meaning the returned state was discarded and the client
+    /// must drop its cache and re-validate via a fresh RPC open.
+    DelegReturned { version: FileVersion, fenced: bool },
     /// Reply to `readlink`: the link's target path.
     Path(String),
     /// Any failure.
@@ -340,6 +393,11 @@ pub struct CallbackArg {
     pub invalidate: bool,
     /// Relinquish a delayed-close file (§6.2 extension).
     pub relinquish: bool,
+    /// Recall a delegation: the holder must flush dirty blocks, return the
+    /// delegation (with its queued open-state updates) via a `deleg_return`
+    /// RPC, and only then reply to this callback. Rides in the existing
+    /// header, so wire size is unchanged.
+    pub recall: bool,
     /// Server-assigned callback sequence number, stable across
     /// server-level retries of the same logical callback (each retry is
     /// a fresh RPC with a fresh xid, so the RPC dup cache cannot pair
@@ -524,6 +582,7 @@ mod tests {
             writeback: true,
             invalidate: true,
             relinquish: false,
+            recall: false,
             seq: 0,
         };
         let rep = CallbackReply { ok: true };
@@ -541,7 +600,29 @@ mod tests {
             prev_version: FileVersion(0),
             attr: attr(),
             inconsistent: false,
+            delegation: None,
         });
         assert_eq!(open.attr().unwrap().fileid, 2);
+    }
+
+    #[test]
+    fn delegation_covers_open_modes() {
+        assert!(Delegation::Write.covers(true));
+        assert!(Delegation::Write.covers(false));
+        assert!(Delegation::Read.covers(false));
+        assert!(!Delegation::Read.covers(true));
+    }
+
+    #[test]
+    fn deleg_return_is_header_only() {
+        let req = NfsRequest::DelegReturn {
+            fh: fh(),
+            client: ClientId(1),
+            readers: 2,
+            writers: 0,
+            wrote: false,
+        };
+        assert_eq!(req.proc_id(), NfsProc::DelegReturn);
+        assert_eq!(req.wire_size(), HEADER_BYTES);
     }
 }

@@ -51,6 +51,9 @@ pub enum NfsProc {
     Symlink,
     /// Read a symbolic link's target (RFC 1094 READLINK).
     Readlink,
+    /// SNFS delegation: a client returns a delegation (with its queued
+    /// open-state updates) after a recall, or voluntarily (DESIGN.md §17).
+    DelegReturn,
     /// Transport-level batch of several requests sharing one RPC exchange
     /// (NFSv4-style COMPOUND; see DESIGN.md §13). Never counted in the
     /// paper tables — the inner procedures are what get recorded.
@@ -71,7 +74,7 @@ pub enum ProcClass {
 
 impl NfsProc {
     /// All procedures, in display order.
-    pub const ALL: [NfsProc; 22] = [
+    pub const ALL: [NfsProc; 23] = [
         NfsProc::Null,
         NfsProc::GetAttr,
         NfsProc::SetAttr,
@@ -93,6 +96,7 @@ impl NfsProc {
         NfsProc::Link,
         NfsProc::Symlink,
         NfsProc::Readlink,
+        NfsProc::DelegReturn,
         NfsProc::Compound,
     ];
 
@@ -114,6 +118,7 @@ impl NfsProc {
                 | NfsProc::Callback
                 | NfsProc::Keepalive
                 | NfsProc::Recover
+                | NfsProc::DelegReturn
         )
     }
 
@@ -141,6 +146,7 @@ impl NfsProc {
             NfsProc::Link => "link",
             NfsProc::Symlink => "symlink",
             NfsProc::Readlink => "readlink",
+            NfsProc::DelegReturn => "deleg_return",
             NfsProc::Compound => "compound",
         }
     }
@@ -177,6 +183,7 @@ mod tests {
                         | NfsProc::Callback
                         | NfsProc::Keepalive
                         | NfsProc::Recover
+                        | NfsProc::DelegReturn
                 ),
                 "{p}"
             );

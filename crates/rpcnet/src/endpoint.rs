@@ -643,7 +643,12 @@ pub struct Caller<Req, Rep> {
     cpu: Resource,
     params: CallerParams,
     transport: Cell<TransportParams>,
-    next_xid: Cell<u64>,
+    /// Shared across clones: a clone is another handle on the same
+    /// logical caller, and the endpoint's duplicate-request cache keys
+    /// on `(from, xid)` — if a clone restarted the sequence, its calls
+    /// would collide with the original's and be answered from the cache
+    /// without ever reaching the handler.
+    next_xid: Rc<Cell<u64>>,
     retransmits: Cell<u64>,
     latency: RefCell<Option<LatencyStats>>,
     tracer: RefCell<Option<Tracer>>,
@@ -670,7 +675,7 @@ impl<Req, Rep> Clone for Caller<Req, Rep> {
             cpu: self.cpu.clone(),
             params: self.params,
             transport: Cell::new(self.transport.get()),
-            next_xid: Cell::new(0),
+            next_xid: Rc::clone(&self.next_xid),
             retransmits: Cell::new(0),
             latency: RefCell::new(self.latency.borrow().clone()),
             tracer: RefCell::new(self.tracer.borrow().clone()),
@@ -705,7 +710,7 @@ where
             cpu,
             params,
             transport: Cell::new(TransportParams::paper()),
-            next_xid: Cell::new(0),
+            next_xid: Rc::new(Cell::new(0)),
             retransmits: Cell::new(0),
             latency: RefCell::new(None),
             tracer: RefCell::new(None),

@@ -89,7 +89,8 @@ impl Proc for NfsRequest {
             | NfsRequest::StatFs { fh }
             | NfsRequest::Open { fh, .. }
             | NfsRequest::Close { fh, .. }
-            | NfsRequest::Readlink { fh } => Some(*fh),
+            | NfsRequest::Readlink { fh }
+            | NfsRequest::DelegReturn { fh, .. } => Some(*fh),
             NfsRequest::Lookup { dir, .. }
             | NfsRequest::Create { dir, .. }
             | NfsRequest::Remove { dir, .. }
@@ -212,6 +213,7 @@ mod wire_tests {
             writeback: false,
             invalidate: false,
             relinquish: false,
+            recall: false,
             seq: 0,
         };
         assert_eq!(Wire::wire_size(&rep), Wire::wire_size(&arg));

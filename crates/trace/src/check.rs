@@ -26,6 +26,12 @@
 //!    suppress re-execution: no two `handler_begin` events share a
 //!    `(from, xid)` pair (server-originated callbacks, `from` 0, are
 //!    exempt — each callback endpoint has its own xid space).
+//! 9. **Delegation safety** (DESIGN.md §17) — no two conflicting live
+//!    delegations on one file (a write delegation is exclusive); a client
+//!    serves no local open from a delegation it does not hold (which
+//!    covers use-after-return and use-after-revoke) or while it has a
+//!    recall in hand; and every recall a client receives is eventually
+//!    matched by a return or a revoke.
 
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
@@ -114,8 +120,10 @@ fn legal(cause: Cause, from: FState, to: FState) -> bool {
             to == from || matches!((from, to), (ClosedDirty, Closed) | (OneRdrDirty, OneReader))
         }
         // Crash handling and recovery may land anywhere; the point of
-        // tracing them is the record, not a legality constraint.
-        Cause::ClientCrash | Cause::Restore => true,
+        // tracing them is the record, not a legality constraint. A
+        // delegation return likewise applies an entire queued open/close
+        // history in one step, so any net movement is possible.
+        Cause::ClientCrash | Cause::Restore | Cause::DelegReturn => true,
         // Removal and reclaim destroy the entry: derived state Closed.
         Cause::Removed | Cause::Reclaim => to == Closed,
     }
@@ -151,6 +159,11 @@ struct CheckState {
     batches: HashMap<(ClientId, u64), u64>,
     /// `(from, xid)` pairs that already had a handler execution.
     executed: HashSet<(ClientId, u64)>,
+    /// Live delegations per file: (holder, is-write).
+    deleg_live: HashMap<FileHandle, Vec<(ClientId, bool)>>,
+    /// Recalls a client has received but not yet resolved, keyed by
+    /// (holder, file) -> (seq, t_us) of the recall event.
+    deleg_recalls: HashMap<(ClientId, FileHandle), (u64, u64)>,
 }
 
 /// Replay `events` and return every invariant violation found (empty =
@@ -448,11 +461,97 @@ pub fn check_trace(events: &[TraceEvent]) -> Vec<Violation> {
                     st.batches.insert((*from, *id), *count);
                 }
             }
+            EventKind::DelegGrant { client, fh, write } => {
+                let live = st.deleg_live.entry(*fh).or_default();
+                for (h, w) in live.iter() {
+                    if *h != *client && (*write || *w) {
+                        flag(
+                            "deleg-conflict",
+                            format!(
+                                "{fh}: {} delegation granted to c{} while c{} holds a {} one",
+                                if *write { "write" } else { "read" },
+                                client.0,
+                                h.0,
+                                if *w { "write" } else { "read" }
+                            ),
+                            &mut out,
+                        );
+                    }
+                }
+                live.retain(|(h, _)| h != client);
+                live.push((*client, *write));
+            }
+            EventKind::DelegRecall { client, fh } => {
+                // A recall may legitimately reach a holder the server
+                // already revoked (delayed delivery), so holding no live
+                // delegation here is not itself a violation — but the
+                // recall must still resolve via a return or revoke.
+                st.deleg_recalls.insert((*client, *fh), (e.seq, e.t_us));
+            }
+            EventKind::DelegReturn { client, fh, .. } => {
+                if let Some(live) = st.deleg_live.get_mut(fh) {
+                    live.retain(|(h, _)| h != client);
+                    if live.is_empty() {
+                        st.deleg_live.remove(fh);
+                    }
+                }
+                st.deleg_recalls.remove(&(*client, *fh));
+            }
+            EventKind::DelegLocalOpen { client, fh, write } => {
+                let covering = st
+                    .deleg_live
+                    .get(fh)
+                    .is_some_and(|l| l.iter().any(|(h, w)| h == client && (*w || !*write)));
+                if !covering {
+                    flag(
+                        "deleg-local-open",
+                        format!(
+                            "c{} served a local {} open of {fh} without a covering live \
+                             delegation (returned or revoked?)",
+                            client.0,
+                            if *write { "write" } else { "read" }
+                        ),
+                        &mut out,
+                    );
+                }
+                if st.deleg_recalls.contains_key(&(*client, *fh)) {
+                    flag(
+                        "deleg-local-open",
+                        format!(
+                            "c{} served a local open of {fh} while a recall is outstanding",
+                            client.0
+                        ),
+                        &mut out,
+                    );
+                }
+            }
             EventKind::ServerCrash => {
                 st.states.clear();
+                // Delegation state is NOT cleared here: the reboot discards
+                // it server-side, but each holder must still explicitly
+                // stop using its copy — clients emit a revoked deleg_return
+                // when the recovery path discards their delegations, and
+                // any local open served before that discard is checked
+                // against the delegation they (still) hold.
             }
             _ => {}
         }
+    }
+    // A recall a client received must be resolved (returned or revoked)
+    // by the end of the run.
+    let mut unresolved: Vec<((ClientId, FileHandle), (u64, u64))> =
+        st.deleg_recalls.into_iter().collect();
+    unresolved.sort_unstable_by_key(|&(_, (seq, _))| seq);
+    for ((client, fh), (seq, t_us)) in unresolved {
+        out.push(Violation {
+            seq,
+            t_us,
+            invariant: "deleg-recall-unresolved",
+            detail: format!(
+                "c{} never returned the recalled delegation on {fh} and it was never revoked",
+                client.0
+            ),
+        });
     }
     out
 }
@@ -500,6 +599,10 @@ pub fn kind_name(kind: &EventKind) -> &'static str {
         EventKind::NetXmit { .. } => "net_xmit",
         EventKind::Batch { .. } => "batch",
         EventKind::Fault { .. } => "fault",
+        EventKind::DelegGrant { .. } => "deleg_grant",
+        EventKind::DelegRecall { .. } => "deleg_recall",
+        EventKind::DelegReturn { .. } => "deleg_return",
+        EventKind::DelegLocalOpen { .. } => "deleg_local_open",
     }
 }
 
@@ -938,6 +1041,177 @@ mod tests {
             begin(4, 0, 0),
         ]);
         assert!(ok.is_empty());
+    }
+
+    #[test]
+    fn conflicting_delegations_are_flagged() {
+        let grant = |seq, client: u32, write| {
+            ev(
+                seq,
+                EventKind::DelegGrant {
+                    client: ClientId(client),
+                    fh: fh(1),
+                    write,
+                },
+            )
+        };
+        // Two read delegations coexist fine.
+        assert!(check_trace(&[grant(1, 1, false), grant(2, 2, false)]).is_empty());
+        // A write delegation while a read one is live conflicts.
+        let v = check_trace(&[grant(1, 1, false), grant(2, 2, true)]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "deleg-conflict");
+        // Anything granted while a write delegation is live conflicts.
+        let v = check_trace(&[grant(1, 1, true), grant(2, 2, false)]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "deleg-conflict");
+        // ...but returning it first is fine.
+        let ok = check_trace(&[
+            grant(1, 1, true),
+            ev(
+                2,
+                EventKind::DelegReturn {
+                    client: ClientId(1),
+                    fh: fh(1),
+                    revoked: false,
+                },
+            ),
+            grant(3, 2, false),
+        ]);
+        assert!(ok.is_empty());
+    }
+
+    #[test]
+    fn local_open_needs_a_covering_live_delegation() {
+        let c = ClientId(1);
+        let local = |seq, write| {
+            ev(
+                seq,
+                EventKind::DelegLocalOpen {
+                    client: c,
+                    fh: fh(1),
+                    write,
+                },
+            )
+        };
+        // No grant at all.
+        let v = check_trace(&[local(1, false)]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "deleg-local-open");
+        // A read delegation does not cover a local write open.
+        let v = check_trace(&[
+            ev(
+                1,
+                EventKind::DelegGrant {
+                    client: c,
+                    fh: fh(1),
+                    write: false,
+                },
+            ),
+            local(2, true),
+        ]);
+        assert_eq!(v.len(), 1);
+        // Use after revoke is flagged.
+        let v = check_trace(&[
+            ev(
+                1,
+                EventKind::DelegGrant {
+                    client: c,
+                    fh: fh(1),
+                    write: true,
+                },
+            ),
+            local(2, true),
+            ev(
+                3,
+                EventKind::DelegReturn {
+                    client: c,
+                    fh: fh(1),
+                    revoked: true,
+                },
+            ),
+            local(4, false),
+        ]);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].detail.contains("returned or revoked"));
+    }
+
+    #[test]
+    fn local_open_during_outstanding_recall_is_flagged() {
+        let c = ClientId(1);
+        let events = vec![
+            ev(
+                1,
+                EventKind::DelegGrant {
+                    client: c,
+                    fh: fh(1),
+                    write: true,
+                },
+            ),
+            ev(
+                2,
+                EventKind::DelegRecall {
+                    client: c,
+                    fh: fh(1),
+                },
+            ),
+            ev(
+                3,
+                EventKind::DelegLocalOpen {
+                    client: c,
+                    fh: fh(1),
+                    write: false,
+                },
+            ),
+            ev(
+                4,
+                EventKind::DelegReturn {
+                    client: c,
+                    fh: fh(1),
+                    revoked: false,
+                },
+            ),
+        ];
+        let v = check_trace(&events);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].detail.contains("recall is outstanding"));
+    }
+
+    #[test]
+    fn unresolved_recall_is_flagged_resolved_is_not() {
+        let c = ClientId(1);
+        let grant = ev(
+            1,
+            EventKind::DelegGrant {
+                client: c,
+                fh: fh(1),
+                write: false,
+            },
+        );
+        let recall = ev(
+            2,
+            EventKind::DelegRecall {
+                client: c,
+                fh: fh(1),
+            },
+        );
+        let v = check_trace(&[grant.clone(), recall.clone()]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "deleg-recall-unresolved");
+        // A revoke resolves it just as a return does.
+        let resolved = check_trace(&[
+            grant,
+            recall,
+            ev(
+                3,
+                EventKind::DelegReturn {
+                    client: c,
+                    fh: fh(1),
+                    revoked: true,
+                },
+            ),
+        ]);
+        assert!(resolved.is_empty());
     }
 
     #[test]

@@ -304,6 +304,38 @@ fn write_event_json(out: &mut String, e: &TraceEvent) {
                 ",\"ev\":\"fault\",\"host\":{host},\"to_client\":{to_client},\"xid\":{xid},\"kind\":\"{kind}\""
             );
         }
+        EventKind::DelegGrant { client, fh, write } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"deleg_grant\",\"client\":{},\"fh\":\"{}\",\"write\":{}",
+                client.0, fh, write
+            );
+        }
+        EventKind::DelegRecall { client, fh } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"deleg_recall\",\"client\":{},\"fh\":\"{}\"",
+                client.0, fh
+            );
+        }
+        EventKind::DelegReturn {
+            client,
+            fh,
+            revoked,
+        } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"deleg_return\",\"client\":{},\"fh\":\"{}\",\"revoked\":{}",
+                client.0, fh, revoked
+            );
+        }
+        EventKind::DelegLocalOpen { client, fh, write } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"deleg_local_open\",\"client\":{},\"fh\":\"{}\",\"write\":{}",
+                client.0, fh, write
+            );
+        }
     }
     out.push('}');
 }
@@ -362,7 +394,8 @@ fn chrome_pid(kind: &EventKind) -> Option<u32> {
         | EventKind::Invalidate { client, .. }
         | EventKind::WriteCancel { client, .. }
         | EventKind::FsyncOk { client, .. }
-        | EventKind::OpenGrant { client, .. } => Some(client.0),
+        | EventKind::OpenGrant { client, .. }
+        | EventKind::DelegLocalOpen { client, .. } => Some(client.0),
         EventKind::RpcCall { from, .. }
         | EventKind::RpcReply { from, .. }
         | EventKind::RpcXmit { from, .. }
@@ -555,6 +588,49 @@ fn chrome_event(e: &TraceEvent) -> Option<String> {
             &format!(
                 "fault {kind} {}",
                 if *to_client { "to-client" } else { "to-server" }
+            ),
+            t,
+            "",
+        ),
+        EventKind::DelegGrant { client, fh, write } => instant(
+            SERVER_PID,
+            1,
+            &format!(
+                "deleg grant c{} {fh} ({})",
+                client.0,
+                if *write { "write" } else { "read" }
+            ),
+            t,
+            "",
+        ),
+        EventKind::DelegRecall { client, fh } => instant(
+            SERVER_PID,
+            1,
+            &format!("deleg recall c{} {fh}", client.0),
+            t,
+            "",
+        ),
+        EventKind::DelegReturn {
+            client,
+            fh,
+            revoked,
+        } => instant(
+            SERVER_PID,
+            1,
+            &format!(
+                "deleg {} c{} {fh}",
+                if *revoked { "revoke" } else { "return" },
+                client.0
+            ),
+            t,
+            "",
+        ),
+        EventKind::DelegLocalOpen { client, fh, write } => instant(
+            client.0,
+            1,
+            &format!(
+                "local open {fh} ({})",
+                if *write { "write" } else { "read" }
             ),
             t,
             "",

@@ -81,6 +81,9 @@ pub enum Cause {
     Reclaim,
     /// Post-reboot recovery re-created the entry from a client report.
     Restore,
+    /// A delegation came back (returned or revoked): the holder's queued
+    /// open/close history is applied to the entry in one step.
+    DelegReturn,
 }
 
 impl Cause {
@@ -95,6 +98,7 @@ impl Cause {
             Cause::Removed => "removed",
             Cause::Reclaim => "reclaim",
             Cause::Restore => "restore",
+            Cause::DelegReturn => "deleg_return",
         }
     }
 }
@@ -284,6 +288,30 @@ pub enum EventKind {
         to_client: bool,
         xid: u64,
         kind: &'static str,
+    },
+    /// The server granted `client` a delegation on `fh` piggybacked on an
+    /// open reply (DESIGN.md §17).
+    DelegGrant {
+        client: ClientId,
+        fh: FileHandle,
+        write: bool,
+    },
+    /// The server began recalling `client`'s delegation on `fh` because a
+    /// conflicting open arrived.
+    DelegRecall { client: ClientId, fh: FileHandle },
+    /// `client`'s delegation on `fh` ended: returned (and its queued
+    /// open-state applied), or revoked after the recall timed out.
+    DelegReturn {
+        client: ClientId,
+        fh: FileHandle,
+        revoked: bool,
+    },
+    /// The client served an open locally from a delegation it holds —
+    /// zero RPCs (the whole point of DESIGN.md §17).
+    DelegLocalOpen {
+        client: ClientId,
+        fh: FileHandle,
+        write: bool,
     },
 }
 

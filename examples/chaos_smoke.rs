@@ -1,7 +1,8 @@
-//! Smoke test for the fault-injection layer: runs the Andrew benchmark
-//! and a two-client write-sharing workload under the chaos fault
-//! schedule (5% request loss, 3% duplication, 5% extra delay, 2% reply
-//! loss, plus a 12 s partition/heal cycle in the sharing workload) and
+//! Smoke test for the fault-injection layer: runs the Andrew benchmark,
+//! a two-client write-sharing workload and a recall-heavy delegation
+//! workload under the chaos fault schedule (5% request loss, 3%
+//! duplication, 5% extra delay, 2% reply loss, plus a scripted
+//! partition/heal cycle in the sharing and delegation workloads) and
 //! exits non-zero unless both runs terminate, pass the causal trace
 //! checker, converge to the fault-free server contents, and account for
 //! every injected fault. `scripts/check.sh` runs this as a gate.
@@ -10,11 +11,15 @@
 
 use std::process::ExitCode;
 
-use spritely::harness::{chaos_andrew, chaos_write_sharing};
+use spritely::harness::{chaos_andrew, chaos_delegation, chaos_write_sharing};
 
 fn main() -> ExitCode {
     let mut ok = true;
-    for verdict in [chaos_write_sharing(11), chaos_andrew(7)] {
+    for verdict in [
+        chaos_write_sharing(11),
+        chaos_delegation(13),
+        chaos_andrew(7),
+    ] {
         println!("{}", verdict.report());
         if verdict.injected() == 0 {
             println!("FAIL: the fault schedule injected nothing");

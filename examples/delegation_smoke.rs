@@ -1,0 +1,134 @@
+//! Smoke test for open delegations (DESIGN.md §17): a two-client SNFS
+//! testbed runs an open-churn mix — one client re-opens/reads/closes a
+//! file it effectively owns, a second client barges in with a write —
+//! with delegations off (the paper protocol) and on. The delegated run
+//! must serve the churn locally (grant → local opens → recall on the
+//! conflicting open → return), cut the wire messages of the mix by at
+//! least 30%, revoke nothing, and produce a trace the delegation-safety
+//! checker accepts. Exits non-zero otherwise. `scripts/check.sh` runs
+//! this as a gate.
+//!
+//! Run with: `cargo run --release --example delegation_smoke`
+
+use std::process::ExitCode;
+
+use spritely::harness::{report, DelegationParams, Protocol, Testbed, TestbedParams};
+use spritely::sim::SimDuration;
+use spritely::vfs::OpenFlags;
+
+const CHURN_BEFORE: usize = 40;
+const CHURN_AFTER: usize = 10;
+const FILE_BLOCKS: usize = 8;
+
+fn params(d: DelegationParams, trace: bool) -> TestbedParams {
+    TestbedParams {
+        protocol: Protocol::Snfs,
+        name_cache: true,
+        delegation: d,
+        trace,
+        ..TestbedParams::default()
+    }
+}
+
+/// Seeds `/remote/doc` from client 0 (untimed), then runs the measured
+/// open-churn mix: `CHURN_BEFORE` open/read/close cycles on client 0, a
+/// conflicting write open from client 1, and `CHURN_AFTER` more cycles
+/// on client 0. Returns the testbed and the measured message count.
+fn run(d: DelegationParams, trace: bool) -> (Testbed, u64) {
+    let tb = Testbed::build_with_clients(params(d, trace), 2);
+    {
+        let p = tb.proc();
+        let sim = tb.sim.clone();
+        let h = tb.sim.spawn(async move {
+            let fd = p
+                .open("/remote/doc", OpenFlags::create_write())
+                .await
+                .unwrap();
+            p.write(fd, &[7u8; FILE_BLOCKS * 4096]).await.unwrap();
+            p.close(fd).await.unwrap();
+            // Drain the delayed write-back so the churn phase is clean.
+            sim.sleep(SimDuration::from_secs(65)).await;
+        });
+        tb.sim.run_until(h);
+    }
+    let m0 = tb.net.messages();
+    let churn = |n: usize| {
+        let p = tb.clients[0].proc(&tb.sim);
+        let h = tb.sim.spawn(async move {
+            for _ in 0..n {
+                let fd = p.open("/remote/doc", OpenFlags::read()).await.unwrap();
+                while !p.read(fd, 4096).await.unwrap().is_empty() {}
+                p.close(fd).await.unwrap();
+            }
+        });
+        tb.sim.run_until(h);
+    };
+    churn(CHURN_BEFORE);
+    {
+        let p = tb.clients[1].proc(&tb.sim);
+        let h = tb.sim.spawn(async move {
+            let fd = p
+                .open("/remote/doc", OpenFlags::read_write())
+                .await
+                .unwrap();
+            p.write(fd, &[9u8; 4096]).await.unwrap();
+            p.close(fd).await.unwrap();
+        });
+        tb.sim.run_until(h);
+    }
+    churn(CHURN_AFTER);
+    let messages = tb.net.messages() - m0;
+    (tb, messages)
+}
+
+fn main() -> ExitCode {
+    let (paper_tb, paper_msgs) = run(DelegationParams::paper(), false);
+    let (deleg_tb, deleg_msgs) = run(DelegationParams::pipelined(), true);
+    let reduction = 100.0 * (1.0 - deleg_msgs as f64 / paper_msgs as f64);
+
+    let snap = deleg_tb.stats_snapshot();
+    let d = snap.delegation.expect("delegations were enabled");
+    println!("{}", report::delegation_table(&[("delegated", &d)]));
+    println!(
+        "open-churn mix: paper {paper_msgs} msgs, delegated {deleg_msgs} msgs \
+         ({reduction:.0}% reduction)"
+    );
+
+    let trace = deleg_tb.finish_trace().expect("tracing was enabled");
+    if !trace.ok() {
+        eprintln!(
+            "trace checker found violations:\n{}",
+            report::trace_summary(&trace)
+        );
+        return ExitCode::FAILURE;
+    }
+    let s = d.stats;
+    if s.grants_read == 0 || s.grants_write == 0 {
+        eprintln!("expected both delegation kinds granted, got {s:?}");
+        return ExitCode::FAILURE;
+    }
+    if s.local_opens < CHURN_BEFORE as u64 {
+        eprintln!(
+            "expected >= {CHURN_BEFORE} local opens, got {}",
+            s.local_opens
+        );
+        return ExitCode::FAILURE;
+    }
+    if s.recalls < 2 || s.returns < 2 {
+        eprintln!("expected the conflicting opens to recall and return (>= 2 each), got {s:?}");
+        return ExitCode::FAILURE;
+    }
+    if s.revokes != 0 {
+        eprintln!("a healthy run must not revoke, got {}", s.revokes);
+        return ExitCode::FAILURE;
+    }
+    if reduction < 30.0 {
+        eprintln!("delegations must cut the mix's messages by >= 30%, got {reduction:.1}%");
+        return ExitCode::FAILURE;
+    }
+    if paper_tb.stats_snapshot().delegation.is_some() {
+        eprintln!("paper-mode snapshot must not carry a delegation section");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -43,6 +43,9 @@ cargo run --release --quiet --example transport_smoke
 echo "==> chaos smoke run (faulted runs must converge to fault-free contents)"
 cargo run --release --quiet --example chaos_smoke
 
+echo "==> delegation smoke run (open churn must shed messages, trace must stay clean)"
+cargo run --release --quiet --example delegation_smoke
+
 echo "==> sim-core smoke run (>= 1.5x pre-PR events/sec, cancelled sleeps leave no timers)"
 cargo run --release --quiet --example sim_speed_smoke
 

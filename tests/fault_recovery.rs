@@ -5,7 +5,8 @@
 //! duplicated server→client callbacks.
 
 use spritely::harness::{
-    PartitionDir, Protocol, RemoteClient, SnfsServerParams, Testbed, TestbedParams,
+    report, DelegationParams, PartitionDir, Protocol, RemoteClient, SnfsServerParams, Testbed,
+    TestbedParams,
 };
 use spritely::proto::BLOCK_SIZE;
 use spritely::sim::SimDuration;
@@ -292,4 +293,171 @@ fn duplicated_callback_invalidates_once() {
         "the client-side sequence guard absorbed the retry"
     );
     assert_eq!(server.stats().callbacks_failed, 0);
+}
+
+fn two_client_delegated() -> Testbed {
+    Testbed::build_with_clients(
+        TestbedParams {
+            protocol: Protocol::Snfs,
+            delegation: DelegationParams::pipelined(),
+            trace: true,
+            ..TestbedParams::default()
+        },
+        2,
+    )
+}
+
+/// Retransmitted-recall idempotency (DESIGN.md §17.2): the holder
+/// returns its delegation and acks the recall, but the ack is lost on
+/// the wire. The server's callback caller retransmits; the holder's
+/// duplicate-request cache must replay the ack instead of re-running
+/// the recall — one return applied, nothing revoked.
+#[test]
+fn retransmitted_recall_applies_the_return_once() {
+    let tb = two_client_delegated();
+    let a = match &tb.clients[0].remote {
+        RemoteClient::Snfs(c) => c.clone(),
+        _ => panic!("expected SNFS"),
+    };
+    let b = match &tb.clients[1].remote {
+        RemoteClient::Snfs(c) => c.clone(),
+        _ => panic!("expected SNFS"),
+    };
+    let root = tb.server_fs.root();
+    let server = tb.snfs_server.clone().expect("snfs server");
+    let net = tb.net.clone();
+    let sim = tb.sim.clone();
+    let h = sim.spawn({
+        let b = b.clone();
+        async move {
+            // B earns a write delegation and flushes, so the recall's only
+            // observable work is the state return itself.
+            let (fh, _) = b.create(root, "deleg").await.unwrap();
+            b.open(fh, true).await.unwrap();
+            b.write(fh, 0, &[9u8; BLOCK_SIZE]).await.unwrap();
+            b.fsync(fh).await.unwrap();
+            b.close(fh, true).await.unwrap();
+            // The next reply on B's callback link — the recall ack — is
+            // lost after B has executed the recall and returned.
+            net.lose_next_reply(2, true);
+            // A's conflicting open triggers the recall; the retransmitted
+            // recall is answered from B's dup cache and the open proceeds.
+            let attr = a.open(fh, false).await.unwrap();
+            assert_eq!(attr.size, BLOCK_SIZE as u64);
+            let (data, _) = a.read(fh, 0, BLOCK_SIZE as u32).await.unwrap();
+            assert!(data.iter().all(|&x| x == 9), "A sees B's returned version");
+            a.close(fh, false).await.unwrap();
+        }
+    });
+    sim.run_until(h);
+    let d = server.delegation_stats();
+    assert_eq!(d.recalls, 1, "one logical recall");
+    assert_eq!(d.returns, 1, "the return applied exactly once");
+    assert_eq!(d.revokes, 0, "a lost ack is not a dead holder");
+    assert_eq!(b.delegations_held(), 0, "B no longer holds the delegation");
+    let faults = tb.stats_snapshot().faults.expect("scripted fault state");
+    assert_eq!(faults.reply_losses, 1, "the scripted ack loss fired");
+    assert!(
+        faults.dup_cache_hits >= 1,
+        "the retransmit was replayed from the dup cache, not re-run"
+    );
+    let trace = tb.finish_trace().expect("tracing on");
+    assert!(
+        trace.ok(),
+        "checker violations:\n{}",
+        report::trace_summary(&trace)
+    );
+}
+
+/// Revoke-after-timeout fencing (DESIGN.md §17.3): the holder drops off
+/// the network for longer than the recall timeout. The server revokes
+/// and fences it, the conflicting opener proceeds, and the healed
+/// holder — whose lease lapsed and whose keepalive therefore discards
+/// its stale records — falls back to RPC opens instead of serving any
+/// local state from the revoked delegation.
+#[test]
+fn revoke_after_timeout_fences_the_dead_holder() {
+    let tb = two_client_delegated();
+    let a = match &tb.clients[0].remote {
+        RemoteClient::Snfs(c) => c.clone(),
+        _ => panic!("expected SNFS"),
+    };
+    let b = match &tb.clients[1].remote {
+        RemoteClient::Snfs(c) => c.clone(),
+        _ => panic!("expected SNFS"),
+    };
+    let root = tb.server_fs.root();
+    let server = tb.snfs_server.clone().expect("snfs server");
+    let net = tb.net.clone();
+    let sim = tb.sim.clone();
+    let h = sim.spawn({
+        let sim = sim.clone();
+        let b = b.clone();
+        async move {
+            let (fh, _) = b.create(root, "fenced").await.unwrap();
+            b.open(fh, true).await.unwrap();
+            b.write(fh, 0, &[3u8; BLOCK_SIZE]).await.unwrap();
+            b.fsync(fh).await.unwrap();
+            b.close(fh, true).await.unwrap();
+            // B drops off the network for 25 s — longer than both the
+            // lease (15 s) and the recall timeout (20 s).
+            let healed_at = sim.now() + SimDuration::from_secs(25);
+            net.partition(2, PartitionDir::Both, healed_at);
+            // A's open must not wait forever on the dead holder: the
+            // recall times out at 20 s, B is revoked and fenced, and the
+            // open proceeds. A's own RPC ladder is shorter, so it
+            // re-issues the open as a hard-mounted client would.
+            let started = sim.now();
+            let mut got = None;
+            while got.is_none() {
+                match a.open(fh, false).await {
+                    Ok(attr) => got = Some(attr),
+                    Err(_) => sim.sleep(SimDuration::from_millis(500)).await,
+                }
+            }
+            let waited = sim.now().saturating_duration_since(started);
+            assert!(
+                waited >= SimDuration::from_secs(19),
+                "the open waited out the recall timeout, not less ({waited})"
+            );
+            assert!(
+                waited < SimDuration::from_secs(25),
+                "the opener was unblocked by the revoke, not the heal ({waited})"
+            );
+            let attr = got.unwrap();
+            assert_eq!(attr.size, BLOCK_SIZE as u64);
+            let (data, _) = a.read(fh, 0, BLOCK_SIZE as u32).await.unwrap();
+            assert!(data.iter().all(|&x| x == 3), "B's flushed data survived");
+            a.close(fh, false).await.unwrap();
+            // Wait past the heal plus one keepalive interval (10 s): B's
+            // first successful probe finds its lease lapsed and discards
+            // the stale delegation record.
+            let drain = healed_at + SimDuration::from_secs(12);
+            let dt = drain.saturating_duration_since(sim.now());
+            sim.sleep(dt).await;
+            assert_eq!(
+                b.delegations_held(),
+                0,
+                "the lapsed lease discarded B's stale record"
+            );
+            // The healed holder opens over RPC (lifting its fence) and
+            // sees the current file — no local state from the revoked
+            // delegation survives.
+            b.open(fh, false).await.expect("B's RPC open succeeds");
+            let (data, _) = b.read(fh, 0, BLOCK_SIZE as u32).await.unwrap();
+            assert!(data.iter().all(|&x| x == 3));
+            b.close(fh, false).await.unwrap();
+        }
+    });
+    sim.run_until(h);
+    let d = server.delegation_stats();
+    assert_eq!(d.revokes, 1, "the dead holder was revoked exactly once");
+    assert_eq!(d.returns, 0, "nothing ever came back from B");
+    assert!(d.recalls >= 1, "the conflicting open forced a recall");
+    let trace = tb.finish_trace().expect("tracing on");
+    assert!(
+        trace.ok(),
+        "checker violations:\n{}",
+        report::trace_summary(&trace)
+    );
 }

@@ -16,7 +16,11 @@
 
 use std::fs;
 
-use spritely::harness::{report, run_andrew, run_sort_experiment, Protocol, SortRun};
+use spritely::harness::{
+    report, run_andrew, run_sort_experiment, Protocol, SortRun, Testbed, TestbedParams,
+};
+use spritely::trace::EventKind;
+use spritely::vfs::OpenFlags;
 
 fn baseline(name: &str) -> String {
     let path = format!("{}/baselines/{name}", env!("CARGO_MANIFEST_DIR"));
@@ -45,6 +49,10 @@ fn paper_mode_andrew_tables_match_baselines() {
         assert_eq!(t.batches, 0, "paper transport must never batch");
         assert_eq!(t.saved_round_trips, 0);
         assert_eq!(t.attr_elisions, 0, "paper clients must probe, not elide");
+        assert!(
+            r.stats.delegation.is_none(),
+            "paper runs must not report a delegation section"
+        );
     }
     assert_eq!(
         rendered(
@@ -63,6 +71,78 @@ fn paper_mode_andrew_tables_match_baselines() {
         baseline("table_5_2.txt"),
         "table 5-2 drifted from its baseline in paper mode"
     );
+}
+
+/// Delegations compiled in but disabled (the default
+/// `DelegationParams::paper()`) must be invisible: an open/close-heavy
+/// two-client run — the exact shape that would trigger grants and a
+/// recall with the subsystem on — emits zero `Deleg*` trace events,
+/// reports no delegation section in the snapshot, and leaves every
+/// counter at zero. Together with the byte-identical tables above this
+/// pins the subsystem as a pure opt-in.
+#[test]
+fn paper_mode_keeps_delegations_inert() {
+    let tb = Testbed::build_with_clients(
+        TestbedParams {
+            protocol: Protocol::Snfs,
+            trace: true,
+            ..TestbedParams::default()
+        },
+        2,
+    );
+    {
+        let p = tb.proc();
+        let h = tb.sim.spawn(async move {
+            let fd = p
+                .open("/remote/doc", OpenFlags::create_write())
+                .await
+                .unwrap();
+            p.write(fd, &[7u8; 4 * 4096]).await.unwrap();
+            p.close(fd).await.unwrap();
+            for _ in 0..3 {
+                let fd = p.open("/remote/doc", OpenFlags::read()).await.unwrap();
+                p.close(fd).await.unwrap();
+            }
+        });
+        tb.sim.run_until(h);
+    }
+    {
+        let p = tb.clients[1].proc(&tb.sim);
+        let h = tb.sim.spawn(async move {
+            let fd = p.open("/remote/doc", OpenFlags::read()).await.unwrap();
+            while !p.read(fd, 4096).await.unwrap().is_empty() {}
+            p.close(fd).await.unwrap();
+        });
+        tb.sim.run_until(h);
+    }
+    let snap = tb.stats_snapshot();
+    assert!(
+        snap.delegation.is_none(),
+        "disabled delegations must not appear in the snapshot"
+    );
+    let server = tb.snfs_server.clone().expect("snfs server");
+    assert_eq!(server.delegation_count(), 0);
+    assert_eq!(
+        server.delegation_stats(),
+        Default::default(),
+        "no server-side delegation counter may move"
+    );
+    let trace = tb.finish_trace().expect("tracing on");
+    assert!(trace.ok());
+    let deleg_events = trace
+        .events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.kind,
+                EventKind::DelegGrant { .. }
+                    | EventKind::DelegRecall { .. }
+                    | EventKind::DelegReturn { .. }
+                    | EventKind::DelegLocalOpen { .. }
+            )
+        })
+        .count();
+    assert_eq!(deleg_events, 0, "paper mode must emit zero Deleg* events");
 }
 
 #[test]

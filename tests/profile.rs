@@ -4,9 +4,10 @@
 
 use spritely::harness::{
     compare_json, run_andrew_with, run_flush_with, run_scaling_with, AndrewRun, CompareOptions,
-    Protocol, ServerIoParams, TestbedParams, WriteBehindParams,
+    DelegationParams, Protocol, ServerIoParams, Testbed, TestbedParams, WriteBehindParams,
 };
 use spritely::trace::{profile_trace, EventKind};
+use spritely::vfs::OpenFlags;
 
 fn andrew(trace: bool) -> AndrewRun {
     run_andrew_with(
@@ -52,6 +53,68 @@ fn every_rpc_claimed_once_and_phases_partition_each_span() {
         p.attributed_fraction() >= 0.99,
         "Andrew attribution below 99%: {:.4}",
         p.attributed_fraction()
+    );
+}
+
+/// A delegation recall is a server-originated RPC issued inside the
+/// conflicting open's handler, and the return it provokes is a client
+/// RPC riding the callback — both are new RPC shapes the delegation
+/// subsystem introduced, and the profiler must claim every one of them
+/// or the partition invariant (`claims.total() == total_rpcs`) breaks.
+#[test]
+fn recall_rpcs_are_claimed_by_the_profiler() {
+    let tb = Testbed::build_with_clients(
+        TestbedParams {
+            protocol: Protocol::Snfs,
+            delegation: DelegationParams::pipelined(),
+            trace: true,
+            ..TestbedParams::default()
+        },
+        2,
+    );
+    {
+        let p = tb.proc();
+        let h = tb.sim.spawn(async move {
+            let fd = p
+                .open("/remote/doc", OpenFlags::create_write())
+                .await
+                .unwrap();
+            p.write(fd, &[7u8; 4 * 4096]).await.unwrap();
+            p.close(fd).await.unwrap();
+        });
+        tb.sim.run_until(h);
+    }
+    {
+        // The conflicting open: recalls client 0's write delegation.
+        let p = tb.clients[1].proc(&tb.sim);
+        let h = tb.sim.spawn(async move {
+            let fd = p.open("/remote/doc", OpenFlags::read()).await.unwrap();
+            while !p.read(fd, 4096).await.unwrap().is_empty() {}
+            p.close(fd).await.unwrap();
+        });
+        tb.sim.run_until(h);
+    }
+    let server = tb.snfs_server.clone().expect("snfs server");
+    assert_eq!(server.delegation_stats().recalls, 1, "a recall happened");
+    let trace = tb.finish_trace().expect("tracing on");
+    let rpc_calls = trace
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::RpcCall { .. }))
+        .count() as u64;
+    let p = profile_trace(&trace.events);
+    assert_eq!(p.total_rpcs, rpc_calls, "profiler saw every RpcCall");
+    assert_eq!(
+        p.claims.total(),
+        rpc_calls,
+        "each RpcCall — recall callback and delegation return included — \
+         lands in exactly one claim class: {:?}",
+        p.claims
+    );
+    assert!(
+        p.claims.callback >= 1,
+        "the recall was claimed as a handler-issued callback: {:?}",
+        p.claims
     );
 }
 

@@ -12,7 +12,7 @@
 //! 4. after recovery, the consistency guarantees hold exactly as before —
 //!    including write-backs of dirty data that predates the crash.
 
-use spritely::harness::{Protocol, RemoteClient, Testbed, TestbedParams};
+use spritely::harness::{report, DelegationParams, Protocol, RemoteClient, Testbed, TestbedParams};
 use spritely::proto::BLOCK_SIZE;
 use spritely::sim::SimDuration;
 use spritely::snfs::{FileState, SnfsClient};
@@ -209,6 +209,91 @@ fn unrecovered_clients_are_simply_forgotten() {
         }
     });
     sim.run_until(h);
+}
+
+#[test]
+fn reboot_discards_delegations_and_recovery_makes_holders_follow() {
+    // DESIGN.md §17.4: delegation records are volatile with the state
+    // table, so a reboot leaves the server knowing of none — and the
+    // recovery handshake makes the holder forget too. This is a
+    // *discard*, not a recall (there is no server state left to recall
+    // from): no callback fires, nothing is revoked, and the holder's
+    // next open simply goes back over RPC and re-earns a grant.
+    let tb = Testbed::build_with_clients(
+        TestbedParams {
+            protocol: Protocol::Snfs,
+            delegation: DelegationParams::pipelined(),
+            trace: true,
+            ..TestbedParams::default()
+        },
+        2,
+    );
+    let a = snfs_client(&tb, 0);
+    let b = snfs_client(&tb, 1);
+    let root = tb.server_fs.root();
+    let server = tb.snfs_server.clone().expect("snfs server");
+    let ep = tb.endpoint.clone().expect("endpoint");
+    let counter = tb.counter.clone();
+    let sim = tb.sim.clone();
+    let h = sim.spawn({
+        let sim = sim.clone();
+        let server = server.clone();
+        async move {
+            let (fh, _) = a.create(root, "d").await.unwrap();
+            a.open(fh, true).await.unwrap();
+            a.write(fh, 0, &[5u8; BLOCK_SIZE]).await.unwrap();
+            a.fsync(fh).await.unwrap();
+            a.close(fh, true).await.unwrap();
+            assert_eq!(a.delegations_held(), 1, "create granted a delegation");
+            assert_eq!(server.delegation_count(), 1);
+            // Let a keepalive land so A knows the pre-crash epoch.
+            sim.sleep(SimDuration::from_secs(12)).await;
+            ep.set_alive(false);
+            server.crash();
+            sim.sleep(SimDuration::from_secs(5)).await;
+            server.reboot();
+            ep.set_alive(true);
+            assert_eq!(
+                server.delegation_count(),
+                0,
+                "delegation records die with the state table"
+            );
+            // A's keepalive notices the epoch change and re-registers;
+            // `recover` drops the stale records instead of trusting them.
+            sim.sleep(SimDuration::from_secs(40)).await;
+            assert!(a.stats().recoveries >= 1, "A re-registered");
+            assert_eq!(
+                a.delegations_held(),
+                0,
+                "recovery discarded the stale delegation record"
+            );
+            // B's open needs no recall — there is nothing left to recall
+            // — and sees A's pre-crash (synced) data.
+            b.open(fh, false).await.unwrap();
+            let (got, _) = b.read(fh, 0, BLOCK_SIZE as u32).await.unwrap();
+            assert!(got.iter().all(|&x| x == 5));
+            b.close(fh, false).await.unwrap();
+            // A's next open travels over RPC again (the fast path is
+            // gone until the server re-grants).
+            let before = counter.get(spritely::proto::NfsProc::Open);
+            a.open(fh, false).await.unwrap();
+            assert!(
+                counter.get(spritely::proto::NfsProc::Open) > before,
+                "the open went over RPC"
+            );
+            a.close(fh, false).await.unwrap();
+        }
+    });
+    sim.run_until(h);
+    let d = server.delegation_stats();
+    assert_eq!(d.recalls, 0, "a reboot recalls nothing — it discards");
+    assert_eq!(d.revokes, 0, "and fences nobody");
+    let trace = tb.finish_trace().expect("tracing on");
+    assert!(
+        trace.ok(),
+        "checker violations:\n{}",
+        report::trace_summary(&trace)
+    );
 }
 
 #[test]
