@@ -1,9 +1,11 @@
 //! Server scaling (paper §2.3): makespan and server utilization as
-//! identical diskless-workstation clients are added.
+//! identical diskless-workstation clients are added — plus the sharded
+//! namespace curve (DESIGN.md §18): aggregate throughput of the
+//! shared-nothing workload at 128–512 clients over 1–8 server shards.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use spritely_bench::{artifact, bench_ledger, config, slug_of};
-use spritely_harness::{run_scaling, Protocol};
+use spritely_harness::{run_scaling, run_scaling_shards, Protocol};
 use spritely_metrics::TextTable;
 
 fn bench(c: &mut Criterion) {
@@ -37,6 +39,59 @@ fn bench(c: &mut Criterion) {
         }
     }
     artifact("Server scaling (paper §2.3)", &t.render());
+
+    // Sharded namespace: the same seed, 1–8 shards, 128–512 clients on
+    // the shared-nothing workload. Per-shard served-RPC counts ride
+    // along so the ledger records the load split, not just the total.
+    let mut st = TextTable::new(vec![
+        "shards",
+        "clients",
+        "makespan s",
+        "RPCs",
+        "ops/s",
+        "per-shard RPCs",
+        "peak client KiB",
+    ]);
+    for &(shards, clients) in &[
+        (1usize, 128usize),
+        (2, 128),
+        (4, 128),
+        (8, 128),
+        (2, 256),
+        (4, 256),
+        (4, 512),
+        (8, 512),
+    ] {
+        let r = run_scaling_shards(shards, clients, 42);
+        st.row(vec![
+            shards.to_string(),
+            clients.to_string(),
+            format!("{:.1}", r.makespan.as_secs_f64()),
+            r.total_rpcs.to_string(),
+            format!("{:.0}", r.throughput),
+            r.per_shard_rpcs
+                .iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
+                .join("/"),
+            r.peak_client_kb.to_string(),
+        ]);
+        ledger.push((
+            format!("shards_{shards}x{clients}_ops_per_s"),
+            format!("{:.0}", r.throughput),
+        ));
+        ledger.push((
+            format!("shards_{shards}x{clients}_makespan_s"),
+            format!("{:.1}", r.makespan.as_secs_f64()),
+        ));
+        for (s, n) in r.per_shard_rpcs.iter().enumerate() {
+            ledger.push((
+                format!("shards_{shards}x{clients}_rpcs_s{s}"),
+                n.to_string(),
+            ));
+        }
+    }
+    artifact("Sharded namespace scaling (DESIGN.md §18)", &st.render());
     bench_ledger("scaling", &ledger);
     let mut g = c.benchmark_group("scaling");
     for p in [Protocol::Nfs, Protocol::Snfs] {

@@ -28,7 +28,7 @@ use spritely_proto::{
     block_of, blocks_for, CallbackArg, CallbackReply, ClientId, DirEntry, Fattr, FileHandle,
     FileVersion, NfsReply, NfsRequest, NfsStatus, ReadReply, Result, BLOCK_SIZE,
 };
-use spritely_rpcnet::{Caller, Endpoint, EndpointParams, RpcError};
+use spritely_rpcnet::{Endpoint, EndpointParams, RpcError, ShardCaller};
 use spritely_sim::{Event, Resource, Semaphore, Sim, SimDuration, SimTime};
 use spritely_trace::{EventKind, Tracer};
 
@@ -190,7 +190,7 @@ struct DelegRecord {
 
 struct Inner {
     sim: Sim,
-    caller: Caller<NfsRequest, NfsReply>,
+    caller: ShardCaller,
     id: ClientId,
     params: SnfsClientParams,
     cache: RefCell<BlockCache<Key>>,
@@ -275,8 +275,11 @@ fn status_of(e: RpcError) -> NfsStatus {
 }
 
 impl SnfsClient {
-    /// Creates a client that calls the server through `caller`.
-    pub fn new(sim: &Sim, caller: Caller<NfsRequest, NfsReply>, params: SnfsClientParams) -> Self {
+    /// Creates a client that calls the server through `caller` — a plain
+    /// [`Caller`](spritely_rpcnet::Caller) for the single-server
+    /// configuration, or a [`ShardCaller`] routing over several shards.
+    pub fn new(sim: &Sim, caller: impl Into<ShardCaller>, params: SnfsClientParams) -> Self {
+        let caller = caller.into();
         let id = caller.client_id();
         let wb = params.write_behind;
         assert!(
@@ -409,6 +412,14 @@ impl SnfsClient {
     /// Number of dirty blocks awaiting write-back.
     pub fn dirty_blocks(&self) -> usize {
         self.inner.cache.borrow().dirty_count()
+    }
+
+    /// Peak number of data blocks this client ever held resident. The
+    /// cache map is lazily populated, so an idle client reports zero
+    /// regardless of its configured capacity — the number the 512-client
+    /// scaling runs use to price a client's real memory footprint.
+    pub fn peak_cache_blocks(&self) -> usize {
+        self.inner.cache.borrow().peak_resident()
     }
 
     /// Number of evicted dirty blocks whose background write-back has

@@ -34,7 +34,9 @@ pub mod state_table;
 
 pub use client::{ClientStats, SnfsClient, SnfsClientParams, WriteBehindParams};
 pub use delegation::{DelegationParams, DelegationStats, RecallHistogram};
-pub use server::{ServerIoParams, ServerStats, SnfsServer, SnfsServerParams};
+pub use server::{
+    ServerIoParams, ServerStats, ShardOpStats, ShardView, SnfsServer, SnfsServerParams,
+};
 pub use state_table::{
     CallbackNeeded, ClientOpens, Deleg, FileState, OpenOutcome, ReclaimOutcome, StateTable,
 };

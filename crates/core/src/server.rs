@@ -13,15 +13,15 @@
 //! → write(B) would deadlock on the thread pool.
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
 use spritely_blockdev::DiskSched;
 use spritely_localfs::LocalFs;
 use spritely_metrics::{InflightGauge, OpCounter};
 use spritely_proto::{
-    CallbackArg, CallbackReply, ClientId, FileHandle, FileVersion, NfsReply, NfsRequest, NfsStatus,
-    OpenReply,
+    CallbackArg, CallbackReply, ClientId, FileHandle, FileVersion, Layout, NfsReply, NfsRequest,
+    NfsStatus, OpenReply,
 };
 use spritely_rpcnet::{Caller, Endpoint, EndpointParams};
 use spritely_sim::{Resource, Semaphore, Sim, SimDuration};
@@ -155,6 +155,49 @@ pub struct ServerStats {
     pub reclaim_passes: u64,
 }
 
+/// A server's place in a sharded namespace (DESIGN.md §18): its shard
+/// index, its export root, and the authority layout every shard shares.
+#[derive(Clone)]
+pub struct ShardView {
+    /// This server's shard index (its export fsid minus one).
+    pub shard: u32,
+    /// This shard's export root.
+    pub root: FileHandle,
+    /// The authority layout. Cross-shard commits mutate it; the gate and
+    /// `WrongShard` replies read it.
+    pub layout: Rc<RefCell<Layout>>,
+}
+
+/// Sharded-namespace counters (DESIGN.md §18). All pure counts: bumping
+/// them never perturbs scheduling, so the unsharded configuration stays
+/// byte-identical.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardOpStats {
+    /// Cross-shard renames committed by this shard as coordinator.
+    pub cross_renames: u64,
+    /// Cross-shard links committed by this shard as coordinator.
+    pub cross_links: u64,
+    /// `WrongShard` replies sent (stale client layouts redirected).
+    pub wrong_shard_replies: u64,
+    /// `Busy` refusals (a name momentarily locked by a transaction).
+    pub busy_rejections: u64,
+    /// Commit/abort deliveries that needed a retry.
+    pub commit_retries: u64,
+    /// `file_lock` acquisitions that found the lock already claimed.
+    pub lock_contention: u64,
+}
+
+/// Participant-side record of a prepared cross-shard transaction.
+struct TxEntry {
+    /// The target name this shard locked at prepare.
+    name: String,
+    /// The entry that existed under that name at prepare time (deleted
+    /// at commit, when the coordinator's rename supersedes it).
+    existed_fh: Option<FileHandle>,
+    /// Resolved (committed or aborted); kept for duplicate deliveries.
+    done: bool,
+}
+
 struct Inner {
     sim: Sim,
     fs: LocalFs,
@@ -194,6 +237,19 @@ struct Inner {
     /// after the recall started.
     recalls_pending: RefCell<HashMap<ClientId, u32>>,
     tracer: RefCell<Option<Tracer>>,
+    /// Sharded-namespace view; `None` in the single-server configuration,
+    /// where every shard code path costs one borrow + `Option` check.
+    shard: RefCell<Option<ShardView>>,
+    /// Inter-shard RPC channels to peer shard servers, by shard index.
+    peers: RefCell<HashMap<u32, Caller<NfsRequest, NfsReply>>>,
+    /// Root-level names locked by an in-flight cross-shard transaction
+    /// (volatile; cleared on crash).
+    name_locks: RefCell<HashSet<String>>,
+    /// Participant-side transaction table (volatile; cleared on crash).
+    tx_table: RefCell<HashMap<u64, TxEntry>>,
+    /// Coordinator-side transaction id counter (namespaced by shard).
+    next_txid: Cell<u64>,
+    shard_stats: Cell<ShardOpStats>,
 }
 
 /// The Spritely NFS server.
@@ -235,8 +291,35 @@ impl SnfsServer {
                 callback_retries: Cell::new(0),
                 recalls_pending: RefCell::new(HashMap::new()),
                 tracer: RefCell::new(None),
+                shard: RefCell::new(None),
+                peers: RefCell::new(HashMap::new()),
+                name_locks: RefCell::new(HashSet::new()),
+                tx_table: RefCell::new(HashMap::new()),
+                next_txid: Cell::new(0),
+                shard_stats: Cell::new(ShardOpStats::default()),
             }),
         }
+    }
+
+    /// Places this server in a sharded namespace (DESIGN.md §18): it
+    /// serves shard `shard`, exports `root`, and consults (and, as a
+    /// cross-shard coordinator, mutates) the shared authority `layout`.
+    pub fn set_shard(&self, shard: u32, root: FileHandle, layout: Rc<RefCell<Layout>>) {
+        *self.inner.shard.borrow_mut() = Some(ShardView {
+            shard,
+            root,
+            layout,
+        });
+    }
+
+    /// Registers the inter-shard RPC channel to peer shard `shard`.
+    pub fn register_peer(&self, shard: u32, caller: Caller<NfsRequest, NfsReply>) {
+        self.inner.peers.borrow_mut().insert(shard, caller);
+    }
+
+    /// Sharded-namespace counters.
+    pub fn shard_stats(&self) -> ShardOpStats {
+        self.inner.shard_stats.get()
     }
 
     /// Attaches a tracer. Emits the `server_threads` metadata the trace
@@ -355,6 +438,11 @@ impl SnfsServer {
     pub fn crash(&self) {
         self.emit(0, EventKind::ServerCrash);
         self.inner.table.borrow_mut().clear();
+        // Name locks and the transaction table are volatile too: a peer
+        // left holding a prepared entry re-resolves it through the
+        // coordinator's commit/abort retries (DESIGN.md §18.4).
+        self.inner.name_locks.borrow_mut().clear();
+        self.inner.tx_table.borrow_mut().clear();
         self.inner.fs.crash();
     }
 
@@ -437,12 +525,15 @@ impl SnfsServer {
     }
 
     fn file_lock(&self, fh: FileHandle) -> Semaphore {
-        self.inner
-            .file_locks
-            .borrow_mut()
-            .entry(fh)
-            .or_insert_with(|| Semaphore::new(1))
-            .clone()
+        let mut locks = self.inner.file_locks.borrow_mut();
+        let sem = locks.entry(fh).or_insert_with(|| Semaphore::new(1));
+        // Contention pin for the scaling analysis (DESIGN.md §18.5): a
+        // non-idle semaphore means this acquisition will queue behind
+        // another client's open/close/write-back on the same file.
+        if !sem.is_idle() {
+            self.bump_shard(|s| s.lock_contention += 1);
+        }
+        sem.clone()
     }
 
     /// Drops a file's lock entry once nothing references it — the
@@ -474,6 +565,516 @@ impl SnfsServer {
         let mut s = self.inner.deleg_stats.get();
         f(&mut s);
         self.inner.deleg_stats.set(s);
+    }
+
+    fn bump_shard(&self, f: impl FnOnce(&mut ShardOpStats)) {
+        let mut s = self.inner.shard_stats.get();
+        f(&mut s);
+        self.inner.shard_stats.set(s);
+    }
+
+    fn name_locked(&self, name: &str) -> bool {
+        self.inner.name_locks.borrow().contains(name)
+    }
+
+    fn lock_name(&self, name: &str) {
+        self.inner.name_locks.borrow_mut().insert(name.to_string());
+    }
+
+    fn unlock_name(&self, name: &str) {
+        self.inner.name_locks.borrow_mut().remove(name);
+    }
+
+    /// Allocates a transaction id namespaced by this shard's index, so
+    /// concurrent coordinators can never collide in a peer's table.
+    fn next_txid(&self) -> u64 {
+        let shard = self.inner.shard.borrow().as_ref().map_or(0, |v| v.shard);
+        let n = self.inner.next_txid.get() + 1;
+        self.inner.next_txid.set(n);
+        (u64::from(shard + 1) << 48) | n
+    }
+
+    /// Shard-ownership gate (DESIGN.md §18.2), run after the grace gate
+    /// on every request. Returns an early reply when this shard must
+    /// refuse: `Busy` while a cross-shard transaction holds the name,
+    /// `WrongShard` (with the fresh layout delta) when a stale client
+    /// routed here. Otherwise emits the rule-10 `shard_route` record for
+    /// root-level name operations this shard owns and lets the request
+    /// fall through. Always `None` in the unsharded configuration.
+    fn shard_gate(&self, ctx: u64, req: &NfsRequest) -> Option<NfsReply> {
+        let view = self.inner.shard.borrow().clone()?;
+        let busy = |this: &Self| {
+            this.bump_shard(|s| s.busy_rejections += 1);
+            Some(NfsReply::Err(NfsStatus::Busy))
+        };
+        let gate = |name: &str| -> Option<NfsReply> {
+            if self.name_locked(name) {
+                return busy(self);
+            }
+            let layout = view.layout.borrow();
+            if layout.owner(name) != view.shard {
+                let (epoch, moves) = (layout.epoch(), layout.moves());
+                drop(layout);
+                self.bump_shard(|s| s.wrong_shard_replies += 1);
+                return Some(NfsReply::WrongShard { epoch, moves });
+            }
+            let epoch = layout.epoch();
+            drop(layout);
+            if self.inner.tracer.borrow().is_some() {
+                self.emit(
+                    ctx,
+                    EventKind::ShardRoute {
+                        shard: view.shard,
+                        name: name.to_string(),
+                        epoch,
+                    },
+                );
+            }
+            None
+        };
+        match req {
+            NfsRequest::Lookup { dir, name }
+            | NfsRequest::Create { dir, name }
+            | NfsRequest::Remove { dir, name }
+            | NfsRequest::Mkdir { dir, name }
+            | NfsRequest::Rmdir { dir, name }
+            | NfsRequest::Symlink { dir, name, .. }
+                if *dir == view.root =>
+            {
+                gate(name)
+            }
+            NfsRequest::Rename {
+                from_dir,
+                from_name,
+                to_dir,
+                to_name,
+            } => {
+                if *to_dir == view.root && self.name_locked(to_name) {
+                    return busy(self);
+                }
+                if *from_dir == view.root {
+                    return gate(from_name);
+                }
+                None
+            }
+            NfsRequest::Link {
+                to_dir, to_name, ..
+            } if *to_dir == view.root => {
+                if self.name_locked(to_name) {
+                    return busy(self);
+                }
+                None
+            }
+            _ => None,
+        }
+    }
+
+    /// When both directory handles address this shard's export root but
+    /// the layout owns `to_name` elsewhere, the operation needs the
+    /// cross-shard path: returns the view and the peer shard index.
+    fn cross_shard_target(
+        &self,
+        from_dir: FileHandle,
+        to_dir: FileHandle,
+        to_name: &str,
+    ) -> Option<(ShardView, u32)> {
+        let view = self.inner.shard.borrow().clone()?;
+        if from_dir != view.root || to_dir != view.root {
+            return None;
+        }
+        let owner = view.layout.borrow().owner(to_name);
+        (owner != view.shard).then_some((view, owner))
+    }
+
+    /// Phase-1 call to the peer: retried through transport errors and
+    /// the peer's grace period (the lock request must eventually land);
+    /// a `Busy` refusal aborts the whole operation instead — the client
+    /// backs off and retries, which is what breaks symmetric-rename
+    /// deadlocks.
+    async fn tx_call_prepare(
+        &self,
+        peer_shard: u32,
+        txid: u64,
+        name: &str,
+    ) -> Result<bool, NfsReply> {
+        let caller = self
+            .inner
+            .peers
+            .borrow()
+            .get(&peer_shard)
+            .cloned()
+            .expect("sharded servers register every peer");
+        loop {
+            let req = NfsRequest::TxPrepare {
+                txid,
+                name: name.to_string(),
+            };
+            match caller.call(req).await {
+                Ok(NfsReply::TxPrepared { existed }) => return Ok(existed),
+                Ok(NfsReply::Err(NfsStatus::Busy)) => {
+                    return Err(NfsReply::Err(NfsStatus::Busy));
+                }
+                Ok(NfsReply::Err(NfsStatus::Grace)) | Err(_) => {
+                    self.inner.sim.sleep(SimDuration::from_secs(1)).await;
+                }
+                Ok(_) => return Err(NfsReply::Err(NfsStatus::Io)),
+            }
+        }
+    }
+
+    /// Retries `TxCommit` out of line until the peer acknowledges, then
+    /// closes the transaction in the trace. Commit is irrevocable once
+    /// the layout move is published, so the client's reply never waits
+    /// for the peer's cleanup.
+    fn spawn_tx_commit(&self, parent: u64, peer_shard: u32, txid: u64) {
+        let this = self.clone();
+        self.inner.sim.spawn(async move {
+            let caller = this
+                .inner
+                .peers
+                .borrow()
+                .get(&peer_shard)
+                .cloned()
+                .expect("sharded servers register every peer");
+            loop {
+                match caller.call_ctx(parent, NfsRequest::TxCommit { txid }).await {
+                    Ok(NfsReply::Ok) => break,
+                    // A reply that is not a plain Ok (e.g. `Grace` from a
+                    // rebooting peer) has not performed the cleanup.
+                    Ok(_) | Err(_) => {
+                        this.bump_shard(|s| s.commit_retries += 1);
+                        this.inner.sim.sleep(SimDuration::from_secs(1)).await;
+                    }
+                }
+            }
+            this.emit(
+                parent,
+                EventKind::ShardTxEnd {
+                    txid,
+                    committed: true,
+                },
+            );
+        });
+    }
+
+    /// Retries `TxAbort` out of line until the peer drops its prepared
+    /// entry and releases the name lock.
+    fn spawn_tx_abort(&self, peer_shard: u32, txid: u64) {
+        let this = self.clone();
+        self.inner.sim.spawn(async move {
+            let caller = this
+                .inner
+                .peers
+                .borrow()
+                .get(&peer_shard)
+                .cloned()
+                .expect("sharded servers register every peer");
+            loop {
+                match caller.call(NfsRequest::TxAbort { txid }).await {
+                    Ok(NfsReply::Ok) => break,
+                    Ok(_) | Err(_) => {
+                        this.bump_shard(|s| s.commit_retries += 1);
+                        this.inner.sim.sleep(SimDuration::from_secs(1)).await;
+                    }
+                }
+            }
+        });
+    }
+
+    /// Coordinator half of a cross-shard rename (DESIGN.md §18.3). The
+    /// file body never moves: the entry is renamed inside this shard's
+    /// store and the authority layout gains an override routing
+    /// `to_name` here — ownership follows the data. The peer that owned
+    /// `to_name` participates in a two-phase exchange so the name is
+    /// locked on both shards for the whole window and the peer's
+    /// overwritten entry is deleted exactly once.
+    #[allow(clippy::too_many_arguments)]
+    async fn cross_shard_rename(
+        &self,
+        ctx: u64,
+        from: ClientId,
+        view: ShardView,
+        peer_shard: u32,
+        from_dir: FileHandle,
+        from_name: String,
+        to_dir: FileHandle,
+        to_name: String,
+    ) -> NfsReply {
+        // Lock both names locally. The gate vetted `from_name` in this
+        // same synchronous region, so this cannot fail on it; `to_name`
+        // may race another transaction.
+        if self.name_locked(&from_name) || self.name_locked(&to_name) {
+            self.bump_shard(|s| s.busy_rejections += 1);
+            return NfsReply::Err(NfsStatus::Busy);
+        }
+        self.lock_name(&from_name);
+        self.lock_name(&to_name);
+        let txid = self.next_txid();
+        // Phase 1: the peer locks `to_name` and reports what it holds.
+        // Only after it succeeds are both names locked on both shards —
+        // which is why the begin event (opening the checker's atomicity
+        // window) must not be emitted any earlier.
+        if let Err(rep) = self.tx_call_prepare(peer_shard, txid, &to_name).await {
+            self.unlock_name(&from_name);
+            self.unlock_name(&to_name);
+            return rep;
+        }
+        let begin = self.emit(
+            ctx,
+            EventKind::ShardTxBegin {
+                txid,
+                from_shard: view.shard,
+                to_shard: peer_shard,
+                from_name: from_name.clone(),
+                to_name: to_name.clone(),
+                link: false,
+            },
+        );
+        // Phase 2, local half: the rename inside this shard's store. The
+        // name locks guarantee no other operation observes the window,
+        // even across the handler's awaits.
+        let rep = spritely_nfs::handle(
+            &self.inner.fs,
+            NfsRequest::Rename {
+                from_dir,
+                from_name: from_name.clone(),
+                to_dir,
+                to_name: to_name.clone(),
+            },
+        )
+        .await;
+        if matches!(rep, NfsReply::Err(_)) {
+            self.spawn_tx_abort(peer_shard, txid);
+            self.emit(
+                begin,
+                EventKind::ShardTxEnd {
+                    txid,
+                    committed: false,
+                },
+            );
+            self.unlock_name(&from_name);
+            self.unlock_name(&to_name);
+            return rep;
+        }
+        self.bump_shard(|s| s.cross_renames += 1);
+        // Commit point: publish the ownership move. From here every
+        // shard's gate and every refreshed client routes `to_name` to
+        // this shard, and the transaction can only complete.
+        let epoch = view
+            .layout
+            .borrow_mut()
+            .record_move(Some(&from_name), &to_name, view.shard);
+        self.emit(
+            begin,
+            EventKind::ShardMove {
+                from_name: from_name.clone(),
+                to_name: to_name.clone(),
+                shard: view.shard,
+                epoch,
+            },
+        );
+        self.spawn_tx_commit(begin, peer_shard, txid);
+        self.invalidate_dir_watchers(ctx, from_dir, from).await;
+        self.unlock_name(&from_name);
+        self.unlock_name(&to_name);
+        rep
+    }
+
+    /// Coordinator half of a cross-shard link: same two-phase exchange
+    /// as a rename, except link(2) does not overwrite — a prepared peer
+    /// reporting an existing target aborts with `Exist`.
+    #[allow(clippy::too_many_arguments)]
+    async fn cross_shard_link(
+        &self,
+        ctx: u64,
+        from: ClientId,
+        view: ShardView,
+        peer_shard: u32,
+        src: FileHandle,
+        to_dir: FileHandle,
+        to_name: String,
+    ) -> NfsReply {
+        if self.name_locked(&to_name) {
+            self.bump_shard(|s| s.busy_rejections += 1);
+            return NfsReply::Err(NfsStatus::Busy);
+        }
+        self.lock_name(&to_name);
+        let txid = self.next_txid();
+        let existed = match self.tx_call_prepare(peer_shard, txid, &to_name).await {
+            Ok(existed) => existed,
+            Err(rep) => {
+                self.unlock_name(&to_name);
+                return rep;
+            }
+        };
+        if existed {
+            self.spawn_tx_abort(peer_shard, txid);
+            self.unlock_name(&to_name);
+            return NfsReply::Err(NfsStatus::Exist);
+        }
+        let begin = self.emit(
+            ctx,
+            EventKind::ShardTxBegin {
+                txid,
+                from_shard: view.shard,
+                to_shard: peer_shard,
+                from_name: String::new(),
+                to_name: to_name.clone(),
+                link: true,
+            },
+        );
+        let rep = spritely_nfs::handle(
+            &self.inner.fs,
+            NfsRequest::Link {
+                from: src,
+                to_dir,
+                to_name: to_name.clone(),
+            },
+        )
+        .await;
+        if matches!(rep, NfsReply::Err(_)) {
+            self.spawn_tx_abort(peer_shard, txid);
+            self.emit(
+                begin,
+                EventKind::ShardTxEnd {
+                    txid,
+                    committed: false,
+                },
+            );
+            self.unlock_name(&to_name);
+            return rep;
+        }
+        self.bump_shard(|s| s.cross_links += 1);
+        let epoch = view
+            .layout
+            .borrow_mut()
+            .record_move(None, &to_name, view.shard);
+        self.emit(
+            begin,
+            EventKind::ShardMove {
+                from_name: String::new(),
+                to_name: to_name.clone(),
+                shard: view.shard,
+                epoch,
+            },
+        );
+        self.spawn_tx_commit(begin, peer_shard, txid);
+        self.invalidate_dir_watchers(ctx, to_dir, from).await;
+        if self.inner.params.dir_callbacks {
+            self.watch_dir(to_dir, from);
+        }
+        self.unlock_name(&to_name);
+        rep
+    }
+
+    /// Participant phase 1: lock `name` against local service and report
+    /// whether an entry by that name already exists (a committed rename
+    /// will overwrite it; a link must refuse). Idempotent per txid —
+    /// coordinator retries re-reply from the transaction table.
+    fn tx_prepare(&self, ctx: u64, txid: u64, name: &str) -> NfsReply {
+        let view = match self.inner.shard.borrow().clone() {
+            Some(v) => v,
+            None => return NfsReply::Err(NfsStatus::Inval),
+        };
+        if let Some(entry) = self.inner.tx_table.borrow().get(&txid) {
+            return NfsReply::TxPrepared {
+                existed: entry.existed_fh.is_some(),
+            };
+        }
+        if self.name_locked(name) {
+            self.bump_shard(|s| s.busy_rejections += 1);
+            return NfsReply::Err(NfsStatus::Busy);
+        }
+        self.lock_name(name);
+        let existed_fh = self.inner.fs.lookup(view.root, name).ok().map(|(fh, _)| fh);
+        let existed = existed_fh.is_some();
+        self.inner.tx_table.borrow_mut().insert(
+            txid,
+            TxEntry {
+                name: name.to_string(),
+                existed_fh,
+                done: false,
+            },
+        );
+        self.emit(ctx, EventKind::ShardTxPrepared { txid, existed });
+        NfsReply::TxPrepared { existed }
+    }
+
+    /// Participant commit: delete the local entry the committed rename
+    /// overwrote (ownership of the name moved to the coordinator) and
+    /// release the name lock. Idempotent; unknown txids — including
+    /// those a crash wiped — acknowledge trivially, since a crash also
+    /// released the lock and discarded the prepared state.
+    async fn tx_commit(&self, ctx: u64, txid: u64) -> NfsReply {
+        let (name, existed_fh) = {
+            let mut table = self.inner.tx_table.borrow_mut();
+            match table.get_mut(&txid) {
+                Some(e) if !e.done => {
+                    e.done = true;
+                    (e.name.clone(), e.existed_fh)
+                }
+                _ => return NfsReply::Ok,
+            }
+        };
+        let view = self.inner.shard.borrow().clone();
+        if let Some(view) = &view {
+            // Delete only while the entry is still the handle that was
+            // prepared: ownership may have ping-ponged since, and a
+            // newer file under the same name must survive.
+            let current = self.inner.fs.lookup(view.root, &name).ok();
+            if let (Some(prepared), Some((cfh, attr))) = (existed_fh, current) {
+                if cfh == prepared {
+                    let rep = spritely_nfs::handle(
+                        &self.inner.fs,
+                        NfsRequest::Remove {
+                            dir: view.root,
+                            name: name.clone(),
+                        },
+                    )
+                    .await;
+                    if matches!(rep, NfsReply::Ok) && attr.nlink <= 1 {
+                        let st0 = self.inner.table.borrow().state_of(prepared);
+                        let had_entry = self.inner.table.borrow().version_of(prepared).is_some();
+                        self.inner.table.borrow_mut().file_removed(prepared);
+                        if had_entry {
+                            self.emit_transition(
+                                ctx,
+                                prepared,
+                                Cause::Removed,
+                                ClientId(0),
+                                st0,
+                                FileState::Closed,
+                            );
+                        }
+                        self.gc_file_lock(prepared);
+                    }
+                }
+            }
+        }
+        self.unlock_name(&name);
+        if let Some(view) = &view {
+            self.invalidate_dir_watchers(ctx, view.root, ClientId(0))
+                .await;
+        }
+        NfsReply::Ok
+    }
+
+    /// Participant abort: drop the prepared entry and release the lock.
+    fn tx_abort(&self, txid: u64) -> NfsReply {
+        let name = {
+            let mut table = self.inner.tx_table.borrow_mut();
+            match table.get_mut(&txid) {
+                Some(e) if !e.done => {
+                    e.done = true;
+                    Some(e.name.clone())
+                }
+                _ => None,
+            }
+        };
+        if let Some(name) = name {
+            self.unlock_name(&name);
+        }
+        NfsReply::Ok
     }
 
     /// Performs one callback; on failure, treats the client as crashed.
@@ -915,6 +1516,12 @@ impl SnfsServer {
             _ if self.in_grace() => return NfsReply::Err(NfsStatus::Grace),
             _ => {}
         }
+        // Shard-ownership gate (DESIGN.md §18.2): refuse names a
+        // transaction holds, redirect stale routings, record rule-10
+        // ownership for the names served here.
+        if let Some(rep) = self.shard_gate(ctx, &req) {
+            return rep;
+        }
         match req {
             NfsRequest::Keepalive { client } => {
                 debug_assert_eq!(from, client);
@@ -1179,7 +1786,17 @@ impl SnfsServer {
                 }
                 rep
             }
-            NfsRequest::Link { to_dir, .. } => {
+            NfsRequest::Link {
+                from: src,
+                to_dir,
+                ref to_name,
+            } => {
+                if let Some((view, peer)) = self.cross_shard_target(to_dir, to_dir, to_name) {
+                    let to_name = to_name.clone();
+                    return self
+                        .cross_shard_link(ctx, from, view, peer, src, to_dir, to_name)
+                        .await;
+                }
                 let rep = spritely_nfs::handle(&self.inner.fs, req).await;
                 if !matches!(rep, NfsReply::Err(_)) {
                     self.invalidate_dir_watchers(ctx, to_dir, from).await;
@@ -1200,8 +1817,19 @@ impl SnfsServer {
                 rep
             }
             NfsRequest::Rename {
-                from_dir, to_dir, ..
+                from_dir,
+                ref from_name,
+                to_dir,
+                ref to_name,
             } => {
+                if let Some((view, peer)) = self.cross_shard_target(from_dir, to_dir, to_name) {
+                    let (from_name, to_name) = (from_name.clone(), to_name.clone());
+                    return self
+                        .cross_shard_rename(
+                            ctx, from, view, peer, from_dir, from_name, to_dir, to_name,
+                        )
+                        .await;
+                }
                 let rep = spritely_nfs::handle(&self.inner.fs, req).await;
                 if !matches!(rep, NfsReply::Err(_)) {
                     self.invalidate_dir_watchers(ctx, from_dir, from).await;
@@ -1211,6 +1839,9 @@ impl SnfsServer {
                 }
                 rep
             }
+            NfsRequest::TxPrepare { txid, ref name } => self.tx_prepare(ctx, txid, name),
+            NfsRequest::TxCommit { txid } => self.tx_commit(ctx, txid).await,
+            NfsRequest::TxAbort { txid } => self.tx_abort(txid),
             // Everything else is the unmodified NFS service code.
             other => spritely_nfs::handle(&self.inner.fs, other).await,
         }

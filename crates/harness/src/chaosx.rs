@@ -15,12 +15,12 @@
 //!   (`killed_attempts == retransmit_absorbed + outstanding_kills`).
 
 use spritely_localfs::LocalFs;
-use spritely_proto::{FileHandle, FileType};
+use spritely_proto::{default_shard, FileHandle, FileType};
 use spritely_rpcnet::{FaultParams, PartitionDir};
 use spritely_sim::SimDuration;
 
 use crate::snapshot::FaultSnapshot;
-use crate::testbed::{Protocol, RemoteClient, Testbed, TestbedParams};
+use crate::testbed::{Protocol, RemoteClient, ShardParams, Testbed, TestbedParams};
 use crate::{report, run_andrew_with};
 
 /// Outcome of one chaos run, with everything a gate needs to decide
@@ -73,6 +73,21 @@ impl ChaosVerdict {
             self.trace_violations,
             report::fault_table(&[(self.workload, &self.faults)]),
         )
+    }
+}
+
+/// Digest of a whole testbed's stable server contents: the one server's
+/// in the paper configuration, or every shard's store folded together in
+/// shard order for a sharded namespace (DESIGN.md §18).
+pub fn testbed_digest(tb: &Testbed) -> u64 {
+    if tb.shard_hosts.is_empty() {
+        server_digest(&tb.server_fs)
+    } else {
+        let mut h = Fnv::new();
+        for sh in &tb.shard_hosts {
+            h.write(&server_digest(&sh.fs).to_le_bytes());
+        }
+        h.0
     }
 }
 
@@ -190,7 +205,7 @@ pub fn chaos_delegation(seed: u64) -> ChaosVerdict {
     let clean = run_delegation(seed, false);
     let faulted = run_delegation(seed, true);
     assert!(
-        faulted.recalls >= 1,
+        faulted.gate_ops >= 1,
         "the sweep must force at least one recall"
     );
     ChaosVerdict {
@@ -199,6 +214,177 @@ pub fn chaos_delegation(seed: u64) -> ChaosVerdict {
         digest_faulted: faulted.digest,
         trace_violations: faulted.violations,
         faults: faulted.faults.expect("faulted run has fault stats"),
+    }
+}
+
+/// Cross-shard renames under chaos with a shard partitioned mid-rename
+/// (DESIGN.md §18.4).
+///
+/// Two clients work disjoint name sets over a 4-shard namespace. Client
+/// 0's first rename is chosen to cross shards; just before issuing it,
+/// the coordinating shard's inter-shard link (fault host `200 + s`) is
+/// partitioned for 8 s, so the `tx_prepare` to the destination's owner
+/// cannot leave the coordinator. The coordinator must hold the name
+/// locked and retry the prepare past the heal — Busy-bouncing concurrent
+/// touches of either name, absorbing the client's re-issued rename via
+/// the duplicate-request cache — and then drive the commit to
+/// completion. Convergence means both runs (fault-free and faulted)
+/// reach byte-identical stable state across every shard, with zero
+/// trace violations including rule 10's atomicity window.
+pub fn chaos_shard(seed: u64) -> ChaosVerdict {
+    let clean = run_shard_chaos(seed, false);
+    let faulted = run_shard_chaos(seed, true);
+    assert!(
+        faulted.gate_ops >= 1,
+        "the workload must coordinate at least one cross-shard rename"
+    );
+    ChaosVerdict {
+        workload: "shard",
+        digest_clean: clean.digest,
+        digest_faulted: faulted.digest,
+        trace_violations: faulted.violations,
+        faults: faulted.faults.expect("faulted run has fault stats"),
+    }
+}
+
+fn run_shard_chaos(seed: u64, faulted: bool) -> SharingRun {
+    const N_SHARDS: u32 = 4;
+    const FILES: u32 = 3;
+    let tb = Testbed::build_with_clients(
+        TestbedParams {
+            protocol: Protocol::Snfs,
+            shards: ShardParams::sharded(N_SHARDS as usize),
+            trace: faulted,
+            faults: if faulted {
+                FaultParams::chaos(seed)
+            } else {
+                FaultParams::default()
+            },
+            ..TestbedParams::default()
+        },
+        2,
+    );
+    let sim = tb.sim.clone();
+    let net = tb.net.clone();
+    let root = tb.server_fs.root();
+    // First name of the form `{prefix}{i}` owned by `shard`.
+    let name_on = |shard: u32, prefix: &str| -> String {
+        (0u32..)
+            .map(|i| format!("{prefix}{i}"))
+            .find(|s| default_shard(s, N_SHARDS) == shard)
+            .expect("some index hashes to every shard")
+    };
+    let mut handles = Vec::new();
+    for c in 0..2u32 {
+        let client = match &tb.clients[c as usize].remote {
+            RemoteClient::Snfs(cl) => cl.clone(),
+            _ => unreachable!("SNFS testbed"),
+        };
+        // Disjoint per-client names; every rename crosses shards so the
+        // digests converge regardless of client interleaving.
+        let pairs: Vec<(String, String)> = (0..FILES)
+            .map(|i| {
+                let src = format!("c{c}w{i}");
+                let s = default_shard(&src, N_SHARDS);
+                let dst = name_on((s + 1) % N_SHARDS, &format!("c{c}m{i}_"));
+                (src, dst)
+            })
+            .collect();
+        // Client 0's first rename coordinates from this shard; its
+        // inter-shard link is what the partition severs.
+        let coord = default_shard(&pairs[0].0, N_SHARDS);
+        let sim = sim.clone();
+        let net = net.clone();
+        handles.push(tb.sim.spawn(async move {
+            use spritely_proto::BLOCK_SIZE;
+            macro_rules! insist {
+                ($e:expr) => {{
+                    loop {
+                        match $e.await {
+                            Ok(v) => break v,
+                            Err(_) => sim.sleep(SimDuration::from_millis(500)).await,
+                        }
+                    }
+                }};
+            }
+            let mut fhs = Vec::new();
+            for (i, (src, _)) in pairs.iter().enumerate() {
+                let (fh, _) = insist!(client.create(root, src));
+                insist!(client.open(fh, true));
+                insist!(client.write(fh, 0, &[(c as u8) * 16 + i as u8 + 1; BLOCK_SIZE]));
+                insist!(client.fsync(fh));
+                insist!(client.close(fh, true));
+                fhs.push(fh);
+            }
+            // Sever the coordinator's inter-shard link just before the
+            // cross-shard renames (scripted; consumes no randomness).
+            if c == 0 && net.faults_active() {
+                net.partition(
+                    200 + coord,
+                    PartitionDir::Both,
+                    sim.now() + SimDuration::from_secs(8),
+                );
+            }
+            for (src, dst) in &pairs {
+                // A rename is not idempotent across calls: a re-issued
+                // rename whose first call executed (held through the
+                // partition by the coordinator) sees NoEnt. Confirm the
+                // outcome by resolving the destination.
+                loop {
+                    match client.rename(root, src, root, dst).await {
+                        Ok(()) => break,
+                        Err(_) => {
+                            if client.lookup(root, dst).await.is_ok() {
+                                break;
+                            }
+                            sim.sleep(SimDuration::from_millis(500)).await;
+                        }
+                    }
+                }
+            }
+            // A cross-shard hard link on top of the moved set.
+            let ln = name_on(
+                (default_shard(&pairs[0].1, N_SHARDS) + 1) % N_SHARDS,
+                &format!("c{c}ln_"),
+            );
+            loop {
+                match client.link(fhs[0], root, &ln).await {
+                    Ok(_) => break,
+                    Err(spritely_proto::NfsStatus::Exist) => break,
+                    Err(_) => sim.sleep(SimDuration::from_millis(500)).await,
+                }
+            }
+            // Read everything back through the new names.
+            for (i, (_, dst)) in pairs.iter().enumerate() {
+                let (fh, _) = insist!(client.lookup(root, dst));
+                insist!(client.open(fh, false));
+                let (data, _) = insist!(client.read(fh, 0, BLOCK_SIZE as u32));
+                assert!(
+                    data.iter().all(|&x| x == (c as u8) * 16 + i as u8 + 1),
+                    "client {c} reads its own bytes via {dst}"
+                );
+                insist!(client.close(fh, false));
+            }
+            // Let delayed writes, commits and keepalives drain.
+            sim.sleep(SimDuration::from_secs(70)).await;
+        }));
+    }
+    for h in handles {
+        tb.sim.run_until(h);
+    }
+    let snap = tb.stats_snapshot();
+    let cross_ops = snap.shards.as_ref().map_or(0, |sh| {
+        sh.shards
+            .iter()
+            .map(|s| s.cross_renames + s.cross_links)
+            .sum()
+    });
+    let violations = tb.finish_trace().map_or(0, |t| t.violations.len());
+    SharingRun {
+        digest: testbed_digest(&tb),
+        violations,
+        faults: snap.faults,
+        gate_ops: cross_ops,
     }
 }
 
@@ -315,7 +501,7 @@ fn run_delegation(seed: u64, faulted: bool) -> SharingRun {
         digest: server_digest(&tb.server_fs),
         violations,
         faults: snap.faults,
-        recalls,
+        gate_ops: recalls,
     }
 }
 
@@ -323,8 +509,10 @@ struct SharingRun {
     digest: u64,
     violations: usize,
     faults: Option<FaultSnapshot>,
-    /// Recalls the server issued (0 for workloads without delegations).
-    recalls: u64,
+    /// Workload-specific interestingness counter the caller gates on:
+    /// delegation recalls for the delegation workload, coordinated
+    /// cross-shard ops for the shard workload, 0 elsewhere.
+    gate_ops: u64,
 }
 
 fn run_write_sharing(seed: u64, faulted: bool) -> SharingRun {
@@ -417,6 +605,6 @@ fn run_write_sharing(seed: u64, faulted: bool) -> SharingRun {
         digest: server_digest(&tb.server_fs),
         violations,
         faults: snap.faults,
-        recalls: 0,
+        gate_ops: 0,
     }
 }

@@ -29,23 +29,29 @@ mod testbed;
 
 pub use andrew::{run_andrew, run_andrew_with, AndrewRun};
 pub use chaosx::{
-    chaos_andrew, chaos_delegation, chaos_write_sharing, server_digest, ChaosVerdict,
+    chaos_andrew, chaos_delegation, chaos_shard, chaos_write_sharing, server_digest,
+    testbed_digest, ChaosVerdict,
 };
 pub use compare::{compare_json, CompareOptions, CompareReport};
 pub use flushx::{run_flush, run_flush_with, FlushRun};
 pub use matrix::{render_matrix, run_matrix, Experiment, MatrixResult};
 pub use microx::{run_reopen, run_temp_lifetime, ReopenRun, TempLifetimeRun};
-pub use scaling::{run_scaling, run_scaling_with, ScalingRun};
+pub use scaling::{
+    run_scaling, run_scaling_shards, run_scaling_with, ScalingRun, ScalingShardsRun,
+};
 pub use snapshot::{
     ClientSnapshot, DelegationSnapshot, FaultSnapshot, ProfileSnapshot, ServerIoSnapshot,
-    ServerSnapshot, SimSnapshot, StatsSnapshot, TraceReport, TransportSnapshot,
+    ServerSnapshot, ShardSnapshot, ShardsSnapshot, SimSnapshot, StatsSnapshot, TraceReport,
+    TransportSnapshot,
 };
 pub use sortx::{run_sort_experiment, run_sort_with, SortRun};
 pub use spritely_core::{
     DelegationParams, DelegationStats, ServerIoParams, SnfsServerParams, WriteBehindParams,
 };
 pub use spritely_rpcnet::{FaultParams, PartitionDir, TransportParams, TransportStats};
-pub use testbed::{ClientHost, Protocol, RemoteClient, Testbed, TestbedParams};
+pub use testbed::{
+    ClientHost, Protocol, RemoteClient, ShardHost, ShardParams, Testbed, TestbedParams,
+};
 
 #[cfg(test)]
 mod tests {

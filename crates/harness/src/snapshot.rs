@@ -225,6 +225,51 @@ pub struct DelegationSnapshot {
     pub held: u64,
 }
 
+/// One shard's slice of a sharded run (DESIGN.md §18): its endpoint
+/// traffic, duplicate-request cache, state-table occupancy, and the
+/// cross-shard coordination counters its server kept.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardSnapshot {
+    /// Shard index (0-based; shard `s` exports `fsid = s + 1`).
+    pub shard: u32,
+    /// RPCs this shard's endpoint served (shard 0 also counts the
+    /// per-client callback deliveries, mirroring the unsharded counter).
+    pub rpcs: u64,
+    /// Retransmits replayed from this shard's duplicate-request cache.
+    pub dup_hits: u64,
+    /// State-table entries at snapshot time.
+    pub table_entries: u64,
+    /// Cross-shard renames this shard coordinated.
+    pub cross_renames: u64,
+    /// Cross-shard links this shard coordinated.
+    pub cross_links: u64,
+    /// `WrongShard` redirects served to stale-layout clients.
+    pub wrong_shard_replies: u64,
+    /// `Busy` rejections while a name was locked by a transaction.
+    pub busy_rejections: u64,
+    /// Per-file lock acquisitions that queued behind another holder.
+    pub lock_contention: u64,
+    /// Duplicate-cache bucket collisions: fresh arrivals that found
+    /// another execution in flight on their hash bucket — what a
+    /// per-bucket lock would have serialized.
+    pub dup_contention: u64,
+}
+
+/// Sharded-namespace accounting (present only when the run sharded the
+/// export — a single-server snapshot serializes byte-identically to one
+/// taken before sharding existed).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardsSnapshot {
+    /// Number of shards.
+    pub n: u64,
+    /// Largest per-client peak data-cache footprint, in KiB. Client
+    /// caches allocate lazily, so hundreds of idle clients keep this
+    /// near zero regardless of configured capacity.
+    pub peak_client_kb: u64,
+    /// Per-shard counters, in shard order.
+    pub shards: Vec<ShardSnapshot>,
+}
+
 /// The server's counters at the end of a run (SNFS protocols only).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServerSnapshot {
@@ -263,6 +308,9 @@ pub struct StatsSnapshot {
     /// Delegation accounting (None unless delegations were enabled; a
     /// paper-mode snapshot serializes without this field).
     pub delegation: Option<DelegationSnapshot>,
+    /// Sharded-namespace accounting (None unless the export was sharded;
+    /// a single-server snapshot serializes without this field).
+    pub shards: Option<ShardsSnapshot>,
 }
 
 impl StatsSnapshot {
@@ -435,6 +483,33 @@ impl StatsSnapshot {
                 s.recall_latency.buckets[3],
                 s.recall_latency.buckets[4]
             ));
+        }
+        if let Some(sh) = &self.shards {
+            out.push_str(&format!(
+                ",\"shards\":{{\"n\":{},\"peak_client_kb\":{},\"per_shard\":[",
+                sh.n, sh.peak_client_kb
+            ));
+            for (i, s) in sh.shards.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"shard\":{},\"rpcs\":{},\"dup_hits\":{},\"table_entries\":{},\
+                     \"cross_renames\":{},\"cross_links\":{},\"wrong_shard_replies\":{},\
+                     \"busy_rejections\":{},\"lock_contention\":{},\"dup_contention\":{}}}",
+                    s.shard,
+                    s.rpcs,
+                    s.dup_hits,
+                    s.table_entries,
+                    s.cross_renames,
+                    s.cross_links,
+                    s.wrong_shard_replies,
+                    s.busy_rejections,
+                    s.lock_contention,
+                    s.dup_contention
+                ));
+            }
+            out.push_str("]}");
         }
         out.push('}');
         out

@@ -1,5 +1,9 @@
-//! Testbed construction: one server, one or more diskful clients, a
-//! shared Ethernet, and a protocol choice per experiment.
+//! Testbed construction: one server (or a sharded group of servers),
+//! one or more diskful clients, a shared Ethernet, and a protocol
+//! choice per experiment.
+
+use std::cell::RefCell;
+use std::rc::Rc;
 
 use spritely_blockdev::Disk;
 use spritely_core::{
@@ -9,8 +13,10 @@ use spritely_core::{
 use spritely_localfs::LocalFs;
 use spritely_metrics::{GaugeSeries, LatencyStats, OpCounter, RateSeries};
 use spritely_nfs::{nfs_server, NfsClient, NfsClientParams};
-use spritely_proto::{ClientId, FileHandle, NfsReply, NfsRequest};
-use spritely_rpcnet::{Caller, Endpoint, FaultParams, Network, TransportParams, TransportStats};
+use spritely_proto::{ClientId, FileHandle, Layout, NfsReply, NfsRequest, BLOCK_SIZE};
+use spritely_rpcnet::{
+    Caller, Endpoint, FaultParams, Network, ShardCaller, TransportParams, TransportStats,
+};
 use spritely_sim::{Resource, Sim, SimDuration};
 use spritely_trace::Tracer;
 use spritely_vfs::{FsBackend, Mount, Proc, Vfs};
@@ -47,6 +53,36 @@ impl Protocol {
     /// True for the two SNFS variants.
     pub fn is_snfs(self) -> bool {
         matches!(self, Protocol::Snfs | Protocol::SnfsDelayedClose)
+    }
+}
+
+/// Namespace sharding across independent server instances
+/// (DESIGN.md §18): root-level names hash to one of `n` servers, each
+/// with its own disk, file system, CPU, state table, and endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardParams {
+    /// Number of server shards. With `n = 1` — the paper configuration —
+    /// the sharded build path is not even taken: the testbed constructs
+    /// the exact single-server topology it always has, byte for byte.
+    pub n: usize,
+}
+
+impl ShardParams {
+    /// The paper's single-server configuration.
+    pub fn paper() -> Self {
+        ShardParams { n: 1 }
+    }
+
+    /// An `n`-shard namespace.
+    pub fn sharded(n: usize) -> Self {
+        assert!(n >= 1, "need at least one shard");
+        ShardParams { n }
+    }
+}
+
+impl Default for ShardParams {
+    fn default() -> Self {
+        Self::paper()
     }
 }
 
@@ -109,6 +145,10 @@ pub struct TestbedParams {
     /// clients. The default ([`DelegationParams::paper`]) is provably
     /// inert — no grants, no new RPCs, byte-identical artifacts.
     pub delegation: DelegationParams,
+    /// Namespace sharding (DESIGN.md §18). The default
+    /// ([`ShardParams::paper`], one shard) leaves the single-server
+    /// build path untouched and byte-identical.
+    pub shards: ShardParams,
 }
 
 impl Default for TestbedParams {
@@ -130,6 +170,7 @@ impl Default for TestbedParams {
             trace: false,
             faults: FaultParams::default(),
             delegation: DelegationParams::paper(),
+            shards: ShardParams::paper(),
         }
     }
 }
@@ -168,6 +209,26 @@ impl ClientHost {
             config::syscall_costs(),
         )
     }
+}
+
+/// One shard's server stack in a sharded testbed: its own CPU, disk
+/// file system, SNFS server, endpoint, and RPC counter. All handles are
+/// cheap clones of reference-counted state; shard 0's are the same
+/// objects as the `Testbed`'s dedicated single-server fields.
+#[derive(Clone)]
+pub struct ShardHost {
+    /// Shard index (0-based; this shard exports `fsid = shard + 1`).
+    pub shard: u32,
+    /// Shard host CPU.
+    pub cpu: Resource,
+    /// Shard's exported file system.
+    pub fs: LocalFs,
+    /// Shard's SNFS server.
+    pub server: SnfsServer,
+    /// Shard's RPC endpoint.
+    pub endpoint: Endpoint<NfsRequest, NfsReply>,
+    /// Per-procedure counter on this shard's endpoint.
+    pub counter: OpCounter,
 }
 
 /// A complete experiment topology.
@@ -209,6 +270,13 @@ pub struct Testbed {
     pub clients: Vec<ClientHost>,
     /// Well-known directories on the server: (src, target, tmp).
     pub server_dirs: (FileHandle, FileHandle, FileHandle),
+    /// Per-shard server stacks. Empty in the single-server paper
+    /// configuration; length `n ≥ 2` in sharded runs, where entry 0
+    /// aliases the dedicated single-server fields above.
+    pub shard_hosts: Vec<ShardHost>,
+    /// The authoritative layout map shared by the shard servers
+    /// (sharded runs only).
+    pub layout: Option<Rc<RefCell<Layout>>>,
 }
 
 impl Testbed {
@@ -220,6 +288,12 @@ impl Testbed {
     /// Builds a testbed with `n_clients` client hosts.
     pub fn build_with_clients(params: TestbedParams, n_clients: usize) -> Self {
         assert!(n_clients >= 1, "need at least one client");
+        if params.shards.n > 1 {
+            // The sharded topology is a separate construction path so
+            // the single-server path below stays byte-for-byte what it
+            // always was.
+            return Self::build_sharded(params, n_clients);
+        }
         let sim = Sim::new();
         // ---- server ------------------------------------------------------
         let server_disk = Disk::with_sched(
@@ -495,6 +569,299 @@ impl Testbed {
             cb_endpoints,
             clients,
             server_dirs: (src_dir, target_dir, tmp_dir),
+            shard_hosts: Vec::new(),
+            layout: None,
+        }
+    }
+
+    /// Builds the sharded topology (DESIGN.md §18): `n` full server
+    /// stacks, one authoritative layout map, inter-shard coordination
+    /// callers, and per-client shard-routing callers. SNFS only.
+    fn build_sharded(params: TestbedParams, n_clients: usize) -> Self {
+        let n_shards = params.shards.n;
+        assert!(
+            params.protocol.is_snfs(),
+            "a sharded namespace requires an SNFS protocol (got {:?})",
+            params.protocol
+        );
+        assert!(
+            !params.name_cache,
+            "name caching is not supported over a sharded namespace: \
+             a cached root binding would bypass the layout map"
+        );
+        let sim = Sim::new();
+        let layout = Rc::new(RefCell::new(Layout::new(n_shards as u32)));
+        // ---- per-shard server stacks --------------------------------------
+        let mut shard_fs: Vec<LocalFs> = Vec::new();
+        let mut shard_cpu: Vec<Resource> = Vec::new();
+        let mut shard_counter: Vec<OpCounter> = Vec::new();
+        for s in 0..n_shards {
+            let disk = Disk::with_sched(
+                &sim,
+                format!("server{s}-disk"),
+                config::disk_params(),
+                params.server_io.sched,
+            );
+            let mut fsp = config::server_fs_params(params.update_enabled);
+            fsp.cache_blocks = params.server_io.cache_blocks;
+            fsp.single_flight_reads = params.server_io.single_flight_reads;
+            // Shard s exports fsid s + 1; handle-addressed requests
+            // route on nothing else.
+            let fs = LocalFs::new(&sim, s as u32 + 1, disk, fsp);
+            fs.spawn_update_daemon();
+            shard_fs.push(fs);
+            shard_cpu.push(Resource::new(&sim, format!("server{s}-cpu"), 1));
+            shard_counter.push(OpCounter::new());
+        }
+        let rates = RateSeries::new(config::figure_bucket());
+        let util = GaugeSeries::new();
+        let latency = LatencyStats::new();
+        let netp = if params.transport.switched {
+            config::net_params().switched_full_duplex()
+        } else {
+            config::net_params()
+        };
+        let net = Network::new(&sim, "ether", netp);
+        if params.faults.any() {
+            net.set_faults(params.faults);
+        }
+        let transport_stats = TransportStats::new();
+        let tracer = params.trace.then(|| {
+            let t = Tracer::new(&sim);
+            t.meta("protocol", params.protocol.label());
+            t.meta("clients", n_clients.to_string());
+            t.meta("disk_sched", params.server_io.sched.meta_value());
+            t.meta("shards", n_shards.to_string());
+            for fs in &shard_fs {
+                fs.disk().set_tracer(t.clone());
+                fs.set_tracer(t.clone());
+            }
+            net.set_tracer(t.clone());
+            t
+        });
+        // Well-known directories, each created on the shard that owns
+        // its name under the initial layout.
+        let roots: Vec<FileHandle> = shard_fs.iter().map(|f| f.root()).collect();
+        let mkdir_on = |name: &'static str| {
+            let s = layout.borrow().owner(name) as usize;
+            let fs = shard_fs[s].clone();
+            let root = roots[s];
+            sim.block_on(async move {
+                let (fh, _) = fs.mkdir(root, name).await.expect("mkdir well-known dir");
+                fh
+            })
+        };
+        let src_dir = mkdir_on("src");
+        let target_dir = mkdir_on("target");
+        let tmp_dir = mkdir_on("tmp");
+        // ---- per-shard servers + endpoints --------------------------------
+        let mut ep_params = config::endpoint_params();
+        ep_params.threads = params.server_io.service_threads;
+        let mut shard_hosts: Vec<ShardHost> = Vec::new();
+        for s in 0..n_shards {
+            let mut sp = params.snfs_server;
+            sp.delegation = params.delegation;
+            let srv = SnfsServer::new(
+                &sim,
+                shard_fs[s].clone(),
+                params.server_io.service_threads,
+                sp,
+            );
+            if let Some(t) = &tracer {
+                srv.set_tracer(t.clone());
+            }
+            srv.set_shard(s as u32, roots[s], Rc::clone(&layout));
+            let ep = srv.endpoint(
+                format!("snfsd{s}"),
+                shard_cpu[s].clone(),
+                ep_params,
+                shard_counter[s].clone(),
+            );
+            ep.set_rate_series(rates.clone());
+            if let Some(t) = &tracer {
+                ep.set_tracer(t.clone());
+            }
+            shard_hosts.push(ShardHost {
+                shard: s as u32,
+                cpu: shard_cpu[s].clone(),
+                fs: shard_fs[s].clone(),
+                server: srv,
+                endpoint: ep,
+                counter: shard_counter[s].clone(),
+            });
+        }
+        // ---- inter-shard coordination callers -----------------------------
+        // Coordinator shard s reaches peer p through a dedicated caller
+        // carrying ClientId(10_000 + s); all of s's peer callers share
+        // one xid space. Their fault link is host 200 + s, so a chaos
+        // script can sever one shard's coordination traffic without
+        // touching any client's.
+        for s in 0..n_shards {
+            let mut first: Option<Caller<NfsRequest, NfsReply>> = None;
+            for p in 0..n_shards {
+                if p == s {
+                    continue;
+                }
+                let mut c = Caller::new(
+                    &sim,
+                    net.clone(),
+                    shard_hosts[p].endpoint.clone(),
+                    ClientId(10_000 + s as u32),
+                    shard_cpu[s].clone(),
+                    config::caller_params(),
+                );
+                c.set_fault_link(200 + s as u32, false);
+                if let Some(t) = &tracer {
+                    c.set_tracer(t.clone());
+                }
+                match &first {
+                    Some(f) => c.share_xids_with(f),
+                    None => first = Some(c.clone()),
+                }
+                shard_hosts[s].server.register_peer(p as u32, c);
+            }
+        }
+        // ---- clients ------------------------------------------------------
+        let mut clients = Vec::new();
+        let mut cb_endpoints = Vec::new();
+        for i in 0..n_clients {
+            let cid = ClientId(i as u32 + 1);
+            let cpu = Resource::new(&sim, format!("client{}-cpu", cid.0), 1);
+            let disk = Disk::new(&sim, format!("client{}-disk", cid.0), config::disk_params());
+            let local_fs = LocalFs::new(
+                &sim,
+                100 + cid.0,
+                disk,
+                config::client_fs_params(params.update_enabled),
+            );
+            local_fs.spawn_update_daemon();
+            let lroot = local_fs.root();
+            let ltmp = {
+                let fs = local_fs.clone();
+                sim.block_on(async move {
+                    let (t, _) = fs.mkdir(lroot, "tmp").await.expect("mkdir local tmp");
+                    t
+                })
+            };
+            // One caller per shard, all sharing this client's xid space
+            // so retransmit detection and the per-shard duplicate caches
+            // see one coherent (client, xid) stream.
+            let mut callers: Vec<Caller<NfsRequest, NfsReply>> = Vec::new();
+            for sh in &shard_hosts {
+                let mut c = Caller::new(
+                    &sim,
+                    net.clone(),
+                    sh.endpoint.clone(),
+                    cid,
+                    cpu.clone(),
+                    config::caller_params(),
+                );
+                c.set_transport(params.transport);
+                c.set_transport_stats(transport_stats.clone());
+                c.set_latency_stats(latency.clone());
+                if let Some(t) = &tracer {
+                    c.set_tracer(t.clone());
+                }
+                if let Some(f) = callers.first() {
+                    c.share_xids_with(f);
+                }
+                callers.push(c);
+            }
+            let shard_caller = ShardCaller::sharded(&sim, callers, roots.clone(), true);
+            let client = SnfsClient::new(
+                &sim,
+                shard_caller,
+                SnfsClientParams {
+                    cache_blocks: params.client_cache_blocks,
+                    write_delay: params.snfs_write_delay,
+                    update_interval: params.update_enabled.then(|| SimDuration::from_secs(30)),
+                    read_ahead: params.read_ahead,
+                    read_ahead_window: params.read_ahead_window,
+                    write_behind: params.write_behind,
+                    delayed_close: params.protocol == Protocol::SnfsDelayedClose,
+                    name_cache: params.name_cache,
+                    delegation: params.delegation,
+                    ..SnfsClientParams::default()
+                },
+            );
+            if let Some(t) = &tracer {
+                client.set_tracer(t.clone());
+            }
+            client.spawn_update_daemon();
+            client.spawn_keepalive_daemon(SimDuration::from_secs(10));
+            // One callback endpoint per client, registered with every
+            // shard's server. The per-shard callback callers share one
+            // xid space per client — two shards must never reuse an xid
+            // against the same client's duplicate-request cache.
+            let cb_ep = client.callback_endpoint(
+                format!("cbsrv{}", cid.0),
+                cpu.clone(),
+                config::callback_endpoint_params(),
+                shard_counter[0].clone(),
+            );
+            if let Some(t) = &tracer {
+                cb_ep.set_tracer(t.clone());
+            }
+            cb_endpoints.push(cb_ep.clone());
+            let mut first_cb: Option<
+                Caller<spritely_proto::CallbackArg, spritely_proto::CallbackReply>,
+            > = None;
+            for sh in &shard_hosts {
+                let mut cb_caller = Caller::new(
+                    &sim,
+                    net.clone(),
+                    cb_ep.clone(),
+                    ClientId(0),
+                    sh.cpu.clone(),
+                    config::caller_params(),
+                );
+                cb_caller.set_fault_link(cid.0, true);
+                if let Some(t) = &tracer {
+                    cb_caller.set_tracer(t.clone());
+                }
+                match &first_cb {
+                    Some(f) => cb_caller.share_xids_with(f),
+                    None => first_cb = Some(cb_caller.clone()),
+                }
+                sh.server.register_client(cid, cb_caller);
+            }
+            // ---- mounts ----
+            let backend = FsBackend::Snfs(client.clone());
+            let mut mounts = vec![Mount::new("/", FsBackend::Local(local_fs.clone()), lroot)];
+            mounts.push(Mount::new("/remote", backend.clone(), roots[0]));
+            let tmp_backend = if params.tmp_remote {
+                Mount::new("/usr/tmp", backend.clone(), tmp_dir)
+            } else {
+                Mount::new("/usr/tmp", FsBackend::Local(local_fs.clone()), ltmp)
+            };
+            mounts.push(tmp_backend);
+            let vfs = Vfs::new(mounts);
+            clients.push(ClientHost {
+                cpu,
+                local_fs,
+                remote: RemoteClient::Snfs(client),
+                vfs,
+            });
+        }
+        Testbed {
+            sim,
+            params,
+            server_cpu: shard_cpu[0].clone(),
+            server_fs: shard_fs[0].clone(),
+            snfs_server: Some(shard_hosts[0].server.clone()),
+            counter: shard_counter[0].clone(),
+            rates,
+            latency,
+            util,
+            net,
+            transport_stats,
+            tracer,
+            endpoint: Some(shard_hosts[0].endpoint.clone()),
+            cb_endpoints,
+            clients,
+            server_dirs: (src_dir, target_dir, tmp_dir),
+            shard_hosts,
+            layout: Some(layout),
         }
     }
 
@@ -558,9 +925,17 @@ impl Testbed {
             })
             .sum();
         let ts = &self.transport_stats;
+        let rpc_total = if self.shard_hosts.is_empty() {
+            self.counter.snapshot().total()
+        } else {
+            self.shard_hosts
+                .iter()
+                .map(|sh| sh.counter.snapshot().total())
+                .sum()
+        };
         crate::snapshot::StatsSnapshot {
             protocol: self.params.protocol.label().to_string(),
-            rpc_total: self.counter.snapshot().total(),
+            rpc_total,
             clients,
             server: self
                 .snfs_server
@@ -599,6 +974,11 @@ impl Testbed {
                     .endpoint
                     .as_ref()
                     .map_or((0, 0), |ep| (ep.dup_hits(), ep.dup_joins()));
+                // Extra shards' endpoints (shard 0 is `self.endpoint`).
+                for sh in self.shard_hosts.iter().skip(1) {
+                    dup_cache_hits += sh.endpoint.dup_hits();
+                    dup_cache_joins += sh.endpoint.dup_joins();
+                }
                 // Retransmitted callbacks (write-back, invalidate,
                 // recall) are replayed from the *clients'* endpoint
                 // caches; count them too.
@@ -617,10 +997,16 @@ impl Testbed {
                     outstanding_kills: fs.outstanding_kills(),
                     dup_cache_hits,
                     dup_cache_joins,
-                    callback_retries: self
-                        .snfs_server
-                        .as_ref()
-                        .map_or(0, |srv| srv.callback_retries()),
+                    callback_retries: if self.shard_hosts.is_empty() {
+                        self.snfs_server
+                            .as_ref()
+                            .map_or(0, |srv| srv.callback_retries())
+                    } else {
+                        self.shard_hosts
+                            .iter()
+                            .map(|sh| sh.server.callback_retries())
+                            .sum()
+                    },
                     callback_dupes: self
                         .clients
                         .iter()
@@ -654,6 +1040,40 @@ impl Testbed {
                     }
                 }
                 crate::snapshot::DelegationSnapshot { stats, held }
+            }),
+            shards: (!self.shard_hosts.is_empty()).then(|| {
+                let peak_blocks = self
+                    .clients
+                    .iter()
+                    .map(|host| match &host.remote {
+                        RemoteClient::Snfs(c) => c.peak_cache_blocks(),
+                        _ => 0,
+                    })
+                    .max()
+                    .unwrap_or(0);
+                crate::snapshot::ShardsSnapshot {
+                    n: self.shard_hosts.len() as u64,
+                    peak_client_kb: (peak_blocks * BLOCK_SIZE) as u64 / 1024,
+                    shards: self
+                        .shard_hosts
+                        .iter()
+                        .map(|sh| {
+                            let ops = sh.server.shard_stats();
+                            crate::snapshot::ShardSnapshot {
+                                shard: sh.shard,
+                                rpcs: sh.counter.snapshot().total(),
+                                dup_hits: sh.endpoint.dup_hits(),
+                                table_entries: sh.server.table_len() as u64,
+                                cross_renames: ops.cross_renames,
+                                cross_links: ops.cross_links,
+                                wrong_shard_replies: ops.wrong_shard_replies,
+                                busy_rejections: ops.busy_rejections,
+                                lock_contention: ops.lock_contention,
+                                dup_contention: sh.endpoint.dup_contention(),
+                            }
+                        })
+                        .collect(),
+                }
             }),
         }
     }

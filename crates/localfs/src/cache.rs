@@ -59,6 +59,10 @@ pub struct BlockCache<K> {
     next_lru: u64,
     hits: u64,
     misses: u64,
+    /// High-water mark of resident blocks. The map itself is lazily
+    /// populated (an idle client's cache allocates nothing), so this is
+    /// the cache's real peak memory footprint in blocks.
+    peak: usize,
 }
 
 impl<K: Eq + Hash + Copy> BlockCache<K> {
@@ -75,6 +79,7 @@ impl<K: Eq + Hash + Copy> BlockCache<K> {
             next_lru: 0,
             hits: 0,
             misses: 0,
+            peak: 0,
         }
     }
 
@@ -96,6 +101,18 @@ impl<K: Eq + Hash + Copy> BlockCache<K> {
     /// `(hits, misses)` counted by [`get`](Self::get).
     pub fn hit_stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// Peak number of blocks ever resident at once (after eviction), in
+    /// blocks. An untouched cache reports zero.
+    pub fn peak_resident(&self) -> usize {
+        self.peak
+    }
+
+    fn note_peak(&mut self) {
+        if self.map.len() > self.peak {
+            self.peak = self.map.len();
+        }
     }
 
     /// Looks a block up, bumping its recency and counting hit/miss.
@@ -181,7 +198,9 @@ impl<K: Eq + Hash + Copy> BlockCache<K> {
                         lru,
                     },
                 );
-                self.make_room()
+                let victim = self.make_room();
+                self.note_peak();
+                victim
             }
         }
     }
@@ -209,7 +228,9 @@ impl<K: Eq + Hash + Copy> BlockCache<K> {
                         lru,
                     },
                 );
-                self.make_room()
+                let victim = self.make_room();
+                self.note_peak();
+                victim
             }
         }
     }
@@ -506,6 +527,24 @@ mod tests {
         c.write(1, vec![1], t(10));
         c.write(1, vec![2], t(99));
         assert_eq!(c.dirty_blocks()[0].1, t(10));
+    }
+
+    #[test]
+    fn peak_resident_tracks_high_water_not_current() {
+        let mut c: BlockCache<u32> = BlockCache::new(4);
+        assert_eq!(c.peak_resident(), 0, "idle cache has no footprint");
+        c.insert_clean(1, vec![1]);
+        c.insert_clean(2, vec![2]);
+        c.drop_matching(|_| true);
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.peak_resident(), 2);
+        // Eviction keeps the peak at steady-state residency, not the
+        // transient over-capacity instant.
+        let mut c: BlockCache<u32> = BlockCache::new(2);
+        for k in 0..5 {
+            c.insert_clean(k, vec![k as u8]);
+        }
+        assert_eq!(c.peak_resident(), 2);
     }
 
     #[test]

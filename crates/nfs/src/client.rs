@@ -28,7 +28,7 @@ use spritely_proto::{
     block_of, DirEntry, Fattr, FileHandle, NfsReply, NfsRequest, NfsStatus, ReadReply, Result,
     BLOCK_SIZE,
 };
-use spritely_rpcnet::{Caller, RpcError};
+use spritely_rpcnet::{RpcError, ShardCaller};
 use spritely_sim::{Event, Semaphore, Sim, SimDuration, SimTime};
 
 /// Configuration of an [`NfsClient`].
@@ -104,7 +104,7 @@ impl Tail {
 
 struct Inner {
     sim: Sim,
-    caller: Caller<NfsRequest, NfsReply>,
+    caller: ShardCaller,
     params: NfsClientParams,
     cache: RefCell<BlockCache<Key>>,
     attrs: RefCell<HashMap<FileHandle, AttrEntry>>,
@@ -142,12 +142,14 @@ fn status_of(e: RpcError) -> NfsStatus {
 }
 
 impl NfsClient {
-    /// Creates a client that calls the server through `caller`.
-    pub fn new(sim: &Sim, caller: Caller<NfsRequest, NfsReply>, params: NfsClientParams) -> Self {
+    /// Creates a client that calls the server through `caller` — a plain
+    /// [`Caller`](spritely_rpcnet::Caller) for the single-server
+    /// configuration, or a [`ShardCaller`] routing over several shards.
+    pub fn new(sim: &Sim, caller: impl Into<ShardCaller>, params: NfsClientParams) -> Self {
         NfsClient {
             inner: Rc::new(Inner {
                 sim: sim.clone(),
-                caller,
+                caller: caller.into(),
                 biods: Semaphore::new(params.biods.max(1)),
                 params,
                 cache: RefCell::new(BlockCache::new(params.cache_blocks)),

@@ -133,6 +133,9 @@ pub async fn handle(fs: &LocalFs, req: NfsRequest) -> NfsReply {
         | NfsRequest::Keepalive { .. }
         | NfsRequest::Recover { .. }
         | NfsRequest::DelegReturn { .. }
-        | NfsRequest::Compound { .. } => NfsReply::Err(NfsStatus::Inval),
+        | NfsRequest::Compound { .. }
+        | NfsRequest::TxPrepare { .. }
+        | NfsRequest::TxCommit { .. }
+        | NfsRequest::TxAbort { .. } => NfsReply::Err(NfsStatus::Inval),
     }
 }

@@ -15,12 +15,14 @@
 
 mod attr;
 mod handle;
+mod layout;
 mod message;
 mod procs;
 mod status;
 
 pub use attr::{Fattr, FileType};
 pub use handle::{ClientId, FileHandle, FileVersion};
+pub use layout::{default_shard, Layout};
 pub use message::{
     CallbackArg, CallbackReply, Delegation, DirEntry, NfsReply, NfsRequest, OpenReply, ReadReply,
     RecoveredFile, COMPOUND_OP_BYTES,

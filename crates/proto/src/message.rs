@@ -126,6 +126,17 @@ pub enum NfsRequest {
     /// batching `Caller`; each inner call keeps its own xid and counters,
     /// so the paper's per-procedure tables are unaffected. Never nested.
     Compound { calls: Vec<NfsRequest> },
+    /// Sharded namespace (DESIGN.md §18), shard→shard: phase one of a
+    /// cross-shard rename/link. The participant locks `name` in its
+    /// export root and reports whether an entry by that name exists.
+    TxPrepare { txid: u64, name: String },
+    /// Sharded namespace, shard→shard: phase two. The participant
+    /// removes its superseded `name` entry (if the prepared handle still
+    /// matches) and releases the lock. Idempotent; retried until acked.
+    TxCommit { txid: u64 },
+    /// Sharded namespace, shard→shard: the coordinator abandons a
+    /// prepared transaction; the participant releases the lock.
+    TxAbort { txid: u64 },
 }
 
 /// One file's worth of client state in a `Recover` report.
@@ -169,6 +180,9 @@ impl NfsRequest {
             NfsRequest::Readlink { .. } => NfsProc::Readlink,
             NfsRequest::DelegReturn { .. } => NfsProc::DelegReturn,
             NfsRequest::Compound { .. } => NfsProc::Compound,
+            NfsRequest::TxPrepare { .. } => NfsProc::TxPrepare,
+            NfsRequest::TxCommit { .. } => NfsProc::TxCommit,
+            NfsRequest::TxAbort { .. } => NfsProc::TxAbort,
         }
     }
 
@@ -187,6 +201,7 @@ impl NfsRequest {
             NfsRequest::Recover { files, .. } => files.len() * 32,
             NfsRequest::Link { to_name, .. } => to_name.len(),
             NfsRequest::Symlink { name, target, .. } => name.len() + target.len(),
+            NfsRequest::TxPrepare { name, .. } => name.len(),
             NfsRequest::Compound { calls } => {
                 return HEADER_BYTES
                     + calls
@@ -311,6 +326,17 @@ pub enum NfsReply {
     DelegReturned { version: FileVersion, fenced: bool },
     /// Reply to `readlink`: the link's target path.
     Path(String),
+    /// Sharded namespace: the receiving shard does not own the name at
+    /// the layout epoch it holds. Carries the authoritative epoch plus
+    /// the full override delta so the client can refresh its cached
+    /// layout map and re-route (Fletch-style stale-layout recovery).
+    WrongShard {
+        epoch: u64,
+        moves: Vec<(String, u32)>,
+    },
+    /// Reply to `tx_prepare`: the name is locked at the participant;
+    /// `existed` reports whether an entry by that name is present.
+    TxPrepared { existed: bool },
     /// Any failure.
     Err(NfsStatus),
     /// Transport-level batch of replies, positionally matching the calls
@@ -327,6 +353,9 @@ impl NfsReply {
                 entries.iter().map(|e| e.name.len() + 16).sum::<usize>()
             }
             NfsReply::Path(p) => p.len(),
+            NfsReply::WrongShard { moves, .. } => {
+                8 + moves.iter().map(|(n, _)| n.len() + 8).sum::<usize>()
+            }
             NfsReply::Compound { replies } => {
                 return HEADER_BYTES
                     + replies

@@ -58,6 +58,17 @@ pub enum NfsProc {
     /// (NFSv4-style COMPOUND; see DESIGN.md §13). Never counted in the
     /// paper tables — the inner procedures are what get recorded.
     Compound,
+    /// Sharded namespace: first phase of a cross-shard rename/link — the
+    /// participant shard locks the target name and reports whether it
+    /// already exists (DESIGN.md §18).
+    TxPrepare,
+    /// Sharded namespace: second phase — the participant removes its
+    /// superseded entry (if any) and releases the name lock. Retried by
+    /// the coordinator until acknowledged.
+    TxCommit,
+    /// Sharded namespace: the coordinator abandons a prepared transaction
+    /// and the participant releases the name lock.
+    TxAbort,
 }
 
 /// Coarse classification used in the paper's tables.
@@ -74,7 +85,7 @@ pub enum ProcClass {
 
 impl NfsProc {
     /// All procedures, in display order.
-    pub const ALL: [NfsProc; 23] = [
+    pub const ALL: [NfsProc; 26] = [
         NfsProc::Null,
         NfsProc::GetAttr,
         NfsProc::SetAttr,
@@ -98,6 +109,9 @@ impl NfsProc {
         NfsProc::Readlink,
         NfsProc::DelegReturn,
         NfsProc::Compound,
+        NfsProc::TxPrepare,
+        NfsProc::TxCommit,
+        NfsProc::TxAbort,
     ];
 
     /// Classifies the procedure for the paper's aggregate rows.
@@ -119,6 +133,9 @@ impl NfsProc {
                 | NfsProc::Keepalive
                 | NfsProc::Recover
                 | NfsProc::DelegReturn
+                | NfsProc::TxPrepare
+                | NfsProc::TxCommit
+                | NfsProc::TxAbort
         )
     }
 
@@ -148,6 +165,9 @@ impl NfsProc {
             NfsProc::Readlink => "readlink",
             NfsProc::DelegReturn => "deleg_return",
             NfsProc::Compound => "compound",
+            NfsProc::TxPrepare => "tx_prepare",
+            NfsProc::TxCommit => "tx_commit",
+            NfsProc::TxAbort => "tx_abort",
         }
     }
 }
@@ -184,6 +204,9 @@ mod tests {
                         | NfsProc::Keepalive
                         | NfsProc::Recover
                         | NfsProc::DelegReturn
+                        | NfsProc::TxPrepare
+                        | NfsProc::TxCommit
+                        | NfsProc::TxAbort
                 ),
                 "{p}"
             );

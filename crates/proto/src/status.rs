@@ -36,6 +36,14 @@ pub enum NfsStatus {
     /// reboot and only accepts `recover`/`keepalive` calls right now
     /// (paper §2.4; clients retry after a short delay).
     Grace,
+    /// Sharded namespace: the name is momentarily locked by a cross-shard
+    /// coordination transaction (DESIGN.md §18); callers back off and
+    /// retry rather than tying up a service thread.
+    Busy,
+    /// Sharded namespace: the operation would move an entry between two
+    /// shards in a way the coordination path does not support (deep
+    /// cross-shard rename/link, or any cross-shard move under plain NFS).
+    XDev,
 }
 
 impl fmt::Display for NfsStatus {
@@ -53,6 +61,8 @@ impl fmt::Display for NfsStatus {
             NfsStatus::Inval => "NFSERR_INVAL",
             NfsStatus::Inconsistent => "SNFSERR_INCONSISTENT",
             NfsStatus::Grace => "SNFSERR_GRACE",
+            NfsStatus::Busy => "SNFSERR_BUSY",
+            NfsStatus::XDev => "NFSERR_XDEV",
         };
         f.write_str(s)
     }

@@ -52,6 +52,47 @@ enum DupState<Rep> {
     Done(Rep, SimTime),
 }
 
+/// Number of fixed hash buckets the duplicate-request cache is split
+/// into. On a real multi-threaded server each bucket would carry its own
+/// lock; here the split bounds the per-sweep work (each bucket purges on
+/// its own cadence over 1/16th of the entries) and gives the contention
+/// proxy something to measure.
+const DUP_BUCKETS: usize = 16;
+
+/// One duplicate-cache bucket: its own map, purge clock, and contention
+/// accounting, so bucket maintenance never touches its siblings.
+struct DupBucket<Rep> {
+    map: RefCell<HashMap<(ClientId, u64), DupState<Rep>>>,
+    /// When this bucket was last swept; sweeps run on a sim-time cadence
+    /// of one retention period, per bucket.
+    last_purge: Cell<SimTime>,
+    /// Executions currently in flight whose completion will re-enter
+    /// this bucket.
+    in_flight: Cell<usize>,
+    /// Fresh arrivals that found another execution in flight on the same
+    /// bucket — the accesses a per-bucket lock would have serialized.
+    /// With one global lock every overlapping pair would collide; the
+    /// bucket split divides the collisions by the fan-out.
+    contention: Cell<u64>,
+}
+
+impl<Rep> DupBucket<Rep> {
+    fn new() -> Self {
+        DupBucket {
+            map: RefCell::new(HashMap::new()),
+            last_purge: Cell::new(SimTime::ZERO),
+            in_flight: Cell::new(0),
+            contention: Cell::new(0),
+        }
+    }
+}
+
+/// Bucket index for a caller: clients get sequential ids, so a simple
+/// modulus spreads them evenly.
+fn dup_bucket_of(from: ClientId) -> usize {
+    from.0 as usize % DUP_BUCKETS
+}
+
 struct EndpointInner<Req, Rep> {
     sim: Sim,
     threads: Resource,
@@ -64,7 +105,7 @@ struct EndpointInner<Req, Rep> {
     cpu: Resource,
     params: EndpointParams,
     handler: HandlerFn<Req, Rep>,
-    dup: RefCell<HashMap<(ClientId, u64), DupState<Rep>>>,
+    dup: [DupBucket<Rep>; DUP_BUCKETS],
     counter: OpCounter,
     rates: RefCell<Option<RateSeries>>,
     tracer: RefCell<Option<Tracer>>,
@@ -74,9 +115,6 @@ struct EndpointInner<Req, Rep> {
     dup_hits: Cell<u64>,
     /// Retransmissions that joined an in-progress execution.
     dup_joins: Cell<u64>,
-    /// When the dup cache was last swept; sweeps run on a sim-time
-    /// cadence of one retention period.
-    last_purge: Cell<SimTime>,
 }
 
 /// A server-side RPC endpoint: thread pool + dup cache + accounting around
@@ -128,7 +166,7 @@ where
                 cpu,
                 params,
                 handler,
-                dup: RefCell::new(HashMap::new()),
+                dup: std::array::from_fn(|_| DupBucket::new()),
                 counter,
                 rates: RefCell::new(None),
                 tracer: RefCell::new(None),
@@ -136,7 +174,6 @@ where
                 executions: Cell::new(0),
                 dup_hits: Cell::new(0),
                 dup_joins: Cell::new(0),
-                last_purge: Cell::new(SimTime::ZERO),
             }),
         }
     }
@@ -178,9 +215,17 @@ where
         self.inner.dup_joins.get()
     }
 
-    /// Current duplicate-cache population (purge tests).
+    /// Current duplicate-cache population across all buckets (purge
+    /// tests).
     pub fn dup_entries(&self) -> usize {
-        self.inner.dup.borrow().len()
+        self.inner.dup.iter().map(|b| b.map.borrow().len()).sum()
+    }
+
+    /// Fresh arrivals that found another execution in flight on their
+    /// bucket — the accesses a per-bucket dup-cache lock would have
+    /// serialized on a threaded server.
+    pub fn dup_contention(&self) -> u64 {
+        self.inner.dup.iter().map(|b| b.contention.get()).sum()
     }
 
     /// The configured dup-cache retention.
@@ -194,10 +239,12 @@ where
     /// re-execute its procedure — exactly the hazard the clients'
     /// retransmit-outcome mapping defends against.
     pub fn clear_dup_cache(&self) {
-        self.inner
-            .dup
-            .borrow_mut()
-            .retain(|_, v| matches!(v, DupState::InProgress(_)));
+        for bucket in &self.inner.dup {
+            bucket
+                .map
+                .borrow_mut()
+                .retain(|_, v| matches!(v, DupState::InProgress(_)));
+        }
     }
 
     /// Marks the endpoint up or down. Calls to a down endpoint hang until
@@ -216,8 +263,9 @@ where
     /// context of the originating `rpc_call` event (0 when untraced).
     pub async fn deliver(&self, from: ClientId, xid: u64, parent: u64, req: Req) -> Rep {
         let key = (from, xid);
+        let bucket = &self.inner.dup[dup_bucket_of(from)];
         let ev = {
-            let mut dup = self.inner.dup.borrow_mut();
+            let mut dup = bucket.map.borrow_mut();
             // Arrival boundary for the latency profiler: the gap from a
             // fresh arrival to its handler_begin is admission wait. Pure
             // observation — no await, no randomness.
@@ -241,6 +289,12 @@ where
                     ev.clone()
                 }
                 None => {
+                    // Pure accounting: how often would a per-bucket lock
+                    // have been contended by a concurrent execution?
+                    if bucket.in_flight.get() > 0 {
+                        bucket.contention.set(bucket.contention.get() + 1);
+                    }
+                    bucket.in_flight.set(bucket.in_flight.get() + 1);
                     let ev = Event::new();
                     dup.insert(key, DupState::InProgress(ev.clone()));
                     drop(dup);
@@ -250,7 +304,7 @@ where
             }
         };
         ev.wait().await;
-        match self.inner.dup.borrow().get(&key) {
+        match bucket.map.borrow().get(&key) {
             Some(DupState::Done(rep, _)) => rep.clone(),
             _ => unreachable!("execution completed without a Done entry"),
         }
@@ -306,16 +360,20 @@ where
             drop(thread);
             inner.executions.set(inner.executions.get() + 1);
             let now = inner.sim.now();
-            let mut dup = inner.dup.borrow_mut();
+            let bucket = &inner.dup[dup_bucket_of(from)];
+            bucket.in_flight.set(bucket.in_flight.get() - 1);
+            let mut dup = bucket.map.borrow_mut();
             let prev = dup.insert(key, DupState::Done(rep, now));
-            // Sweep expired entries once per retention period of sim
-            // time. (The old trigger — `len()` an exact multiple of
-            // 1024 — let a replace-heavy workload hop over the boundary
-            // and never purge.) The sweep is pure map maintenance: no
-            // awaits, no randomness, so it cannot perturb timing.
+            // Sweep this bucket's expired entries once per retention
+            // period of sim time. (The old trigger — `len()` an exact
+            // multiple of 1024 — let a replace-heavy workload hop over
+            // the boundary and never purge.) The sweep is pure map
+            // maintenance: no awaits, no randomness, so it cannot
+            // perturb timing; bucketing bounds each sweep to its own
+            // slice of the cache.
             let retention = inner.params.dup_retention;
-            if now.saturating_duration_since(inner.last_purge.get()) >= retention {
-                inner.last_purge.set(now);
+            if now.saturating_duration_since(bucket.last_purge.get()) >= retention {
+                bucket.last_purge.set(now);
                 dup.retain(|_, v| match v {
                     DupState::InProgress(_) => true,
                     DupState::Done(_, t) => now.saturating_duration_since(*t) < retention,
@@ -822,6 +880,16 @@ where
     /// The caller's client id.
     pub fn client_id(&self) -> ClientId {
         self.from
+    }
+
+    /// Makes this caller draw xids from `other`'s sequence. A sharded
+    /// client (or a shard's coordination fan-out) holds one caller per
+    /// peer endpoint but is a single logical RPC source: `(from, xid)`
+    /// must stay globally unique or independently-numbered callers
+    /// would present colliding pairs to the dup caches and the trace
+    /// checker's at-most-once rule.
+    pub fn share_xids_with(&mut self, other: &Self) {
+        self.next_xid = Rc::clone(&other.next_xid);
     }
 
     /// Re-keys this caller's traffic for the fault layer. Callback

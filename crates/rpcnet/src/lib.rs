@@ -20,11 +20,13 @@
 mod endpoint;
 mod fault;
 mod network;
+mod shard;
 mod transport;
 
 pub use endpoint::{Caller, CallerParams, Endpoint, EndpointParams, RpcError};
 pub use fault::{FaultParams, FaultPlan, FaultStats, PartitionDir};
 pub use network::{NetParams, Network};
+pub use shard::ShardCaller;
 pub use transport::{Compoundable, TransportParams, TransportStats};
 
 use spritely_proto::{CallbackArg, CallbackReply, FileHandle, NfsProc, NfsReply, NfsRequest};
@@ -100,7 +102,10 @@ impl Proc for NfsRequest {
             | NfsRequest::Symlink { dir, .. } => Some(*dir),
             NfsRequest::Rename { from_dir, .. } => Some(*from_dir),
             NfsRequest::Link { from, .. } => Some(*from),
-            NfsRequest::Compound { .. } => None,
+            NfsRequest::Compound { .. }
+            | NfsRequest::TxPrepare { .. }
+            | NfsRequest::TxCommit { .. }
+            | NfsRequest::TxAbort { .. } => None,
         }
     }
 

@@ -1,0 +1,446 @@
+//! Layout-routed client-side fan-out over a sharded namespace
+//! (DESIGN.md §18).
+//!
+//! A [`ShardCaller`] stands where a single [`Caller`] used to: the SNFS
+//! and NFS clients issue every RPC through it, and it decides which
+//! shard's endpoint the request goes to.
+//!
+//! * Handle-addressed operations route by the handle's `fsid` (shard `s`
+//!   exports `fsid = s + 1`), with no map lookup at all.
+//! * Root-level name operations consult the cached [`Layout`] and are
+//!   rewritten to the owning shard's export root.
+//! * `readdir` of the export root fans out to every shard and merges the
+//!   entries; `keepalive`/`recover` broadcast and sum the shard epochs,
+//!   so any single shard reboot changes the aggregate epoch a client
+//!   watches.
+//! * A `WrongShard` reply (stale cached layout) carries the fresh epoch
+//!   plus override delta: the caller refreshes its map and re-routes.
+//!   A `Busy` reply (name momentarily locked by a cross-shard
+//!   transaction) is retried after a fixed backoff.
+//!
+//! With one shard — the paper configuration — every method is a pure
+//! pass-through to the single inner caller: no layout borrow, no
+//! rewrite, no extra allocation, byte-identical scheduling.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use spritely_proto::{
+    ClientId, FileHandle, Layout, NfsReply, NfsRequest, NfsStatus, RecoveredFile,
+};
+use spritely_sim::{Sim, SimDuration};
+
+use crate::endpoint::{Caller, RpcError};
+use crate::transport::TransportParams;
+
+/// Bound on consecutive `WrongShard` redirects for one logical call;
+/// each redirect installs a strictly newer layout epoch, so hitting the
+/// bound means the map is churning faster than the client can chase it.
+const MAX_REDIRECTS: u32 = 8;
+
+/// Backoff between retries of a `Busy` (name-locked) reply.
+const BUSY_BACKOFF: SimDuration = SimDuration::from_millis(50);
+
+/// Bound on `Busy` retries: 2000 × 50 ms = 100 s of simulated patience,
+/// enough to ride out any scripted partition the chaos harness injects
+/// while a cross-shard commit is in flight.
+const MAX_BUSY_RETRIES: u32 = 2000;
+
+struct Inner {
+    callers: Vec<Caller<NfsRequest, NfsReply>>,
+    /// Export root of each shard; `roots[0]` is the handle clients mount.
+    roots: Vec<FileHandle>,
+    layout: RefCell<Layout>,
+    /// True when the servers run the cross-shard coordination path
+    /// (SNFS). Plain NFS servers do not; the caller then fails
+    /// cross-shard renames/links client-side with `XDev`.
+    coordinates: bool,
+    sim: Option<Sim>,
+}
+
+/// A shard-routing caller: one [`Caller`] per shard plus a cached
+/// layout map. `From<Caller>` wraps a single caller for the unsharded
+/// configuration, so every existing call site keeps compiling.
+#[derive(Clone)]
+pub struct ShardCaller {
+    inner: Rc<Inner>,
+}
+
+impl From<Caller<NfsRequest, NfsReply>> for ShardCaller {
+    fn from(caller: Caller<NfsRequest, NfsReply>) -> Self {
+        ShardCaller {
+            inner: Rc::new(Inner {
+                callers: vec![caller],
+                roots: Vec::new(),
+                layout: RefCell::new(Layout::new(1)),
+                coordinates: false,
+                sim: None,
+            }),
+        }
+    }
+}
+
+impl ShardCaller {
+    /// Builds a sharded caller: `callers[s]` reaches shard `s`, whose
+    /// export root is `roots[s]`. All callers must share one xid space
+    /// (see [`Caller::share_xids_with`]).
+    pub fn sharded(
+        sim: &Sim,
+        callers: Vec<Caller<NfsRequest, NfsReply>>,
+        roots: Vec<FileHandle>,
+        coordinates: bool,
+    ) -> Self {
+        assert_eq!(callers.len(), roots.len());
+        assert!(!callers.is_empty());
+        let n = callers.len() as u32;
+        ShardCaller {
+            inner: Rc::new(Inner {
+                callers,
+                roots,
+                layout: RefCell::new(Layout::new(n)),
+                coordinates,
+                sim: Some(sim.clone()),
+            }),
+        }
+    }
+
+    /// Number of shards behind this caller.
+    pub fn shards(&self) -> usize {
+        self.inner.callers.len()
+    }
+
+    /// The caller's client id.
+    pub fn client_id(&self) -> ClientId {
+        self.inner.callers[0].client_id()
+    }
+
+    /// The active transport configuration (shard 0's; the testbed
+    /// configures every shard's caller identically).
+    pub fn transport(&self) -> TransportParams {
+        self.inner.callers[0].transport()
+    }
+
+    /// Flushes any batched background requests on every shard's caller.
+    pub fn kick(&self) {
+        for c in &self.inner.callers {
+            c.kick();
+        }
+    }
+
+    /// Issues one RPC (foreground, unparented trace span).
+    pub async fn call(&self, req: NfsRequest) -> Result<NfsReply, RpcError> {
+        self.dispatch(0, req, false).await.map(|(rep, _)| rep)
+    }
+
+    /// Issues one RPC, parenting its trace events under `parent`.
+    pub async fn call_ctx(&self, parent: u64, req: NfsRequest) -> Result<NfsReply, RpcError> {
+        self.dispatch(parent, req, false).await.map(|(rep, _)| rep)
+    }
+
+    /// Like [`ShardCaller::call_ctx`], but also reports whether the
+    /// reply arrived only after a retransmission.
+    pub async fn call_ctx_flagged(
+        &self,
+        parent: u64,
+        req: NfsRequest,
+    ) -> Result<(NfsReply, bool), RpcError> {
+        self.dispatch(parent, req, false).await
+    }
+
+    /// Background variant (batchable write-behind / read-ahead traffic).
+    pub async fn call_bg(&self, parent: u64, req: NfsRequest) -> Result<NfsReply, RpcError> {
+        self.dispatch(parent, req, true).await.map(|(rep, _)| rep)
+    }
+
+    async fn issue(
+        &self,
+        shard: usize,
+        parent: u64,
+        req: NfsRequest,
+        bg: bool,
+    ) -> Result<(NfsReply, bool), RpcError> {
+        let c = &self.inner.callers[shard];
+        if bg {
+            c.call_bg(parent, req).await.map(|rep| (rep, false))
+        } else {
+            c.call_ctx_flagged(parent, req).await
+        }
+    }
+
+    async fn dispatch(
+        &self,
+        parent: u64,
+        req: NfsRequest,
+        bg: bool,
+    ) -> Result<(NfsReply, bool), RpcError> {
+        if self.inner.callers.len() == 1 {
+            // Paper configuration: pure pass-through.
+            return self.issue(0, parent, req, bg).await;
+        }
+        match &req {
+            NfsRequest::Keepalive { .. } | NfsRequest::Recover { .. } => {
+                self.broadcast(parent, req, bg).await
+            }
+            NfsRequest::Readdir { dir } if *dir == self.inner.roots[0] => {
+                self.fan_readdir(parent, bg).await
+            }
+            _ => self.routed(parent, req, bg).await,
+        }
+    }
+
+    /// Routes a request to the shard that owns it, chasing `WrongShard`
+    /// redirects and backing off on `Busy` name locks.
+    async fn routed(
+        &self,
+        parent: u64,
+        req: NfsRequest,
+        bg: bool,
+    ) -> Result<(NfsReply, bool), RpcError> {
+        let mut redirects = 0;
+        let mut busy = 0;
+        loop {
+            let (shard, routed) = match self.route(req.clone()) {
+                Ok(r) => r,
+                Err(status) => return Ok((NfsReply::Err(status), false)),
+            };
+            match self.issue(shard, parent, routed, bg).await? {
+                (NfsReply::WrongShard { epoch, moves }, _) => {
+                    self.inner.layout.borrow_mut().apply(epoch, &moves);
+                    redirects += 1;
+                    if redirects > MAX_REDIRECTS {
+                        return Ok((NfsReply::Err(NfsStatus::Io), false));
+                    }
+                }
+                (NfsReply::Err(NfsStatus::Busy), _) => {
+                    busy += 1;
+                    if busy > MAX_BUSY_RETRIES {
+                        return Ok((NfsReply::Err(NfsStatus::Busy), false));
+                    }
+                    self.inner
+                        .sim
+                        .as_ref()
+                        .expect("sharded callers carry a sim handle")
+                        .sleep(BUSY_BACKOFF)
+                        .await;
+                }
+                done => return Ok(done),
+            }
+        }
+    }
+
+    /// Picks the owning shard and rewrites root-directory handles to
+    /// that shard's export root. Returns a status for operations the
+    /// sharded namespace cannot express (deep cross-shard moves, or any
+    /// cross-shard move when the servers do not coordinate).
+    fn route(&self, req: NfsRequest) -> Result<(usize, NfsRequest), NfsStatus> {
+        let inner = &self.inner;
+        let root = inner.roots[0];
+        let layout = inner.layout.borrow();
+        let owner = |name: &str| layout.owner(name) as usize;
+        let of_fh = |fh: FileHandle| (fh.fsid.saturating_sub(1)) as usize;
+        Ok(match req {
+            NfsRequest::Lookup { dir, name } if dir == root => {
+                let s = owner(&name);
+                (
+                    s,
+                    NfsRequest::Lookup {
+                        dir: inner.roots[s],
+                        name,
+                    },
+                )
+            }
+            NfsRequest::Create { dir, name } if dir == root => {
+                let s = owner(&name);
+                (
+                    s,
+                    NfsRequest::Create {
+                        dir: inner.roots[s],
+                        name,
+                    },
+                )
+            }
+            NfsRequest::Remove { dir, name } if dir == root => {
+                let s = owner(&name);
+                (
+                    s,
+                    NfsRequest::Remove {
+                        dir: inner.roots[s],
+                        name,
+                    },
+                )
+            }
+            NfsRequest::Mkdir { dir, name } if dir == root => {
+                let s = owner(&name);
+                (
+                    s,
+                    NfsRequest::Mkdir {
+                        dir: inner.roots[s],
+                        name,
+                    },
+                )
+            }
+            NfsRequest::Rmdir { dir, name } if dir == root => {
+                let s = owner(&name);
+                (
+                    s,
+                    NfsRequest::Rmdir {
+                        dir: inner.roots[s],
+                        name,
+                    },
+                )
+            }
+            NfsRequest::Symlink { dir, name, target } if dir == root => {
+                let s = owner(&name);
+                (
+                    s,
+                    NfsRequest::Symlink {
+                        dir: inner.roots[s],
+                        name,
+                        target,
+                    },
+                )
+            }
+            NfsRequest::Rename {
+                from_dir,
+                from_name,
+                to_dir,
+                to_name,
+            } => {
+                let s = if from_dir == root {
+                    owner(&from_name)
+                } else {
+                    of_fh(from_dir)
+                };
+                let from_dir = if from_dir == root {
+                    inner.roots[s]
+                } else {
+                    from_dir
+                };
+                let to_dir = if to_dir == root {
+                    if owner(&to_name) != s && !inner.coordinates {
+                        return Err(NfsStatus::XDev);
+                    }
+                    // Same owner, or the coordinating (SNFS) servers run
+                    // the cross-shard path: address the coordinator's root.
+                    inner.roots[s]
+                } else if of_fh(to_dir) != s {
+                    // A cross-shard move below the root would have to
+                    // carry file bodies between independent stores.
+                    return Err(NfsStatus::XDev);
+                } else {
+                    to_dir
+                };
+                (
+                    s,
+                    NfsRequest::Rename {
+                        from_dir,
+                        from_name,
+                        to_dir,
+                        to_name,
+                    },
+                )
+            }
+            NfsRequest::Link {
+                from,
+                to_dir,
+                to_name,
+            } => {
+                let s = of_fh(from);
+                let to_dir = if to_dir == root {
+                    if owner(&to_name) != s && !inner.coordinates {
+                        return Err(NfsStatus::XDev);
+                    }
+                    inner.roots[s]
+                } else if of_fh(to_dir) != s {
+                    return Err(NfsStatus::XDev);
+                } else {
+                    to_dir
+                };
+                (
+                    s,
+                    NfsRequest::Link {
+                        from,
+                        to_dir,
+                        to_name,
+                    },
+                )
+            }
+            NfsRequest::Null => (0, NfsRequest::Null),
+            // Everything else is handle-addressed: the fsid is the shard.
+            other => {
+                let s = match other {
+                    NfsRequest::GetAttr { fh }
+                    | NfsRequest::SetAttr { fh, .. }
+                    | NfsRequest::Read { fh, .. }
+                    | NfsRequest::Write { fh, .. }
+                    | NfsRequest::StatFs { fh }
+                    | NfsRequest::Open { fh, .. }
+                    | NfsRequest::Close { fh, .. }
+                    | NfsRequest::Readlink { fh }
+                    | NfsRequest::DelegReturn { fh, .. } => of_fh(fh),
+                    NfsRequest::Lookup { dir, .. }
+                    | NfsRequest::Create { dir, .. }
+                    | NfsRequest::Remove { dir, .. }
+                    | NfsRequest::Mkdir { dir, .. }
+                    | NfsRequest::Rmdir { dir, .. }
+                    | NfsRequest::Symlink { dir, .. }
+                    | NfsRequest::Readdir { dir } => of_fh(dir),
+                    _ => 0,
+                };
+                (s.min(inner.callers.len() - 1), other)
+            }
+        })
+    }
+
+    /// `keepalive`/`recover` address every shard; the aggregate epoch a
+    /// client tracks is the sum of the shard epochs, so any one shard's
+    /// reboot perturbs it. `recover` reports each file to the shard
+    /// whose store holds it.
+    async fn broadcast(
+        &self,
+        parent: u64,
+        req: NfsRequest,
+        bg: bool,
+    ) -> Result<(NfsReply, bool), RpcError> {
+        let n = self.inner.callers.len();
+        let mut total = 0u64;
+        for s in 0..n {
+            let per_shard = match &req {
+                NfsRequest::Recover { client, files } => NfsRequest::Recover {
+                    client: *client,
+                    files: files
+                        .iter()
+                        .filter(|f| (f.fh.fsid.saturating_sub(1)) as usize == s)
+                        .copied()
+                        .collect::<Vec<RecoveredFile>>(),
+                },
+                _ => req.clone(),
+            };
+            match self.issue(s, parent, per_shard, bg).await? {
+                (NfsReply::Epoch(e), _) => total += e,
+                (NfsReply::Err(status), flag) => return Ok((NfsReply::Err(status), flag)),
+                (other, flag) => return Ok((other, flag)),
+            }
+        }
+        Ok((NfsReply::Epoch(total), false))
+    }
+
+    /// `readdir` of the export root: every shard lists its slice of the
+    /// root, and the caller merges them sorted by name.
+    async fn fan_readdir(&self, parent: u64, bg: bool) -> Result<(NfsReply, bool), RpcError> {
+        let n = self.inner.callers.len();
+        let mut entries = Vec::new();
+        for s in 0..n {
+            let req = NfsRequest::Readdir {
+                dir: self.inner.roots[s],
+            };
+            match self.issue(s, parent, req, bg).await? {
+                (NfsReply::Readdir { entries: e }, _) => entries.extend(e),
+                (NfsReply::Err(status), flag) => return Ok((NfsReply::Err(status), flag)),
+                (other, flag) => return Ok((other, flag)),
+            }
+        }
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        Ok((NfsReply::Readdir { entries }, false))
+    }
+}

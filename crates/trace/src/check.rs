@@ -32,11 +32,20 @@
 //!    covers use-after-return and use-after-revoke) or while it has a
 //!    recall in hand; and every recall a client receives is eventually
 //!    matched by a return or a revoke.
+//! 10. **Shard ownership** (DESIGN.md §18) — every root-level name
+//!     operation is served by the shard that owns the name at that layout
+//!     epoch (the checker mirrors the authority layout by replaying
+//!     `shard_move` events over the deterministic default placement);
+//!     move epochs are strictly increasing; and cross-shard transactions
+//!     are atomic: no shard serves either name between `shard_tx_begin`
+//!     and the ownership move, a committed end implies the move happened
+//!     (and an aborted end implies it did not), and every begun
+//!     transaction resolves by the end of the run.
 
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt;
 
-use spritely_proto::{ClientId, FileHandle, NfsProc, BLOCK_SIZE};
+use spritely_proto::{default_shard, ClientId, FileHandle, NfsProc, BLOCK_SIZE};
 
 use crate::{Cause, EventKind, FState, TraceEvent};
 
@@ -164,6 +173,25 @@ struct CheckState {
     /// Recalls a client has received but not yet resolved, keyed by
     /// (holder, file) -> (seq, t_us) of the recall event.
     deleg_recalls: HashMap<(ClientId, FileHandle), (u64, u64)>,
+    /// Shard count from the `shards` meta event (absent = 1, unsharded).
+    shards: u64,
+    /// Mirrored layout overrides (name -> owner), replayed from
+    /// `shard_move` events exactly as the authority applies them.
+    shard_overrides: HashMap<String, u32>,
+    /// Highest `shard_move` epoch seen (epochs must strictly increase).
+    shard_epoch: u64,
+    /// Open cross-shard transactions (BTreeMap: deterministic iteration).
+    shard_txs: BTreeMap<u64, ShardTx>,
+}
+
+/// One open cross-shard transaction, from its begin event.
+struct ShardTx {
+    from_name: String,
+    to_name: String,
+    seq: u64,
+    t_us: u64,
+    /// The ownership move for this tx has been published.
+    moved: bool,
 }
 
 /// Replay `events` and return every invariant violation found (empty =
@@ -183,6 +211,9 @@ pub fn check_trace(events: &[TraceEvent]) -> Vec<Violation> {
         match &e.kind {
             EventKind::Meta { key, value } if *key == "server_threads" => {
                 st.threads = value.parse().ok();
+            }
+            EventKind::Meta { key, value } if *key == "shards" => {
+                st.shards = value.parse().unwrap_or(1);
             }
             EventKind::Meta { key, value } if *key == "disk_sched" => {
                 st.disk_bound = if value == "fifo" {
@@ -269,14 +300,18 @@ pub fn check_trace(events: &[TraceEvent]) -> Vec<Violation> {
                 st.cb_depth += 1;
                 st.cb_peak = st.cb_peak.max(st.cb_depth);
                 if let Some(n) = st.threads {
-                    if st.cb_depth > n.saturating_sub(1) {
+                    // With S shards each server enforces N−1 locally, so
+                    // the trace-wide bound is S × (N−1).
+                    let bound = st.shards.max(1) * n.saturating_sub(1);
+                    if st.cb_depth > bound {
                         flag(
                             "callback-bound",
                             format!(
-                                "{} callbacks in flight (to c{} for {fh}) exceeds N-1 = {}",
+                                "{} callbacks in flight (to c{} for {fh}) exceeds the \
+                                 bound {bound} ({} shard(s) x N-1)",
                                 st.cb_depth,
                                 target.0,
-                                n - 1
+                                st.shards.max(1)
                             ),
                             &mut out,
                         );
@@ -525,6 +560,127 @@ pub fn check_trace(events: &[TraceEvent]) -> Vec<Violation> {
                     );
                 }
             }
+            EventKind::ShardRoute { shard, name, .. } => {
+                let n = st.shards.max(1) as u32;
+                let owner = st
+                    .shard_overrides
+                    .get(name)
+                    .copied()
+                    .unwrap_or_else(|| default_shard(name, n));
+                if owner != *shard {
+                    flag(
+                        "shard-owner",
+                        format!(
+                            "shard {shard} served \"{name}\" but the layout owner is \
+                             shard {owner}"
+                        ),
+                        &mut out,
+                    );
+                }
+                for (txid, tx) in &st.shard_txs {
+                    if !tx.moved && (tx.from_name == *name || tx.to_name == *name) {
+                        flag(
+                            "shard-atomicity",
+                            format!(
+                                "shard {shard} served \"{name}\" inside the window of \
+                                 open cross-shard tx {txid}"
+                            ),
+                            &mut out,
+                        );
+                    }
+                }
+            }
+            EventKind::ShardMove {
+                from_name,
+                to_name,
+                shard,
+                epoch,
+            } => {
+                if *epoch <= st.shard_epoch {
+                    flag(
+                        "shard-epoch",
+                        format!(
+                            "move of \"{to_name}\" carries epoch {epoch}, not above the \
+                             previous epoch {}",
+                            st.shard_epoch
+                        ),
+                        &mut out,
+                    );
+                }
+                st.shard_epoch = *epoch;
+                // Replay exactly what Layout::record_move does: the source
+                // name ceases to exist; the target's override collapses
+                // when the new owner is its default placement.
+                if !from_name.is_empty() {
+                    st.shard_overrides.remove(from_name);
+                }
+                let n = st.shards.max(1) as u32;
+                if default_shard(to_name, n) == *shard {
+                    st.shard_overrides.remove(to_name);
+                } else {
+                    st.shard_overrides.insert(to_name.clone(), *shard);
+                }
+                if let Some(tx) = st
+                    .shard_txs
+                    .values_mut()
+                    .find(|tx| !tx.moved && tx.to_name == *to_name)
+                {
+                    tx.moved = true;
+                }
+            }
+            EventKind::ShardTxBegin {
+                txid,
+                from_name,
+                to_name,
+                ..
+            } => {
+                if st.shard_txs.contains_key(txid) {
+                    flag(
+                        "shard-tx",
+                        format!("cross-shard tx {txid} begun twice"),
+                        &mut out,
+                    );
+                }
+                st.shard_txs.insert(
+                    *txid,
+                    ShardTx {
+                        from_name: from_name.clone(),
+                        to_name: to_name.clone(),
+                        seq: e.seq,
+                        t_us: e.t_us,
+                        moved: false,
+                    },
+                );
+            }
+            EventKind::ShardTxEnd { txid, committed } => match st.shard_txs.remove(txid) {
+                None => flag(
+                    "shard-tx",
+                    format!("cross-shard tx {txid} ended without a begin"),
+                    &mut out,
+                ),
+                Some(tx) => {
+                    if *committed && !tx.moved {
+                        flag(
+                            "shard-tx",
+                            format!(
+                                "cross-shard tx {txid} committed but no ownership move \
+                                 was published"
+                            ),
+                            &mut out,
+                        );
+                    }
+                    if !*committed && tx.moved {
+                        flag(
+                            "shard-tx",
+                            format!(
+                                "cross-shard tx {txid} aborted after publishing an \
+                                 ownership move"
+                            ),
+                            &mut out,
+                        );
+                    }
+                }
+            },
             EventKind::ServerCrash => {
                 st.states.clear();
                 // Delegation state is NOT cleared here: the reboot discards
@@ -550,6 +706,19 @@ pub fn check_trace(events: &[TraceEvent]) -> Vec<Violation> {
             detail: format!(
                 "c{} never returned the recalled delegation on {fh} and it was never revoked",
                 client.0
+            ),
+        });
+    }
+    // Every cross-shard transaction must resolve (commit or abort) by
+    // the end of the run.
+    for (txid, tx) in st.shard_txs {
+        out.push(Violation {
+            seq: tx.seq,
+            t_us: tx.t_us,
+            invariant: "shard-tx-unresolved",
+            detail: format!(
+                "cross-shard tx {txid} (\"{}\" -> \"{}\") never committed or aborted",
+                tx.from_name, tx.to_name
             ),
         });
     }
@@ -603,6 +772,11 @@ pub fn kind_name(kind: &EventKind) -> &'static str {
         EventKind::DelegRecall { .. } => "deleg_recall",
         EventKind::DelegReturn { .. } => "deleg_return",
         EventKind::DelegLocalOpen { .. } => "deleg_local_open",
+        EventKind::ShardRoute { .. } => "shard_route",
+        EventKind::ShardMove { .. } => "shard_move",
+        EventKind::ShardTxBegin { .. } => "shard_tx_begin",
+        EventKind::ShardTxPrepared { .. } => "shard_tx_prepared",
+        EventKind::ShardTxEnd { .. } => "shard_tx_end",
     }
 }
 
@@ -1212,6 +1386,157 @@ mod tests {
             ),
         ]);
         assert!(resolved.is_empty());
+    }
+
+    fn shards_meta(n: u64) -> TraceEvent {
+        ev(
+            1,
+            EventKind::Meta {
+                key: "shards",
+                value: n.to_string(),
+            },
+        )
+    }
+
+    fn route(seq: u64, shard: u32, name: &str) -> TraceEvent {
+        ev(
+            seq,
+            EventKind::ShardRoute {
+                shard,
+                name: name.into(),
+                epoch: 1,
+            },
+        )
+    }
+
+    #[test]
+    fn shard_route_must_match_layout_owner() {
+        let n = 4;
+        let name = "alpha";
+        let owner = default_shard(name, n as u32);
+        let wrong = (owner + 1) % n as u32;
+        assert!(check_trace(&[shards_meta(n), route(2, owner, name)]).is_empty());
+        let v = check_trace(&[shards_meta(n), route(2, wrong, name)]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "shard-owner");
+    }
+
+    #[test]
+    fn shard_move_retargets_ownership_and_epochs_increase() {
+        let n = 4u64;
+        let name = "beta";
+        let owner = default_shard(name, n as u32);
+        let new_owner = (owner + 1) % n as u32;
+        let mv = |seq, epoch| {
+            ev(
+                seq,
+                EventKind::ShardMove {
+                    from_name: String::new(),
+                    to_name: name.into(),
+                    shard: new_owner,
+                    epoch,
+                },
+            )
+        };
+        // After the move, the new owner serves the name; the old one must not.
+        let ok = check_trace(&[shards_meta(n), mv(2, 2), route(3, new_owner, name)]);
+        assert!(ok.is_empty());
+        let v = check_trace(&[shards_meta(n), mv(2, 2), route(3, owner, name)]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "shard-owner");
+        // A stale epoch on a second move is flagged.
+        let v = check_trace(&[shards_meta(n), mv(2, 2), mv(3, 2)]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "shard-epoch");
+    }
+
+    #[test]
+    fn shard_tx_window_is_atomic() {
+        let n = 2u64;
+        let name = "gamma";
+        let owner = default_shard(name, n as u32);
+        let begin = ev(
+            2,
+            EventKind::ShardTxBegin {
+                txid: 1,
+                from_shard: 0,
+                to_shard: 1,
+                from_name: "src".into(),
+                to_name: name.into(),
+                link: false,
+            },
+        );
+        let mv = ev(
+            4,
+            EventKind::ShardMove {
+                from_name: "src".into(),
+                to_name: name.into(),
+                shard: owner,
+                epoch: 2,
+            },
+        );
+        let end = |seq, committed| ev(seq, EventKind::ShardTxEnd { txid: 1, committed });
+        // Serving either name inside the begin..move window is flagged.
+        let v = check_trace(&[
+            shards_meta(n),
+            begin.clone(),
+            route(3, owner, name),
+            mv.clone(),
+            end(5, true),
+        ]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "shard-atomicity");
+        // After the move the name is served freely again.
+        let ok = check_trace(&[
+            shards_meta(n),
+            begin.clone(),
+            mv.clone(),
+            route(5, owner, name),
+            end(6, true),
+        ]);
+        assert!(ok.is_empty());
+        // A committed end without a move, and an unresolved begin, are flagged.
+        let v = check_trace(&[shards_meta(n), begin.clone(), end(3, true)]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "shard-tx");
+        let v = check_trace(&[shards_meta(n), begin]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "shard-tx-unresolved");
+    }
+
+    #[test]
+    fn callback_bound_scales_with_shard_count() {
+        // 2 shards x (3-1) threads = 4 concurrent callbacks allowed.
+        let mut events = vec![
+            ev(
+                1,
+                EventKind::Meta {
+                    key: "server_threads",
+                    value: "3".into(),
+                },
+            ),
+            ev(
+                2,
+                EventKind::Meta {
+                    key: "shards",
+                    value: "2".into(),
+                },
+            ),
+        ];
+        for i in 0..5u64 {
+            events.push(ev(
+                3 + i,
+                EventKind::CallbackBegin {
+                    target: ClientId(i as u32 + 1),
+                    fh: fh(1),
+                    writeback: false,
+                    invalidate: true,
+                },
+            ));
+        }
+        let v = check_trace(&events);
+        assert_eq!(v.len(), 1, "fifth concurrent callback breaks 2 x (N-1) = 4");
+        assert_eq!(v[0].invariant, "callback-bound");
     }
 
     #[test]

@@ -336,6 +336,53 @@ fn write_event_json(out: &mut String, e: &TraceEvent) {
                 client.0, fh, write
             );
         }
+        EventKind::ShardRoute { shard, name, epoch } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"shard_route\",\"shard\":{shard},\"name\":\"{}\",\"epoch\":{epoch}",
+                json_escape(name)
+            );
+        }
+        EventKind::ShardMove {
+            from_name,
+            to_name,
+            shard,
+            epoch,
+        } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"shard_move\",\"from\":\"{}\",\"to\":\"{}\",\"shard\":{shard},\"epoch\":{epoch}",
+                json_escape(from_name),
+                json_escape(to_name)
+            );
+        }
+        EventKind::ShardTxBegin {
+            txid,
+            from_shard,
+            to_shard,
+            from_name,
+            to_name,
+            link,
+        } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"shard_tx_begin\",\"txid\":{txid},\"from_shard\":{from_shard},\"to_shard\":{to_shard},\"from\":\"{}\",\"to\":\"{}\",\"link\":{link}",
+                json_escape(from_name),
+                json_escape(to_name)
+            );
+        }
+        EventKind::ShardTxPrepared { txid, existed } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"shard_tx_prepared\",\"txid\":{txid},\"existed\":{existed}"
+            );
+        }
+        EventKind::ShardTxEnd { txid, committed } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"shard_tx_end\",\"txid\":{txid},\"committed\":{committed}"
+            );
+        }
     }
     out.push('}');
 }
@@ -631,6 +678,61 @@ fn chrome_event(e: &TraceEvent) -> Option<String> {
             &format!(
                 "local open {fh} ({})",
                 if *write { "write" } else { "read" }
+            ),
+            t,
+            "",
+        ),
+        EventKind::ShardRoute { shard, name, epoch } => instant(
+            SERVER_PID,
+            7,
+            &format!("shard {shard} serves \"{name}\" (e{epoch})"),
+            t,
+            "",
+        ),
+        EventKind::ShardMove {
+            from_name,
+            to_name,
+            shard,
+            epoch,
+        } => instant(
+            SERVER_PID,
+            7,
+            &format!("move \"{from_name}\" -> \"{to_name}\" @ shard {shard} (e{epoch})"),
+            t,
+            "",
+        ),
+        EventKind::ShardTxBegin {
+            txid,
+            from_shard,
+            to_shard,
+            link,
+            ..
+        } => instant(
+            SERVER_PID,
+            7,
+            &format!(
+                "tx {txid} begin {} s{from_shard}->s{to_shard}",
+                if *link { "link" } else { "rename" }
+            ),
+            t,
+            "",
+        ),
+        EventKind::ShardTxPrepared { txid, existed } => instant(
+            SERVER_PID,
+            7,
+            &format!(
+                "tx {txid} prepared{}",
+                if *existed { " (target existed)" } else { "" }
+            ),
+            t,
+            "",
+        ),
+        EventKind::ShardTxEnd { txid, committed } => instant(
+            SERVER_PID,
+            7,
+            &format!(
+                "tx {txid} {}",
+                if *committed { "committed" } else { "aborted" }
             ),
             t,
             "",

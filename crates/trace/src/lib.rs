@@ -313,6 +313,41 @@ pub enum EventKind {
         fh: FileHandle,
         write: bool,
     },
+    /// Sharded namespace (DESIGN.md §18): shard `shard` served a
+    /// root-level name operation it owns under layout epoch `epoch`.
+    /// Rule 10 recomputes the owner and flags any mismatch.
+    ShardRoute {
+        shard: u32,
+        name: String,
+        epoch: u64,
+    },
+    /// Sharded namespace: the authority layout recorded an ownership
+    /// move at the commit point of a cross-shard rename/link —
+    /// `to_name` is now owned by `shard` (and `from_name`, when
+    /// non-empty, ceased to exist). Epoch bumps are strictly increasing.
+    ShardMove {
+        from_name: String,
+        to_name: String,
+        shard: u32,
+        epoch: u64,
+    },
+    /// Sharded namespace: a cross-shard transaction opened — emitted by
+    /// the coordinator only after the participant prepared, so both
+    /// names are locked on both shards for the whole Begin→Move window.
+    ShardTxBegin {
+        txid: u64,
+        from_shard: u32,
+        to_shard: u32,
+        from_name: String,
+        to_name: String,
+        link: bool,
+    },
+    /// Sharded namespace: the participant locked the target name and
+    /// reported whether an entry by that name existed.
+    ShardTxPrepared { txid: u64, existed: bool },
+    /// Sharded namespace: the transaction resolved — committed (the
+    /// participant acknowledged the cleanup) or aborted.
+    ShardTxEnd { txid: u64, committed: bool },
 }
 
 struct Inner {

@@ -52,6 +52,9 @@ cargo run --release --quiet --example sim_speed_smoke
 echo "==> latency profiler smoke run (phase accounting must be exact, >= 99% attributed)"
 cargo run --release --quiet --example profile_smoke
 
+echo "==> shard smoke run (paper mode inert, deterministic, >= 1.5x at 8 shards, chaos converges)"
+cargo run --release --quiet --example shard_smoke
+
 echo "==> snapshot regression gate (fresh Andrew profile vs baselines/)"
 cargo run --release --quiet --bin spritely -- profile andrew > /dev/null
 cargo run --release --quiet --bin spritely -- compare \
